@@ -1,0 +1,51 @@
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+//! Criterion bench (ablation): VM creation cost — baseline vs Siloz, and
+//! Siloz's boot-time group computation. Shows the §5 machinery's overhead
+//! is a boot/creation-time cost, not a runtime one.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dram_addr::SystemAddressDecoder;
+use siloz::{Hypervisor, HypervisorKind, SilozConfig, SubarrayGroupMap, VmSpec};
+
+/// Criterion entry point.
+fn bench_alloc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alloc_path");
+    group.sample_size(10);
+    for (label, kind) in [
+        ("create_vm_baseline", HypervisorKind::Baseline),
+        ("create_vm_siloz", HypervisorKind::Siloz),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter_with_setup(
+                || Hypervisor::boot(SilozConfig::mini(), kind).unwrap(),
+                |mut hv| {
+                    let vm = hv.create_vm(VmSpec::new("vm", 2, 128 << 20)).unwrap();
+                    black_box(vm)
+                },
+            )
+        });
+    }
+    group.bench_function("boot_time_group_computation_full_server", |b| {
+        let config = SilozConfig::evaluation();
+        let decoder = SystemAddressDecoder::new(config.geometry, config.decoder).unwrap();
+        b.iter(|| black_box(SubarrayGroupMap::compute(&decoder, 1024).unwrap()))
+    });
+    group.bench_function("boot_time_group_cache_restore_full_server", |b| {
+        // §5.3: ranges can be cached across boots; restoring should beat
+        // recomputation.
+        let config = SilozConfig::evaluation();
+        let decoder = SystemAddressDecoder::new(config.geometry, config.decoder).unwrap();
+        let cache = siloz::to_cache(&SubarrayGroupMap::compute(&decoder, 1024).unwrap());
+        b.iter(|| black_box(siloz::from_cache(&cache, &decoder, 1024).unwrap()))
+    });
+    group.bench_function("stat_refresh_siloz_256_nodes", |b| {
+        // §5.3: periodic statistics iterate host nodes only.
+        let hv = Hypervisor::boot(SilozConfig::evaluation(), HypervisorKind::Siloz).unwrap();
+        b.iter(|| black_box(hv.refresh_node_stats().unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_alloc);
+criterion_main!(benches);

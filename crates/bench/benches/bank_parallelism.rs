@@ -1,0 +1,58 @@
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+//! Criterion bench (ablation for §4.1): the design choice behind subarray
+//! *groups*. Isolating a VM to a single bank's subarray would destroy
+//! bank-level parallelism; groups spanning every bank keep it. Measures
+//! simulated completion time of the same access volume under full
+//! interleave vs single-bank placement (the paper cites >18% impact; the
+//! simulated gap is far larger for pure streams).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dram::DramSystem;
+use dram_addr::mini_decoder;
+use memctrl::{MemOp, MemoryController};
+
+/// Simulated completion time of 4096 reads under the given placement.
+fn simulated_elapsed(single_bank: bool) -> u64 {
+    let dec = mini_decoder();
+    let mut dram = DramSystem::new(*dec.geometry());
+    let mut ctrl = MemoryController::new(dec).without_physics();
+    let n = 4096u64;
+    let rg = ctrl.decoder().geometry().row_group_bytes();
+    let ops: Vec<MemOp> = (0..n)
+        .map(|i| {
+            if single_bank {
+                MemOp::read(i * rg) // same bank, new row every access
+            } else {
+                MemOp::read(i * 64) // interleaved across all banks
+            }
+        })
+        .collect();
+    ctrl.run_trace(&mut dram, ops).elapsed_ps
+}
+
+/// Criterion entry point.
+fn bench_parallelism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bank_parallelism");
+    group.bench_function("interleaved_stream", |b| {
+        b.iter(|| black_box(simulated_elapsed(false)))
+    });
+    group.bench_function("single_bank_stream", |b| {
+        b.iter(|| black_box(simulated_elapsed(true)))
+    });
+    group.finish();
+
+    // Print the ablation headline once.
+    let full = simulated_elapsed(false);
+    let single = simulated_elapsed(true);
+    println!(
+        "\n[bank_parallelism ablation] single-bank placement is {:.1}x slower than \
+         subarray-group placement ({} vs {} ps simulated)",
+        single as f64 / full as f64,
+        single,
+        full
+    );
+}
+
+criterion_group!(benches, bench_parallelism);
+criterion_main!(benches);

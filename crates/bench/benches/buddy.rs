@@ -1,0 +1,46 @@
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+//! Criterion bench: per-node buddy allocator (the allocation hot path for
+//! both hypervisors).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use numa::BuddyAllocator;
+
+/// Criterion entry point.
+fn bench_buddy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buddy");
+    group.bench_function("alloc_free_order0", |b| {
+        let mut buddy = BuddyAllocator::new(&[0..(1 << 18)]);
+        b.iter(|| {
+            let f = buddy.alloc(0).unwrap();
+            buddy.free(black_box(f), 0).unwrap();
+        })
+    });
+    group.bench_function("alloc_free_2mib", |b| {
+        let mut buddy = BuddyAllocator::new(&[0..(1 << 18)]);
+        b.iter(|| {
+            let f = buddy.alloc(9).unwrap();
+            buddy.free(black_box(f), 9).unwrap();
+        })
+    });
+    group.bench_function("churn_mixed_orders", |b| {
+        let mut buddy = BuddyAllocator::new(&[0..(1 << 18)]);
+        let mut live: Vec<(u64, u8)> = Vec::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let order = (i % 10) as u8;
+            if live.len() > 64 {
+                let (f, o) = live.remove((i as usize * 7) % live.len());
+                buddy.free(f, o).unwrap();
+            }
+            if let Ok(f) = buddy.alloc(order) {
+                live.push((f, order));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_buddy);
+criterion_main!(benches);

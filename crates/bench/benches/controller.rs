@@ -1,0 +1,47 @@
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+//! Criterion bench: memory-controller scheduling throughput for
+//! sequential, random, and dependent access streams.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dram::DramSystem;
+use dram_addr::mini_decoder;
+use memctrl::{MemOp, MemoryController};
+
+/// Criterion entry point.
+fn bench_controller(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller");
+    group.bench_function("sequential_4k_ops", |b| {
+        b.iter_with_setup(
+            || {
+                let dec = mini_decoder();
+                let dram = DramSystem::new(*dec.geometry());
+                let ops: Vec<MemOp> = (0..4096u64).map(|i| MemOp::read(i * 64)).collect();
+                (MemoryController::new(dec).without_physics(), dram, ops)
+            },
+            |(mut ctrl, mut dram, ops)| black_box(ctrl.run_trace(&mut dram, ops)),
+        )
+    });
+    group.bench_function("random_4k_ops", |b| {
+        b.iter_with_setup(
+            || {
+                let dec = mini_decoder();
+                let cap = dec.capacity();
+                let dram = DramSystem::new(*dec.geometry());
+                let mut x = 99u64;
+                let ops: Vec<MemOp> = (0..4096)
+                    .map(|_| {
+                        x = dram::util::splitmix64(x);
+                        MemOp::read(x % cap & !63)
+                    })
+                    .collect();
+                (MemoryController::new(dec).without_physics(), dram, ops)
+            },
+            |(mut ctrl, mut dram, ops)| black_box(ctrl.run_trace(&mut dram, ops)),
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_controller);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+//! Criterion bench: address decode/encode throughput (the boot-time group
+//! computation and every simulated access depend on it).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dram_addr::skylake_decoder;
+
+/// Criterion entry point.
+fn bench_decoder(c: &mut Criterion) {
+    let dec = skylake_decoder();
+    let mut group = c.benchmark_group("decoder");
+    group.bench_function("decode", |b| {
+        let mut p = 0u64;
+        b.iter(|| {
+            p = (p + 4096) % dec.capacity();
+            black_box(dec.decode(black_box(p)).unwrap())
+        })
+    });
+    group.bench_function("decode_encode_roundtrip", |b| {
+        let mut p = 0u64;
+        b.iter(|| {
+            p = (p + 64 * 193) % dec.capacity();
+            let m = dec.decode(black_box(p)).unwrap();
+            black_box(dec.encode(&m).unwrap())
+        })
+    });
+    group.bench_function("row_group_of", |b| {
+        let mut p = 0u64;
+        b.iter(|| {
+            p = (p + (1 << 20)) % dec.capacity();
+            black_box(dec.row_group_of(black_box(p)).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decoder);
+criterion_main!(benches);

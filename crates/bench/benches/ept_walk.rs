@@ -1,0 +1,86 @@
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+//! Criterion bench: EPT construction and translation, with and without
+//! integrity checking (§5.4's secure-EPT cost).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ept::{Ept, EptAllocator, EptError, EptPerms, IntegrityMode, PageSize, PhysMem};
+use std::collections::HashMap;
+
+struct Mem(HashMap<u64, u64>);
+impl PhysMem for Mem {
+    fn read_u64(&mut self, p: u64) -> u64 {
+        *self.0.get(&p).unwrap_or(&0)
+    }
+    fn write_u64(&mut self, p: u64, v: u64) {
+        self.0.insert(p, v);
+    }
+}
+struct Bump(u64);
+impl EptAllocator for Bump {
+    fn alloc_table_page(&mut self) -> Result<u64, EptError> {
+        let p = self.0;
+        self.0 += 4096;
+        Ok(p)
+    }
+}
+
+fn build(mode: IntegrityMode) -> (Mem, Ept) {
+    let mut mem = Mem(HashMap::new());
+    let mut alloc = Bump(1 << 30);
+    let mut ept = Ept::new(&mut mem, &mut alloc, mode, 7).unwrap();
+    for i in 0..512u64 {
+        ept.map(
+            &mut mem,
+            &mut alloc,
+            i * (2 << 20),
+            (2u64 << 30) + i * (2 << 20),
+            PageSize::Size2M,
+            EptPerms::RWX,
+        )
+        .unwrap();
+    }
+    (mem, ept)
+}
+
+/// Criterion entry point.
+fn bench_ept(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ept");
+    for (label, mode) in [
+        ("translate_plain", IntegrityMode::None),
+        ("translate_checked", IntegrityMode::Checked),
+    ] {
+        let (mut mem, ept) = build(mode);
+        group.bench_function(label, |b| {
+            let mut gpa = 0u64;
+            b.iter(|| {
+                gpa = (gpa + (2 << 20) + 4096) % (1 << 30);
+                black_box(ept.translate(&mut mem, black_box(gpa)).unwrap())
+            })
+        });
+    }
+    group.bench_function("map_2mib", |b| {
+        b.iter_with_setup(
+            || (Mem(HashMap::new()), Bump(1 << 30)),
+            |(mut mem, mut alloc)| {
+                let mut ept = Ept::new(&mut mem, &mut alloc, IntegrityMode::Checked, 7).unwrap();
+                for i in 0..64u64 {
+                    ept.map(
+                        &mut mem,
+                        &mut alloc,
+                        i * (2 << 20),
+                        (2u64 << 30) + i * (2 << 20),
+                        PageSize::Size2M,
+                        EptPerms::RWX,
+                    )
+                    .unwrap();
+                }
+                black_box(ept)
+            },
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ept);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+//! Criterion bench: one Blacksmith hammering attempt against the device
+//! model (drives the security experiments' runtime).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dram::DramSystemBuilder;
+use dram_addr::{mini_geometry, BankId};
+use hammer::{Blacksmith, FuzzConfig};
+use hammer::pattern::HammerPattern;
+
+/// Criterion entry point.
+fn bench_fuzzer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fuzzer");
+    group.sample_size(10);
+    group.bench_function("hammer_10k_periods_8sided", |b| {
+        let fuzzer = Blacksmith::new(FuzzConfig {
+            patterns: 1,
+            periods_per_attempt: 10_000,
+            extra_open_ns: 0,
+        });
+        let pattern = HammerPattern::n_sided(32, 8);
+        b.iter_with_setup(
+            || DramSystemBuilder::new(mini_geometry()).build(),
+            |mut dram| {
+                let mut acts = 0u64;
+                black_box(fuzzer.hammer(&mut dram, BankId(0), &pattern, &mut acts));
+                black_box(acts)
+            },
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fuzzer);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Regenerates **Table 2**: the baseline system configuration.
+//!
+//! Usage: `cargo run -p bench --bin table2_config [--quick]`
+
+use bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let config = scale.config();
+    println!("{}", config.render_table2());
+    println!();
+    println!(
+        "Derived: subarray group size = {:.2} GiB ({} groups/socket, {} logical NUMA nodes total)",
+        config.subarray_group_bytes() as f64 / (1u64 << 30) as f64,
+        config.groups_per_socket(),
+        config.groups_per_socket() as u64 * config.geometry.sockets as u64,
+    );
+}

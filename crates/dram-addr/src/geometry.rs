@@ -1,0 +1,253 @@
+//! DRAM geometry: the hierarchical shape of a server's memory system.
+
+use core::fmt;
+
+/// The hierarchical geometry of a server's DRAM, from sockets down to rows.
+///
+/// All capacity and addressing arithmetic in the workspace derives from this
+/// structure. The default used throughout the reproduction is the paper's
+/// evaluation server (see [`crate::skylake_geometry`]): dual-socket, 6
+/// channels per socket, one dual-rank 32 GiB DIMM per channel, 16 banks per
+/// rank (192 banks per socket), 8 KiB rows, 1024-row subarrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Geometry {
+    /// Number of CPU sockets (each socket is one conventional/physical NUMA
+    /// node with its own memory controller and local DRAM pool).
+    pub sockets: u16,
+    /// DDR channels per socket.
+    pub channels_per_socket: u16,
+    /// DIMMs attached to each channel.
+    pub dimms_per_channel: u16,
+    /// Ranks per DIMM (2 for the common 2Rx4 server DIMM).
+    pub ranks_per_dimm: u16,
+    /// DDR4 bank groups per rank.
+    pub bank_groups: u16,
+    /// Banks within each bank group (DDR4: 4 groups x 4 banks = 16).
+    pub banks_per_group: u16,
+    /// Rows per bank (a 1 GiB bank of 8 KiB rows has 131072 rows).
+    pub rows_per_bank: u32,
+    /// Bytes per row; the DDR4 standard allows up to 8 KiB (§2.3).
+    pub row_bytes: u64,
+    /// Rows per subarray. Not reported by DDR4 but inferable via mFIT-style
+    /// methodologies (§4.1); commodity range is 512-2048.
+    pub rows_per_subarray: u32,
+}
+
+impl Geometry {
+    /// Banks per rank.
+    #[must_use]
+    pub const fn banks_per_rank(&self) -> u16 {
+        self.bank_groups * self.banks_per_group
+    }
+
+    /// Banks per DIMM.
+    #[must_use]
+    pub const fn banks_per_dimm(&self) -> u16 {
+        self.ranks_per_dimm * self.banks_per_rank()
+    }
+
+    /// Banks per channel.
+    #[must_use]
+    pub const fn banks_per_channel(&self) -> u16 {
+        self.dimms_per_channel * self.banks_per_dimm()
+    }
+
+    /// Total banks in one socket (one physical NUMA node's memory pool).
+    #[must_use]
+    pub const fn banks_per_socket(&self) -> u32 {
+        self.channels_per_socket as u32 * self.banks_per_channel() as u32
+    }
+
+    /// Total banks in the whole machine.
+    #[must_use]
+    pub const fn total_banks(&self) -> u32 {
+        self.sockets as u32 * self.banks_per_socket()
+    }
+
+    /// Capacity of one bank in bytes.
+    #[must_use]
+    pub const fn bank_bytes(&self) -> u64 {
+        self.rows_per_bank as u64 * self.row_bytes
+    }
+
+    /// Capacity of one socket's DRAM pool in bytes.
+    #[must_use]
+    pub const fn socket_bytes(&self) -> u64 {
+        self.banks_per_socket() as u64 * self.bank_bytes()
+    }
+
+    /// Total machine DRAM capacity in bytes.
+    #[must_use]
+    pub const fn total_bytes(&self) -> u64 {
+        self.sockets as u64 * self.socket_bytes()
+    }
+
+    /// Number of subarrays in each bank.
+    ///
+    /// Rounds up if `rows_per_bank` is not a multiple of the subarray size
+    /// (the trailing subarray is then short).
+    #[must_use]
+    pub const fn subarrays_per_bank(&self) -> u32 {
+        self.rows_per_bank.div_ceil(self.rows_per_subarray)
+    }
+
+    /// The subarray index that `row` belongs to within its bank.
+    #[must_use]
+    pub const fn subarray_of_row(&self, row: u32) -> u32 {
+        row / self.rows_per_subarray
+    }
+
+    /// Size in bytes of a *row group*: one same-indexed row taken from every
+    /// bank in a socket. With the evaluation geometry this is
+    /// `192 banks * 8 KiB = 1.5 MiB`.
+    #[must_use]
+    pub const fn row_group_bytes(&self) -> u64 {
+        self.banks_per_socket() as u64 * self.row_bytes
+    }
+
+    /// Size in bytes of a *subarray group* (§4.1): at least one subarray from
+    /// every bank in a socket. With the evaluation geometry this is
+    /// `192 banks * 1024 rows * 8 KiB = 1.5 GiB`.
+    #[must_use]
+    pub const fn subarray_group_bytes(&self) -> u64 {
+        self.rows_per_subarray as u64 * self.row_group_bytes()
+    }
+
+    /// Number of whole subarray groups per socket.
+    #[must_use]
+    pub const fn subarray_groups_per_socket(&self) -> u32 {
+        self.rows_per_bank / self.rows_per_subarray
+    }
+
+    /// Number of cache lines in one row.
+    #[must_use]
+    pub const fn lines_per_row(&self) -> u64 {
+        self.row_bytes / crate::CACHE_LINE_BYTES
+    }
+
+    /// Validates internal consistency (non-zero dimensions, row size a
+    /// multiple of the cache line, etc.).
+    ///
+    /// Returns a human-readable description of the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sockets == 0 {
+            return Err("geometry must have at least one socket".into());
+        }
+        if self.channels_per_socket == 0
+            || self.dimms_per_channel == 0
+            || self.ranks_per_dimm == 0
+            || self.bank_groups == 0
+            || self.banks_per_group == 0
+        {
+            return Err("geometry must have non-zero channel/DIMM/rank/bank counts".into());
+        }
+        if self.rows_per_bank == 0 || self.row_bytes == 0 {
+            return Err("geometry must have non-zero rows and row size".into());
+        }
+        if self.row_bytes % crate::CACHE_LINE_BYTES != 0 {
+            return Err(format!(
+                "row size {} is not a multiple of the {} B cache line",
+                self.row_bytes,
+                crate::CACHE_LINE_BYTES
+            ));
+        }
+        if self.rows_per_subarray == 0 || self.rows_per_subarray > self.rows_per_bank {
+            return Err(format!(
+                "subarray size {} must be in [1, rows_per_bank={}]",
+                self.rows_per_subarray, self.rows_per_bank
+            ));
+        }
+        Ok(())
+    }
+
+    /// Returns a copy of this geometry with a different presumed subarray
+    /// size, mirroring Siloz's `subarray size` boot parameter (§5.3).
+    #[must_use]
+    pub const fn with_subarray_rows(mut self, rows: u32) -> Self {
+        self.rows_per_subarray = rows;
+        self
+    }
+}
+
+impl fmt::Display for Geometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} socket(s) x {} ch x {} DIMM x {} rank x {} banks ({} banks/socket, \
+             {} rows/bank x {} B rows, {}-row subarrays, {:.1} GiB/socket)",
+            self.sockets,
+            self.channels_per_socket,
+            self.dimms_per_channel,
+            self.ranks_per_dimm,
+            self.banks_per_rank(),
+            self.banks_per_socket(),
+            self.rows_per_bank,
+            self.row_bytes,
+            self.rows_per_subarray,
+            self.socket_bytes() as f64 / (1u64 << 30) as f64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skylake::skylake_geometry;
+
+    #[test]
+    fn evaluation_server_geometry_matches_paper() {
+        let g = skylake_geometry();
+        assert_eq!(g.banks_per_socket(), 192, "192 banks per socket (Table 2)");
+        assert_eq!(g.bank_bytes(), 1 << 30, "1 GiB banks (§2.3)");
+        assert_eq!(g.socket_bytes(), 192 << 30, "192 GiB per socket (Table 2)");
+        assert_eq!(g.row_bytes, 8 << 10, "8 KiB rows");
+        assert_eq!(g.rows_per_subarray, 1024, "1024-row subarrays (§4.1)");
+        assert_eq!(
+            g.subarray_group_bytes(),
+            3 << 29, // 1.5 GiB
+            "192 banks * 1024 rows * 8 KiB = 1.5 GiB subarray groups (§4.1)"
+        );
+        assert_eq!(g.subarrays_per_bank(), 128, "128 subarrays per 1 GiB bank");
+        g.validate().expect("evaluation geometry is valid");
+    }
+
+    #[test]
+    fn subarray_group_size_scales_linearly_with_subarray_rows() {
+        // §4.1: "For subarray sizes in the modern range of 512-2048 rows, the
+        // group size linearly-increases from 0.75 GiB to 3 GiB."
+        let g = skylake_geometry();
+        assert_eq!(g.with_subarray_rows(512).subarray_group_bytes(), 3 << 28);
+        assert_eq!(g.with_subarray_rows(2048).subarray_group_bytes(), 3 << 30);
+    }
+
+    #[test]
+    fn row_group_size_is_24mib_per_16_groups() {
+        // §4.2: 16 row groups is 24 MiB (8 KiB/row * 16 rows/bank * 192
+        // banks/socket).
+        let g = skylake_geometry();
+        assert_eq!(16 * g.row_group_bytes(), 24 << 20);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_geometries() {
+        let g = skylake_geometry();
+        assert!(Geometry { sockets: 0, ..g }.validate().is_err());
+        assert!(Geometry { row_bytes: 100, ..g }.validate().is_err());
+        assert!(Geometry { rows_per_subarray: 0, ..g }.validate().is_err());
+        assert!(Geometry {
+            rows_per_subarray: g.rows_per_bank + 1,
+            ..g
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn subarray_of_row_uses_floor_division() {
+        let g = skylake_geometry();
+        assert_eq!(g.subarray_of_row(0), 0);
+        assert_eq!(g.subarray_of_row(1023), 0);
+        assert_eq!(g.subarray_of_row(1024), 1);
+        assert_eq!(g.subarray_of_row(131071), 127);
+    }
+}

@@ -1,0 +1,124 @@
+//! Bank interleaving: how sequential cache lines spread across banks.
+//!
+//! Commodity physical-to-media mappings maximize throughput by spreading
+//! sequential cache lines across a socket's banks (§2.4). Real Intel
+//! controllers additionally hash bank bits with higher-order address bits to
+//! avoid pathological conflict patterns; we model that as an optional,
+//! invertible XOR permutation keyed by the row index.
+
+use crate::Geometry;
+
+/// Bank-index hashing policy applied on top of round-robin interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BankHash {
+    /// Pure round-robin: line `L` of a row group maps to flat bank
+    /// `L % banks_per_socket`.
+    #[default]
+    None,
+    /// XOR the bank-group bits of the flat bank index with low row bits, in
+    /// the spirit of Intel's permutation-based interleaving. For any fixed
+    /// row this remains a bijection over banks, so bank-level parallelism
+    /// and decode invertibility are preserved.
+    XorRow,
+}
+
+impl BankHash {
+    /// Maps `(line_in_row_group, row)` to a flat bank index in
+    /// `[0, banks_per_socket)`.
+    #[must_use]
+    pub fn bank_of_line(self, line: u64, row: u32, g: &Geometry) -> u32 {
+        let banks = g.banks_per_socket() as u64;
+        let base = (line % banks) as u32;
+        match self {
+            BankHash::None => base,
+            BankHash::XorRow => Self::xor_permute(base, row, g),
+        }
+    }
+
+    /// Inverse of [`Self::bank_of_line`] for the position within the bank:
+    /// given a flat bank and row, returns which line slot selects it.
+    #[must_use]
+    pub fn line_slot_of_bank(self, flat_bank: u32, row: u32, g: &Geometry) -> u32 {
+        match self {
+            BankHash::None => flat_bank,
+            // The XOR permutation is an involution on the bank-group bits,
+            // so applying it again recovers the original slot.
+            BankHash::XorRow => Self::xor_permute(flat_bank, row, g),
+        }
+    }
+
+    /// XOR-permutes the bank-group component of a flat bank index with low
+    /// row bits. The flat index layout is channel-major (see
+    /// [`crate::MediaAddress::flat_bank_in_socket`]): the bank-group field
+    /// occupies the bits directly above the channel field.
+    fn xor_permute(flat_bank: u32, row: u32, g: &Geometry) -> u32 {
+        let channels = g.channels_per_socket as u32;
+        let groups = g.bank_groups as u32;
+        let channel = flat_bank % channels;
+        let rest = flat_bank / channels;
+        let group = rest % groups;
+        let above = rest / groups;
+        // XOR bank-group index with low row bits; masking to the group count
+        // keeps it in range, and requires a power-of-2 group count to stay a
+        // bijection (DDR4 bank groups are always a power of 2).
+        debug_assert!(groups.is_power_of_two(), "DDR4 bank-group counts are powers of two");
+        let hashed = group ^ (row & (groups - 1));
+        channel + (hashed + above * groups) * channels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skylake::skylake_geometry;
+    use std::collections::HashSet;
+
+    #[test]
+    fn round_robin_cycles_all_banks() {
+        let g = skylake_geometry();
+        let seen: HashSet<u32> = (0..g.banks_per_socket() as u64)
+            .map(|l| BankHash::None.bank_of_line(l, 0, &g))
+            .collect();
+        assert_eq!(seen.len(), g.banks_per_socket() as usize);
+    }
+
+    #[test]
+    fn xor_hash_is_a_bijection_for_every_row() {
+        let g = skylake_geometry();
+        for row in [0u32, 1, 2, 3, 7, 1024, 131071] {
+            let seen: HashSet<u32> = (0..g.banks_per_socket() as u64)
+                .map(|l| BankHash::XorRow.bank_of_line(l, row, &g))
+                .collect();
+            assert_eq!(
+                seen.len(),
+                g.banks_per_socket() as usize,
+                "XOR hash must permute banks for row {row}"
+            );
+        }
+    }
+
+    #[test]
+    fn xor_hash_inverts() {
+        let g = skylake_geometry();
+        for row in [0u32, 3, 512, 99999] {
+            for line in 0..g.banks_per_socket() as u64 {
+                let bank = BankHash::XorRow.bank_of_line(line, row, &g);
+                let slot = BankHash::XorRow.line_slot_of_bank(bank, row, &g);
+                assert_eq!(slot as u64, line);
+            }
+        }
+    }
+
+    #[test]
+    fn xor_hash_preserves_channel_spread() {
+        // Consecutive lines must still alternate channels under hashing, so
+        // channel-level parallelism is untouched.
+        let g = skylake_geometry();
+        use crate::media::BankId;
+        for l in 0..12u64 {
+            let bank = BankHash::XorRow.bank_of_line(l, 77, &g);
+            let media = BankId(bank).to_media(&g);
+            assert_eq!(media.channel as u64, l % g.channels_per_socket as u64);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Media addresses: the coordinates a memory controller uses to reach cells.
+
+use crate::Geometry;
+use core::fmt;
+
+/// Which internal "side" (half-row) of a rank a datum lands on (§2.3).
+///
+/// Server DIMMs internally split each 8 KiB row into two half-rows across the
+/// rank's A and B sides; each half-row simultaneously serves half of a data
+/// request. The side matters for DDR4 address inversion (§6, Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RankSide {
+    /// The A side; row address bits arrive unmodified (modulo mirroring).
+    A,
+    /// The B side; bits `[b3, b9]` of the row address are inverted.
+    B,
+}
+
+impl RankSide {
+    /// Both sides, in order.
+    pub const BOTH: [RankSide; 2] = [RankSide::A, RankSide::B];
+}
+
+/// A fully-resolved DRAM media address (§2.4).
+///
+/// Media addresses identify specific DRAM cells: the socket, channel, DIMM,
+/// rank, bank group, bank, row, and byte column. They are produced by
+/// [`crate::SystemAddressDecoder::decode`] and are the coordinate system in
+/// which Rowhammer physics, subarray boundaries, and DIMM-internal
+/// transformations operate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MediaAddress {
+    /// Socket (conventional/physical NUMA node) index.
+    pub socket: u16,
+    /// Channel index within the socket.
+    pub channel: u16,
+    /// DIMM index within the channel.
+    pub dimm: u16,
+    /// Rank index within the DIMM.
+    pub rank: u16,
+    /// DDR4 bank group index within the rank.
+    pub bank_group: u16,
+    /// Bank index within the bank group.
+    pub bank: u16,
+    /// Row index within the bank (the *media* row address, before any
+    /// DIMM-internal transformation).
+    pub row: u32,
+    /// Byte offset within the row.
+    pub col: u32,
+}
+
+impl MediaAddress {
+    /// Flat bank index within the socket, in `[0, banks_per_socket)`.
+    ///
+    /// The flat index enumerates banks in the same order the decoder's
+    /// interleave function does: channel-major first (so consecutive flat
+    /// indices alternate channels), then bank group, bank, rank, and DIMM.
+    #[must_use]
+    pub fn flat_bank_in_socket(&self, g: &Geometry) -> u32 {
+        let within_channel = self.bank_group as u32
+            + self.bank as u32 * g.bank_groups as u32
+            + self.rank as u32 * g.banks_per_rank() as u32
+            + self.dimm as u32 * g.banks_per_dimm() as u32;
+        self.channel as u32 + within_channel * g.channels_per_socket as u32
+    }
+
+    /// Globally-unique flat bank index across the whole machine.
+    #[must_use]
+    pub fn global_bank(&self, g: &Geometry) -> BankId {
+        BankId(self.socket as u32 * g.banks_per_socket() + self.flat_bank_in_socket(g))
+    }
+
+    /// The subarray index this address's row belongs to.
+    #[must_use]
+    pub fn subarray(&self, g: &Geometry) -> u32 {
+        g.subarray_of_row(self.row)
+    }
+
+    /// Whether two addresses fall in the same bank (ignoring row/column).
+    #[must_use]
+    pub fn same_bank(&self, other: &MediaAddress) -> bool {
+        self.socket == other.socket
+            && self.channel == other.channel
+            && self.dimm == other.dimm
+            && self.rank == other.rank
+            && self.bank_group == other.bank_group
+            && self.bank == other.bank
+    }
+
+    /// Whether two addresses fall in the same subarray of the same bank;
+    /// the precondition for one to hammer the other (§2.5).
+    #[must_use]
+    pub fn same_subarray(&self, other: &MediaAddress, g: &Geometry) -> bool {
+        self.same_bank(other) && self.subarray(g) == other.subarray(g)
+    }
+}
+
+impl fmt::Display for MediaAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "s{}/ch{}/d{}/r{}/bg{}/b{}/row{:#x}/col{:#x}",
+            self.socket,
+            self.channel,
+            self.dimm,
+            self.rank,
+            self.bank_group,
+            self.bank,
+            self.row,
+            self.col
+        )
+    }
+}
+
+/// A globally-unique flat bank identifier, dense in `[0, total_banks)`.
+///
+/// Useful as a map key for per-bank simulation state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BankId(pub u32);
+
+impl BankId {
+    /// Reconstructs the structured bank coordinates (everything except
+    /// row/column) for this flat id under geometry `g`.
+    #[must_use]
+    pub fn to_media(self, g: &Geometry) -> MediaAddress {
+        let socket = self.0 / g.banks_per_socket();
+        let in_socket = self.0 % g.banks_per_socket();
+        let channel = in_socket % g.channels_per_socket as u32;
+        let mut t = in_socket / g.channels_per_socket as u32;
+        let bank_group = t % g.bank_groups as u32;
+        t /= g.bank_groups as u32;
+        let bank = t % g.banks_per_group as u32;
+        t /= g.banks_per_group as u32;
+        let rank = t % g.ranks_per_dimm as u32;
+        t /= g.ranks_per_dimm as u32;
+        let dimm = t;
+        MediaAddress {
+            socket: socket as u16,
+            channel: channel as u16,
+            dimm: dimm as u16,
+            rank: rank as u16,
+            bank_group: bank_group as u16,
+            bank: bank as u16,
+            row: 0,
+            col: 0,
+        }
+    }
+
+    /// Socket this bank belongs to.
+    #[must_use]
+    pub fn socket(self, g: &Geometry) -> u16 {
+        (self.0 / g.banks_per_socket()) as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skylake::skylake_geometry;
+
+    #[test]
+    fn flat_bank_roundtrips_through_bank_id() {
+        let g = skylake_geometry();
+        for flat in 0..g.total_banks() {
+            let id = BankId(flat);
+            let media = id.to_media(&g);
+            assert_eq!(media.global_bank(&g), id, "roundtrip failed for {flat}");
+        }
+    }
+
+    #[test]
+    fn flat_bank_index_is_channel_major() {
+        // Consecutive flat indices must alternate channels so that the
+        // decoder's line interleave touches all channels first.
+        let g = skylake_geometry();
+        let b0 = BankId(0).to_media(&g);
+        let b1 = BankId(1).to_media(&g);
+        assert_eq!(b0.channel, 0);
+        assert_eq!(b1.channel, 1);
+        assert_eq!(b0.bank_group, b1.bank_group);
+    }
+
+    #[test]
+    fn same_subarray_requires_same_bank() {
+        let g = skylake_geometry();
+        let a = MediaAddress {
+            socket: 0,
+            channel: 0,
+            dimm: 0,
+            rank: 0,
+            bank_group: 0,
+            bank: 0,
+            row: 5,
+            col: 0,
+        };
+        let mut b = a;
+        b.row = 6;
+        assert!(a.same_subarray(&b, &g));
+        b.bank = 1;
+        assert!(!a.same_subarray(&b, &g));
+        let mut c = a;
+        c.row = 1024; // next subarray, same bank
+        assert!(c.same_bank(&a));
+        assert!(!a.same_subarray(&c, &g));
+    }
+
+    #[test]
+    fn bank_id_socket_extraction() {
+        let g = skylake_geometry();
+        assert_eq!(BankId(0).socket(&g), 0);
+        assert_eq!(BankId(191).socket(&g), 0);
+        assert_eq!(BankId(192).socket(&g), 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! Post-manufacturing row repairs (§6).
+//!
+//! DRAM and cloud vendors "repair" defective rows by remapping them to spare
+//! internal rows. The remapped internal address is invisible to the memory
+//! controller, which keeps using the media address. Repairs threaten subarray
+//! group isolation only when they are *inter-subarray*: a defective row in
+//! subarray `s` backed by a spare in subarray `s' != s` electrically moves the
+//! row's cells next to another group's rows.
+//!
+//! Observed repair rates in server DIMMs are small (≈0.15% of rows), and the
+//! paper's experiments found no evidence of inter-subarray repairs; Siloz
+//! nonetheless supports offlining the affected pages (see
+//! `siloz::group`), which this module's queries enable.
+
+use crate::{BankId, Geometry};
+use std::collections::HashMap;
+
+/// Whether a repair's spare row lives in the defective row's own subarray.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RepairKind {
+    /// Spare row in the same subarray: harmless to isolation.
+    IntraSubarray,
+    /// Spare row in a different subarray: violates isolation unless the
+    /// affected page is offlined.
+    InterSubarray,
+}
+
+/// A per-module table of row repairs: media `(bank, row)` → internal row.
+///
+/// # Examples
+///
+/// ```
+/// use dram_addr::{skylake_geometry, BankId, RepairKind, RepairMap};
+/// use rand::SeedableRng;
+///
+/// let g = skylake_geometry();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let map = RepairMap::generate(&g, 0.0015, RepairKind::IntraSubarray, &mut rng);
+/// // Intra-subarray repairs never change the subarray index.
+/// for ((bank, row), target) in map.iter() {
+///     assert_eq!(g.subarray_of_row(*row), g.subarray_of_row(*target));
+///     let _ = bank;
+/// }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RepairMap {
+    remaps: HashMap<(BankId, u32), u32>,
+}
+
+impl RepairMap {
+    /// An empty repair table (a defect-free module).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a single repair: media row `row` of `bank` is backed by internal
+    /// row `target`. Returns the previous target if `row` was already
+    /// repaired.
+    pub fn insert(&mut self, bank: BankId, row: u32, target: u32) -> Option<u32> {
+        self.remaps.insert((bank, row), target)
+    }
+
+    /// The internal row actually backing media `row` of `bank`.
+    #[must_use]
+    pub fn resolve(&self, bank: BankId, row: u32) -> u32 {
+        self.remaps.get(&(bank, row)).copied().unwrap_or(row)
+    }
+
+    /// Whether this media row has been repaired at all.
+    #[must_use]
+    pub fn is_repaired(&self, bank: BankId, row: u32) -> bool {
+        self.remaps.contains_key(&(bank, row))
+    }
+
+    /// Number of repaired rows across the module.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.remaps.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.remaps.is_empty()
+    }
+
+    /// Iterates over `((bank, row), internal_target)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&(BankId, u32), &u32)> {
+        self.remaps.iter()
+    }
+
+    /// All repairs whose spare row crosses a subarray boundary under
+    /// geometry `g` — the set Siloz must offline to preserve isolation (§6).
+    #[must_use]
+    pub fn inter_subarray_repairs(&self, g: &Geometry) -> Vec<(BankId, u32)> {
+        let mut out: Vec<(BankId, u32)> = self
+            .remaps
+            .iter()
+            .filter(|((_, row), target)| g.subarray_of_row(*row) != g.subarray_of_row(**target))
+            .map(|(&key, _)| key)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Generates a random repair table covering `fraction` of all rows in the
+    /// machine, with spares chosen per `kind`.
+    ///
+    /// `fraction` is clamped to `[0, 1]`. Spare targets are distinct from the
+    /// defective row; inter-subarray spares are guaranteed to land in a
+    /// different subarray.
+    pub fn generate<R: rand::Rng>(
+        g: &Geometry,
+        fraction: f64,
+        kind: RepairKind,
+        rng: &mut R,
+    ) -> Self {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let total_rows = g.total_banks() as u64 * g.rows_per_bank as u64;
+        let count = (total_rows as f64 * fraction).round() as u64;
+        let mut map = Self::new();
+        let subs = g.subarrays_per_bank();
+        while (map.len() as u64) < count {
+            let bank = BankId(rng.gen_range(0..g.total_banks()));
+            let row = rng.gen_range(0..g.rows_per_bank);
+            if map.is_repaired(bank, row) {
+                continue;
+            }
+            let row_sub = g.subarray_of_row(row);
+            let target = match kind {
+                RepairKind::IntraSubarray => {
+                    let base = row_sub * g.rows_per_subarray;
+                    let span = g.rows_per_subarray.min(g.rows_per_bank - base);
+                    let mut t = base + rng.gen_range(0..span);
+                    if t == row {
+                        t = base + (t - base + 1) % span;
+                    }
+                    if t == row {
+                        // Single-row subarray: nothing distinct available.
+                        continue;
+                    }
+                    t
+                }
+                RepairKind::InterSubarray => {
+                    if subs < 2 {
+                        continue;
+                    }
+                    let mut sub = rng.gen_range(0..subs);
+                    if sub == row_sub {
+                        sub = (sub + 1) % subs;
+                    }
+                    let base = sub * g.rows_per_subarray;
+                    let span = g.rows_per_subarray.min(g.rows_per_bank - base);
+                    base + rng.gen_range(0..span)
+                }
+            };
+            map.insert(bank, row, target);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skylake::skylake_geometry;
+    use rand::SeedableRng;
+
+    #[test]
+    fn resolve_defaults_to_identity() {
+        let map = RepairMap::new();
+        assert_eq!(map.resolve(BankId(3), 42), 42);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn insert_and_resolve() {
+        let mut map = RepairMap::new();
+        assert_eq!(map.insert(BankId(0), 10, 2000), None);
+        assert_eq!(map.resolve(BankId(0), 10), 2000);
+        assert_eq!(map.resolve(BankId(1), 10), 10, "other banks unaffected");
+        assert_eq!(map.insert(BankId(0), 10, 3000), Some(2000));
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn generated_intra_repairs_stay_in_subarray() {
+        let g = skylake_geometry();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let map = RepairMap::generate(&g, 0.00002, RepairKind::IntraSubarray, &mut rng);
+        assert!(!map.is_empty());
+        for ((_, row), target) in map.iter() {
+            assert_eq!(g.subarray_of_row(*row), g.subarray_of_row(*target));
+            assert_ne!(row, target, "spare must differ from the defective row");
+        }
+        assert!(map.inter_subarray_repairs(&g).is_empty());
+    }
+
+    #[test]
+    fn generated_inter_repairs_cross_subarrays() {
+        let g = skylake_geometry();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let map = RepairMap::generate(&g, 0.00002, RepairKind::InterSubarray, &mut rng);
+        assert!(!map.is_empty());
+        for ((_, row), target) in map.iter() {
+            assert_ne!(g.subarray_of_row(*row), g.subarray_of_row(*target));
+        }
+        assert_eq!(map.inter_subarray_repairs(&g).len(), map.len());
+    }
+
+    #[test]
+    fn generate_matches_requested_fraction() {
+        // The paper cites ≈0.15% repaired rows in server DIMMs; check the
+        // generator hits a requested count.
+        let g = skylake_geometry();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let fraction = 0.00001;
+        let map = RepairMap::generate(&g, fraction, RepairKind::IntraSubarray, &mut rng);
+        let total_rows = g.total_banks() as u64 * g.rows_per_bank as u64;
+        let expected = (total_rows as f64 * fraction).round() as usize;
+        assert_eq!(map.len(), expected);
+    }
+
+    #[test]
+    fn fraction_is_clamped() {
+        let g = skylake_geometry();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let map = RepairMap::generate(&g, -1.0, RepairKind::IntraSubarray, &mut rng);
+        assert!(map.is_empty());
+    }
+}

@@ -1,0 +1,172 @@
+//! Presets matching the paper's evaluation server (Table 2).
+//!
+//! Dual-socket Intel Xeon Gold 6230 @ 2.1 GHz; per socket: 40 logical cores
+//! and 192 GiB of DDR4-2933 across six 32 GiB 2Rx4 DIMMs — 192 banks per
+//! socket, 8 KiB rows, 1024-row subarrays.
+
+use crate::decoder::DecoderConfig;
+use crate::{Geometry, SystemAddressDecoder};
+
+/// The evaluation server's DRAM geometry (Table 2).
+#[must_use]
+pub const fn skylake_geometry() -> Geometry {
+    Geometry {
+        sockets: 2,
+        channels_per_socket: 6,
+        dimms_per_channel: 1,
+        ranks_per_dimm: 2,
+        bank_groups: 4,
+        banks_per_group: 4,
+        rows_per_bank: 131_072, // 1 GiB bank / 8 KiB rows
+        row_bytes: 8 << 10,
+        rows_per_subarray: 1024,
+    }
+}
+
+/// A decoder for the evaluation server under default BIOS settings:
+/// 16-row-group blocks, 768 MiB mapping jumps, XOR bank hashing.
+///
+/// # Panics
+///
+/// Never panics: the preset geometry/config pair is statically consistent
+/// (covered by tests).
+#[must_use]
+pub fn skylake_decoder() -> SystemAddressDecoder {
+    SystemAddressDecoder::new(skylake_geometry(), DecoderConfig::default())
+        .expect("preset geometry and config are consistent")
+}
+
+/// A DDR5-era server geometry (§8.2): 8 bank groups x 4 banks = 32 banks
+/// per rank, doubling per-socket bank counts (384 banks/socket) and hence
+/// subarray group sizes relative to the DDR4 evaluation server.
+///
+/// DDR5 additionally stipulates that DIMM-internal mirroring/inversion is
+/// undone at each device (use [`crate::InternalMapConfig::identity`]), so
+/// non-power-of-2 subarray sizes need no artificial groups.
+#[must_use]
+pub const fn ddr5_geometry() -> Geometry {
+    Geometry {
+        sockets: 2,
+        channels_per_socket: 6,
+        dimms_per_channel: 1,
+        ranks_per_dimm: 2,
+        bank_groups: 8,
+        banks_per_group: 4,
+        rows_per_bank: 131_072,
+        row_bytes: 8 << 10,
+        rows_per_subarray: 1024,
+    }
+}
+
+/// A decoder for [`ddr5_geometry`]: row groups double to 3 MiB, so blocks
+/// are 48 MiB and the mapping jump scales to 1536 MiB.
+///
+/// # Panics
+///
+/// Never panics: the preset pair is statically consistent (covered by
+/// tests).
+#[must_use]
+pub fn ddr5_decoder() -> SystemAddressDecoder {
+    let cfg = DecoderConfig {
+        row_groups_per_block: 16,
+        jump_bytes: 1536 << 20,
+        bank_hash: crate::BankHash::XorRow,
+    };
+    SystemAddressDecoder::new(ddr5_geometry(), cfg).expect("ddr5 preset is consistent")
+}
+
+/// A reduced "mini" geometry for fast tests and examples: one socket, two
+/// channels, 1 GiB total, same row/subarray shape as the evaluation server.
+#[must_use]
+pub const fn mini_geometry() -> Geometry {
+    Geometry {
+        sockets: 1,
+        channels_per_socket: 2,
+        dimms_per_channel: 1,
+        ranks_per_dimm: 2,
+        bank_groups: 4,
+        banks_per_group: 4,
+        rows_per_bank: 2048,
+        row_bytes: 8 << 10,
+        rows_per_subarray: 256,
+    }
+}
+
+/// A decoder for [`mini_geometry`], with proportionally-scaled block/jump
+/// sizes (4 row groups per block, 16-block jumps).
+///
+/// # Panics
+///
+/// Never panics: the preset pair is statically consistent (covered by tests).
+#[must_use]
+pub fn mini_decoder() -> SystemAddressDecoder {
+    let g = mini_geometry();
+    let cfg = DecoderConfig {
+        row_groups_per_block: 4,
+        // 64 banks * 8 KiB = 512 KiB row groups; jump = 128 row groups
+        // = 64 MiB, a multiple of two 4-row-group (2 MiB) blocks.
+        jump_bytes: 64 << 20,
+        bank_hash: crate::BankHash::XorRow,
+    };
+    SystemAddressDecoder::new(g, cfg).expect("mini preset is consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skylake_presets_construct() {
+        let dec = skylake_decoder();
+        assert_eq!(dec.capacity(), 384u64 << 30);
+        assert_eq!(dec.geometry().banks_per_socket(), 192);
+    }
+
+    #[test]
+    fn mini_presets_construct() {
+        let dec = mini_decoder();
+        assert_eq!(dec.geometry().banks_per_socket(), 64);
+        assert_eq!(dec.capacity(), 1 << 30);
+        assert_eq!(dec.geometry().subarray_groups_per_socket(), 8);
+    }
+
+    #[test]
+    fn ddr5_preset_doubles_bank_parallelism_and_group_size() {
+        // §8.2: more banks per rank -> proportionally larger groups.
+        let d4 = skylake_geometry();
+        let d5 = ddr5_geometry();
+        assert_eq!(d5.banks_per_socket(), 2 * d4.banks_per_socket());
+        assert_eq!(d5.subarray_group_bytes(), 2 * d4.subarray_group_bytes());
+        let dec = ddr5_decoder();
+        assert_eq!(dec.capacity(), 768u64 << 30);
+        for phys in (0..(4u64 << 30)).step_by(97 << 20) {
+            let m = dec.decode(phys).unwrap();
+            assert_eq!(dec.encode(&m).unwrap(), phys);
+        }
+    }
+
+    #[test]
+    fn ddr5_identity_mapping_tolerates_non_pow2_subarrays() {
+        // §8.2: DDR5 undoes mirroring/inversion at each device, so any
+        // subarray size preserves grouping without artificial groups.
+        use crate::transform::preserves_subarray_grouping;
+        use crate::{InternalMapConfig, RankSide};
+        let cfg = InternalMapConfig::identity();
+        for rows in [768u32, 1000, 1536] {
+            for rank in 0..2 {
+                for side in RankSide::BOTH {
+                    assert!(preserves_subarray_grouping(rows, rank, side, cfg, 1 << 17));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mini_decoder_roundtrips() {
+        let dec = mini_decoder();
+        for phys in (0..dec.capacity()).step_by(1 << 20) {
+            let media = dec.decode(phys).unwrap();
+            assert_eq!(dec.encode(&media).unwrap(), phys);
+        }
+    }
+}

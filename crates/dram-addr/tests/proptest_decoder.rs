@@ -1,0 +1,79 @@
+//! Property tests for the address decoder and internal transforms.
+
+use dram_addr::transform::{invert, mirror, preserves_subarray_grouping, scramble};
+use dram_addr::{
+    internal_row, mini_decoder, skylake_decoder, InternalMapConfig, RankSide, PAGE_2M, PAGE_4K,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn decode_encode_is_identity(phys in 0u64..(384u64 << 30)) {
+        let dec = skylake_decoder();
+        let media = dec.decode(phys).unwrap();
+        prop_assert_eq!(dec.encode(&media).unwrap(), phys);
+    }
+
+    #[test]
+    fn mini_decode_encode_is_identity(phys in 0u64..(1u64 << 30)) {
+        let dec = mini_decoder();
+        let media = dec.decode(phys).unwrap();
+        prop_assert_eq!(dec.encode(&media).unwrap(), phys);
+    }
+
+    #[test]
+    fn distinct_phys_distinct_media(a in 0u64..(1u64 << 30), b in 0u64..(1u64 << 30)) {
+        prop_assume!(a != b);
+        let dec = skylake_decoder();
+        prop_assert_ne!(dec.decode(a).unwrap(), dec.decode(b).unwrap());
+    }
+
+    #[test]
+    fn every_4k_page_fits_one_row_group(page in 0u64..((384u64 << 30) / PAGE_4K)) {
+        let dec = skylake_decoder();
+        let (_, rows) = dec.row_groups_of_range(page * PAGE_4K, PAGE_4K).unwrap();
+        prop_assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn every_2m_page_fits_one_subarray_group(page in 0u64..((384u64 << 30) / PAGE_2M)) {
+        let dec = skylake_decoder();
+        let g = dec.geometry();
+        let (_, rows) = dec.row_groups_of_range(page * PAGE_2M, PAGE_2M).unwrap();
+        let first = g.subarray_of_row(rows[0]);
+        prop_assert!(rows.iter().all(|&r| g.subarray_of_row(r) == first));
+    }
+
+    #[test]
+    fn transforms_are_involutions(row in 0u32..131_072) {
+        prop_assert_eq!(mirror(mirror(row)), row);
+        prop_assert_eq!(invert(invert(row)), row);
+        prop_assert_eq!(scramble(scramble(row)), row);
+    }
+
+    #[test]
+    fn internal_map_is_injective(a in 0u32..131_072, b in 0u32..131_072, rank in 0u16..2) {
+        prop_assume!(a != b);
+        let cfg = InternalMapConfig::all();
+        for side in RankSide::BOTH {
+            prop_assert_ne!(
+                internal_row(a, rank, side, cfg),
+                internal_row(b, rank, side, cfg)
+            );
+        }
+    }
+
+    #[test]
+    fn pow2_sizes_always_preserve_grouping(
+        size_log in 9u32..=11,
+        rank in 0u16..2,
+        mirroring: bool,
+        inversion: bool,
+        scrambling: bool,
+    ) {
+        let cfg = InternalMapConfig { mirroring, inversion, scrambling };
+        for side in RankSide::BOTH {
+            prop_assert!(preserves_subarray_grouping(1 << size_log, rank, side, cfg, 1 << 14));
+        }
+    }
+}

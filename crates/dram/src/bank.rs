@@ -1,0 +1,147 @@
+//! Per-bank disturbance and refresh state.
+
+use crate::flip::{weak_cells, WeakCell};
+use crate::profile::DimmProfile;
+use crate::trr::TrrTracker;
+use dram_addr::RankSide;
+use std::collections::HashMap;
+
+/// Side index helper (A = 0, B = 1) used for compact keys.
+#[must_use]
+pub(crate) fn side_idx(side: RankSide) -> u8 {
+    match side {
+        RankSide::A => 0,
+        RankSide::B => 1,
+    }
+}
+
+/// Disturbance state of one victim half-row.
+#[derive(Debug, Clone)]
+pub(crate) struct VictimState {
+    /// Accumulated weighted disturbance since this half-row's last refresh.
+    pub disturb: f64,
+    /// This half-row's weak cells, sorted by flip threshold.
+    pub cells: Vec<WeakCell>,
+    /// Index of the next unflipped weak cell at the current disturbance.
+    pub next_cell: usize,
+}
+
+/// Mutable state of a single DRAM bank: victim disturbance accumulators,
+/// per-side TRR trackers, and the auto-refresh pointer.
+#[derive(Debug)]
+pub struct BankState {
+    pub(crate) victims: HashMap<(u8, u32), VictimState>,
+    pub(crate) trr: [TrrTracker; 2],
+    /// Next internal row the distributed auto-refresh will cover.
+    pub(crate) refresh_ptr: u32,
+    /// Total activations this bank has seen (diagnostics).
+    pub acts: u64,
+}
+
+impl BankState {
+    /// Fresh bank state with the given TRR configuration.
+    #[must_use]
+    pub fn new(trr_capacity: usize, trr_served_per_ref: usize) -> Self {
+        Self {
+            victims: HashMap::new(),
+            trr: [
+                TrrTracker::new(trr_capacity, trr_served_per_ref),
+                TrrTracker::new(trr_capacity, trr_served_per_ref),
+            ],
+            refresh_ptr: 0,
+            acts: 0,
+        }
+    }
+
+    /// Returns the victim state for `(side, internal_row)`, creating it with
+    /// its deterministic weak-cell population on first touch.
+    pub(crate) fn victim_mut(
+        &mut self,
+        profile: &DimmProfile,
+        bank: u32,
+        side: RankSide,
+        internal_row: u32,
+        half_row_bytes: u32,
+    ) -> &mut VictimState {
+        self.victims
+            .entry((side_idx(side), internal_row))
+            .or_insert_with(|| VictimState {
+                disturb: 0.0,
+                cells: weak_cells(profile, bank, side, internal_row, half_row_bytes),
+                next_cell: 0,
+            })
+    }
+
+    /// Refreshes one half-row: clears its disturbance accumulator and
+    /// re-arms its weak cells (charge restored; already-flipped data stays
+    /// flipped until rewritten or scrubbed).
+    pub(crate) fn refresh_half_row(&mut self, side: u8, internal_row: u32) {
+        if let Some(v) = self.victims.get_mut(&(side, internal_row)) {
+            v.disturb = 0.0;
+            v.next_cell = 0;
+        }
+    }
+
+    /// Refreshes both half-rows of an internal row.
+    pub(crate) fn refresh_row(&mut self, internal_row: u32) {
+        self.refresh_half_row(0, internal_row);
+        self.refresh_half_row(1, internal_row);
+    }
+
+    /// Peak accumulated disturbance across all victims (diagnostics).
+    #[must_use]
+    pub fn max_disturbance(&self) -> f64 {
+        self.victims
+            .values()
+            .map(|v| v.disturb)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victim_state_created_lazily_with_cells() {
+        let p = DimmProfile::default_eval();
+        let mut b = BankState::new(4, 2);
+        assert!(b.victims.is_empty());
+        let v = b.victim_mut(&p, 0, RankSide::A, 7, 4096);
+        assert!(!v.cells.is_empty());
+        assert_eq!(v.disturb, 0.0);
+        assert_eq!(b.victims.len(), 1);
+    }
+
+    #[test]
+    fn refresh_clears_disturbance_and_rearms() {
+        let p = DimmProfile::default_eval();
+        let mut b = BankState::new(4, 2);
+        {
+            let v = b.victim_mut(&p, 0, RankSide::A, 7, 4096);
+            v.disturb = 123.0;
+            v.next_cell = 2;
+        }
+        b.refresh_row(7);
+        let v = &b.victims[&(0u8, 7u32)];
+        assert_eq!(v.disturb, 0.0);
+        assert_eq!(v.next_cell, 0);
+    }
+
+    #[test]
+    fn refresh_of_untouched_row_is_a_noop() {
+        let mut b = BankState::new(4, 2);
+        b.refresh_row(1000);
+        assert!(b.victims.is_empty());
+    }
+
+    #[test]
+    fn max_disturbance_tracks_peak() {
+        let p = DimmProfile::default_eval();
+        let mut b = BankState::new(0, 0);
+        assert_eq!(b.max_disturbance(), 0.0);
+        b.victim_mut(&p, 0, RankSide::A, 1, 4096).disturb = 5.0;
+        b.victim_mut(&p, 0, RankSide::B, 2, 4096).disturb = 9.0;
+        assert_eq!(b.max_disturbance(), 9.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! SEC-DED ECC modeling (§2.5).
+//!
+//! Server memory protects each 64-bit word with single-error-correct,
+//! double-error-detect codes. ECC corrects one flipped bit per word (while
+//! still *reporting* the event — the side channel Copy-on-Flip relies on and
+//! RAMBleed-style attacks exploit), detects two, and can be silently defeated
+//! or even miscorrect at three or more flips per word.
+
+/// ECC configuration of a memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EccMode {
+    /// No ECC: every flip reaches software silently.
+    None,
+    /// SEC-DED per 64-bit word (server default).
+    #[default]
+    SecDed,
+}
+
+/// Integrity classification of one read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadIntegrity {
+    /// No flipped cells in the read region.
+    Clean,
+    /// All flipped words had exactly one flipped bit; data was corrected.
+    /// The count is the number of corrected words (reported to the OS as
+    /// corrected machine-check events).
+    Corrected(u32),
+    /// At least one word had exactly two flipped bits: detected but
+    /// uncorrectable (fatal machine-check on real hardware).
+    Uncorrectable(u32),
+    /// At least one word had three or more flipped bits: the code may be
+    /// silently defeated (returned data is corrupt with no error signal).
+    SilentlyCorrupt(u32),
+}
+
+impl ReadIntegrity {
+    /// Whether the returned data is trustworthy.
+    #[must_use]
+    pub fn data_is_correct(&self) -> bool {
+        matches!(self, ReadIntegrity::Clean | ReadIntegrity::Corrected(_))
+    }
+}
+
+/// Classifies a read given the number of flipped bits in each 64-bit word of
+/// the region, under `mode`.
+///
+/// `flips_per_word` contains one entry per word that has at least one flip
+/// (words without flips are omitted).
+#[must_use]
+pub fn classify(mode: EccMode, flips_per_word: &[u32]) -> ReadIntegrity {
+    if flips_per_word.iter().all(|&n| n == 0) {
+        return ReadIntegrity::Clean;
+    }
+    match mode {
+        EccMode::None => {
+            let n = flips_per_word.iter().filter(|&&n| n > 0).count() as u32;
+            ReadIntegrity::SilentlyCorrupt(n)
+        }
+        EccMode::SecDed => {
+            let silent = flips_per_word.iter().filter(|&&n| n >= 3).count() as u32;
+            if silent > 0 {
+                return ReadIntegrity::SilentlyCorrupt(silent);
+            }
+            let fatal = flips_per_word.iter().filter(|&&n| n == 2).count() as u32;
+            if fatal > 0 {
+                return ReadIntegrity::Uncorrectable(fatal);
+            }
+            let corrected = flips_per_word.iter().filter(|&&n| n == 1).count() as u32;
+            ReadIntegrity::Corrected(corrected)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_when_no_flips() {
+        assert_eq!(classify(EccMode::SecDed, &[]), ReadIntegrity::Clean);
+        assert_eq!(classify(EccMode::SecDed, &[0, 0]), ReadIntegrity::Clean);
+        assert_eq!(classify(EccMode::None, &[]), ReadIntegrity::Clean);
+    }
+
+    #[test]
+    fn single_bit_flips_are_corrected() {
+        let r = classify(EccMode::SecDed, &[1, 0, 1]);
+        assert_eq!(r, ReadIntegrity::Corrected(2));
+        assert!(r.data_is_correct());
+    }
+
+    #[test]
+    fn double_bit_flips_are_fatal() {
+        let r = classify(EccMode::SecDed, &[1, 2]);
+        assert_eq!(r, ReadIntegrity::Uncorrectable(1));
+        assert!(!r.data_is_correct());
+    }
+
+    #[test]
+    fn triple_flips_defeat_ecc_silently() {
+        // §2.5: malicious workloads can induce uncorrected flips despite ECC.
+        let r = classify(EccMode::SecDed, &[3, 2, 1]);
+        assert_eq!(r, ReadIntegrity::SilentlyCorrupt(1));
+        assert!(!r.data_is_correct());
+    }
+
+    #[test]
+    fn no_ecc_passes_everything_through() {
+        let r = classify(EccMode::None, &[1]);
+        assert_eq!(r, ReadIntegrity::SilentlyCorrupt(1));
+    }
+}

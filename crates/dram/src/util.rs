@@ -1,0 +1,60 @@
+//! Small deterministic hashing utilities for reproducible cell sampling.
+
+/// SplitMix64: a tiny, high-quality mixing function.
+///
+/// Used to derive per-row thresholds and weak-cell positions
+/// deterministically from `(seed, bank, row, ...)` tuples, so experiments
+/// are exactly reproducible for a given DIMM seed.
+#[must_use]
+pub const fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mixes a sequence of values into one hash.
+#[must_use]
+pub fn mix(values: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &v in values {
+        h = splitmix64(h ^ v);
+    }
+    h
+}
+
+/// Maps a hash to a uniform float in `[0, 1)`.
+#[must_use]
+pub const fn unit_float(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_spreads() {
+        assert_eq!(splitmix64(0), splitmix64(0));
+        assert_ne!(splitmix64(0), splitmix64(1));
+        // Consecutive seeds should differ in many bits.
+        let d = (splitmix64(7) ^ splitmix64(8)).count_ones();
+        assert!(d > 10, "poor diffusion: {d} differing bits");
+    }
+
+    #[test]
+    fn mix_depends_on_order_and_content() {
+        assert_ne!(mix(&[1, 2]), mix(&[2, 1]));
+        assert_ne!(mix(&[1, 2]), mix(&[1, 3]));
+        assert_eq!(mix(&[1, 2]), mix(&[1, 2]));
+    }
+
+    #[test]
+    fn unit_float_in_range() {
+        for i in 0..1000u64 {
+            let f = unit_float(splitmix64(i));
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

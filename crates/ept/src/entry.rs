@@ -1,0 +1,246 @@
+//! EPT entry encoding, permissions, and per-entry integrity checksums.
+
+/// Mapping granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageSize {
+    /// 4 KiB leaf at level 1.
+    Size4K,
+    /// 2 MiB leaf at level 2.
+    Size2M,
+    /// 1 GiB leaf at level 3.
+    Size1G,
+}
+
+impl PageSize {
+    /// Size in bytes.
+    #[must_use]
+    pub const fn bytes(self) -> u64 {
+        match self {
+            PageSize::Size4K => 4 << 10,
+            PageSize::Size2M => 2 << 20,
+            PageSize::Size1G => 1 << 30,
+        }
+    }
+
+    /// The paging level (1-based from leaves) at which this size is a leaf.
+    #[must_use]
+    pub const fn leaf_level(self) -> u32 {
+        match self {
+            PageSize::Size4K => 1,
+            PageSize::Size2M => 2,
+            PageSize::Size1G => 3,
+        }
+    }
+}
+
+/// Access permissions of a mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EptPerms {
+    /// Guest reads allowed.
+    pub read: bool,
+    /// Guest writes allowed.
+    pub write: bool,
+    /// Guest instruction fetches allowed.
+    pub exec: bool,
+}
+
+impl EptPerms {
+    /// Read-write-execute.
+    pub const RWX: EptPerms = EptPerms {
+        read: true,
+        write: true,
+        exec: true,
+    };
+
+    /// Read-only.
+    pub const RO: EptPerms = EptPerms {
+        read: true,
+        write: false,
+        exec: false,
+    };
+
+    /// Read-write (no execute).
+    pub const RW: EptPerms = EptPerms {
+        read: true,
+        write: true,
+        exec: false,
+    };
+}
+
+/// Whether entries carry verified integrity checksums (§5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntegrityMode {
+    /// Plain entries; corruption silently redirects translations (the
+    /// legacy-hardware threat Siloz's guard rows address).
+    #[default]
+    None,
+    /// Secure EPT: entries embed a keyed checksum checked on every walk,
+    /// so corruption is detected on use (TDX/SNP-style).
+    Checked,
+}
+
+/// A decoded EPT entry.
+///
+/// Layout (one `u64`, loosely after Intel EPT):
+/// - bit 0: read, bit 1: write, bit 2: exec
+/// - bit 7: leaf ("PS" for levels > 1; set on 4 KiB leaves too for
+///   uniformity)
+/// - bits 12..=51: target page frame number (HPA >> 12)
+/// - bits 52..=63: integrity checksum (when [`IntegrityMode::Checked`])
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EptEntry(pub u64);
+
+const LEAF_BIT: u64 = 1 << 7;
+const PFN_MASK: u64 = ((1u64 << 40) - 1) << 12;
+const CSUM_SHIFT: u32 = 52;
+const PAYLOAD_MASK: u64 = (1u64 << CSUM_SHIFT) - 1;
+
+/// Keyed 12-bit checksum over an entry's payload bits.
+fn checksum(payload: u64, salt: u64) -> u64 {
+    let mut x = payload ^ salt;
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (x ^ (x >> 31)) & 0xFFF
+}
+
+impl EptEntry {
+    /// The all-zero (not-present) entry.
+    pub const EMPTY: EptEntry = EptEntry(0);
+
+    /// Builds a leaf entry mapping to `hpa` with `perms`.
+    #[must_use]
+    pub fn leaf(hpa: u64, perms: EptPerms, mode: IntegrityMode, salt: u64) -> Self {
+        let mut v = (hpa & PFN_MASK) | LEAF_BIT;
+        if perms.read {
+            v |= 1;
+        }
+        if perms.write {
+            v |= 2;
+        }
+        if perms.exec {
+            v |= 4;
+        }
+        Self::seal(v, mode, salt)
+    }
+
+    /// Builds a non-leaf entry pointing at the next-level table at `hpa`.
+    #[must_use]
+    pub fn table(hpa: u64, mode: IntegrityMode, salt: u64) -> Self {
+        // Table entries allow all access; leaves enforce permissions.
+        let v = (hpa & PFN_MASK) | 0b111;
+        Self::seal(v, mode, salt)
+    }
+
+    fn seal(payload: u64, mode: IntegrityMode, salt: u64) -> Self {
+        let payload = payload & PAYLOAD_MASK;
+        match mode {
+            IntegrityMode::None => EptEntry(payload),
+            IntegrityMode::Checked => EptEntry(payload | (checksum(payload, salt) << CSUM_SHIFT)),
+        }
+    }
+
+    /// Whether the entry maps anything.
+    #[must_use]
+    pub fn is_present(self) -> bool {
+        self.0 & 0b111 != 0
+    }
+
+    /// Whether the entry is a leaf mapping.
+    #[must_use]
+    pub fn is_leaf(self) -> bool {
+        self.0 & LEAF_BIT != 0
+    }
+
+    /// The target HPA (page-aligned).
+    #[must_use]
+    pub fn hpa(self) -> u64 {
+        self.0 & PFN_MASK
+    }
+
+    /// Decoded permissions.
+    #[must_use]
+    pub fn perms(self) -> EptPerms {
+        EptPerms {
+            read: self.0 & 1 != 0,
+            write: self.0 & 2 != 0,
+            exec: self.0 & 4 != 0,
+        }
+    }
+
+    /// Verifies the embedded checksum under `mode`/`salt`.
+    #[must_use]
+    pub fn integrity_ok(self, mode: IntegrityMode, salt: u64) -> bool {
+        match mode {
+            IntegrityMode::None => true,
+            IntegrityMode::Checked => {
+                let payload = self.0 & PAYLOAD_MASK;
+                (self.0 >> CSUM_SHIFT) == checksum(payload, salt)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_roundtrips_fields() {
+        let e = EptEntry::leaf(0x1234_5000, EptPerms::RW, IntegrityMode::None, 0);
+        assert!(e.is_present());
+        assert!(e.is_leaf());
+        assert_eq!(e.hpa(), 0x1234_5000);
+        let p = e.perms();
+        assert!(p.read && p.write && !p.exec);
+    }
+
+    #[test]
+    fn table_entries_are_not_leaves() {
+        let e = EptEntry::table(0x8000, IntegrityMode::None, 0);
+        assert!(e.is_present());
+        assert!(!e.is_leaf());
+        assert_eq!(e.hpa(), 0x8000);
+    }
+
+    #[test]
+    fn empty_is_not_present() {
+        assert!(!EptEntry::EMPTY.is_present());
+    }
+
+    #[test]
+    fn checksum_detects_single_bit_flips() {
+        let salt = 0xfeed;
+        let e = EptEntry::leaf(0xABCD_E000, EptPerms::RWX, IntegrityMode::Checked, salt);
+        assert!(e.integrity_ok(IntegrityMode::Checked, salt));
+        // Flip each payload bit: the checksum must catch every one (a
+        // Rowhammer flip in the PFN is the §5.4 attack).
+        for bit in 0..52 {
+            let corrupted = EptEntry(e.0 ^ (1 << bit));
+            assert!(
+                !corrupted.integrity_ok(IntegrityMode::Checked, salt),
+                "flip of bit {bit} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_is_salt_keyed() {
+        let e = EptEntry::leaf(0x1000, EptPerms::RO, IntegrityMode::Checked, 1);
+        assert!(!e.integrity_ok(IntegrityMode::Checked, 2));
+    }
+
+    #[test]
+    fn unchecked_mode_accepts_anything() {
+        let e = EptEntry(0xdead_beef_0000_0007);
+        assert!(e.integrity_ok(IntegrityMode::None, 0));
+    }
+
+    #[test]
+    fn page_size_constants() {
+        assert_eq!(PageSize::Size4K.bytes(), 4096);
+        assert_eq!(PageSize::Size2M.bytes(), 2 << 20);
+        assert_eq!(PageSize::Size1G.bytes(), 1 << 30);
+        assert_eq!(PageSize::Size4K.leaf_level(), 1);
+        assert_eq!(PageSize::Size1G.leaf_level(), 3);
+    }
+}

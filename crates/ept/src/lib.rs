@@ -1,0 +1,33 @@
+//! Extended page tables (EPTs) with integrity protection.
+//!
+//! EPTs map guest physical addresses (GPAs) to host physical addresses
+//! (HPAs) (§2.1). They are the lynchpin of Siloz's isolation: because EPTs
+//! define which HPAs a VM can touch, a bit flip in a VM's *own* EPTs could
+//! let it escape its subarray groups (§5.4). This crate provides:
+//!
+//! - a 4-level EPT radix tree with 4 KiB / 2 MiB / 1 GiB mappings, whose
+//!   table pages live in *simulated physical memory* via the [`PhysMem`]
+//!   trait — so Rowhammer flips in table pages genuinely corrupt
+//!   translations, end to end;
+//! - pluggable table-page allocation via [`EptAllocator`], the hook Siloz
+//!   uses to place EPT pages into guard-protected row groups (GFP_EPT,
+//!   §5.4);
+//! - optional *secure EPT* integrity (§5.4's hardware-based protection, in
+//!   the spirit of TDX/SNP): each entry embeds a keyed checksum over its
+//!   payload bits, verified on every walk, so a corrupted entry is detected
+//!   on use instead of silently redirecting the VM.
+
+pub mod entry;
+pub mod table;
+
+pub use entry::{EptEntry, EptPerms, IntegrityMode, PageSize};
+pub use table::{Ept, EptAllocator, EptError, PhysMem, Translation};
+
+/// Bits of GPA covered per level (512-entry tables).
+pub const LEVEL_BITS: u32 = 9;
+
+/// Number of paging levels.
+pub const LEVELS: u32 = 4;
+
+/// Bytes per table page.
+pub const TABLE_BYTES: u64 = 4096;

@@ -1,0 +1,144 @@
+//! Flip forensics: attributing observed bit flips to tenants.
+//!
+//! After an incident (or a soak), operators need to know *whose* memory was
+//! damaged. This module maps a DRAM flip log onto the hypervisor's
+//! provisioning state: for each flip, which VM's subarray groups (or the
+//! host's) contain the victim row, and whether the damaged row currently
+//! backs allocated pages.
+
+use dram::flip::BitFlip;
+use siloz::{GroupId, Hypervisor, SilozError, VmHandle};
+use std::collections::BTreeMap;
+
+/// Who owned the DRAM a flip landed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FlipOwner {
+    /// A guest-reserved group provisioned to this VM.
+    Vm(VmHandle),
+    /// A guest-reserved group not currently provisioned to any VM.
+    FreeGuestGroup(GroupId),
+    /// A host-reserved group.
+    Host,
+}
+
+/// Per-owner damage tally.
+#[derive(Debug, Default, Clone)]
+pub struct DamageReport {
+    /// Flip counts per owner.
+    pub by_owner: BTreeMap<FlipOwner, usize>,
+    /// Flips that could not be attributed (should be empty).
+    pub unattributed: Vec<BitFlip>,
+}
+
+impl DamageReport {
+    /// Flips attributed to a given VM.
+    #[must_use]
+    pub fn vm_flips(&self, vm: VmHandle) -> usize {
+        self.by_owner.get(&FlipOwner::Vm(vm)).copied().unwrap_or(0)
+    }
+
+    /// Flips in host-reserved memory.
+    #[must_use]
+    pub fn host_flips(&self) -> usize {
+        self.by_owner.get(&FlipOwner::Host).copied().unwrap_or(0)
+    }
+
+    /// Total attributed flips.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.by_owner.values().sum()
+    }
+}
+
+/// Attributes every flip in the DRAM log to its owner.
+pub fn attribute_flips(hv: &Hypervisor) -> Result<DamageReport, SilozError> {
+    let g = hv.config().geometry;
+    // Group -> owner index.
+    let mut owner_of_group: BTreeMap<u32, FlipOwner> = BTreeMap::new();
+    for vm in hv.vm_handles() {
+        for group in hv.vm_groups(vm)? {
+            owner_of_group.insert(group.0, FlipOwner::Vm(vm));
+        }
+    }
+    let mut report = DamageReport::default();
+    for flip in hv.dram().flip_log().all() {
+        let socket = flip.bank.socket(&g);
+        let group = GroupId(
+            socket as u32 * hv.groups().groups_per_socket()
+                + flip.media_row / hv.groups().presumed_rows(),
+        );
+        let owner = if let Some(&o) = owner_of_group.get(&group.0) {
+            o
+        } else if hv
+            .node_of_group(group)
+            .map(|n| hv.host_nodes().contains(&n))
+            .unwrap_or(false)
+        {
+            FlipOwner::Host
+        } else if hv.node_of_group(group).is_some() {
+            FlipOwner::FreeGuestGroup(group)
+        } else {
+            report.unattributed.push(*flip);
+            continue;
+        };
+        *report.by_owner.entry(owner).or_insert(0) += 1;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuzzer::{Blacksmith, FuzzConfig};
+    use rand::SeedableRng;
+    use siloz::{HypervisorKind, SilozConfig, VmSpec};
+
+    #[test]
+    fn attack_damage_attributes_to_the_attacker_only() {
+        let mut hv = Hypervisor::boot(SilozConfig::mini(), HypervisorKind::Siloz).unwrap();
+        let attacker = hv.create_vm(VmSpec::new("attacker", 2, 256 << 20)).unwrap();
+        let victim = hv.create_vm(VmSpec::new("victim", 2, 256 << 20)).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let report = crate::attack::hammer_vm(
+            &mut hv,
+            attacker,
+            2,
+            FuzzConfig {
+                patterns: 6,
+                periods_per_attempt: 60_000,
+                extra_open_ns: 0,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(report.flips_total > 0);
+        let damage = attribute_flips(&hv).unwrap();
+        assert!(damage.unattributed.is_empty());
+        assert_eq!(damage.vm_flips(attacker), report.flips_total);
+        assert_eq!(damage.vm_flips(victim), 0);
+        assert_eq!(damage.host_flips(), 0);
+        assert_eq!(damage.total(), report.flips_total);
+    }
+
+    #[test]
+    fn damage_in_unprovisioned_groups_is_classified_free() {
+        let mut hv = Hypervisor::boot(SilozConfig::mini(), HypervisorKind::Siloz).unwrap();
+        // Hammer a free guest group directly (no VM owns group 5 = rows
+        // 1280..1536 on the mini machine).
+        let bank = dram_addr::BankId(0);
+        let mut fuzzer = Blacksmith::new(FuzzConfig {
+            patterns: 4,
+            periods_per_attempt: 80_000,
+            extra_open_ns: 0,
+        });
+        let rows: Vec<u32> = (1280..1536).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let r = fuzzer.fuzz(hv.dram_mut(), bank, &rows, &mut rng);
+        assert!(r.any_flips());
+        let damage = attribute_flips(&hv).unwrap();
+        assert!(damage
+            .by_owner
+            .keys()
+            .all(|o| matches!(o, FlipOwner::FreeGuestGroup(_))));
+    }
+}

@@ -1,0 +1,207 @@
+//! The Blacksmith fuzzing loop.
+
+use crate::pattern::HammerPattern;
+use crate::T_RC_NS;
+use dram::flip::BitFlip;
+use dram::DramSystem;
+use dram_addr::BankId;
+use rand::Rng;
+
+/// Fuzzer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzConfig {
+    /// Patterns to sample and try.
+    pub patterns: u32,
+    /// Pattern-period repetitions per attempt (hammering duration).
+    pub periods_per_attempt: u32,
+    /// Extra row-open time per activation, ns (RowPress knob; 0 = classic
+    /// Rowhammer).
+    pub extra_open_ns: u64,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        Self {
+            patterns: 12,
+            periods_per_attempt: 120_000,
+            extra_open_ns: 0,
+        }
+    }
+}
+
+/// Result of a fuzzing campaign.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Patterns attempted.
+    pub patterns_tried: u32,
+    /// Total activations issued.
+    pub acts: u64,
+    /// Flips discovered (media coordinates), in discovery order.
+    pub flips: Vec<BitFlip>,
+    /// The first successful pattern, if any.
+    pub effective_pattern: Option<HammerPattern>,
+}
+
+impl FuzzReport {
+    /// Whether any bit flipped.
+    #[must_use]
+    pub fn any_flips(&self) -> bool {
+        !self.flips.is_empty()
+    }
+}
+
+/// The Blacksmith-style fuzzer: samples many-sided frequency-varied
+/// patterns and hammers them until bits flip (§7.1).
+///
+/// # Examples
+///
+/// ```
+/// use dram::DramSystemBuilder;
+/// use dram_addr::{mini_geometry, BankId};
+/// use hammer::{Blacksmith, FuzzConfig};
+/// use rand::SeedableRng;
+///
+/// let mut dram = DramSystemBuilder::new(mini_geometry()).build();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut fuzzer = Blacksmith::new(FuzzConfig::default());
+/// let rows: Vec<u32> = (0..256).collect();
+/// let report = fuzzer.fuzz(&mut dram, BankId(0), &rows, &mut rng);
+/// assert!(report.any_flips(), "Blacksmith defeats the default TRR");
+/// ```
+#[derive(Debug)]
+pub struct Blacksmith {
+    config: FuzzConfig,
+}
+
+impl Blacksmith {
+    /// Creates a fuzzer.
+    #[must_use]
+    pub fn new(config: FuzzConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs the campaign against one bank, restricted to `allowed_rows`
+    /// (the rows the attacker actually owns — e.g. a VM's provisioned
+    /// rows). Returns all flips produced anywhere in the DRAM system during
+    /// the campaign (escapes included — that is the point of the
+    /// containment experiments).
+    pub fn fuzz<R: Rng>(
+        &mut self,
+        dram: &mut DramSystem,
+        bank: BankId,
+        allowed_rows: &[u32],
+        rng: &mut R,
+    ) -> FuzzReport {
+        let before = dram.flip_log().len();
+        let mut acts = 0u64;
+        let mut effective = None;
+        let mut tried = 0u32;
+        for _ in 0..self.config.patterns {
+            tried += 1;
+            let pattern = HammerPattern::random(allowed_rows, rng);
+            let found = self.hammer(dram, bank, &pattern, &mut acts);
+            if found && effective.is_none() {
+                effective = Some(pattern);
+                break;
+            }
+        }
+        let flips = dram.flip_log().all()[before..].to_vec();
+        FuzzReport {
+            patterns_tried: tried,
+            acts,
+            flips,
+            effective_pattern: effective,
+        }
+    }
+
+    /// Hammers one explicit pattern; returns whether new flips appeared.
+    pub fn hammer(
+        &self,
+        dram: &mut DramSystem,
+        bank: BankId,
+        pattern: &HammerPattern,
+        acts: &mut u64,
+    ) -> bool {
+        let before = dram.flip_log().len();
+        let rows_per_bank = dram.geometry().rows_per_bank;
+        for _ in 0..self.config.periods_per_attempt {
+            for &row in &pattern.schedule {
+                if row >= rows_per_bank {
+                    continue;
+                }
+                dram.activate_row(bank, row, self.config.extra_open_ns);
+                *acts += 1;
+            }
+            dram.advance_ns(pattern.schedule.len() as u64 * T_RC_NS);
+        }
+        dram.flip_log().len() > before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram::{DimmProfile, DramSystemBuilder};
+    use dram_addr::mini_geometry;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fuzzer_finds_flips_despite_trr() {
+        // The §7.1 premise: Blacksmith defeats deployed TRR.
+        let mut dram = DramSystemBuilder::new(mini_geometry()).trr(4, 2).build();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut fuzzer = Blacksmith::new(FuzzConfig::default());
+        let rows: Vec<u32> = (0..256).collect();
+        let report = fuzzer.fuzz(&mut dram, BankId(0), &rows, &mut rng);
+        assert!(report.any_flips());
+        assert!(report.effective_pattern.is_some());
+        assert!(report.acts > 0);
+    }
+
+    #[test]
+    fn flips_stay_in_the_hammered_subarray() {
+        let mut dram = DramSystemBuilder::new(mini_geometry()).build();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut fuzzer = Blacksmith::new(FuzzConfig::default());
+        // Restrict the attacker to subarray 1 (rows 256..512 in mini).
+        let rows: Vec<u32> = (256..512).collect();
+        let report = fuzzer.fuzz(&mut dram, BankId(3), &rows, &mut rng);
+        assert!(report.any_flips());
+        for f in &report.flips {
+            assert_eq!(f.media_row / 256, 1, "flip escaped the subarray");
+        }
+    }
+
+    #[test]
+    fn invulnerable_dimm_survives_fuzzing() {
+        let mut dram = DramSystemBuilder::new(mini_geometry())
+            .profiles(vec![DimmProfile::invulnerable()])
+            .build();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut fuzzer = Blacksmith::new(FuzzConfig {
+            patterns: 3,
+            ..FuzzConfig::default()
+        });
+        let rows: Vec<u32> = (0..256).collect();
+        let report = fuzzer.fuzz(&mut dram, BankId(0), &rows, &mut rng);
+        assert!(!report.any_flips());
+        assert_eq!(report.patterns_tried, 3);
+    }
+
+    #[test]
+    fn rowpress_mode_flips_with_fewer_acts() {
+        let rows: Vec<u32> = (0..64).collect();
+        let run = |extra: u64| {
+            let mut dram = DramSystemBuilder::new(mini_geometry()).trr(0, 0).build();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+            let mut fuzzer = Blacksmith::new(FuzzConfig {
+                patterns: 1,
+                periods_per_attempt: 30_000,
+                extra_open_ns: extra,
+            });
+            let r = fuzzer.fuzz(&mut dram, BankId(0), &rows, &mut rng);
+            r.flips.len()
+        };
+        assert!(run(3_000) >= run(0), "RowPress cannot be weaker");
+    }
+}

@@ -1,0 +1,31 @@
+//! Blacksmith-style Rowhammer fuzzing and attack harnesses (§7.1).
+//!
+//! The paper evaluates Siloz with an extended version of the Blacksmith
+//! Rowhammer fuzzer: a tool that searches the space of *many-sided,
+//! frequency-varied* hammering patterns for ones that defeat in-DRAM TRR
+//! and flip bits. This crate rebuilds that attacker against the simulated
+//! memory system:
+//!
+//! - [`pattern`]: non-uniform access patterns described by per-aggressor
+//!   frequency, phase, and amplitude — the Blacksmith parameter space;
+//! - [`fuzzer`]: the search loop, hammering candidate patterns against a
+//!   [`dram::DramSystem`] and harvesting bit flips;
+//! - [`attack`]: end-to-end harnesses over the [`siloz::Hypervisor`]: a
+//!   malicious VM hammering its own memory (the inter-VM containment
+//!   experiment of Table 3) and the EPT guard-row experiment of §7.1;
+//! - [`timing_channel`]: a DRAMA-style bank-conflict timing probe attackers
+//!   use to group addresses by bank without knowing the address map.
+
+pub mod attack;
+pub mod forensics;
+pub mod fuzzer;
+pub mod pattern;
+pub mod timing_channel;
+
+pub use attack::{hammer_vm, verify_ept_intact, vm_bank_rows, vm_rows, HammerVmReport};
+pub use forensics::{attribute_flips, DamageReport, FlipOwner};
+pub use fuzzer::{Blacksmith, FuzzConfig, FuzzReport};
+pub use pattern::HammerPattern;
+
+/// Nominal activate-to-activate time used when replaying patterns, ns.
+pub const T_RC_NS: u64 = 47;

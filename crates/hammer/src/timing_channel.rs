@@ -1,0 +1,137 @@
+//! DRAMA-style bank-conflict timing channel.
+//!
+//! Real attackers do not know the physical-to-media map; they recover
+//! same-bank address groups by timing pairs of accesses — a pair hitting
+//! the same bank but different rows incurs a row-buffer conflict and reads
+//! measurably slower. This module reproduces that probe against the
+//! simulated memory controller, which attackers (and researchers inferring
+//! subarray sizes, §4.1) can then build on.
+
+use dram::DramSystem;
+use memctrl::MemoryController;
+
+/// Measures the alternating-access latency of a pair of addresses and
+/// decides whether they conflict in a bank.
+///
+/// The probe alternates `a` and `b` several times: same-bank/different-row
+/// pairs pay a precharge+activate on every access, different-bank pairs
+/// pipeline.
+pub fn addresses_conflict(
+    ctrl: &mut MemoryController,
+    dram: &mut DramSystem,
+    a: u64,
+    b: u64,
+) -> bool {
+    let rounds = 9;
+    let mut start = ctrl.clock_ps().max(1);
+    // Warm up: open both rows once.
+    let _ = ctrl.access_at(dram, a, false, start);
+    start = ctrl.clock_ps();
+    let mut samples = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let ra = ctrl.access_at(dram, a, false, start).expect("valid addr");
+        let rb = ctrl.access_at(dram, b, false, ra.done_ps).expect("valid addr");
+        samples.push((rb.done_ps - start).max(1));
+        start = rb.done_ps;
+    }
+    // Median, not mean: a refresh (tRFC) landing in one round would
+    // otherwise fake a conflict — the same outlier-rejection real DRAMA
+    // probes need.
+    samples.sort_unstable();
+    let median = samples[rounds / 2];
+    // Threshold: two conflict-latency accesses per round indicate same-bank
+    // different-row; anything pipelined is far below.
+    let conflict_pair = 2 * (14_320 + 14_320 + 14_320 + 2_728); // 2x (tRP+tRCD+tCL+tBL)
+    median >= conflict_pair * 3 / 4
+}
+
+/// Groups candidate physical addresses into same-bank sets using only the
+/// timing probe (no address-map knowledge).
+pub fn group_by_bank(
+    ctrl: &mut MemoryController,
+    dram: &mut DramSystem,
+    addrs: &[u64],
+) -> Vec<Vec<u64>> {
+    let mut groups: Vec<Vec<u64>> = Vec::new();
+    for &addr in addrs {
+        let mut placed = false;
+        for group in &mut groups {
+            if addresses_conflict(ctrl, dram, group[0], addr) {
+                group.push(addr);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            groups.push(vec![addr]);
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_addr::mini_decoder;
+
+    fn setup() -> (MemoryController, DramSystem) {
+        let dec = mini_decoder();
+        let dram = DramSystem::new(*dec.geometry());
+        (MemoryController::new(dec).without_physics(), dram)
+    }
+
+    /// Physical address of column 0 of `row` in flat bank `bank`.
+    fn addr_of(ctrl: &MemoryController, bank: u32, row: u32) -> u64 {
+        let g = ctrl.decoder().geometry();
+        let mut media = dram_addr::BankId(bank).to_media(g);
+        media.row = row;
+        media.col = 0;
+        ctrl.decoder().encode(&media).unwrap()
+    }
+
+    #[test]
+    fn same_bank_different_row_conflicts() {
+        let (mut ctrl, mut dram) = setup();
+        let a = addr_of(&ctrl, 5, 0);
+        let b = addr_of(&ctrl, 5, 1);
+        assert!(addresses_conflict(&mut ctrl, &mut dram, a, b));
+    }
+
+    #[test]
+    fn different_banks_do_not_conflict() {
+        let (mut ctrl, mut dram) = setup();
+        // Adjacent cache lines: interleave puts them in different banks.
+        assert!(!addresses_conflict(&mut ctrl, &mut dram, 0, 64));
+    }
+
+    #[test]
+    fn same_row_does_not_conflict() {
+        let (mut ctrl, mut dram) = setup();
+        let banks = ctrl.decoder().geometry().banks_per_socket() as u64;
+        // Same bank, same row: consecutive column lines.
+        let a = 0u64;
+        let b = banks * 64;
+        assert!(!addresses_conflict(&mut ctrl, &mut dram, a, b));
+    }
+
+    #[test]
+    fn grouping_recovers_bank_structure() {
+        let (mut ctrl, mut dram) = setup();
+        // Six addresses: three rows in bank 2, three rows in bank 9.
+        let a = [
+            addr_of(&ctrl, 2, 10),
+            addr_of(&ctrl, 2, 20),
+            addr_of(&ctrl, 2, 30),
+        ];
+        let b = [
+            addr_of(&ctrl, 9, 10),
+            addr_of(&ctrl, 9, 20),
+            addr_of(&ctrl, 9, 30),
+        ];
+        let addrs = vec![a[0], b[0], a[1], b[1], a[2], b[2]];
+        let groups = group_by_bank(&mut ctrl, &mut dram, &addrs);
+        assert_eq!(groups.len(), 2, "two banks: {groups:?}");
+        assert_eq!(groups[0], a.to_vec());
+        assert_eq!(groups[1], b.to_vec());
+    }
+}

@@ -1,0 +1,174 @@
+//! Per-bank row-buffer state machine.
+
+use crate::timing::DdrTimings;
+
+/// Row-buffer management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PagePolicy {
+    /// Keep the row open after an access (bets on locality; the default on
+    /// servers and what the Skylake evaluation platform uses).
+    #[default]
+    Open,
+    /// Auto-precharge after every access (bets against locality: conflicts
+    /// become plain misses, hits disappear).
+    Closed,
+}
+
+/// How an access interacted with the bank's row buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Target row already open: column access only.
+    RowHit,
+    /// Bank closed: activate, then column access.
+    RowMiss,
+    /// Different row open: precharge, activate, column access.
+    RowConflict,
+}
+
+/// Row-buffer and availability state of one bank (open-page policy).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BankFsm {
+    /// The currently-open row, if any.
+    pub open_row: Option<u32>,
+    /// Earliest time the next column command may start.
+    pub ready_ps: u64,
+    /// Start time of the most recent activate (for tRC), if any.
+    pub last_act_ps: Option<u64>,
+}
+
+impl BankFsm {
+    /// Classifies an access to `row` without mutating state.
+    #[must_use]
+    pub fn classify(&self, row: u32) -> AccessKind {
+        match self.open_row {
+            Some(open) if open == row => AccessKind::RowHit,
+            Some(_) => AccessKind::RowConflict,
+            None => AccessKind::RowMiss,
+        }
+    }
+
+    /// Performs an access to `row` arriving at `arrival_ps` under `policy`.
+    ///
+    /// Returns `(kind, act_start_ps, data_done_ps)`: whether an activate was
+    /// needed, when it started (equal to command start when no ACT was
+    /// issued), and when the data burst completes.
+    pub fn access_with_policy(
+        &mut self,
+        row: u32,
+        arrival_ps: u64,
+        timings: &DdrTimings,
+        policy: PagePolicy,
+    ) -> (AccessKind, u64, u64) {
+        let result = self.access(row, arrival_ps, timings);
+        if policy == PagePolicy::Closed {
+            // Auto-precharge overlaps the burst; the bank is simply closed
+            // and ready tRP after the access completes.
+            self.open_row = None;
+            self.ready_ps += timings.t_rp_ps;
+        }
+        result
+    }
+
+    /// Performs an access to `row` arriving at `arrival_ps` (open-page).
+    ///
+    /// Returns `(kind, act_start_ps, data_done_ps)`; leaves the row open.
+    pub fn access(
+        &mut self,
+        row: u32,
+        arrival_ps: u64,
+        timings: &DdrTimings,
+    ) -> (AccessKind, u64, u64) {
+        let kind = self.classify(row);
+        let start = arrival_ps.max(self.ready_ps);
+        let (act_start, done) = match kind {
+            AccessKind::RowHit => (start, start + timings.hit_latency_ps()),
+            AccessKind::RowMiss => {
+                // Activate may not start before tRC from the previous ACT.
+                let floor = self.last_act_ps.map_or(0, |a| a + timings.t_rc_ps);
+                let act = start.max(floor);
+                self.last_act_ps = Some(act);
+                (act, act + timings.miss_latency_ps())
+            }
+            AccessKind::RowConflict => {
+                let pre_done = start + timings.t_rp_ps;
+                let floor = self.last_act_ps.map_or(0, |a| a + timings.t_rc_ps);
+                let act = pre_done.max(floor);
+                self.last_act_ps = Some(act);
+                (act, act + timings.t_rcd_ps + timings.t_cl_ps + timings.t_burst_ps)
+            }
+        };
+        self.open_row = Some(row);
+        self.ready_ps = done;
+        (kind, act_start, done)
+    }
+
+    /// Closes the bank (e.g. on refresh).
+    pub fn precharge(&mut self, now_ps: u64, timings: &DdrTimings) {
+        self.open_row = None;
+        self.ready_ps = self.ready_ps.max(now_ps) + timings.t_rp_ps;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_hit_miss_conflict() {
+        let mut b = BankFsm::default();
+        assert_eq!(b.classify(5), AccessKind::RowMiss);
+        let t = DdrTimings::default();
+        b.access(5, 0, &t);
+        assert_eq!(b.classify(5), AccessKind::RowHit);
+        assert_eq!(b.classify(6), AccessKind::RowConflict);
+    }
+
+    #[test]
+    fn latencies_order_hit_miss_conflict() {
+        let t = DdrTimings::default();
+        let mut hit = BankFsm::default();
+        hit.access(5, 0, &t);
+        let (_, _, hit_done) = hit.access(5, 1_000_000, &t);
+
+        let mut miss = BankFsm::default();
+        let (_, _, miss_done) = miss.access(5, 1_000_000, &t);
+
+        let mut conflict = BankFsm::default();
+        conflict.access(4, 0, &t);
+        let (_, _, conflict_done) = conflict.access(5, 1_000_000, &t);
+
+        let hit_lat = hit_done - 1_000_000;
+        let miss_lat = miss_done - 1_000_000;
+        let conflict_lat = conflict_done - 1_000_000;
+        assert!(hit_lat < miss_lat, "{hit_lat} < {miss_lat}");
+        assert!(miss_lat < conflict_lat, "{miss_lat} < {conflict_lat}");
+    }
+
+    #[test]
+    fn trc_limits_back_to_back_activates() {
+        let t = DdrTimings::default();
+        let mut b = BankFsm::default();
+        let (_, act1, _) = b.access(1, 0, &t);
+        // Conflict immediately: second ACT must wait tRC from first.
+        let (_, act2, _) = b.access(2, 0, &t);
+        assert!(act2 >= act1 + t.t_rc_ps);
+    }
+
+    #[test]
+    fn precharge_closes_row() {
+        let t = DdrTimings::default();
+        let mut b = BankFsm::default();
+        b.access(1, 0, &t);
+        b.precharge(100_000, &t);
+        assert_eq!(b.classify(1), AccessKind::RowMiss);
+        assert!(b.ready_ps >= 100_000 + t.t_rp_ps);
+    }
+
+    #[test]
+    fn arrival_after_ready_starts_at_arrival() {
+        let t = DdrTimings::default();
+        let mut b = BankFsm::default();
+        let (_, _, done) = b.access(1, 5_000_000, &t);
+        assert_eq!(done, 5_000_000 + t.miss_latency_ps());
+    }
+}

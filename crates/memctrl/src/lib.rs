@@ -1,0 +1,26 @@
+//! Memory controller simulation: scheduling, timing, bank-level parallelism.
+//!
+//! This crate models the controller half of the memory system (§2.4): it
+//! translates physical addresses through the system address decoder, tracks
+//! per-bank row-buffer state, schedules requests FR-FCFS (first-ready,
+//! first-come-first-served), honors core DDR4 timing constraints
+//! (tRCD/tRP/tCL/tRC/tFAW/tRRD/burst time), and drives the [`dram`] device
+//! model's activation physics.
+//!
+//! The controller is an *event-level* model rather than a cycle-accurate
+//! one: each request's completion time is computed from bank, rank, and
+//! channel availability. That is exactly enough to expose the performance
+//! property Siloz depends on — sequential access streams reach full
+//! bank-level parallelism when (and only when) their pages interleave
+//! across banks (§4.1) — while remaining fast enough to replay billions of
+//! simulated bytes.
+
+pub mod bankfsm;
+pub mod controller;
+pub mod stats;
+pub mod timing;
+
+pub use bankfsm::{AccessKind, BankFsm, PagePolicy};
+pub use controller::{AccessResult, MemOp, MemoryController, TraceResult};
+pub use stats::CtrlStats;
+pub use timing::DdrTimings;

@@ -1,0 +1,98 @@
+//! Controller statistics.
+
+use crate::bankfsm::AccessKind;
+
+/// Running statistics of a memory controller.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct CtrlStats {
+    /// Total accesses served.
+    pub accesses: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Accesses to closed banks.
+    pub row_misses: u64,
+    /// Row-buffer conflicts.
+    pub row_conflicts: u64,
+    /// Reads (the remainder are writes).
+    pub reads: u64,
+    /// Sum of per-access latency in picoseconds.
+    pub total_latency_ps: u64,
+    /// Completion time of the last access (controller clock), picoseconds.
+    pub clock_ps: u64,
+    /// Bytes transferred (64 B per access).
+    pub bytes: u64,
+}
+
+impl CtrlStats {
+    /// Records one access.
+    pub fn record(&mut self, kind: AccessKind, is_read: bool, latency_ps: u64, done_ps: u64) {
+        self.accesses += 1;
+        match kind {
+            AccessKind::RowHit => self.row_hits += 1,
+            AccessKind::RowMiss => self.row_misses += 1,
+            AccessKind::RowConflict => self.row_conflicts += 1,
+        }
+        if is_read {
+            self.reads += 1;
+        }
+        self.total_latency_ps += latency_ps;
+        self.clock_ps = self.clock_ps.max(done_ps);
+        self.bytes += 64;
+    }
+
+    /// Mean access latency in nanoseconds.
+    #[must_use]
+    pub fn mean_latency_ns(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        self.total_latency_ps as f64 / self.accesses as f64 / 1000.0
+    }
+
+    /// Row-buffer hit rate in `[0, 1]`.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        self.row_hits as f64 / self.accesses as f64
+    }
+
+    /// Achieved bandwidth in GiB/s over the elapsed controller clock.
+    #[must_use]
+    pub fn bandwidth_gib_s(&self) -> f64 {
+        if self.clock_ps == 0 {
+            return 0.0;
+        }
+        let secs = self.clock_ps as f64 * 1e-12;
+        self.bytes as f64 / (1u64 << 30) as f64 / secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_derives() {
+        let mut s = CtrlStats::default();
+        s.record(AccessKind::RowHit, true, 10_000, 50_000);
+        s.record(AccessKind::RowConflict, false, 30_000, 90_000);
+        assert_eq!(s.accesses, 2);
+        assert_eq!(s.row_hits, 1);
+        assert_eq!(s.row_conflicts, 1);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.clock_ps, 90_000);
+        assert!((s.mean_latency_ns() - 20.0).abs() < 1e-9);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+        assert!(s.bandwidth_gib_s() > 0.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = CtrlStats::default();
+        assert_eq!(s.mean_latency_ns(), 0.0);
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.bandwidth_gib_s(), 0.0);
+    }
+}

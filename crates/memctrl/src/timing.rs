@@ -1,0 +1,111 @@
+//! DDR4 timing parameters, in picoseconds.
+
+/// Core DDR4 timing constraints used by the controller.
+///
+/// All values are picoseconds. Defaults model DDR4-2933 (the evaluation
+/// server's speed grade, Table 2): tCK ≈ 682 ps, CL/tRCD/tRP = 21 cycles,
+/// tRAS = 47 cycles, 8-beat bursts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DdrTimings {
+    /// Activate → column command (tRCD).
+    pub t_rcd_ps: u64,
+    /// Precharge duration (tRP).
+    pub t_rp_ps: u64,
+    /// Column access latency (tCL / CAS).
+    pub t_cl_ps: u64,
+    /// Minimum activate-to-precharge time (tRAS).
+    pub t_ras_ps: u64,
+    /// Minimum activate-to-activate time, same bank (tRC = tRAS + tRP).
+    pub t_rc_ps: u64,
+    /// Data burst occupancy of the channel bus per access (tBL: 8 beats).
+    pub t_burst_ps: u64,
+    /// Four-activate window, per rank (tFAW).
+    pub t_faw_ps: u64,
+    /// Minimum activate-to-activate time across banks of a rank (tRRD).
+    pub t_rrd_ps: u64,
+    /// Refresh command duration (tRFC); banks are unavailable meanwhile.
+    pub t_rfc_ps: u64,
+    /// Average refresh interval (tREFI = tREFW / 8192).
+    pub t_refi_ps: u64,
+}
+
+impl Default for DdrTimings {
+    fn default() -> Self {
+        Self::ddr4_2933()
+    }
+}
+
+impl DdrTimings {
+    /// DDR4-2933 speed grade (evaluation server).
+    #[must_use]
+    pub const fn ddr4_2933() -> Self {
+        Self {
+            t_rcd_ps: 14_320,
+            t_rp_ps: 14_320,
+            t_cl_ps: 14_320,
+            t_ras_ps: 32_000,
+            t_rc_ps: 46_320,
+            t_burst_ps: 2_728, // 8 beats at 2933 MT/s
+            t_faw_ps: 21_000,
+            t_rrd_ps: 4_900, // tRRD_L
+            t_rfc_ps: 350_000,
+            t_refi_ps: 7_812_500,
+        }
+    }
+
+    /// Latency of a row-buffer hit (column access + burst).
+    #[must_use]
+    pub const fn hit_latency_ps(&self) -> u64 {
+        self.t_cl_ps + self.t_burst_ps
+    }
+
+    /// Latency of an access to a closed bank (activate + column + burst).
+    #[must_use]
+    pub const fn miss_latency_ps(&self) -> u64 {
+        self.t_rcd_ps + self.t_cl_ps + self.t_burst_ps
+    }
+
+    /// Latency of a row-buffer conflict (precharge + activate + column +
+    /// burst).
+    #[must_use]
+    pub const fn conflict_latency_ps(&self) -> u64 {
+        self.t_rp_ps + self.t_rcd_ps + self.t_cl_ps + self.t_burst_ps
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.t_rc_ps < self.t_ras_ps + self.t_rp_ps {
+            return Err(format!(
+                "tRC ({}) must be >= tRAS ({}) + tRP ({})",
+                self.t_rc_ps, self.t_ras_ps, self.t_rp_ps
+            ));
+        }
+        if self.t_burst_ps == 0 {
+            return Err("burst time must be non-zero".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_timings_are_consistent() {
+        let t = DdrTimings::default();
+        t.validate().unwrap();
+        assert!(t.hit_latency_ps() < t.miss_latency_ps());
+        assert!(t.miss_latency_ps() < t.conflict_latency_ps());
+    }
+
+    #[test]
+    fn validate_catches_bad_trc() {
+        let mut t = DdrTimings::default();
+        t.t_rc_ps = 1;
+        assert!(t.validate().is_err());
+        let mut t2 = DdrTimings::default();
+        t2.t_burst_ps = 0;
+        assert!(t2.validate().is_err());
+    }
+}

@@ -1,0 +1,401 @@
+//! A buddy allocator over 4 KiB page frames.
+//!
+//! Deterministic (lowest address first), supports arbitrary frame ranges
+//! with holes, and supports offlining individual frames — the primitive
+//! Siloz extends to take guard rows out of circulation (§5.4), mirroring
+//! Linux's faulty-page offlining.
+
+use crate::NumaError;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Maximum supported block order (2^18 frames = 1 GiB).
+pub const MAX_ORDER: u8 = 18;
+
+/// A power-of-two buddy allocator over page frame numbers.
+///
+/// # Examples
+///
+/// ```
+/// use numa::BuddyAllocator;
+///
+/// let mut buddy = BuddyAllocator::new(&[0..1024]);
+/// let a = buddy.alloc(0).unwrap();
+/// let b = buddy.alloc(0).unwrap();
+/// assert_ne!(a, b);
+/// buddy.free(a, 0).unwrap();
+/// buddy.free(b, 0).unwrap();
+/// assert_eq!(buddy.free_frames(), 1024);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BuddyAllocator {
+    /// Free blocks per order; each entry is the first frame of an aligned
+    /// block. `BTreeSet` gives deterministic lowest-address allocation.
+    free: Vec<BTreeSet<u64>>,
+    /// The original coverage, used to prevent merges across holes.
+    ranges: Vec<Range<u64>>,
+    total_frames: u64,
+    free_frames: u64,
+    offlined: BTreeSet<u64>,
+}
+
+impl BuddyAllocator {
+    /// Creates an allocator covering `ranges` of page frames.
+    #[must_use]
+    pub fn new(ranges: &[Range<u64>]) -> Self {
+        Self::with_holes(ranges, &[])
+    }
+
+    /// Creates an allocator covering `ranges`, excluding `holes` (frames
+    /// never made available — e.g. guard rows reserved at boot).
+    #[must_use]
+    pub fn with_holes(ranges: &[Range<u64>], holes: &[u64]) -> Self {
+        let mut norm: Vec<Range<u64>> = ranges
+            .iter()
+            .filter(|r| r.end > r.start)
+            .cloned()
+            .collect();
+        norm.sort_by_key(|r| r.start);
+        let hole_set: BTreeSet<u64> = holes.iter().copied().collect();
+        let mut this = Self {
+            free: vec![BTreeSet::new(); MAX_ORDER as usize + 1],
+            ranges: norm.clone(),
+            total_frames: 0,
+            free_frames: 0,
+            offlined: hole_set.clone(),
+        };
+        for range in &norm {
+            // Insert maximal aligned blocks between holes.
+            let mut start = range.start;
+            let holes_in: Vec<u64> = hole_set
+                .range(range.start..range.end)
+                .copied()
+                .collect();
+            let mut segments = Vec::new();
+            for h in holes_in {
+                if h > start {
+                    segments.push(start..h);
+                }
+                start = h + 1;
+            }
+            if range.end > start {
+                segments.push(start..range.end);
+            }
+            for seg in segments {
+                this.seed_segment(seg);
+            }
+            this.total_frames += range.end - range.start;
+        }
+        this
+    }
+
+    /// Seeds free lists with maximal aligned blocks covering `seg`.
+    fn seed_segment(&mut self, seg: Range<u64>) {
+        let mut start = seg.start;
+        while start < seg.end {
+            let align = if start == 0 {
+                MAX_ORDER
+            } else {
+                (start.trailing_zeros() as u8).min(MAX_ORDER)
+            };
+            let mut order = align;
+            while order > 0 && start + (1u64 << order) > seg.end {
+                order -= 1;
+            }
+            self.free[order as usize].insert(start);
+            self.free_frames += 1u64 << order;
+            start += 1u64 << order;
+        }
+    }
+
+    /// Total frames covered (including allocated and offlined).
+    #[must_use]
+    pub fn total_frames(&self) -> u64 {
+        self.total_frames
+    }
+
+    /// Currently-free frames.
+    #[must_use]
+    pub fn free_frames(&self) -> u64 {
+        self.free_frames
+    }
+
+    /// Frames taken offline.
+    #[must_use]
+    pub fn offlined_frames(&self) -> u64 {
+        self.offlined.len() as u64
+    }
+
+    /// Allocates a block of `2^order` frames; returns its first frame.
+    ///
+    /// Splits larger blocks as needed; picks the lowest available address.
+    pub fn alloc(&mut self, order: u8) -> Result<u64, NumaError> {
+        if order > MAX_ORDER {
+            return Err(NumaError::OutOfMemory { order });
+        }
+        // Find the smallest order with a free block.
+        let mut o = order;
+        while o <= MAX_ORDER && self.free[o as usize].is_empty() {
+            o += 1;
+        }
+        if o > MAX_ORDER {
+            return Err(NumaError::OutOfMemory { order });
+        }
+        let frame = *self.free[o as usize].iter().next().expect("nonempty");
+        self.free[o as usize].remove(&frame);
+        // Split down to the requested order, keeping the upper halves free.
+        while o > order {
+            o -= 1;
+            self.free[o as usize].insert(frame + (1u64 << o));
+        }
+        self.free_frames -= 1u64 << order;
+        Ok(frame)
+    }
+
+    /// Frees a block previously returned by [`Self::alloc`].
+    ///
+    /// Coalesces with free buddies, but never across coverage holes.
+    pub fn free(&mut self, frame: u64, order: u8) -> Result<(), NumaError> {
+        if order > MAX_ORDER || frame % (1u64 << order) != 0 || !self.in_coverage(frame, order) {
+            return Err(NumaError::BadFree { frame, order });
+        }
+        if self.is_free_or_overlapping(frame, order) {
+            return Err(NumaError::BadFree { frame, order });
+        }
+        // Merged buddies are already counted free; only the newly-freed
+        // block adds to the free count.
+        self.free_frames += 1u64 << order;
+        let mut frame = frame;
+        let mut order = order;
+        while order < MAX_ORDER {
+            let buddy = frame ^ (1u64 << order);
+            let merged = frame.min(buddy);
+            if self.free[order as usize].contains(&buddy) && self.in_coverage(merged, order + 1) {
+                self.free[order as usize].remove(&buddy);
+                frame = merged;
+                order += 1;
+            } else {
+                break;
+            }
+        }
+        self.free[order as usize].insert(frame);
+        Ok(())
+    }
+
+    /// Whether `[frame, frame + 2^order)` lies entirely inside one original
+    /// coverage range with no offlined frames.
+    fn in_coverage(&self, frame: u64, order: u8) -> bool {
+        let end = frame + (1u64 << order);
+        let inside = self
+            .ranges
+            .iter()
+            .any(|r| frame >= r.start && end <= r.end);
+        inside && self.offlined.range(frame..end).next().is_none()
+    }
+
+    /// Whether any part of the block is already on a free list.
+    fn is_free_or_overlapping(&self, frame: u64, order: u8) -> bool {
+        let end = frame + (1u64 << order);
+        for (o, set) in self.free.iter().enumerate() {
+            let size = 1u64 << o;
+            // Any free block starting within, or containing, the region.
+            if set.range(frame..end).next().is_some() {
+                return true;
+            }
+            let align_start = frame & !(size - 1);
+            if let Some(&b) = set.range(align_start..=align_start).next() {
+                if b < end && b + size > frame {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Takes a single *free* frame offline, splitting any containing free
+    /// block. Returns `false` if the frame is allocated, already offline, or
+    /// out of coverage (callers migrate data first, as Linux does).
+    pub fn offline_frame(&mut self, frame: u64) -> bool {
+        if self.offlined.contains(&frame) || !self.in_coverage(frame, 0) {
+            return false;
+        }
+        // Find the free block containing this frame.
+        let mut found: Option<(u8, u64)> = None;
+        for o in 0..=MAX_ORDER {
+            let size = 1u64 << o;
+            let block = frame & !(size - 1);
+            if self.free[o as usize].contains(&block) {
+                found = Some((o, block));
+                break;
+            }
+        }
+        let Some((o, block)) = found else {
+            return false; // Allocated frames cannot be offlined here.
+        };
+        self.free[o as usize].remove(&block);
+        // Re-seed the block minus the offlined frame.
+        self.offlined.insert(frame);
+        self.free_frames -= 1u64 << o;
+        if frame > block {
+            self.seed_segment(block..frame);
+        }
+        if frame + 1 < block + (1u64 << o) {
+            self.seed_segment(frame + 1..block + (1u64 << o));
+        }
+        true
+    }
+
+    /// Offlines many frames; returns how many were actually taken offline.
+    pub fn offline_frames(&mut self, frames: impl IntoIterator<Item = u64>) -> u64 {
+        frames.into_iter().filter(|&f| self.offline_frame(f)).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip_restores_all_frames() {
+        let mut b = BuddyAllocator::new(&[0..4096]);
+        assert_eq!(b.free_frames(), 4096);
+        let mut blocks = Vec::new();
+        for order in [0u8, 3, 9, 0, 5] {
+            blocks.push((b.alloc(order).unwrap(), order));
+        }
+        for &(f, o) in &blocks {
+            b.free(f, o).unwrap();
+        }
+        assert_eq!(b.free_frames(), 4096);
+        // Everything coalesced back: a maximal allocation succeeds.
+        let f = b.alloc(12).unwrap();
+        assert_eq!(f % (1 << 12), 0);
+    }
+
+    #[test]
+    fn allocations_are_lowest_address_first() {
+        let mut b = BuddyAllocator::new(&[100..2148]);
+        // 100 is not order-9-aligned; first order-0 alloc is frame 100.
+        assert_eq!(b.alloc(0).unwrap(), 100);
+        assert_eq!(b.alloc(0).unwrap(), 101);
+    }
+
+    #[test]
+    fn split_and_merge_are_exact() {
+        let mut b = BuddyAllocator::new(&[0..1024]);
+        let x = b.alloc(0).unwrap();
+        assert_eq!(x, 0);
+        assert_eq!(b.free_frames(), 1023);
+        b.free(x, 0).unwrap();
+        assert_eq!(b.free_frames(), 1024);
+        // After merging, a 1024-frame (order-10) block is available again.
+        assert_eq!(b.alloc(10).unwrap(), 0);
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let mut b = BuddyAllocator::new(&[0..16]);
+        assert!(matches!(
+            b.alloc(5),
+            Err(NumaError::OutOfMemory { order: 5 })
+        ));
+        for _ in 0..16 {
+            b.alloc(0).unwrap();
+        }
+        assert!(b.alloc(0).is_err());
+    }
+
+    #[test]
+    fn double_free_is_rejected() {
+        let mut b = BuddyAllocator::new(&[0..64]);
+        let f = b.alloc(2).unwrap();
+        b.free(f, 2).unwrap();
+        assert!(matches!(b.free(f, 2), Err(NumaError::BadFree { .. })));
+    }
+
+    #[test]
+    fn misaligned_or_uncovered_free_is_rejected() {
+        let mut b = BuddyAllocator::new(&[0..64]);
+        assert!(b.free(1, 1).is_err(), "misaligned");
+        assert!(b.free(128, 0).is_err(), "outside coverage");
+    }
+
+    #[test]
+    fn holes_are_never_allocated() {
+        let holes: Vec<u64> = (10..20).collect();
+        let mut b = BuddyAllocator::with_holes(&[0..64], &holes);
+        assert_eq!(b.free_frames(), 54);
+        let mut seen = BTreeSet::new();
+        while let Ok(f) = b.alloc(0) {
+            assert!(!(10..20).contains(&f), "allocated hole frame {f}");
+            seen.insert(f);
+        }
+        assert_eq!(seen.len(), 54);
+    }
+
+    #[test]
+    fn merge_never_crosses_holes() {
+        let mut b = BuddyAllocator::with_holes(&[0..64], &[32]);
+        // Allocate and free everything; blocks must not merge across 32.
+        let mut blocks = Vec::new();
+        while let Ok(f) = b.alloc(0) {
+            blocks.push(f);
+        }
+        for f in blocks {
+            b.free(f, 0).unwrap();
+        }
+        // An order-6 (64-frame) alloc must fail: the hole splits coverage.
+        assert!(b.alloc(6).is_err());
+        // But order-5 (32 frames) in the lower half works.
+        assert_eq!(b.alloc(5).unwrap(), 0);
+    }
+
+    #[test]
+    fn offline_free_frame_splits_block() {
+        let mut b = BuddyAllocator::new(&[0..64]);
+        assert!(b.offline_frame(17));
+        assert_eq!(b.free_frames(), 63);
+        assert_eq!(b.offlined_frames(), 1);
+        let mut got = Vec::new();
+        while let Ok(f) = b.alloc(0) {
+            got.push(f);
+        }
+        assert!(!got.contains(&17));
+        assert_eq!(got.len(), 63);
+    }
+
+    #[test]
+    fn offline_allocated_frame_fails() {
+        let mut b = BuddyAllocator::new(&[0..64]);
+        let f = b.alloc(0).unwrap();
+        assert!(!b.offline_frame(f));
+        assert!(!b.offline_frame(9999), "out of coverage");
+        assert!(b.offline_frame(5));
+        assert!(!b.offline_frame(5), "already offline");
+    }
+
+    #[test]
+    fn multiple_ranges_work_independently() {
+        let mut b = BuddyAllocator::new(&[0..32, 1024..1056]);
+        assert_eq!(b.total_frames(), 64);
+        let mut frames = Vec::new();
+        while let Ok(f) = b.alloc(0) {
+            frames.push(f);
+        }
+        assert_eq!(frames.len(), 64);
+        assert!(frames.iter().all(|&f| f < 32 || (1024..1056).contains(&f)));
+    }
+
+    #[test]
+    fn huge_page_orders_supported() {
+        use crate::{ORDER_1G, ORDER_2M};
+        // 2 GiB of frames: two 1 GiB blocks.
+        let mut b = BuddyAllocator::new(&[0..(2 << 18)]);
+        let g1 = b.alloc(ORDER_1G).unwrap();
+        let g2 = b.alloc(ORDER_1G).unwrap();
+        assert!(b.alloc(ORDER_2M).is_err());
+        b.free(g1, ORDER_1G).unwrap();
+        assert!(b.alloc(ORDER_2M).is_ok());
+        let _ = g2;
+    }
+}

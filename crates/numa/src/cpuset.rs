@@ -1,0 +1,180 @@
+//! Control groups (cpusets) restricting memory and CPU placement (§5.2).
+//!
+//! Siloz restricts the use of guest-reserved nodes to requests from
+//! KVM-privileged processes via a Linux control group that limits memory
+//! allocations to specific nodes. This module reimplements the needed
+//! subset: named groups with `mems_allowed`/`cpus_allowed`, plus *exclusive*
+//! node claims so one VM's nodes cannot be handed to another.
+
+use crate::{NodeId, NumaError};
+use std::collections::{BTreeSet, HashMap};
+
+/// One control group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlGroup {
+    /// Group name (e.g. `"host"`, `"vm0"`).
+    pub name: String,
+    /// Nodes this group may allocate memory from.
+    pub mems_allowed: BTreeSet<NodeId>,
+    /// CPUs this group may schedule on.
+    pub cpus_allowed: BTreeSet<u32>,
+}
+
+impl ControlGroup {
+    /// Whether the group permits allocating from `node`.
+    #[must_use]
+    pub fn allows_node(&self, node: NodeId) -> bool {
+        self.mems_allowed.contains(&node)
+    }
+}
+
+/// Registry of control groups with exclusive node ownership.
+#[derive(Debug, Default)]
+pub struct CgroupRegistry {
+    groups: HashMap<String, ControlGroup>,
+    /// Exclusive owner of each claimed node.
+    claims: HashMap<NodeId, String>,
+}
+
+impl CgroupRegistry {
+    /// Empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a group with exclusive claims over `nodes`.
+    ///
+    /// Fails if any node is already claimed by another group (the claim set
+    /// is left unchanged on failure). The same node list becomes the group's
+    /// `mems_allowed`.
+    pub fn create_exclusive(
+        &mut self,
+        name: &str,
+        nodes: impl IntoIterator<Item = NodeId>,
+        cpus: impl IntoIterator<Item = u32>,
+    ) -> Result<&ControlGroup, NumaError> {
+        let nodes: BTreeSet<NodeId> = nodes.into_iter().collect();
+        for &n in &nodes {
+            if let Some(owner) = self.claims.get(&n) {
+                if owner != name {
+                    return Err(NumaError::AlreadyClaimed(n));
+                }
+            }
+        }
+        for &n in &nodes {
+            self.claims.insert(n, name.to_string());
+        }
+        let group = ControlGroup {
+            name: name.to_string(),
+            mems_allowed: nodes,
+            cpus_allowed: cpus.into_iter().collect(),
+        };
+        self.groups.insert(name.to_string(), group);
+        Ok(&self.groups[name])
+    }
+
+    /// Creates a group *without* exclusive claims (multiple groups may
+    /// allow the same nodes — conventional cpuset behaviour).
+    pub fn create_shared(
+        &mut self,
+        name: &str,
+        nodes: impl IntoIterator<Item = NodeId>,
+        cpus: impl IntoIterator<Item = u32>,
+    ) -> &ControlGroup {
+        let group = ControlGroup {
+            name: name.to_string(),
+            mems_allowed: nodes.into_iter().collect(),
+            cpus_allowed: cpus.into_iter().collect(),
+        };
+        self.groups.insert(name.to_string(), group);
+        &self.groups[name]
+    }
+
+    /// Looks up a group.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&ControlGroup> {
+        self.groups.get(name)
+    }
+
+    /// Destroys a group, releasing its exclusive claims (§5.3: a node's
+    /// reservation remains valid until its encompassing control group is
+    /// destroyed/modified by a privileged user).
+    pub fn destroy(&mut self, name: &str) -> bool {
+        if self.groups.remove(name).is_none() {
+            return false;
+        }
+        self.claims.retain(|_, owner| owner != name);
+        true
+    }
+
+    /// The group exclusively owning `node`, if any.
+    #[must_use]
+    pub fn owner_of(&self, node: NodeId) -> Option<&str> {
+        self.claims.get(&node).map(String::as_str)
+    }
+
+    /// Number of groups.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether no groups exist.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_claims_conflict() {
+        let mut reg = CgroupRegistry::new();
+        reg.create_exclusive("vm0", [NodeId(1), NodeId(2)], [0, 1])
+            .unwrap();
+        let err = reg
+            .create_exclusive("vm1", [NodeId(2), NodeId(3)], [2])
+            .unwrap_err();
+        assert_eq!(err, NumaError::AlreadyClaimed(NodeId(2)));
+        // Failed creation must not leak claims on node 3.
+        assert_eq!(reg.owner_of(NodeId(3)), None);
+        assert_eq!(reg.owner_of(NodeId(2)), Some("vm0"));
+    }
+
+    #[test]
+    fn destroy_releases_claims() {
+        let mut reg = CgroupRegistry::new();
+        reg.create_exclusive("vm0", [NodeId(1)], []).unwrap();
+        assert!(reg.destroy("vm0"));
+        assert!(!reg.destroy("vm0"));
+        assert_eq!(reg.owner_of(NodeId(1)), None);
+        reg.create_exclusive("vm1", [NodeId(1)], []).unwrap();
+        assert_eq!(reg.owner_of(NodeId(1)), Some("vm1"));
+    }
+
+    #[test]
+    fn allows_node_checks_membership() {
+        let mut reg = CgroupRegistry::new();
+        reg.create_exclusive("vm0", [NodeId(4)], [7]).unwrap();
+        let g = reg.get("vm0").unwrap();
+        assert!(g.allows_node(NodeId(4)));
+        assert!(!g.allows_node(NodeId(5)));
+        assert!(g.cpus_allowed.contains(&7));
+    }
+
+    #[test]
+    fn recreating_same_group_keeps_its_claims() {
+        let mut reg = CgroupRegistry::new();
+        reg.create_exclusive("vm0", [NodeId(1)], []).unwrap();
+        // Same name may re-claim its own nodes (modification by privileged
+        // user, §5.3).
+        reg.create_exclusive("vm0", [NodeId(1), NodeId(2)], [])
+            .unwrap();
+        assert_eq!(reg.owner_of(NodeId(2)), Some("vm0"));
+        assert_eq!(reg.len(), 1);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests for the buddy allocator: conservation, non-overlap,
+//! hole/offline avoidance.
+
+use numa::BuddyAllocator;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random alloc/free sequences conserve frames and never hand out
+    /// overlapping blocks.
+    #[test]
+    fn alloc_free_conservation(ops in prop::collection::vec((0u8..6, any::<bool>()), 1..200)) {
+        let total = 4096u64;
+        let mut b = BuddyAllocator::new(&[0..total]);
+        let mut live: Vec<(u64, u8)> = Vec::new();
+        let mut live_frames = 0u64;
+        for (order, is_alloc) in ops {
+            if is_alloc || live.is_empty() {
+                if let Ok(f) = b.alloc(order) {
+                    // No overlap with any live block.
+                    let size = 1u64 << order;
+                    for &(lf, lo) in &live {
+                        let lsize = 1u64 << lo;
+                        prop_assert!(f + size <= lf || lf + lsize <= f,
+                            "overlap: new ({f},{order}) vs live ({lf},{lo})");
+                    }
+                    live.push((f, order));
+                    live_frames += size;
+                }
+            } else {
+                let (f, o) = live.swap_remove(0);
+                b.free(f, o).unwrap();
+                live_frames -= 1u64 << o;
+            }
+            prop_assert_eq!(b.free_frames() + live_frames, total);
+        }
+        for (f, o) in live {
+            b.free(f, o).unwrap();
+        }
+        prop_assert_eq!(b.free_frames(), total);
+        // Full coalescing: the whole region is allocatable as big blocks.
+        let mut big = 0u64;
+        while let Ok(_) = b.alloc(10) { big += 1 << 10; }
+        prop_assert_eq!(big, total);
+    }
+
+    /// Offlined frames are never returned by any subsequent allocation.
+    #[test]
+    fn offline_frames_never_allocated(
+        holes in prop::collection::btree_set(0u64..512, 0..40),
+    ) {
+        let mut b = BuddyAllocator::new(&[0..512]);
+        let offlined = b.offline_frames(holes.iter().copied());
+        prop_assert_eq!(offlined, holes.len() as u64);
+        let mut handed_out = 0u64;
+        while let Ok(f) = b.alloc(0) {
+            prop_assert!(!holes.contains(&f), "allocated offlined frame {f}");
+            handed_out += 1;
+        }
+        prop_assert_eq!(handed_out + holes.len() as u64, 512);
+    }
+
+    /// Construction with holes equals construction plus offlining.
+    #[test]
+    fn with_holes_matches_offline(holes in prop::collection::btree_set(0u64..256, 0..30)) {
+        let hv: Vec<u64> = holes.iter().copied().collect();
+        let a = BuddyAllocator::with_holes(&[0..256], &hv);
+        let mut b = BuddyAllocator::new(&[0..256]);
+        b.offline_frames(hv.iter().copied());
+        prop_assert_eq!(a.free_frames(), b.free_frames());
+        prop_assert_eq!(a.offlined_frames(), b.offlined_frames());
+    }
+}

@@ -1,0 +1,226 @@
+//! Caching subarray-group ranges across boots (§5.3).
+//!
+//! Physical-to-media mappings are fixed by BIOS settings, so the group
+//! address ranges computed during early boot "can be cached across boots in
+//! a bootloader or firmware". This module provides that cache: a compact,
+//! self-validating text format binding the ranges to the exact geometry,
+//! decoder configuration, and presumed subarray size they were computed
+//! for — a cache from a different BIOS configuration is rejected rather
+//! than silently trusted.
+
+use crate::group::{GroupId, GroupInfo, SubarrayGroupMap};
+use crate::SilozError;
+use dram_addr::SystemAddressDecoder;
+use std::fmt::Write as _;
+
+/// Magic/version header of the cache format.
+const HEADER: &str = "siloz-group-cache v1";
+
+/// A fingerprint binding a cache to its boot configuration.
+fn fingerprint(decoder: &SystemAddressDecoder, presumed_rows: u32) -> u64 {
+    let g = decoder.geometry();
+    let c = decoder.config();
+    let fields = [
+        g.sockets as u64,
+        g.channels_per_socket as u64,
+        g.dimms_per_channel as u64,
+        g.ranks_per_dimm as u64,
+        g.bank_groups as u64,
+        g.banks_per_group as u64,
+        g.rows_per_bank as u64,
+        g.row_bytes,
+        g.rows_per_subarray as u64,
+        c.row_groups_per_block as u64,
+        c.jump_bytes,
+        match c.bank_hash {
+            dram_addr::BankHash::None => 0,
+            dram_addr::BankHash::XorRow => 1,
+        },
+        presumed_rows as u64,
+    ];
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for f in fields {
+        h ^= f;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Serializes a computed group map into the cache format.
+#[must_use]
+pub fn to_cache(map: &SubarrayGroupMap) -> String {
+    let mut out = String::new();
+    let fp = fingerprint(map.decoder(), map.presumed_rows());
+    let _ = writeln!(out, "{HEADER}");
+    let _ = writeln!(out, "fingerprint {fp:#018x}");
+    let _ = writeln!(out, "presumed-rows {}", map.presumed_rows());
+    let _ = writeln!(out, "groups {}", map.groups().len());
+    for g in map.groups() {
+        let _ = write!(
+            out,
+            "group {} socket {} rows {} {} frames",
+            g.id.0, g.socket, g.rows.start, g.rows.end
+        );
+        for r in &g.frames {
+            let _ = write!(out, " {}..{}", r.start, r.end);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Parses and validates a cache against the current boot configuration.
+///
+/// Returns the reconstructed map, or an error if the cache is malformed or
+/// was produced under different BIOS settings / boot parameters.
+pub fn from_cache(
+    cache: &str,
+    decoder: &SystemAddressDecoder,
+    presumed_rows: u32,
+) -> Result<SubarrayGroupMap, SilozError> {
+    let mut lines = cache.lines();
+    let bad = |what: &str| SilozError::BadConfig(format!("group cache: {what}"));
+    if lines.next() != Some(HEADER) {
+        return Err(bad("missing header"));
+    }
+    let fp_line = lines.next().ok_or_else(|| bad("missing fingerprint"))?;
+    let fp_hex = fp_line
+        .strip_prefix("fingerprint 0x")
+        .ok_or_else(|| bad("malformed fingerprint"))?;
+    let fp = u64::from_str_radix(fp_hex, 16).map_err(|_| bad("unparseable fingerprint"))?;
+    if fp != fingerprint(decoder, presumed_rows) {
+        return Err(bad(
+            "fingerprint mismatch: BIOS settings or boot parameters changed; recompute",
+        ));
+    }
+    let rows_line = lines.next().ok_or_else(|| bad("missing presumed-rows"))?;
+    let rows: u32 = rows_line
+        .strip_prefix("presumed-rows ")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| bad("malformed presumed-rows"))?;
+    if rows != presumed_rows {
+        return Err(bad("presumed-rows mismatch"));
+    }
+    let count_line = lines.next().ok_or_else(|| bad("missing group count"))?;
+    let count: usize = count_line
+        .strip_prefix("groups ")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| bad("malformed group count"))?;
+    let mut groups = Vec::with_capacity(count);
+    for line in lines {
+        let mut w = line.split_whitespace();
+        let kw = |t: Option<&str>, want: &str| -> Result<(), SilozError> {
+            if t == Some(want) {
+                Ok(())
+            } else {
+                Err(bad(&format!("expected '{want}'")))
+            }
+        };
+        kw(w.next(), "group")?;
+        let id: u32 = w
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| bad("group id"))?;
+        kw(w.next(), "socket")?;
+        let socket: u16 = w
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| bad("socket"))?;
+        kw(w.next(), "rows")?;
+        let rs: u32 = w
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| bad("rows start"))?;
+        let re: u32 = w
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| bad("rows end"))?;
+        kw(w.next(), "frames")?;
+        let mut frames = Vec::new();
+        for token in w {
+            let (a, b) = token.split_once("..").ok_or_else(|| bad("frame range"))?;
+            let a: u64 = a.parse().map_err(|_| bad("frame start"))?;
+            let b: u64 = b.parse().map_err(|_| bad("frame end"))?;
+            frames.push(a..b);
+        }
+        groups.push(GroupInfo {
+            id: GroupId(id),
+            socket,
+            rows: rs..re,
+            frames,
+        });
+    }
+    if groups.len() != count {
+        return Err(bad("group count mismatch"));
+    }
+    SubarrayGroupMap::from_parts(decoder.clone(), presumed_rows, groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_addr::{mini_decoder, skylake_decoder};
+
+    #[test]
+    fn cache_roundtrips_exactly() {
+        let dec = mini_decoder();
+        let map = SubarrayGroupMap::compute(&dec, 256).unwrap();
+        let cache = to_cache(&map);
+        let restored = from_cache(&cache, &dec, 256).unwrap();
+        assert_eq!(map.groups(), restored.groups());
+        assert_eq!(
+            map.group_of_phys(12345678).unwrap(),
+            restored.group_of_phys(12345678).unwrap()
+        );
+    }
+
+    #[test]
+    fn evaluation_scale_cache_roundtrips() {
+        let dec = skylake_decoder();
+        let map = SubarrayGroupMap::compute(&dec, 1024).unwrap();
+        let cache = to_cache(&map);
+        assert!(cache.len() < 64 << 10, "cache stays compact: {}", cache.len());
+        let restored = from_cache(&cache, &dec, 1024).unwrap();
+        assert_eq!(map.groups().len(), restored.groups().len());
+    }
+
+    #[test]
+    fn changed_bios_settings_invalidate_the_cache() {
+        let dec = mini_decoder();
+        let map = SubarrayGroupMap::compute(&dec, 256).unwrap();
+        let cache = to_cache(&map);
+        // Different presumed size: rejected.
+        assert!(from_cache(&cache, &dec, 512).is_err());
+        // Different decoder config (bank hash off): rejected.
+        let cfg = dram_addr::decoder::DecoderConfig {
+            bank_hash: dram_addr::BankHash::None,
+            ..*dec.config()
+        };
+        let other = SystemAddressDecoder::new(*dec.geometry(), cfg).unwrap();
+        assert!(from_cache(&cache, &other, 256).is_err());
+    }
+
+    #[test]
+    fn malformed_caches_are_rejected() {
+        let dec = mini_decoder();
+        assert!(from_cache("", &dec, 256).is_err());
+        assert!(from_cache("garbage header\n", &dec, 256).is_err());
+        let map = SubarrayGroupMap::compute(&dec, 256).unwrap();
+        let mut cache = to_cache(&map);
+        cache.push_str("group NOTANUMBER socket 0 rows 0 1 frames 0..1\n");
+        assert!(from_cache(&cache, &dec, 256).is_err());
+        // Truncated (count mismatch).
+        let cache = to_cache(&map);
+        let truncated: Vec<&str> = cache.lines().take(6).collect();
+        assert!(from_cache(&truncated.join("\n"), &dec, 256).is_err());
+    }
+
+    #[test]
+    fn tampered_extents_fail_integrity_checks() {
+        // from_parts re-validates coverage; a tampered range is caught.
+        let dec = mini_decoder();
+        let map = SubarrayGroupMap::compute(&dec, 256).unwrap();
+        let cache = to_cache(&map).replace("rows 0 256", "rows 0 255");
+        assert!(from_cache(&cache, &dec, 256).is_err());
+    }
+}

@@ -1,0 +1,278 @@
+//! Guard-row protection for extended page tables (§5.4).
+//!
+//! All of a socket's EPTs fit in a single row group under the paper's
+//! deployment conditions (no page sharing, contiguous VM allocation, 2 MiB
+//! guest backing): each 4 KiB EPT page maps ~1 GiB, and one 1.5 MiB row
+//! group holds 384 EPT pages — enough to map 384 GiB. Siloz therefore
+//! reserves a contiguous block of `b` row groups in a designated (host)
+//! subarray group; the row group at offset `o` holds EPT pages and the other
+//! `b - 1` serve as guard rows, split above and below.
+//!
+//! The paper's `b = 32`, `o = 12` reserve just ≈0.024% of each bank and keep
+//! the EPT row far enough from the block edges that DIMM-internal half-row
+//! remaps (mirroring/inversion/scrambling, which permute and relocate whole
+//! 32-aligned blocks) can never bring an attacker-reachable row within the
+//! Rowhammer blast radius of an EPT row. The security experiments verify
+//! this empirically against the device model.
+
+use crate::SilozError;
+use dram_addr::{Geometry, SystemAddressDecoder};
+use ept::{EptAllocator, EptError};
+use std::ops::Range;
+
+const FRAME_BYTES: u64 = 4096;
+
+/// Per-socket EPT guard placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SocketEptPlan {
+    /// Socket this plan covers.
+    pub socket: u16,
+    /// The `b` consecutive reserved row groups.
+    pub block_rows: Range<u32>,
+    /// The row group holding EPT pages (`block_rows.start + o`).
+    pub ept_row: u32,
+    /// Page frames of the EPT row group (contiguous under the Skylake
+    /// mapping).
+    pub ept_frames: Range<u64>,
+    /// Page frames of the guard row groups (to be offlined).
+    pub guard_frames: Vec<u64>,
+}
+
+/// The machine-wide EPT guard-row plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EptGuardPlan {
+    /// Reserved row groups per socket.
+    pub b: u32,
+    /// Offset of the EPT row group within the block.
+    pub o: u32,
+    /// Per-socket placements.
+    pub sockets: Vec<SocketEptPlan>,
+}
+
+impl EptGuardPlan {
+    /// Computes the plan, placing each socket's block at `base_row(socket)`
+    /// (typically the first rows of the socket's host-reserved group).
+    ///
+    /// `base_row` must be `b`-aligned so DIMM-internal transforms relocate
+    /// the block wholesale (§6); the paper's placement at a subarray group
+    /// start satisfies this.
+    pub fn compute(
+        decoder: &SystemAddressDecoder,
+        b: u32,
+        o: u32,
+        base_row: impl Fn(u16) -> u32,
+    ) -> Result<Self, SilozError> {
+        let g = decoder.geometry();
+        if b == 0 || o >= b {
+            return Err(SilozError::BadConfig(format!(
+                "EPT guard block b={b}, o={o} invalid: need 0 <= o < b"
+            )));
+        }
+        let mut sockets = Vec::with_capacity(g.sockets as usize);
+        for socket in 0..g.sockets {
+            let base = base_row(socket);
+            if base % b != 0 {
+                return Err(SilozError::BadConfig(format!(
+                    "EPT block base row {base} not {b}-aligned on socket {socket}"
+                )));
+            }
+            if base + b > g.rows_per_bank {
+                return Err(SilozError::BadConfig(format!(
+                    "EPT block [{base}, {}) exceeds bank rows",
+                    base + b
+                )));
+            }
+            // The whole block must stay within one subarray: guard rows
+            // outside the EPT row's subarray would protect nothing.
+            if base / g.rows_per_subarray != (base + b - 1) / g.rows_per_subarray {
+                return Err(SilozError::BadConfig(format!(
+                    "EPT block [{base}, {}) straddles a subarray boundary",
+                    base + b
+                )));
+            }
+            let ept_row = base + o;
+            let ept_phys = decoder.phys_range_of_row_group(socket, ept_row)?;
+            let ept_frames = ept_phys.start / FRAME_BYTES..ept_phys.end / FRAME_BYTES;
+            let mut guard_frames = Vec::new();
+            for row in base..base + b {
+                if row == ept_row {
+                    continue;
+                }
+                let phys = decoder.phys_range_of_row_group(socket, row)?;
+                guard_frames.extend(phys.start / FRAME_BYTES..phys.end / FRAME_BYTES);
+            }
+            guard_frames.sort_unstable();
+            sockets.push(SocketEptPlan {
+                socket,
+                block_rows: base..base + b,
+                ept_row,
+                ept_frames,
+                guard_frames,
+            });
+        }
+        Ok(Self { b, o, sockets })
+    }
+
+    /// The plan for one socket.
+    #[must_use]
+    pub fn socket(&self, socket: u16) -> Option<&SocketEptPlan> {
+        self.sockets.iter().find(|s| s.socket == socket)
+    }
+
+    /// Fraction of each bank reserved for EPTs + guards (§5.4: ≈0.024% for
+    /// the paper's parameters on 1 GiB banks).
+    #[must_use]
+    pub fn reserved_fraction(&self, geometry: &Geometry) -> f64 {
+        self.b as f64 / geometry.rows_per_bank as f64
+    }
+
+    /// Whether a media row of some bank falls inside a reserved block.
+    #[must_use]
+    pub fn row_is_reserved(&self, socket: u16, row: u32) -> bool {
+        self.socket(socket)
+            .is_some_and(|s| s.block_rows.contains(&row))
+    }
+}
+
+/// Bump allocator over a socket's EPT row-group frames, implementing the
+/// GFP_EPT allocation path (§5.4).
+#[derive(Debug, Clone)]
+pub struct EptFrameAlloc {
+    frames: Range<u64>,
+    next: u64,
+    freed: Vec<u64>,
+}
+
+impl EptFrameAlloc {
+    /// Creates an allocator over a socket plan's EPT frames.
+    #[must_use]
+    pub fn new(plan: &SocketEptPlan) -> Self {
+        Self {
+            frames: plan.ept_frames.clone(),
+            next: plan.ept_frames.start,
+            freed: Vec::new(),
+        }
+    }
+
+    /// Remaining EPT table pages available.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.frames.end - self.next + self.freed.len() as u64
+    }
+
+    /// Returns a table page to the pool (VM shutdown).
+    pub fn release(&mut self, hpa: u64) {
+        debug_assert!(self.contains_hpa(hpa));
+        self.freed.push(hpa / FRAME_BYTES);
+    }
+
+    /// Whether `hpa` lies within the EPT row group.
+    #[must_use]
+    pub fn contains_hpa(&self, hpa: u64) -> bool {
+        let f = hpa / FRAME_BYTES;
+        f >= self.frames.start && f < self.frames.end
+    }
+}
+
+impl EptAllocator for EptFrameAlloc {
+    fn alloc_table_page(&mut self) -> Result<u64, EptError> {
+        if let Some(frame) = self.freed.pop() {
+            return Ok(frame * FRAME_BYTES);
+        }
+        if self.next >= self.frames.end {
+            return Err(EptError::OutOfMemory);
+        }
+        let frame = self.next;
+        self.next += 1;
+        Ok(frame * FRAME_BYTES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_addr::{mini_decoder, skylake_decoder};
+
+    #[test]
+    fn paper_parameters_reserve_0_024_percent() {
+        let dec = skylake_decoder();
+        let plan = EptGuardPlan::compute(&dec, 32, 12, |_| 0).unwrap();
+        let frac = plan.reserved_fraction(dec.geometry());
+        assert!((frac - 0.000244).abs() < 0.00001, "fraction {frac}");
+        assert_eq!(plan.sockets.len(), 2);
+        for s in &plan.sockets {
+            assert_eq!(s.ept_row, 12);
+            assert_eq!(s.block_rows, 0..32);
+            // One 1.5 MiB row group of EPT frames = 384 table pages,
+            // enough to map 384 GiB with 2 MiB-backed guests (§5.4).
+            assert_eq!(s.ept_frames.end - s.ept_frames.start, 384);
+            // 31 guard row groups.
+            assert_eq!(s.guard_frames.len(), 31 * 384);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let dec = skylake_decoder();
+        assert!(EptGuardPlan::compute(&dec, 0, 0, |_| 0).is_err());
+        assert!(EptGuardPlan::compute(&dec, 32, 32, |_| 0).is_err());
+        assert!(EptGuardPlan::compute(&dec, 32, 12, |_| 7).is_err(), "unaligned base");
+        assert!(
+            EptGuardPlan::compute(&dec, 32, 12, |_| 1024 - 16).is_err(),
+            "straddles subarray"
+        );
+        let g = dec.geometry();
+        assert!(EptGuardPlan::compute(&dec, 32, 12, |_| g.rows_per_bank).is_err());
+    }
+
+    #[test]
+    fn row_is_reserved_matches_block() {
+        let dec = mini_decoder();
+        let plan = EptGuardPlan::compute(&dec, 8, 3, |_| 0).unwrap();
+        assert!(plan.row_is_reserved(0, 0));
+        assert!(plan.row_is_reserved(0, 7));
+        assert!(!plan.row_is_reserved(0, 8));
+        assert!(!plan.row_is_reserved(1, 0), "no such socket");
+    }
+
+    #[test]
+    fn guard_and_ept_frames_are_disjoint_and_in_block() {
+        let dec = mini_decoder();
+        let plan = EptGuardPlan::compute(&dec, 8, 3, |_| 0).unwrap();
+        let s = &plan.sockets[0];
+        for f in s.ept_frames.clone() {
+            assert!(!s.guard_frames.contains(&f));
+            let (_, row) = dec.row_group_of(f * 4096).unwrap();
+            assert_eq!(row, s.ept_row);
+        }
+        for &f in &s.guard_frames {
+            let (_, row) = dec.row_group_of(f * 4096).unwrap();
+            assert!(s.block_rows.contains(&row));
+            assert_ne!(row, s.ept_row);
+        }
+    }
+
+    #[test]
+    fn frame_alloc_bumps_and_exhausts() {
+        let dec = mini_decoder();
+        let plan = EptGuardPlan::compute(&dec, 8, 3, |_| 0).unwrap();
+        let mut alloc = EptFrameAlloc::new(&plan.sockets[0]);
+        let total = alloc.remaining();
+        assert!(total > 0);
+        let first = alloc.alloc_table_page().unwrap();
+        assert!(alloc.contains_hpa(first));
+        assert_eq!(alloc.remaining(), total - 1);
+        for _ in 1..total {
+            alloc.alloc_table_page().unwrap();
+        }
+        assert_eq!(alloc.alloc_table_page(), Err(EptError::OutOfMemory));
+    }
+
+    #[test]
+    fn blocks_can_be_placed_in_any_aligned_subarray_offset() {
+        let dec = skylake_decoder();
+        // Place at the start of subarray group 5 on each socket.
+        let plan = EptGuardPlan::compute(&dec, 32, 12, |_| 5 * 1024).unwrap();
+        assert_eq!(plan.sockets[0].ept_row, 5 * 1024 + 12);
+    }
+}

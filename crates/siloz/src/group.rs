@@ -1,0 +1,348 @@
+//! Boot-time subarray group computation (§4, §5.3).
+//!
+//! During early boot, Siloz calculates which physical pages map to which
+//! subarray groups using its port of the platform's address-translation
+//! drivers. A *subarray group* is at least one subarray from every bank of a
+//! socket (§4.1): with the evaluation geometry, rows `[s*1024, (s+1)*1024)`
+//! of all 192 banks, which the Skylake mapping makes a contiguous 1.5 GiB
+//! physical range. Because the physical-to-media mapping is fixed by BIOS
+//! settings, the computed ranges can be cached across boots (§5.3).
+
+use crate::SilozError;
+use dram_addr::SystemAddressDecoder;
+use std::ops::Range;
+
+/// Page frame size used throughout (4 KiB).
+const FRAME_BYTES: u64 = 4096;
+
+/// Identifier of a subarray group, dense across the machine:
+/// `socket * groups_per_socket + index_within_socket`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub u32);
+
+/// One subarray group's extent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupInfo {
+    /// Group id.
+    pub id: GroupId,
+    /// Socket whose banks the group spans.
+    pub socket: u16,
+    /// Media row range occupied in *every* bank of the socket.
+    pub rows: Range<u32>,
+    /// Physical page frames backing the group (merged, ascending).
+    pub frames: Vec<Range<u64>>,
+}
+
+impl GroupInfo {
+    /// Total bytes in the group.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.frames
+            .iter()
+            .map(|r| (r.end - r.start) * FRAME_BYTES)
+            .sum()
+    }
+
+    /// Whether `frame` belongs to this group.
+    #[must_use]
+    pub fn contains_frame(&self, frame: u64) -> bool {
+        self.frames.iter().any(|r| frame >= r.start && frame < r.end)
+    }
+}
+
+/// The machine-wide map from physical pages to subarray groups.
+#[derive(Debug, Clone)]
+pub struct SubarrayGroupMap {
+    groups: Vec<GroupInfo>,
+    groups_per_socket: u32,
+    presumed_rows: u32,
+    decoder: SystemAddressDecoder,
+}
+
+impl SubarrayGroupMap {
+    /// Computes the full map for `presumed_rows`-row subarrays (§5.3's boot
+    /// parameter).
+    ///
+    /// Fails if the presumed size does not align with the decoder's block
+    /// structure (a block of `n` row groups must not straddle group
+    /// boundaries, or pages would split across groups and 2 MiB isolation
+    /// would be impossible, §4.2).
+    pub fn compute(
+        decoder: &SystemAddressDecoder,
+        presumed_rows: u32,
+    ) -> Result<Self, SilozError> {
+        let g = decoder.geometry();
+        if presumed_rows == 0 || presumed_rows > g.rows_per_bank {
+            return Err(SilozError::BadConfig(format!(
+                "presumed subarray rows {presumed_rows} out of range"
+            )));
+        }
+        let n = decoder.config().row_groups_per_block;
+        if presumed_rows % n != 0 {
+            return Err(SilozError::BadConfig(format!(
+                "presumed subarray rows {presumed_rows} not a multiple of the \
+                 {n}-row-group mapping block; pages would straddle groups"
+            )));
+        }
+        if g.rows_per_bank % presumed_rows != 0 {
+            return Err(SilozError::BadConfig(format!(
+                "rows per bank {} not divisible by presumed subarray rows {presumed_rows}",
+                g.rows_per_bank
+            )));
+        }
+        let groups_per_socket = g.rows_per_bank / presumed_rows;
+        let mut groups = Vec::with_capacity((g.sockets as u32 * groups_per_socket) as usize);
+        for socket in 0..g.sockets {
+            for s in 0..groups_per_socket {
+                let rows = s * presumed_rows..(s + 1) * presumed_rows;
+                let mut frames: Vec<Range<u64>> = Vec::new();
+                for row in rows.clone() {
+                    let phys = decoder.phys_range_of_row_group(socket, row)?;
+                    debug_assert_eq!(phys.start % FRAME_BYTES, 0);
+                    let fr = phys.start / FRAME_BYTES..phys.end / FRAME_BYTES;
+                    match frames.last_mut() {
+                        Some(last) if last.end == fr.start => last.end = fr.end,
+                        _ => frames.push(fr),
+                    }
+                }
+                frames.sort_by_key(|r| r.start);
+                // Merge again after sorting (rows are not phys-ascending
+                // across A/B blocks).
+                let mut merged: Vec<Range<u64>> = Vec::new();
+                for fr in frames {
+                    match merged.last_mut() {
+                        Some(last) if last.end == fr.start => last.end = fr.end,
+                        _ => merged.push(fr),
+                    }
+                }
+                groups.push(GroupInfo {
+                    id: GroupId(socket as u32 * groups_per_socket + s),
+                    socket,
+                    rows,
+                    frames: merged,
+                });
+            }
+        }
+        Ok(Self {
+            groups,
+            groups_per_socket,
+            presumed_rows,
+            decoder: decoder.clone(),
+        })
+    }
+
+    /// Reassembles a map from cached parts (§5.3's cross-boot cache path),
+    /// re-validating the invariants the cache cannot be trusted for: dense
+    /// ascending ids, exact row partitioning per socket, and exact frame
+    /// coverage of the machine.
+    pub fn from_parts(
+        decoder: SystemAddressDecoder,
+        presumed_rows: u32,
+        groups: Vec<GroupInfo>,
+    ) -> Result<Self, SilozError> {
+        let g = decoder.geometry();
+        if presumed_rows == 0 || g.rows_per_bank % presumed_rows != 0 {
+            return Err(SilozError::BadConfig("cached presumed size inconsistent".into()));
+        }
+        let groups_per_socket = g.rows_per_bank / presumed_rows;
+        let expected = (g.sockets as u32 * groups_per_socket) as usize;
+        if groups.len() != expected {
+            return Err(SilozError::BadConfig(format!(
+                "cached map has {} groups, expected {expected}",
+                groups.len()
+            )));
+        }
+        let mut total_bytes = 0u64;
+        for (i, info) in groups.iter().enumerate() {
+            if info.id.0 as usize != i {
+                return Err(SilozError::BadConfig("cached group ids not dense".into()));
+            }
+            let expected_rows = (info.id.0 % groups_per_socket) * presumed_rows;
+            if info.rows.start != expected_rows
+                || info.rows.end != expected_rows + presumed_rows
+                || info.socket as u32 != info.id.0 / groups_per_socket
+            {
+                return Err(SilozError::BadConfig(format!(
+                    "cached group {} extents inconsistent",
+                    info.id.0
+                )));
+            }
+            total_bytes += info.bytes();
+        }
+        if total_bytes != decoder.capacity() {
+            return Err(SilozError::BadConfig(
+                "cached frames do not cover the machine exactly".into(),
+            ));
+        }
+        Ok(Self {
+            groups,
+            groups_per_socket,
+            presumed_rows,
+            decoder,
+        })
+    }
+
+    /// All groups, ascending by id.
+    #[must_use]
+    pub fn groups(&self) -> &[GroupInfo] {
+        &self.groups
+    }
+
+    /// Looks up one group.
+    #[must_use]
+    pub fn group(&self, id: GroupId) -> Option<&GroupInfo> {
+        self.groups.get(id.0 as usize)
+    }
+
+    /// Groups per socket.
+    #[must_use]
+    pub fn groups_per_socket(&self) -> u32 {
+        self.groups_per_socket
+    }
+
+    /// Presumed rows per subarray.
+    #[must_use]
+    pub fn presumed_rows(&self) -> u32 {
+        self.presumed_rows
+    }
+
+    /// Groups on one socket, ascending.
+    pub fn groups_on_socket(&self, socket: u16) -> impl Iterator<Item = &GroupInfo> {
+        self.groups.iter().filter(move |g| g.socket == socket)
+    }
+
+    /// The group a physical address belongs to.
+    pub fn group_of_phys(&self, phys: u64) -> Result<GroupId, SilozError> {
+        let (socket, row) = self.decoder.row_group_of(phys)?;
+        Ok(GroupId(
+            socket as u32 * self.groups_per_socket + row / self.presumed_rows,
+        ))
+    }
+
+    /// The group a page frame belongs to.
+    pub fn group_of_frame(&self, frame: u64) -> Result<GroupId, SilozError> {
+        self.group_of_phys(frame * FRAME_BYTES)
+    }
+
+    /// The 3 GiB *set* of consecutive groups a group belongs to (§4.2):
+    /// 1 GiB pages are only isolated within whole sets.
+    #[must_use]
+    pub fn gig_set_of(&self, id: GroupId) -> u32 {
+        let set_bytes: u64 = 3 << 30;
+        let group_bytes = self.presumed_rows as u64 * self.decoder.geometry().row_group_bytes();
+        let groups_per_set = (set_bytes / group_bytes).max(1) as u32;
+        id.0 / groups_per_set
+    }
+
+    /// The decoder used for the computation.
+    #[must_use]
+    pub fn decoder(&self) -> &SystemAddressDecoder {
+        &self.decoder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_addr::{mini_decoder, skylake_decoder};
+
+    #[test]
+    fn evaluation_groups_are_contiguous_1_5_gib() {
+        let map = SubarrayGroupMap::compute(&skylake_decoder(), 1024).unwrap();
+        assert_eq!(map.groups().len(), 256, "128 groups x 2 sockets");
+        for g in map.groups() {
+            assert_eq!(g.bytes(), 3 << 29, "1.5 GiB per group");
+            assert_eq!(
+                g.frames.len(),
+                1,
+                "the Skylake mapping keeps each group physically contiguous \
+                 (exploited for EPT minimization, §5.4)"
+            );
+        }
+        // Group 0 on socket 0 starts at phys 0.
+        assert_eq!(map.groups()[0].frames[0].start, 0);
+    }
+
+    #[test]
+    fn group_of_phys_is_consistent_with_extents() {
+        let map = SubarrayGroupMap::compute(&skylake_decoder(), 1024).unwrap();
+        for g in map.groups().iter().step_by(37) {
+            for r in &g.frames {
+                for frame in [r.start, (r.start + r.end) / 2, r.end - 1] {
+                    assert_eq!(map.group_of_frame(frame).unwrap(), g.id);
+                    assert!(g.contains_frame(frame));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sensitivity_sizes_scale_group_counts() {
+        let dec = skylake_decoder();
+        let m512 = SubarrayGroupMap::compute(&dec, 512).unwrap();
+        let m2048 = SubarrayGroupMap::compute(&dec, 2048).unwrap();
+        assert_eq!(m512.groups().len(), 512);
+        assert_eq!(m2048.groups().len(), 128);
+        assert_eq!(m512.groups()[0].bytes(), 3 << 28);
+        assert_eq!(m2048.groups()[0].bytes(), 3 << 30);
+    }
+
+    #[test]
+    fn misaligned_presumed_size_rejected() {
+        let dec = skylake_decoder();
+        // Not a multiple of the 16-row-group block.
+        assert!(matches!(
+            SubarrayGroupMap::compute(&dec, 1000),
+            Err(SilozError::BadConfig(_))
+        ));
+        assert!(SubarrayGroupMap::compute(&dec, 0).is_err());
+        assert!(SubarrayGroupMap::compute(&dec, 1 << 30).is_err());
+    }
+
+    #[test]
+    fn rows_partition_exactly() {
+        let map = SubarrayGroupMap::compute(&mini_decoder(), 256).unwrap();
+        let g = map.decoder().geometry();
+        let mut covered = vec![false; g.rows_per_bank as usize];
+        for info in map.groups_on_socket(0) {
+            for r in info.rows.clone() {
+                assert!(!covered[r as usize], "row {r} in two groups");
+                covered[r as usize] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "every row is in some group");
+    }
+
+    #[test]
+    fn frames_partition_exactly() {
+        let map = SubarrayGroupMap::compute(&mini_decoder(), 256).unwrap();
+        let total: u64 = map.groups().iter().map(GroupInfo::bytes).sum();
+        assert_eq!(total, map.decoder().capacity());
+    }
+
+    #[test]
+    fn gig_sets_group_consecutive_groups() {
+        let map = SubarrayGroupMap::compute(&skylake_decoder(), 1024).unwrap();
+        // 1.5 GiB groups: 2 per 3 GiB set.
+        assert_eq!(map.gig_set_of(GroupId(0)), 0);
+        assert_eq!(map.gig_set_of(GroupId(1)), 0);
+        assert_eq!(map.gig_set_of(GroupId(2)), 1);
+        let m2048 = SubarrayGroupMap::compute(&skylake_decoder(), 2048).unwrap();
+        // 3 GiB groups: one per set.
+        assert_eq!(m2048.gig_set_of(GroupId(0)), 0);
+        assert_eq!(m2048.gig_set_of(GroupId(1)), 1);
+    }
+
+    #[test]
+    fn every_2m_page_is_within_one_group() {
+        // The core §4.2 guarantee, checked end-to-end against the map.
+        let map = SubarrayGroupMap::compute(&skylake_decoder(), 1024).unwrap();
+        let two_m = 2u64 << 20;
+        for page in (0..(6u64 << 30) / two_m).step_by(5) {
+            let start = page * two_m;
+            let a = map.group_of_phys(start).unwrap();
+            let b = map.group_of_phys(start + two_m - 1).unwrap();
+            assert_eq!(a, b, "2 MiB page at {start:#x} straddles groups");
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Guest OS page tables: GVA → GPA (§2.1).
+//!
+//! The paper's address taxonomy has three layers: guest virtual addresses
+//! map to guest physical addresses through the *guest OS's* page tables,
+//! and GPAs map to host physical addresses through the hypervisor's EPTs.
+//! This module implements the guest half — x86-64-style 4-level tables that
+//! live **in guest RAM** (so their pages are themselves unmediated guest
+//! memory inside the VM's subarray groups) and are walked through the
+//! hypervisor's `guest_read`, i.e. through the EPT and the simulated DRAM.
+//!
+//! Together with [`crate::hypervisor::Hypervisor::translate`], this gives
+//! the full chain the paper describes: `GVA --guest PT--> GPA --EPT--> HPA`.
+
+use crate::hypervisor::Hypervisor;
+use crate::vm::VmHandle;
+use crate::SilozError;
+use ept::PageSize;
+
+const PRESENT: u64 = 1;
+const WRITABLE: u64 = 1 << 1;
+const HUGE: u64 = 1 << 7;
+const ADDR_MASK: u64 = ((1u64 << 40) - 1) << 12;
+
+/// A guest's page-table hierarchy, with a bump allocator over a reserved
+/// guest-physical region for table pages.
+#[derive(Debug)]
+pub struct GuestPageTables {
+    root_gpa: u64,
+    next_free: u64,
+    region_end: u64,
+}
+
+impl GuestPageTables {
+    /// Creates empty tables, reserving `[region_gpa, region_gpa + len)` of
+    /// guest memory for table pages (the root is the first page).
+    pub fn new(
+        hv: &mut Hypervisor,
+        vm: VmHandle,
+        region_gpa: u64,
+        region_len: u64,
+    ) -> Result<Self, SilozError> {
+        if region_gpa % 4096 != 0 || region_len < 4096 {
+            return Err(SilozError::BadConfig("bad guest table region".into()));
+        }
+        let mut this = Self {
+            root_gpa: region_gpa,
+            next_free: region_gpa + 4096,
+            region_end: region_gpa + region_len,
+        };
+        this.zero_table(hv, vm, region_gpa)?;
+        Ok(this)
+    }
+
+    /// GPA of the root table (guest CR3).
+    #[must_use]
+    pub fn root_gpa(&self) -> u64 {
+        self.root_gpa
+    }
+
+    /// Guest-physical pages currently used for tables.
+    #[must_use]
+    pub fn table_pages(&self) -> Vec<u64> {
+        (self.root_gpa..self.next_free).step_by(4096).collect()
+    }
+
+    fn zero_table(&mut self, hv: &mut Hypervisor, vm: VmHandle, gpa: u64) -> Result<(), SilozError> {
+        hv.guest_write(vm, gpa, &[0u8; 4096])
+    }
+
+    fn alloc_table(&mut self, hv: &mut Hypervisor, vm: VmHandle) -> Result<u64, SilozError> {
+        if self.next_free >= self.region_end {
+            return Err(SilozError::InsufficientCapacity {
+                requested: 4096,
+                available: 0,
+            });
+        }
+        let gpa = self.next_free;
+        self.next_free += 4096;
+        self.zero_table(hv, vm, gpa)?;
+        Ok(gpa)
+    }
+
+    fn read_entry(
+        hv: &mut Hypervisor,
+        vm: VmHandle,
+        table: u64,
+        index: u64,
+    ) -> Result<u64, SilozError> {
+        let (b, _) = hv.guest_read(vm, table + index * 8, 8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn write_entry(
+        hv: &mut Hypervisor,
+        vm: VmHandle,
+        table: u64,
+        index: u64,
+        value: u64,
+    ) -> Result<(), SilozError> {
+        hv.guest_write(vm, table + index * 8, &value.to_le_bytes())
+    }
+
+    fn index(gva: u64, level: u32) -> u64 {
+        (gva >> (12 + (level - 1) * 9)) & 511
+    }
+
+    /// Maps `gva -> gpa` at `size` granularity with the given writability.
+    pub fn map(
+        &mut self,
+        hv: &mut Hypervisor,
+        vm: VmHandle,
+        gva: u64,
+        gpa: u64,
+        size: PageSize,
+        writable: bool,
+    ) -> Result<(), SilozError> {
+        if gva % size.bytes() != 0 || gpa % size.bytes() != 0 {
+            return Err(SilozError::BadConfig("misaligned guest mapping".into()));
+        }
+        let leaf_level = size.leaf_level();
+        let mut table = self.root_gpa;
+        let mut level = 4u32;
+        while level > leaf_level {
+            let idx = Self::index(gva, level);
+            let entry = Self::read_entry(hv, vm, table, idx)?;
+            if entry & PRESENT == 0 {
+                let new_table = self.alloc_table(hv, vm)?;
+                Self::write_entry(hv, vm, table, idx, (new_table & ADDR_MASK) | PRESENT | WRITABLE)?;
+                table = new_table;
+            } else {
+                table = entry & ADDR_MASK;
+            }
+            level -= 1;
+        }
+        let mut leaf = (gpa & ADDR_MASK) | PRESENT;
+        if writable {
+            leaf |= WRITABLE;
+        }
+        if leaf_level > 1 {
+            leaf |= HUGE;
+        }
+        Self::write_entry(hv, vm, table, Self::index(gva, leaf_level), leaf)?;
+        Ok(())
+    }
+
+    /// Walks the tables: GVA → GPA.
+    pub fn translate(
+        &self,
+        hv: &mut Hypervisor,
+        vm: VmHandle,
+        gva: u64,
+    ) -> Result<(u64, bool), SilozError> {
+        let mut table = self.root_gpa;
+        let mut level = 4u32;
+        loop {
+            let entry = Self::read_entry(hv, vm, table, Self::index(gva, level))?;
+            if entry & PRESENT == 0 {
+                return Err(SilozError::Ept(ept::EptError::NotMapped { gpa: gva }));
+            }
+            let is_leaf = level == 1 || entry & HUGE != 0;
+            if is_leaf {
+                let size = match level {
+                    1 => PageSize::Size4K,
+                    2 => PageSize::Size2M,
+                    _ => PageSize::Size1G,
+                };
+                let offset = gva & (size.bytes() - 1);
+                return Ok(((entry & ADDR_MASK) + offset, entry & WRITABLE != 0));
+            }
+            table = entry & ADDR_MASK;
+            level -= 1;
+        }
+    }
+
+    /// The full §2.1 chain: GVA → GPA (guest tables) → HPA (EPT).
+    pub fn resolve(
+        &self,
+        hv: &mut Hypervisor,
+        vm: VmHandle,
+        gva: u64,
+    ) -> Result<u64, SilozError> {
+        let (gpa, _) = self.translate(hv, vm, gva)?;
+        Ok(hv.translate(vm, gpa)?.hpa)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SilozConfig;
+    use crate::hypervisor::HypervisorKind;
+    use crate::vm::VmSpec;
+
+    fn setup() -> (Hypervisor, VmHandle, GuestPageTables) {
+        let mut hv = Hypervisor::boot(SilozConfig::mini(), HypervisorKind::Siloz).unwrap();
+        let vm = hv.create_vm(VmSpec::new("guest", 1, 96 << 20)).unwrap();
+        let pt = GuestPageTables::new(&mut hv, vm, 0x100_000, 64 << 10).unwrap();
+        (hv, vm, pt)
+    }
+
+    #[test]
+    fn map_and_translate_4k_and_2m() {
+        let (mut hv, vm, mut pt) = setup();
+        pt.map(&mut hv, vm, 0x7fff_0000_1000, 0x50_0000, PageSize::Size4K, true)
+            .unwrap();
+        pt.map(&mut hv, vm, 0x20_0000, 0x40_0000, PageSize::Size2M, false)
+            .unwrap();
+        let (gpa, w) = pt.translate(&mut hv, vm, 0x7fff_0000_1abc).unwrap();
+        assert_eq!(gpa, 0x50_0abc);
+        assert!(w);
+        let (gpa, w) = pt.translate(&mut hv, vm, 0x20_0000 + 777).unwrap();
+        assert_eq!(gpa, 0x40_0000 + 777);
+        assert!(!w);
+        assert!(pt.translate(&mut hv, vm, 0x9999_0000).is_err());
+    }
+
+    #[test]
+    fn full_three_address_chain_resolves() {
+        // §2.1: GVA -> GPA -> HPA, every table access through simulated DRAM.
+        let (mut hv, vm, mut pt) = setup();
+        pt.map(&mut hv, vm, 0x1234_5000, 0x60_0000, PageSize::Size4K, true)
+            .unwrap();
+        let hpa = pt.resolve(&mut hv, vm, 0x1234_5678).unwrap();
+        let direct = hv.translate(vm, 0x60_0678).unwrap().hpa;
+        assert_eq!(hpa, direct);
+        // And the data path agrees: write via GPA, read back via GPA (the
+        // GVA chain resolved to the same HPA, checked above).
+        hv.guest_write(vm, 0x60_0678, b"three-level").unwrap();
+        let (data, intact) = hv.guest_read(vm, 0x60_0678, 11).unwrap();
+        assert!(intact);
+        assert_eq!(&data, b"three-level");
+    }
+
+    #[test]
+    fn guest_tables_live_in_the_vms_subarray_groups() {
+        // Guest page tables are guest RAM: unmediated, inside the VM's own
+        // groups — intra-VM hammering of its own tables remains the VM's
+        // problem (§9), not a cross-domain one.
+        let (mut hv, vm, mut pt) = setup();
+        for i in 0..32u64 {
+            pt.map(
+                &mut hv,
+                vm,
+                0x4000_0000 + (i << 30),
+                0x10_0000 * i,
+                PageSize::Size4K,
+                true,
+            )
+            .unwrap_or(()); // Some may exhaust the table region; fine.
+        }
+        let groups = hv.vm_groups(vm).unwrap();
+        for gpa in pt.table_pages() {
+            let t = hv.translate(vm, gpa).unwrap();
+            let g = hv.groups().group_of_phys(t.hpa).unwrap();
+            assert!(groups.contains(&g));
+        }
+    }
+
+    #[test]
+    fn table_region_exhaustion_is_clean() {
+        let mut hv = Hypervisor::boot(SilozConfig::mini(), HypervisorKind::Siloz).unwrap();
+        let vm = hv.create_vm(VmSpec::new("g", 1, 64 << 20)).unwrap();
+        // Room for the root and exactly one extra table.
+        let mut pt = GuestPageTables::new(&mut hv, vm, 0x100_000, 8 << 10).unwrap();
+        // First 4K map needs 3 new tables -> must fail cleanly.
+        let err = pt
+            .map(&mut hv, vm, 0x1000, 0x50_0000, PageSize::Size4K, true)
+            .unwrap_err();
+        assert!(matches!(err, SilozError::InsufficientCapacity { .. }));
+        // A 1 GiB map needs only 2 levels below the root... still too many.
+        // But a fresh region with more room succeeds.
+        let mut pt2 = GuestPageTables::new(&mut hv, vm, 0x200_000, 64 << 10).unwrap();
+        pt2.map(&mut hv, vm, 0, 0, PageSize::Size1G, true).unwrap();
+        assert_eq!(pt2.translate(&mut hv, vm, 0x123).unwrap().0, 0x123);
+    }
+
+    #[test]
+    fn misaligned_guest_maps_rejected() {
+        let (mut hv, vm, mut pt) = setup();
+        assert!(pt
+            .map(&mut hv, vm, 0x1001, 0x2000, PageSize::Size4K, true)
+            .is_err());
+        assert!(pt
+            .map(&mut hv, vm, 0x20_0000, 0x1000, PageSize::Size2M, true)
+            .is_err());
+    }
+}

@@ -1,0 +1,1416 @@
+//! The Siloz hypervisor and its Linux/KVM-style baseline (§5, §7).
+//!
+//! Both hypervisors share the same substrate (decoder, DRAM device model,
+//! NUMA machinery) and differ exactly where the paper says they do:
+//!
+//! - **Baseline**: one conventional NUMA node per socket; VM memory is
+//!   allocated wherever the buddy allocator finds room, so different VMs'
+//!   rows freely co-locate within subarrays; EPT pages are ordinary host
+//!   allocations.
+//! - **Siloz**: one logical node per subarray group; each VM gets exclusive
+//!   guest-reserved nodes via a control group; unmediated pages are placed
+//!   only there (the `UNMEDIATED` mmap flag, §5.3); mediated and host pages
+//!   stay in host-reserved groups; EPT pages are placed by the GFP_EPT path
+//!   into the guard-protected EPT row group (§5.4).
+//!
+//! EPT table pages live in the *simulated DRAM*: translations walk actual
+//! simulated rows, so Rowhammer flips in EPT pages corrupt translations
+//! end-to-end, exactly the §5.4 threat.
+
+use crate::config::{EptProtection, SilozConfig};
+use crate::ept_guard::EptFrameAlloc;
+use crate::group::{GroupId, SubarrayGroupMap};
+use crate::provision::ProvisionedTopology;
+use crate::vm::{BackingBlock, MemoryRegionKind, VmHandle, VmRegion, VmSpec};
+use crate::SilozError;
+use dram::flip::BitFlip;
+use dram::{DramSystem, DramSystemBuilder};
+use dram_addr::{RepairMap, SystemAddressDecoder};
+use ept::{Ept, EptAllocator, EptError, EptPerms, IntegrityMode, PageSize, PhysMem, Translation};
+use numa::{CgroupRegistry, MemPolicy, NodeId, NodeInfo, PolicyAlloc, Topology};
+use std::collections::HashMap;
+
+const FRAME_BYTES: u64 = 4096;
+
+/// Which hypervisor variant is booted (§7's comparison axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HypervisorKind {
+    /// Unmodified Linux/KVM-style allocation (no subarray awareness).
+    Baseline,
+    /// Siloz: subarray groups as logical NUMA nodes.
+    Siloz,
+}
+
+/// A created VM's state.
+struct Vm {
+    spec: VmSpec,
+    socket: u16,
+    nodes: Vec<NodeId>,
+    regions: Vec<VmRegion>,
+    ept: Ept,
+    ept_from_guard_pool: bool,
+}
+
+/// [`PhysMem`] adapter storing EPT tables in the simulated DRAM.
+struct DramPhysMem<'a> {
+    dram: &'a mut DramSystem,
+    decoder: &'a SystemAddressDecoder,
+}
+
+impl PhysMem for DramPhysMem<'_> {
+    fn read_u64(&mut self, phys: u64) -> u64 {
+        let media = self.decoder.decode(phys).expect("EPT page in DRAM");
+        let bank = media.global_bank(self.decoder.geometry());
+        let (bytes, _integrity) = self.dram.read_row(bank, media.row, media.col, 8);
+        u64::from_le_bytes(bytes.try_into().expect("8 bytes"))
+    }
+
+    fn write_u64(&mut self, phys: u64, value: u64) {
+        let media = self.decoder.decode(phys).expect("EPT page in DRAM");
+        let bank = media.global_bank(self.decoder.geometry());
+        self.dram
+            .write_row(bank, media.row, media.col, &value.to_le_bytes());
+    }
+}
+
+/// [`EptAllocator`] over a host node's ordinary 4 KiB pages (the baseline's
+/// EPT path and Siloz's fallback when guard rows are disabled).
+struct NodeEptAlloc<'a> {
+    topo: &'a Topology,
+    node: NodeId,
+    got: Vec<u64>,
+}
+
+impl EptAllocator for NodeEptAlloc<'_> {
+    fn alloc_table_page(&mut self) -> Result<u64, EptError> {
+        match self.topo.alloc(self.node, 0) {
+            Ok(frame) => {
+                self.got.push(frame);
+                Ok(frame * FRAME_BYTES)
+            }
+            Err(_) => Err(EptError::OutOfMemory),
+        }
+    }
+}
+
+/// The hypervisor.
+///
+/// # Examples
+///
+/// ```
+/// use siloz::{Hypervisor, HypervisorKind, SilozConfig, VmSpec};
+///
+/// let mut hv = Hypervisor::boot(SilozConfig::mini(), HypervisorKind::Siloz).unwrap();
+/// let vm = hv.create_vm(VmSpec::new("tenant0", 2, 192 << 20)).unwrap();
+/// // The VM's memory lives in exclusive subarray groups:
+/// assert!(!hv.vm_groups(vm).unwrap().is_empty());
+/// hv.destroy_vm(vm).unwrap();
+/// ```
+pub struct Hypervisor {
+    kind: HypervisorKind,
+    config: SilozConfig,
+    decoder: SystemAddressDecoder,
+    dram: DramSystem,
+    topo: Topology,
+    groups: SubarrayGroupMap,
+    host_nodes: Vec<NodeId>,
+    guest_nodes: Vec<NodeId>,
+    node_of_group: HashMap<GroupId, NodeId>,
+    groups_of_node: HashMap<NodeId, Vec<GroupId>>,
+    ept_plan: Option<crate::ept_guard::EptGuardPlan>,
+    ept_allocs: HashMap<u16, EptFrameAlloc>,
+    cgroups: CgroupRegistry,
+    vms: HashMap<u32, Vm>,
+    next_vm: u32,
+    ept_salt: u64,
+}
+
+impl Hypervisor {
+    /// Boots a hypervisor with a default (defect-free) DRAM system whose
+    /// internal transforms match the configuration.
+    pub fn boot(config: SilozConfig, kind: HypervisorKind) -> Result<Self, SilozError> {
+        let dram = DramSystemBuilder::new(config.geometry)
+            .internal_map(config.internal_map)
+            .build();
+        Self::boot_with(config, kind, dram, RepairMap::new())
+    }
+
+    /// Boots with an explicit DRAM system (custom DIMM profiles, TRR, ECC)
+    /// and repair table.
+    ///
+    /// The repair table must match the one installed in `dram` for the §6
+    /// offlining to be meaningful.
+    pub fn boot_with(
+        config: SilozConfig,
+        kind: HypervisorKind,
+        dram: DramSystem,
+        repairs: RepairMap,
+    ) -> Result<Self, SilozError> {
+        config
+            .geometry
+            .validate()
+            .map_err(SilozError::BadConfig)?;
+        let decoder = SystemAddressDecoder::new(config.geometry, config.decoder)?;
+        match kind {
+            HypervisorKind::Siloz => {
+                let prov = ProvisionedTopology::provision(&config, &decoder, &repairs)?;
+                let mut ept_allocs = HashMap::new();
+                if let Some(plan) = &prov.ept_plan {
+                    for sp in &plan.sockets {
+                        ept_allocs.insert(sp.socket, EptFrameAlloc::new(sp));
+                    }
+                }
+                Ok(Self {
+                    kind,
+                    config,
+                    decoder,
+                    dram,
+                    topo: prov.topo,
+                    groups: prov.groups,
+                    host_nodes: prov.host_nodes,
+                    guest_nodes: prov.guest_nodes,
+                    node_of_group: prov.node_of_group,
+                    groups_of_node: prov.groups_of_node,
+                    ept_plan: prov.ept_plan,
+                    ept_allocs,
+                    cgroups: CgroupRegistry::new(),
+                    vms: HashMap::new(),
+                    next_vm: 0,
+                    ept_salt: 0x5110_2bad_c0de,
+                })
+            }
+            HypervisorKind::Baseline => {
+                // One conventional node per socket; groups are still
+                // computed for *measurement* (the baseline kernel has no
+                // idea they exist).
+                let groups =
+                    SubarrayGroupMap::compute(&decoder, config.presumed_subarray_rows)?;
+                let mut topo = Topology::new();
+                let mut host_nodes = Vec::new();
+                let g = decoder.geometry();
+                for socket in 0..g.sockets {
+                    let base = decoder.socket_base(socket) / FRAME_BYTES;
+                    let frames = base..base + decoder.socket_bytes() / FRAME_BYTES;
+                    let cpus: Vec<u32> = (0..config.cores_per_socket)
+                        .map(|c| socket as u32 * config.cores_per_socket + c)
+                        .collect();
+                    let id = topo.add_node(
+                        NodeInfo {
+                            id: NodeId(0),
+                            socket,
+                            is_logical: false,
+                            cpus,
+                            frame_ranges: vec![frames],
+                        },
+                        &[],
+                    );
+                    host_nodes.push(id);
+                }
+                Ok(Self {
+                    kind,
+                    config,
+                    decoder,
+                    dram,
+                    topo,
+                    groups,
+                    host_nodes,
+                    guest_nodes: Vec::new(),
+                    node_of_group: HashMap::new(),
+                    groups_of_node: HashMap::new(),
+                    ept_plan: None,
+                    ept_allocs: HashMap::new(),
+                    cgroups: CgroupRegistry::new(),
+                    vms: HashMap::new(),
+                    next_vm: 0,
+                    ept_salt: 0x5110_2bad_c0de,
+                })
+            }
+        }
+    }
+
+    /// The hypervisor variant.
+    #[must_use]
+    pub fn kind(&self) -> HypervisorKind {
+        self.kind
+    }
+
+    /// The boot configuration.
+    #[must_use]
+    pub fn config(&self) -> &SilozConfig {
+        &self.config
+    }
+
+    /// The address decoder.
+    #[must_use]
+    pub fn decoder(&self) -> &SystemAddressDecoder {
+        &self.decoder
+    }
+
+    /// The subarray group map (ground truth for containment measurements).
+    #[must_use]
+    pub fn groups(&self) -> &SubarrayGroupMap {
+        &self.groups
+    }
+
+    /// The NUMA topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Host-reserved nodes (one per socket).
+    #[must_use]
+    pub fn host_nodes(&self) -> &[NodeId] {
+        &self.host_nodes
+    }
+
+    /// Guest-reserved nodes (Siloz only; empty on the baseline).
+    #[must_use]
+    pub fn guest_nodes(&self) -> &[NodeId] {
+        &self.guest_nodes
+    }
+
+    /// The logical node backing a subarray group (Siloz only).
+    #[must_use]
+    pub fn node_of_group(&self, group: GroupId) -> Option<NodeId> {
+        self.node_of_group.get(&group).copied()
+    }
+
+    /// The EPT guard plan, when guard-row protection is active.
+    #[must_use]
+    pub fn ept_plan(&self) -> Option<&crate::ept_guard::EptGuardPlan> {
+        self.ept_plan.as_ref()
+    }
+
+    /// Mutable access to the DRAM device model (attack harnesses drive it).
+    pub fn dram_mut(&mut self) -> &mut DramSystem {
+        &mut self.dram
+    }
+
+    /// Shared access to the DRAM device model.
+    #[must_use]
+    pub fn dram(&self) -> &DramSystem {
+        &self.dram
+    }
+
+    /// Live VM handles, ascending.
+    #[must_use]
+    pub fn vm_handles(&self) -> Vec<VmHandle> {
+        let mut v: Vec<VmHandle> = self.vms.keys().map(|&k| VmHandle(k)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn vm(&self, handle: VmHandle) -> Result<&Vm, SilozError> {
+        self.vms.get(&handle.0).ok_or(SilozError::NoSuchVm(handle.0))
+    }
+
+    /// Creates a VM per `spec` (§5.3's lifecycle: control group, UNMEDIATED
+    /// allocations from guest-reserved nodes, EPT construction).
+    pub fn create_vm(&mut self, spec: VmSpec) -> Result<VmHandle, SilozError> {
+        if !spec.kvm_privileged {
+            return Err(SilozError::NotPermitted(format!(
+                "process for '{}' lacks KVM privileges (§5.3)",
+                spec.name
+            )));
+        }
+        let unmediated_bytes: u64 = spec.memory_bytes
+            + spec
+                .extra_regions
+                .iter()
+                .filter(|(k, _)| k.is_unmediated())
+                .map(|(_, b)| *b)
+                .sum::<u64>();
+
+        let (socket, nodes) = self.pick_nodes(&spec, unmediated_bytes)?;
+        let cpus: Vec<u32> = (0..spec.vcpus)
+            .map(|c| socket as u32 * self.config.cores_per_socket + c % self.config.cores_per_socket)
+            .collect();
+        match self.kind {
+            // Siloz: exclusive node reservations enforce one-VM-per-group.
+            HypervisorKind::Siloz => {
+                self.cgroups
+                    .create_exclusive(&spec.name, nodes.iter().copied(), cpus)?;
+            }
+            // Baseline: conventional shared cpuset over the socket node.
+            HypervisorKind::Baseline => {
+                self.cgroups
+                    .create_shared(&spec.name, nodes.iter().copied(), cpus);
+            }
+        }
+
+        let result = self.build_vm(&spec, socket, &nodes);
+        match result {
+            Ok(vm) => {
+                let handle = VmHandle(self.next_vm);
+                self.next_vm += 1;
+                self.vms.insert(handle.0, vm);
+                Ok(handle)
+            }
+            Err(e) => {
+                self.cgroups.destroy(&spec.name);
+                Err(e)
+            }
+        }
+    }
+
+    /// Selects the socket and guest nodes for a VM.
+    fn pick_nodes(
+        &self,
+        spec: &VmSpec,
+        unmediated_bytes: u64,
+    ) -> Result<(u16, Vec<NodeId>), SilozError> {
+        match self.kind {
+            HypervisorKind::Baseline => {
+                // The baseline just picks a socket; its single node serves
+                // everything.
+                let socket = spec.preferred_socket.unwrap_or(0);
+                let node = *self
+                    .host_nodes
+                    .get(socket as usize)
+                    .ok_or_else(|| SilozError::BadConfig(format!("no socket {socket}")))?;
+                Ok((socket, vec![node]))
+            }
+            HypervisorKind::Siloz => {
+                let sockets: Vec<u16> = match spec.preferred_socket {
+                    Some(s) => {
+                        let mut v = vec![s];
+                        v.extend((0..self.config.geometry.sockets).filter(|&x| x != s));
+                        v
+                    }
+                    None => (0..self.config.geometry.sockets).collect(),
+                };
+                // Prefer a single socket for physical NUMA locality (§5.2);
+                // accumulate unclaimed nodes until their actual free
+                // capacity (offlined pages excluded) covers the request.
+                for &socket in &sockets {
+                    let mut chosen = Vec::new();
+                    let mut bytes = 0u64;
+                    for &n in &self.guest_nodes {
+                        if self.topo.node(n).map(|i| i.socket) != Ok(socket)
+                            || self.cgroups.owner_of(n).is_some()
+                        {
+                            continue;
+                        }
+                        chosen.push(n);
+                        bytes += self.topo.free_frames(n)? * FRAME_BYTES;
+                        if bytes >= unmediated_bytes {
+                            return Ok((socket, chosen));
+                        }
+                    }
+                }
+                let available: u64 = self
+                    .guest_nodes
+                    .iter()
+                    .filter(|&&n| self.cgroups.owner_of(n).is_none())
+                    .map(|&n| self.topo.free_frames(n).unwrap_or(0) * FRAME_BYTES)
+                    .sum();
+                Err(SilozError::InsufficientCapacity {
+                    requested: unmediated_bytes,
+                    available,
+                })
+            }
+        }
+    }
+
+    /// Allocates and maps all regions and the EPT for a VM.
+    ///
+    /// Backing memory is allocated before any EPT table page — as with
+    /// boot-time hugepage reservation, guest RAM occupies the front of its
+    /// pool, row-group aligned, under both hypervisors.
+    fn build_vm(
+        &mut self,
+        spec: &VmSpec,
+        socket: u16,
+        nodes: &[NodeId],
+    ) -> Result<Vm, SilozError> {
+        let cgroup = self
+            .cgroups
+            .get(&spec.name)
+            .expect("cgroup created")
+            .clone();
+        let host_node = self.host_nodes[socket as usize];
+        let integrity = match (self.kind, self.config.ept_protection) {
+            (_, EptProtection::SecureEpt) => IntegrityMode::Checked,
+            _ => IntegrityMode::None,
+        };
+        let use_guard_pool =
+            self.kind == HypervisorKind::Siloz && self.ept_allocs.contains_key(&socket);
+
+        // Phase 1: lay out GPA space and allocate all backing memory.
+        let mut layout = Vec::new();
+        let ram_bytes = round_up(spec.memory_bytes, spec.page_size.bytes());
+        layout.push((MemoryRegionKind::Ram, ram_bytes));
+        for &(kind, bytes) in &spec.extra_regions {
+            layout.push((kind, round_up(bytes.max(1), FRAME_BYTES)));
+        }
+        let mut built_regions: Vec<VmRegion> = Vec::new();
+        let mut guest_policy = PolicyAlloc::new(MemPolicy::Bind(nodes.to_vec()));
+        let mut host_policy = PolicyAlloc::new(MemPolicy::Bind(vec![host_node]));
+        let mut gpa_cursor = 0u64;
+        for (kind, bytes) in layout {
+            gpa_cursor = round_up(gpa_cursor, spec.page_size.bytes());
+            let base_gpa = gpa_cursor;
+            let mut backing = Vec::new();
+            // Unmediated pages use the backing page size; mediated pages are
+            // plain 4 KiB host pages.
+            let (order, page_bytes) = if kind.is_unmediated() {
+                (page_order(spec.page_size), spec.page_size.bytes())
+            } else {
+                (0u8, FRAME_BYTES)
+            };
+            let mut off = 0u64;
+            while off < bytes {
+                let gpa = base_gpa + off;
+                let alloc_result = if kind.is_unmediated() {
+                    match self.kind {
+                        HypervisorKind::Siloz => {
+                            // The UNMEDIATED mmap flag: allocation must come
+                            // from the VM's guest-reserved nodes, checked
+                            // against its control group (§5.3).
+                            guest_policy.alloc(&self.topo, order, Some(&cgroup))
+                        }
+                        HypervisorKind::Baseline => {
+                            host_policy.alloc(&self.topo, order, None)
+                        }
+                    }
+                } else {
+                    // Mediated pages always come from host-reserved memory.
+                    host_policy.alloc(&self.topo, order, None)
+                };
+                let (node, frame) = match alloc_result {
+                    Ok(x) => x,
+                    Err(e) => {
+                        for r in &built_regions {
+                            self.free_region(r);
+                        }
+                        for b in &backing {
+                            let b: &BackingBlock = b;
+                            let _ = self.topo.free(b.node, b.frame, b.order);
+                        }
+                        return Err(e.into());
+                    }
+                };
+                backing.push(BackingBlock {
+                    gpa,
+                    frame,
+                    order,
+                    node,
+                });
+                off += page_bytes;
+            }
+            built_regions.push(VmRegion {
+                kind,
+                gpa: base_gpa,
+                bytes,
+                backing,
+            });
+            gpa_cursor = base_gpa + bytes;
+        }
+
+        // Phase 2: build the EPT and map every block. Emulated MMIO is never
+        // mapped; that is what makes it mediated.
+        let rollback = |this: &mut Self, ept: Option<&Ept>| {
+            for r in &built_regions {
+                this.free_region(r);
+            }
+            if let Some(e) = ept {
+                this.free_ept_pages(e, socket);
+            }
+        };
+        let mut ept = {
+            let mut mem = DramPhysMem {
+                dram: &mut self.dram,
+                decoder: &self.decoder,
+            };
+            let created = if use_guard_pool {
+                let alloc = self.ept_allocs.get_mut(&socket).expect("guard pool");
+                Ept::new(&mut mem, alloc, integrity, self.ept_salt)
+            } else {
+                let mut alloc = NodeEptAlloc {
+                    topo: &self.topo,
+                    node: host_node,
+                    got: Vec::new(),
+                };
+                Ept::new(&mut mem, &mut alloc, integrity, self.ept_salt)
+            };
+            match created {
+                Ok(e) => e,
+                Err(e) => {
+                    rollback(self, None);
+                    return Err(e.into());
+                }
+            }
+        };
+        for region in &built_regions {
+            if region.kind == MemoryRegionKind::Mmio {
+                continue;
+            }
+            let perms = match region.kind {
+                MemoryRegionKind::Rom | MemoryRegionKind::RomDevice => EptPerms::RO,
+                _ => EptPerms::RWX,
+            };
+            let size = if region.kind.is_unmediated() {
+                spec.page_size
+            } else {
+                PageSize::Size4K
+            };
+            for block in &region.backing {
+                let mut mem = DramPhysMem {
+                    dram: &mut self.dram,
+                    decoder: &self.decoder,
+                };
+                let map_result = if use_guard_pool {
+                    let alloc = self.ept_allocs.get_mut(&socket).expect("guard pool");
+                    ept.map(&mut mem, alloc, block.gpa, block.hpa(), size, perms)
+                } else {
+                    let mut alloc = NodeEptAlloc {
+                        topo: &self.topo,
+                        node: host_node,
+                        got: Vec::new(),
+                    };
+                    ept.map(&mut mem, &mut alloc, block.gpa, block.hpa(), size, perms)
+                };
+                if let Err(e) = map_result {
+                    rollback(self, Some(&ept));
+                    return Err(e.into());
+                }
+            }
+        }
+
+        // 1 GiB backing must respect 3 GiB sets (4.2).
+        if spec.page_size == PageSize::Size1G && self.kind == HypervisorKind::Siloz {
+            for region in &built_regions {
+                if !region.kind.is_unmediated() {
+                    continue;
+                }
+                for b in &region.backing {
+                    let first = self.groups.group_of_phys(b.hpa())?;
+                    let last = self.groups.group_of_phys(b.hpa() + b.bytes() - 1)?;
+                    debug_assert_eq!(
+                        self.groups.gig_set_of(first),
+                        self.groups.gig_set_of(last),
+                        "1 GiB page crosses a 3 GiB set"
+                    );
+                }
+            }
+        }
+
+        Ok(Vm {
+            spec: spec.clone(),
+            socket,
+            nodes: nodes.to_vec(),
+            regions: built_regions,
+            ept,
+            ept_from_guard_pool: use_guard_pool,
+        })
+    }
+
+    fn free_region(&self, region: &VmRegion) {
+        for b in &region.backing {
+            let _ = self.topo.free(b.node, b.frame, b.order);
+        }
+    }
+
+    fn free_ept_pages(&mut self, ept: &Ept, socket: u16) {
+        let use_guard_pool =
+            self.kind == HypervisorKind::Siloz && self.ept_allocs.contains_key(&socket);
+        if use_guard_pool {
+            let alloc = self.ept_allocs.get_mut(&socket).expect("guard pool");
+            for &hpa in ept.table_pages() {
+                alloc.release(hpa);
+            }
+        } else {
+            let host_node = self.host_nodes[socket as usize];
+            for &hpa in ept.table_pages() {
+                let _ = self.topo.free(host_node, hpa / FRAME_BYTES, 0);
+            }
+        }
+    }
+
+    /// Grows a VM by `extra_bytes` of unmediated RAM: claims additional
+    /// guest-reserved nodes on the VM's socket when needed, allocates
+    /// backing, and maps it at the top of the existing GPA space (memory
+    /// hotplug under subarray-group isolation).
+    pub fn expand_vm(&mut self, handle: VmHandle, extra_bytes: u64) -> Result<(), SilozError> {
+        let (socket, page_size, mut nodes, name, next_gpa) = {
+            let vm = self.vm(handle)?;
+            let end = vm
+                .regions
+                .iter()
+                .map(|r| r.gpa + r.bytes)
+                .max()
+                .unwrap_or(0);
+            (
+                vm.socket,
+                vm.spec.page_size,
+                vm.nodes.clone(),
+                vm.spec.name.clone(),
+                round_up(end, vm.spec.page_size.bytes()),
+            )
+        };
+        let extra = round_up(extra_bytes.max(1), page_size.bytes());
+        if self.kind == HypervisorKind::Siloz {
+            // Claim more nodes if the current ones cannot hold the growth.
+            let free_now: u64 = nodes
+                .iter()
+                .map(|&n| self.topo.free_frames(n).unwrap_or(0) * FRAME_BYTES)
+                .sum();
+            let mut need = extra.saturating_sub(free_now);
+            if need > 0 {
+                let candidates: Vec<NodeId> = self
+                    .guest_nodes
+                    .iter()
+                    .copied()
+                    .filter(|&n| {
+                        self.topo.node(n).map(|i| i.socket) == Ok(socket)
+                            && self.cgroups.owner_of(n).is_none()
+                    })
+                    .collect();
+                for n in candidates {
+                    if need == 0 {
+                        break;
+                    }
+                    nodes.push(n);
+                    need = need.saturating_sub(self.topo.free_frames(n)? * FRAME_BYTES);
+                }
+                if need > 0 {
+                    return Err(SilozError::InsufficientCapacity {
+                        requested: extra,
+                        available: free_now,
+                    });
+                }
+                let cpus = self
+                    .cgroups
+                    .get(&name)
+                    .map(|g| g.cpus_allowed.iter().copied().collect::<Vec<_>>())
+                    .unwrap_or_default();
+                self.cgroups
+                    .create_exclusive(&name, nodes.iter().copied(), cpus)?;
+            }
+        }
+        // Allocate and map the growth as a fresh RAM region.
+        let cgroup = self.cgroups.get(&name).expect("cgroup exists").clone();
+        let order = page_order(page_size);
+        let host_node = self.host_nodes[socket as usize];
+        let mut policy = PolicyAlloc::new(MemPolicy::Bind(match self.kind {
+            HypervisorKind::Siloz => nodes.clone(),
+            HypervisorKind::Baseline => vec![host_node],
+        }));
+        let use_guard_pool =
+            self.kind == HypervisorKind::Siloz && self.ept_allocs.contains_key(&socket);
+        let mut backing = Vec::new();
+        let mut off = 0u64;
+        while off < extra {
+            let cg = if self.kind == HypervisorKind::Siloz {
+                Some(&cgroup)
+            } else {
+                None
+            };
+            let (node, frame) = match policy.alloc(&self.topo, order, cg) {
+                Ok(x) => x,
+                Err(e) => {
+                    for b in &backing {
+                        let b: &BackingBlock = b;
+                        let _ = self.topo.free(b.node, b.frame, b.order);
+                    }
+                    return Err(e.into());
+                }
+            };
+            backing.push(BackingBlock {
+                gpa: next_gpa + off,
+                frame,
+                order,
+                node,
+            });
+            off += page_size.bytes();
+        }
+        for block in &backing {
+            let mut mem = DramPhysMem {
+                dram: &mut self.dram,
+                decoder: &self.decoder,
+            };
+            let vm = self.vms.get_mut(&handle.0).expect("vm exists");
+            let map_result = if use_guard_pool {
+                let alloc = self.ept_allocs.get_mut(&socket).expect("guard pool");
+                vm.ept
+                    .map(&mut mem, alloc, block.gpa, block.hpa(), page_size, EptPerms::RWX)
+            } else {
+                let mut alloc = NodeEptAlloc {
+                    topo: &self.topo,
+                    node: host_node,
+                    got: Vec::new(),
+                };
+                vm.ept
+                    .map(&mut mem, &mut alloc, block.gpa, block.hpa(), page_size, EptPerms::RWX)
+            };
+            map_result?;
+        }
+        let vm = self.vms.get_mut(&handle.0).expect("vm exists");
+        vm.nodes = nodes;
+        vm.regions.push(VmRegion {
+            kind: MemoryRegionKind::Ram,
+            gpa: next_gpa,
+            bytes: extra,
+            backing,
+        });
+        Ok(())
+    }
+
+    /// Host shutdown (§5.3): the privileged shutdown routine kills every VM
+    /// and its resources, ignoring active subarray-group constraints.
+    pub fn shutdown(&mut self) -> usize {
+        let handles = self.vm_handles();
+        let n = handles.len();
+        for h in handles {
+            let _ = self.destroy_vm(h);
+        }
+        n
+    }
+
+    /// Shuts a VM down: backing memory returns to its logical nodes' free
+    /// pools; the node reservation persists until the control group is
+    /// destroyed (§5.3) — which this convenience method also does.
+    pub fn destroy_vm(&mut self, handle: VmHandle) -> Result<(), SilozError> {
+        let vm = self
+            .vms
+            .remove(&handle.0)
+            .ok_or(SilozError::NoSuchVm(handle.0))?;
+        for region in &vm.regions {
+            self.free_region(region);
+        }
+        let socket = vm.socket;
+        let guard = vm.ept_from_guard_pool;
+        if guard {
+            let alloc = self.ept_allocs.get_mut(&socket).expect("guard pool");
+            for &hpa in vm.ept.table_pages() {
+                alloc.release(hpa);
+            }
+        } else {
+            let host_node = self.host_nodes[socket as usize];
+            for &hpa in vm.ept.table_pages() {
+                let _ = self.topo.free(host_node, hpa / FRAME_BYTES, 0);
+            }
+        }
+        self.cgroups.destroy(&vm.spec.name);
+        Ok(())
+    }
+
+    /// The logical nodes provisioned to a VM.
+    pub fn vm_nodes(&self, handle: VmHandle) -> Result<&[NodeId], SilozError> {
+        Ok(&self.vm(handle)?.nodes)
+    }
+
+    /// The subarray groups provisioned to a VM (Siloz; empty on baseline).
+    pub fn vm_groups(&self, handle: VmHandle) -> Result<Vec<GroupId>, SilozError> {
+        let vm = self.vm(handle)?;
+        let mut out = Vec::new();
+        for n in &vm.nodes {
+            if let Some(gs) = self.groups_of_node.get(n) {
+                out.extend(gs.iter().copied());
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// A VM's mapped regions.
+    pub fn vm_regions(&self, handle: VmHandle) -> Result<&[VmRegion], SilozError> {
+        Ok(&self.vm(handle)?.regions)
+    }
+
+    /// All of a VM's unmediated backing blocks (the memory it can hammer).
+    pub fn vm_unmediated_backing(&self, handle: VmHandle) -> Result<Vec<BackingBlock>, SilozError> {
+        let vm = self.vm(handle)?;
+        Ok(vm
+            .regions
+            .iter()
+            .filter(|r| r.kind.is_unmediated())
+            .flat_map(|r| r.backing.iter().copied())
+            .collect())
+    }
+
+    /// HPAs of a VM's EPT table pages.
+    pub fn vm_ept_pages(&self, handle: VmHandle) -> Result<&[u64], SilozError> {
+        Ok(self.vm(handle)?.ept.table_pages())
+    }
+
+    /// Translates a guest physical address through the VM's EPT, walking the
+    /// tables in simulated DRAM (bit flips in EPT rows corrupt this walk).
+    pub fn translate(&mut self, handle: VmHandle, gpa: u64) -> Result<Translation, SilozError> {
+        let vm = self.vms.get(&handle.0).ok_or(SilozError::NoSuchVm(handle.0))?;
+        let mut mem = DramPhysMem {
+            dram: &mut self.dram,
+            decoder: &self.decoder,
+        };
+        vm.ept.translate(&mut mem, gpa).map_err(Into::into)
+    }
+
+    /// Writes guest memory through the EPT.
+    ///
+    /// Chunks at cache-line granularity: only bytes within one 64 B line
+    /// are physically contiguous in a row (§2.4's interleaving).
+    pub fn guest_write(
+        &mut self,
+        handle: VmHandle,
+        gpa: u64,
+        bytes: &[u8],
+    ) -> Result<(), SilozError> {
+        let line = dram_addr::CACHE_LINE_BYTES;
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let t = self.translate(handle, gpa + off as u64)?;
+            if !t.perms.write {
+                // Guest writes to read-only mappings (ROM) fault; from the
+                // device-model side they are simply discarded after the
+                // permission error is surfaced.
+                return Err(SilozError::NotPermitted(format!(
+                    "write to read-only GPA {gpa:#x}"
+                )));
+            }
+            let media = self.decoder.decode(t.hpa)?;
+            let bank = media.global_bank(self.decoder.geometry());
+            let chunk = ((line - t.hpa % line) as usize).min(bytes.len() - off);
+            self.dram
+                .write_row(bank, media.row, media.col, &bytes[off..off + chunk]);
+            off += chunk;
+        }
+        Ok(())
+    }
+
+    /// Reads guest memory through the EPT; returns the bytes and whether all
+    /// chunks read back clean/corrected.
+    ///
+    /// Chunks at cache-line granularity, like [`Self::guest_write`].
+    pub fn guest_read(
+        &mut self,
+        handle: VmHandle,
+        gpa: u64,
+        len: usize,
+    ) -> Result<(Vec<u8>, bool), SilozError> {
+        let line = dram_addr::CACHE_LINE_BYTES;
+        let mut out = Vec::with_capacity(len);
+        let mut intact = true;
+        while out.len() < len {
+            let off = out.len() as u64;
+            let t = self.translate(handle, gpa + off)?;
+            let media = self.decoder.decode(t.hpa)?;
+            let bank = media.global_bank(self.decoder.geometry());
+            let chunk = ((line - t.hpa % line) as usize).min(len - out.len());
+            let (bytes, integrity) = self
+                .dram
+                .read_row(bank, media.row, media.col, chunk as u32);
+            intact &= integrity.data_is_correct();
+            out.extend(bytes);
+        }
+        Ok((out, intact))
+    }
+
+    /// Flips recorded so far that fall *outside* a VM's provisioned subarray
+    /// groups — inter-VM escapes if that VM was the hammering domain (§7.1).
+    ///
+    /// On the baseline (no provisioned groups), every flip outside the VM's
+    /// actually-backing rows counts as an escape.
+    pub fn flips_outside_vm(&self, handle: VmHandle) -> Result<Vec<BitFlip>, SilozError> {
+        let vm = self.vm(handle)?;
+        let g = self.decoder.geometry();
+        let mut escaped = Vec::new();
+        match self.kind {
+            HypervisorKind::Siloz => {
+                let groups = self.vm_groups(handle)?;
+                let spans: Vec<(u16, std::ops::Range<u32>)> = groups
+                    .iter()
+                    .filter_map(|gid| self.groups.group(*gid))
+                    .map(|info| (info.socket, info.rows.clone()))
+                    .collect();
+                for flip in self.dram.flip_log().all() {
+                    let socket = flip.bank.socket(g);
+                    let inside = spans
+                        .iter()
+                        .any(|(s, rows)| *s == socket && rows.contains(&flip.media_row));
+                    if !inside {
+                        escaped.push(*flip);
+                    }
+                }
+            }
+            HypervisorKind::Baseline => {
+                // Rows actually backing the VM.
+                let mut vm_rows: std::collections::HashSet<(u16, u32)> =
+                    std::collections::HashSet::new();
+                for b in vm
+                    .regions
+                    .iter()
+                    .flat_map(|r| r.backing.iter())
+                {
+                    let mut p = b.hpa();
+                    let end = b.hpa() + b.bytes();
+                    while p < end {
+                        let (socket, row) = self.decoder.row_group_of(p)?;
+                        vm_rows.insert((socket, row));
+                        p += g.row_group_bytes() - p % g.row_group_bytes();
+                    }
+                }
+                for flip in self.dram.flip_log().all() {
+                    let socket = flip.bank.socket(g);
+                    if !vm_rows.contains(&(socket, flip.media_row)) {
+                        escaped.push(*flip);
+                    }
+                }
+            }
+        }
+        Ok(escaped)
+    }
+
+    /// Periodic free-memory statistics refresh, with the §5.3 optimization:
+    /// guest-reserved nodes' free counts cannot change while their VM runs,
+    /// so Siloz skips them entirely; the baseline iterates every node.
+    /// Returns the snapshot and how many nodes were iterated.
+    pub fn refresh_node_stats(&self) -> Result<(Vec<(NodeId, u64)>, usize), SilozError> {
+        let nodes: Vec<NodeId> = match self.kind {
+            // Host-reserved nodes only: everything guest-reserved is
+            // either idle (stats frozen at group capacity) or reserved by a
+            // running VM (stats frozen after VM boot, §5.3).
+            HypervisorKind::Siloz => self.host_nodes.clone(),
+            HypervisorKind::Baseline => self.topo.nodes().map(|i| i.id).collect(),
+        };
+        let iterated = nodes.len();
+        let snapshot = self.topo.snapshot_stats(nodes)?;
+        Ok((snapshot, iterated))
+    }
+
+    /// Allocates one 4 KiB table page from the guard-protected pool of the
+    /// VM's socket (GFP_EPT path), falling back to host-reserved memory
+    /// when guard rows are disabled. Used for EPT-adjacent metadata that
+    /// needs the same integrity protection (e.g. IOMMU tables, §5.1).
+    pub fn alloc_protected_table_page(&mut self, handle: VmHandle) -> Result<u64, SilozError> {
+        let socket = self.vm(handle)?.socket;
+        if self.kind == HypervisorKind::Siloz {
+            if let Some(alloc) = self.ept_allocs.get_mut(&socket) {
+                return alloc.alloc_table_page().map_err(Into::into);
+            }
+        }
+        let frame = self.host_alloc(socket, 0)?;
+        Ok(frame * FRAME_BYTES)
+    }
+
+    /// Copies `len` bytes between physical ranges, line by line (used by
+    /// migration-based defenses).
+    pub fn copy_phys(&mut self, src: u64, dst: u64, len: u64) -> Result<(), SilozError> {
+        let g = *self.decoder.geometry();
+        let mut off = 0u64;
+        while off < len {
+            let sm = self.decoder.decode(src + off)?;
+            let chunk = (dram_addr::CACHE_LINE_BYTES - (src + off) % dram_addr::CACHE_LINE_BYTES)
+                .min(len - off);
+            let sbank = sm.global_bank(&g);
+            let (bytes, _) = self.dram.read_row(sbank, sm.row, sm.col, chunk as u32);
+            let dm = self.decoder.decode(dst + off)?;
+            let dbank = dm.global_bank(&g);
+            self.dram.write_row(dbank, dm.row, dm.col, &bytes);
+            off += chunk;
+        }
+        Ok(())
+    }
+
+    /// Migrates the backing block containing `gpa` to a fresh block on the
+    /// same node, updating the EPT (the Copy-on-Flip response to corrected
+    /// errors, §3). Fails for unmapped GPAs or when the node is full.
+    pub fn migrate_block(&mut self, handle: VmHandle, gpa: u64) -> Result<(), SilozError> {
+        let (region_idx, block_idx, old) = {
+            let vm = self.vm(handle)?;
+            let mut found = None;
+            for (ri, r) in vm.regions.iter().enumerate() {
+                for (bi, b) in r.backing.iter().enumerate() {
+                    if gpa >= b.gpa && gpa < b.gpa + b.bytes() {
+                        found = Some((ri, bi, *b));
+                    }
+                }
+            }
+            found.ok_or(SilozError::Ept(EptError::NotMapped { gpa }))?
+        };
+        let new_frame = self.topo.alloc(old.node, old.order)?;
+        let new = BackingBlock {
+            frame: new_frame,
+            ..old
+        };
+        self.copy_phys(old.hpa(), new.hpa(), old.bytes())?;
+        // Swap the EPT mapping.
+        let socket = self.vm(handle)?.socket;
+        let use_guard_pool =
+            self.kind == HypervisorKind::Siloz && self.ept_allocs.contains_key(&socket);
+        let host_node = self.host_nodes[socket as usize];
+        {
+            let vm = self.vms.get_mut(&handle.0).expect("vm exists");
+            let region = &vm.regions[region_idx];
+            let size = match old.order {
+                0 => PageSize::Size4K,
+                9 => PageSize::Size2M,
+                _ => PageSize::Size1G,
+            };
+            let perms = match region.kind {
+                MemoryRegionKind::Rom | MemoryRegionKind::RomDevice => EptPerms::RO,
+                _ => EptPerms::RWX,
+            };
+            let mut mem = DramPhysMem {
+                dram: &mut self.dram,
+                decoder: &self.decoder,
+            };
+            vm.ept.unmap(&mut mem, old.gpa)?;
+            if use_guard_pool {
+                let alloc = self.ept_allocs.get_mut(&socket).expect("guard pool");
+                vm.ept.map(&mut mem, alloc, old.gpa, new.hpa(), size, perms)?;
+            } else {
+                let mut alloc = NodeEptAlloc {
+                    topo: &self.topo,
+                    node: host_node,
+                    got: Vec::new(),
+                };
+                vm.ept.map(&mut mem, &mut alloc, old.gpa, new.hpa(), size, perms)?;
+            }
+            vm.regions[region_idx].backing[block_idx] = new;
+        }
+        self.topo.free(old.node, old.frame, old.order)?;
+        Ok(())
+    }
+
+    /// Allocates host memory (order-`order` block) from a socket's
+    /// host-reserved node.
+    pub fn host_alloc(&mut self, socket: u16, order: u8) -> Result<u64, SilozError> {
+        let node = *self
+            .host_nodes
+            .get(socket as usize)
+            .ok_or_else(|| SilozError::BadConfig(format!("no socket {socket}")))?;
+        Ok(self.topo.alloc(node, order)?)
+    }
+
+    /// Frees host memory.
+    pub fn host_free(&mut self, socket: u16, frame: u64, order: u8) -> Result<(), SilozError> {
+        let node = self.host_nodes[socket as usize];
+        self.topo.free(node, frame, order)?;
+        Ok(())
+    }
+}
+
+fn round_up(x: u64, to: u64) -> u64 {
+    x.div_ceil(to) * to
+}
+
+fn page_order(size: PageSize) -> u8 {
+    match size {
+        PageSize::Size4K => 0,
+        PageSize::Size2M => 9,
+        PageSize::Size1G => 18,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::VmSpec;
+
+    fn mini_siloz() -> Hypervisor {
+        Hypervisor::boot(SilozConfig::mini(), HypervisorKind::Siloz).unwrap()
+    }
+
+    fn mini_baseline() -> Hypervisor {
+        Hypervisor::boot(SilozConfig::mini(), HypervisorKind::Baseline).unwrap()
+    }
+
+    #[test]
+    fn siloz_vm_gets_exclusive_groups() {
+        let mut hv = mini_siloz();
+        let a = hv.create_vm(VmSpec::new("a", 2, 96 << 20)).unwrap();
+        let b = hv.create_vm(VmSpec::new("b", 2, 96 << 20)).unwrap();
+        let ga = hv.vm_groups(a).unwrap();
+        let gb = hv.vm_groups(b).unwrap();
+        assert!(!ga.is_empty() && !gb.is_empty());
+        assert!(ga.iter().all(|g| !gb.contains(g)), "groups must be disjoint");
+    }
+
+    #[test]
+    fn vm_backing_lands_only_in_its_groups() {
+        let mut hv = mini_siloz();
+        let vm = hv.create_vm(VmSpec::new("a", 2, 96 << 20)).unwrap();
+        let groups = hv.vm_groups(vm).unwrap();
+        for block in hv.vm_unmediated_backing(vm).unwrap() {
+            for off in (0..block.bytes()).step_by(1 << 20) {
+                let gid = hv.groups().group_of_phys(block.hpa() + off).unwrap();
+                assert!(groups.contains(&gid), "backing outside provisioned groups");
+            }
+        }
+    }
+
+    #[test]
+    fn mediated_regions_go_to_host_reserved_memory() {
+        let mut hv = mini_siloz();
+        let vm = hv
+            .create_vm(
+                VmSpec::new("a", 2, 96 << 20).with_region(MemoryRegionKind::Mmio, 16 << 10),
+            )
+            .unwrap();
+        let host_node = hv.host_nodes()[0];
+        let regions = hv.vm_regions(vm).unwrap();
+        let mmio = regions
+            .iter()
+            .find(|r| r.kind == MemoryRegionKind::Mmio)
+            .unwrap();
+        for b in &mmio.backing {
+            assert_eq!(b.node, host_node, "mediated pages must be host-reserved");
+        }
+        let ram = regions
+            .iter()
+            .find(|r| r.kind == MemoryRegionKind::Ram)
+            .unwrap();
+        for b in &ram.backing {
+            assert_ne!(b.node, host_node, "unmediated pages must not be host-reserved");
+        }
+    }
+
+    #[test]
+    fn translation_works_end_to_end_through_dram() {
+        let mut hv = mini_siloz();
+        let vm = hv.create_vm(VmSpec::new("a", 2, 96 << 20)).unwrap();
+        let t = hv.translate(vm, 0x123456).unwrap();
+        // GPA-contiguous RAM from block 0.
+        let backing = hv.vm_unmediated_backing(vm).unwrap();
+        assert_eq!(t.hpa, backing[0].hpa() + 0x123456 % backing[0].bytes());
+        assert!(t.perms.write);
+    }
+
+    #[test]
+    fn guest_read_write_roundtrip() {
+        let mut hv = mini_siloz();
+        let vm = hv.create_vm(VmSpec::new("a", 2, 96 << 20)).unwrap();
+        let data: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+        hv.guest_write(vm, 0x1000, &data).unwrap();
+        let (back, intact) = hv.guest_read(vm, 0x1000, data.len()).unwrap();
+        assert!(intact);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn siloz_ept_pages_live_in_the_guard_protected_row_group() {
+        let mut hv = mini_siloz();
+        let vm = hv.create_vm(VmSpec::new("a", 2, 96 << 20)).unwrap();
+        let plan = hv.ept_plan().unwrap().clone();
+        let sp = plan.socket(0).unwrap();
+        let pages = hv.vm_ept_pages(vm).unwrap().to_vec();
+        assert!(!pages.is_empty());
+        for hpa in pages {
+            let (_, row) = hv.decoder().row_group_of(hpa).unwrap();
+            assert_eq!(row, sp.ept_row, "EPT page outside the EPT row group");
+        }
+    }
+
+    #[test]
+    fn baseline_ept_pages_are_ordinary_allocations() {
+        let mut hv = mini_baseline();
+        let vm = hv.create_vm(VmSpec::new("a", 2, 96 << 20)).unwrap();
+        assert!(hv.ept_plan().is_none());
+        assert!(!hv.vm_ept_pages(vm).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unprivileged_processes_cannot_create_vms() {
+        let mut hv = mini_siloz();
+        let err = hv
+            .create_vm(VmSpec::new("evil", 1, 1 << 20).unprivileged())
+            .unwrap_err();
+        assert!(matches!(err, SilozError::NotPermitted(_)));
+    }
+
+    #[test]
+    fn capacity_exhaustion_is_reported() {
+        let mut hv = mini_siloz();
+        // Mini has 7 guest groups of 128 MiB each.
+        let _a = hv.create_vm(VmSpec::new("a", 1, 512 << 20)).unwrap();
+        let err = hv.create_vm(VmSpec::new("b", 1, 512 << 20)).unwrap_err();
+        assert!(matches!(err, SilozError::InsufficientCapacity { .. }));
+    }
+
+    #[test]
+    fn destroy_vm_releases_groups_for_reuse() {
+        let mut hv = mini_siloz();
+        let a = hv.create_vm(VmSpec::new("a", 1, 512 << 20)).unwrap();
+        hv.destroy_vm(a).unwrap();
+        assert!(hv.create_vm(VmSpec::new("b", 1, 512 << 20)).is_ok());
+        assert!(matches!(
+            hv.destroy_vm(a),
+            Err(SilozError::NoSuchVm(_))
+        ));
+    }
+
+    #[test]
+    fn destroy_restores_free_frames() {
+        let mut hv = mini_siloz();
+        let free_before: u64 = hv
+            .guest_nodes()
+            .to_vec()
+            .iter()
+            .map(|&n| hv.topology().free_frames(n).unwrap())
+            .sum();
+        let a = hv.create_vm(VmSpec::new("a", 1, 256 << 20)).unwrap();
+        hv.destroy_vm(a).unwrap();
+        let free_after: u64 = hv
+            .guest_nodes()
+            .to_vec()
+            .iter()
+            .map(|&n| hv.topology().free_frames(n).unwrap())
+            .sum();
+        assert_eq!(free_before, free_after);
+    }
+
+    #[test]
+    fn baseline_vms_share_subarray_groups() {
+        // The vulnerability Siloz closes: on the baseline, two VMs' pages
+        // co-locate in the same subarray groups.
+        let mut hv = mini_baseline();
+        let a = hv.create_vm(VmSpec::new("a", 1, 96 << 20)).unwrap();
+        let b = hv.create_vm(VmSpec::new("b", 1, 96 << 20)).unwrap();
+        let group_of = |hv: &Hypervisor, h| -> std::collections::BTreeSet<u32> {
+            hv.vm_unmediated_backing(h)
+                .unwrap()
+                .iter()
+                .map(|blk| hv.groups().group_of_phys(blk.hpa()).unwrap().0)
+                .collect()
+        };
+        let ga = group_of(&hv, a);
+        let gb = group_of(&hv, b);
+        assert!(
+            ga.intersection(&gb).next().is_some(),
+            "baseline VMs should share groups: {ga:?} vs {gb:?}"
+        );
+    }
+
+    #[test]
+    fn preferred_socket_is_honored_with_fallback() {
+        let config = SilozConfig::evaluation();
+        let mut hv = Hypervisor::boot(config, HypervisorKind::Siloz).unwrap();
+        let vm = hv
+            .create_vm(VmSpec::new("a", 4, 3 << 30).on_socket(1))
+            .unwrap();
+        for n in hv.vm_nodes(vm).unwrap() {
+            assert_eq!(hv.topology().node(*n).unwrap().socket, 1);
+        }
+    }
+
+    #[test]
+    fn ept_integrity_mode_follows_protection_config() {
+        let mut config = SilozConfig::mini();
+        config.ept_protection = EptProtection::SecureEpt;
+        let mut hv = Hypervisor::boot(config, HypervisorKind::Siloz).unwrap();
+        let vm = hv.create_vm(VmSpec::new("a", 1, 64 << 20)).unwrap();
+        // Secure EPT still translates fine when uncorrupted.
+        assert!(hv.translate(vm, 0).is_ok());
+    }
+
+    #[test]
+    fn rom_regions_are_read_only_in_the_ept() {
+        let mut hv = mini_siloz();
+        let vm = hv
+            .create_vm(
+                VmSpec::new("a", 1, 64 << 20).with_region(MemoryRegionKind::Rom, 2 << 20),
+            )
+            .unwrap();
+        let regions = hv.vm_regions(vm).unwrap();
+        let rom_gpa = regions
+            .iter()
+            .find(|r| r.kind == MemoryRegionKind::Rom)
+            .unwrap()
+            .gpa;
+        let t = hv.translate(vm, rom_gpa).unwrap();
+        assert!(t.perms.read && !t.perms.write);
+    }
+
+    #[test]
+    fn stat_refresh_skips_guest_nodes_under_siloz() {
+        // §5.3: guest-reserved node statistics need no periodic updates;
+        // Siloz iterates only host nodes regardless of how many logical
+        // nodes exist — the mechanism behind the §7.4 "node count does not
+        // matter" result.
+        let mut hv = mini_siloz();
+        let _ = hv.create_vm(VmSpec::new("a", 1, 96 << 20)).unwrap();
+        let (snap, iterated) = hv.refresh_node_stats().unwrap();
+        assert_eq!(iterated, 1, "one host node per socket");
+        assert_eq!(snap.len(), 1);
+
+        let mut base = mini_baseline();
+        let _ = base.create_vm(VmSpec::new("a", 1, 96 << 20)).unwrap();
+        let (_, iterated) = base.refresh_node_stats().unwrap();
+        assert_eq!(iterated, 1, "baseline has one node per socket anyway");
+
+        // At evaluation scale the asymmetry is 2 vs 256.
+        let hv = Hypervisor::boot(SilozConfig::evaluation(), HypervisorKind::Siloz).unwrap();
+        let (_, iterated) = hv.refresh_node_stats().unwrap();
+        assert_eq!(iterated, 2);
+    }
+
+    #[test]
+    fn guest_writes_to_rom_are_rejected() {
+        let mut hv = mini_siloz();
+        let vm = hv
+            .create_vm(
+                VmSpec::new("a", 1, 64 << 20).with_region(MemoryRegionKind::Rom, 2 << 20),
+            )
+            .unwrap();
+        let rom_gpa = hv
+            .vm_regions(vm)
+            .unwrap()
+            .iter()
+            .find(|r| r.kind == MemoryRegionKind::Rom)
+            .unwrap()
+            .gpa;
+        assert!(matches!(
+            hv.guest_write(vm, rom_gpa, b"overwrite"),
+            Err(SilozError::NotPermitted(_))
+        ));
+        // Reads still work.
+        assert!(hv.guest_read(vm, rom_gpa, 8).is_ok());
+    }
+
+    #[test]
+    fn gfp_ept_pool_exhaustion_is_a_clean_error() {
+        // §5.4 sizes one row group of EPT pages per socket; 4 KiB-backed
+        // VMs are page-table hungry and eventually drain the pool.
+        use ept::PageSize;
+        let mut hv = mini_siloz();
+        let mut created = 0;
+        let err = loop {
+            let r = hv.create_vm(
+                VmSpec::new(&format!("tiny{created}"), 1, 16 << 20)
+                    .with_page_size(PageSize::Size4K),
+            );
+            match r {
+                Ok(_) => created += 1,
+                Err(e) => break e,
+            }
+            assert!(created < 64, "pool never exhausted?");
+        };
+        assert!(created > 0, "some VMs fit");
+        assert!(
+            matches!(err, SilozError::Ept(EptError::OutOfMemory))
+                || matches!(err, SilozError::InsufficientCapacity { .. }),
+            "unexpected error: {err:?}"
+        );
+    }
+
+    #[test]
+    fn mmio_regions_are_not_mapped() {
+        let mut hv = mini_siloz();
+        let vm = hv
+            .create_vm(
+                VmSpec::new("a", 1, 64 << 20).with_region(MemoryRegionKind::Mmio, 4096),
+            )
+            .unwrap();
+        let regions = hv.vm_regions(vm).unwrap();
+        let mmio_gpa = regions
+            .iter()
+            .find(|r| r.kind == MemoryRegionKind::Mmio)
+            .unwrap()
+            .gpa;
+        assert!(matches!(
+            hv.translate(vm, mmio_gpa),
+            Err(SilozError::Ept(EptError::NotMapped { .. }))
+        ));
+    }
+}

@@ -1,0 +1,171 @@
+//! IOMMU support for secure passthrough I/O (§5.1).
+//!
+//! The Siloz prototype uses paravirtual (virtio) I/O, so the hypervisor
+//! mediates all DMA. To instead support SR-IOV passthrough, §5.1 says Siloz
+//! would need to (1) ensure the device's IOMMU restricts each guest's DMAs
+//! to its subarray groups' address ranges, and (2) protect the IOMMU page
+//! table pages akin to EPT pages. This module implements exactly that: a
+//! per-VM DMA remap table whose mappings are validated against the VM's
+//! provisioned groups and whose table pages are drawn from the
+//! guard-protected EPT row group.
+
+use crate::group::GroupId;
+use crate::hypervisor::Hypervisor;
+use crate::vm::VmHandle;
+use crate::SilozError;
+use std::collections::BTreeMap;
+
+/// A passthrough device's DMA address space for one VM.
+///
+/// Maps I/O virtual addresses (IOVAs) to host physical addresses at 4 KiB
+/// granularity. Every mapping is checked against the VM's subarray groups
+/// at install time — a DMA can never reference another domain's rows.
+#[derive(Debug)]
+pub struct IommuDomain {
+    vm: VmHandle,
+    /// Groups the domain may address (snapshot at creation).
+    groups: Vec<GroupId>,
+    /// IOVA page -> HPA page.
+    mappings: BTreeMap<u64, u64>,
+    /// Table pages backing the remap structures (allocated from the
+    /// protected EPT pool, §5.4-style).
+    table_pages: Vec<u64>,
+}
+
+impl IommuDomain {
+    /// Creates a DMA domain for `vm`, drawing its first table page from the
+    /// protected pool.
+    pub fn new(hv: &mut Hypervisor, vm: VmHandle) -> Result<Self, SilozError> {
+        let groups = hv.vm_groups(vm)?;
+        let table = hv.alloc_protected_table_page(vm)?;
+        Ok(Self {
+            vm,
+            groups,
+            mappings: BTreeMap::new(),
+            table_pages: vec![table],
+        })
+    }
+
+    /// The VM this domain belongs to.
+    #[must_use]
+    pub fn vm(&self) -> VmHandle {
+        self.vm
+    }
+
+    /// HPAs of the domain's table pages.
+    #[must_use]
+    pub fn table_pages(&self) -> &[u64] {
+        &self.table_pages
+    }
+
+    /// Number of live mappings.
+    #[must_use]
+    pub fn mapped_pages(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// Installs a mapping `iova -> hpa` (both 4 KiB aligned).
+    ///
+    /// Fails with [`SilozError::NotPermitted`] if `hpa` lies outside the
+    /// VM's subarray groups — the §5.1 requirement for secure passthrough.
+    pub fn map(&mut self, hv: &mut Hypervisor, iova: u64, hpa: u64) -> Result<(), SilozError> {
+        if iova % 4096 != 0 || hpa % 4096 != 0 {
+            return Err(SilozError::BadConfig("IOMMU mappings are 4 KiB aligned".into()));
+        }
+        let group = hv.groups().group_of_phys(hpa)?;
+        if !self.groups.contains(&group) {
+            return Err(SilozError::NotPermitted(format!(
+                "DMA target {hpa:#x} is in group {group:?}, outside the VM's domains"
+            )));
+        }
+        // Grow the (modeled) table every 512 mappings, from the protected
+        // pool, like last-level EPT pages.
+        if self.mappings.len() % 512 == 511 {
+            self.table_pages.push(hv.alloc_protected_table_page(self.vm)?);
+        }
+        self.mappings.insert(iova, hpa);
+        Ok(())
+    }
+
+    /// Translates a DMA access.
+    pub fn translate(&self, iova: u64) -> Result<u64, SilozError> {
+        let page = iova & !4095;
+        let hpa = self
+            .mappings
+            .get(&page)
+            .ok_or(SilozError::Ept(ept::EptError::NotMapped { gpa: iova }))?;
+        Ok(hpa + (iova & 4095))
+    }
+
+    /// Removes a mapping.
+    pub fn unmap(&mut self, iova: u64) -> bool {
+        self.mappings.remove(&(iova & !4095)).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SilozConfig;
+    use crate::hypervisor::HypervisorKind;
+    use crate::vm::VmSpec;
+
+    fn setup() -> (Hypervisor, VmHandle, VmHandle) {
+        let mut hv = Hypervisor::boot(SilozConfig::mini(), HypervisorKind::Siloz).unwrap();
+        let a = hv.create_vm(VmSpec::new("a", 1, 96 << 20)).unwrap();
+        let b = hv.create_vm(VmSpec::new("b", 1, 96 << 20)).unwrap();
+        (hv, a, b)
+    }
+
+    #[test]
+    fn dma_to_own_memory_is_allowed() {
+        let (mut hv, a, _) = setup();
+        let mut dom = IommuDomain::new(&mut hv, a).unwrap();
+        let own = hv.vm_unmediated_backing(a).unwrap()[0].hpa();
+        dom.map(&mut hv, 0x1000, own).unwrap();
+        assert_eq!(dom.translate(0x1234).unwrap(), own + 0x234);
+        assert_eq!(dom.mapped_pages(), 1);
+        assert!(dom.unmap(0x1000));
+        assert!(dom.translate(0x1000).is_err());
+    }
+
+    #[test]
+    fn dma_to_another_vms_memory_is_rejected() {
+        let (mut hv, a, b) = setup();
+        let mut dom = IommuDomain::new(&mut hv, a).unwrap();
+        let other = hv.vm_unmediated_backing(b).unwrap()[0].hpa();
+        let err = dom.map(&mut hv, 0x1000, other).unwrap_err();
+        assert!(matches!(err, SilozError::NotPermitted(_)));
+        assert_eq!(dom.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn dma_to_host_memory_is_rejected() {
+        let (mut hv, a, _) = setup();
+        let mut dom = IommuDomain::new(&mut hv, a).unwrap();
+        // Host-reserved group 0 starts at phys 0 on the mini machine.
+        let err = dom.map(&mut hv, 0, 0x10_0000).unwrap_err();
+        assert!(matches!(err, SilozError::NotPermitted(_)));
+    }
+
+    #[test]
+    fn iommu_table_pages_live_in_the_protected_row_group() {
+        let (mut hv, a, _) = setup();
+        let dom = IommuDomain::new(&mut hv, a).unwrap();
+        let plan = hv.ept_plan().unwrap();
+        let sp = plan.socket(0).unwrap();
+        for &hpa in dom.table_pages() {
+            let (_, row) = hv.decoder().row_group_of(hpa).unwrap();
+            assert_eq!(row, sp.ept_row, "IOMMU tables must be guard-protected (§5.1)");
+        }
+    }
+
+    #[test]
+    fn misaligned_mappings_are_rejected() {
+        let (mut hv, a, _) = setup();
+        let mut dom = IommuDomain::new(&mut hv, a).unwrap();
+        let own = hv.vm_unmediated_backing(a).unwrap()[0].hpa();
+        assert!(dom.map(&mut hv, 0x1001, own).is_err());
+        assert!(dom.map(&mut hv, 0x1000, own + 5).is_err());
+    }
+}

@@ -1,0 +1,279 @@
+//! Provisioning subarray groups as logical NUMA nodes (§5.2, §5.3).
+//!
+//! After computing subarray group address ranges, Siloz augments NUMA
+//! topology parsing to (a) provision a logical node for each subarray group
+//! and (b) record each logical node's physical node (socket), preserving
+//! physical NUMA semantics. Host-reserved nodes keep the socket's cores;
+//! guest-reserved nodes are memory-only. Guard rows and
+//! isolation-violating pages are offlined here, extending the kernel's
+//! faulty-page offlining.
+
+use crate::artificial::inter_subarray_repair_frames;
+use crate::config::{EptProtection, SilozConfig};
+use crate::ept_guard::EptGuardPlan;
+use crate::group::{GroupId, SubarrayGroupMap};
+use crate::SilozError;
+use dram_addr::{RepairMap, SystemAddressDecoder};
+use numa::{NodeId, NodeInfo, Topology};
+use std::collections::HashMap;
+
+/// The boot-time product: a topology with one logical node per subarray
+/// group, plus all the maps Siloz needs at runtime.
+pub struct ProvisionedTopology {
+    /// The NUMA topology (host-reserved + guest-reserved logical nodes).
+    pub topo: Topology,
+    /// The subarray group map the nodes were derived from.
+    pub groups: SubarrayGroupMap,
+    /// Host-reserved node per socket (indexed by socket).
+    pub host_nodes: Vec<NodeId>,
+    /// All guest-reserved (memory-only) nodes.
+    pub guest_nodes: Vec<NodeId>,
+    /// Logical node backing each subarray group.
+    pub node_of_group: HashMap<GroupId, NodeId>,
+    /// Subarray groups backing each node (host nodes own several).
+    pub groups_of_node: HashMap<NodeId, Vec<GroupId>>,
+    /// EPT guard placement, when guard-row protection is configured.
+    pub ept_plan: Option<EptGuardPlan>,
+    /// Frames offlined at boot (guard rows + isolation hazards).
+    pub offlined_frames: u64,
+}
+
+impl ProvisionedTopology {
+    /// Runs the full boot-time provisioning (§5.3).
+    pub fn provision(
+        config: &SilozConfig,
+        decoder: &SystemAddressDecoder,
+        repairs: &RepairMap,
+    ) -> Result<Self, SilozError> {
+        let geometry = decoder.geometry();
+        if config.host_groups_per_socket == 0
+            || config.host_groups_per_socket >= config.groups_per_socket()
+        {
+            return Err(SilozError::BadConfig(format!(
+                "host groups per socket {} must be in [1, {})",
+                config.host_groups_per_socket,
+                config.groups_per_socket()
+            )));
+        }
+        let groups = SubarrayGroupMap::compute(decoder, config.presumed_subarray_rows)?;
+
+        // EPT guard placement: at the start of each socket's first
+        // (host-reserved) subarray group.
+        let ept_plan = match config.ept_protection {
+            EptProtection::GuardRows { b, o } => {
+                Some(EptGuardPlan::compute(decoder, b, o, |_socket| 0)?)
+            }
+            _ => None,
+        };
+
+        // Pages violating isolation due to inter-subarray repairs (§6).
+        let repair_holes = inter_subarray_repair_frames(decoder, repairs)?;
+
+        let mut topo = Topology::new();
+        let mut host_nodes = Vec::new();
+        let mut guest_nodes = Vec::new();
+        let mut node_of_group = HashMap::new();
+        let mut groups_of_node: HashMap<NodeId, Vec<GroupId>> = HashMap::new();
+        let mut offlined = 0u64;
+
+        for socket in 0..geometry.sockets {
+            let cpus: Vec<u32> = (0..config.cores_per_socket)
+                .map(|c| socket as u32 * config.cores_per_socket + c)
+                .collect();
+            let socket_groups: Vec<GroupId> =
+                groups.groups_on_socket(socket).map(|g| g.id).collect();
+            let (host_groups, guest_groups) =
+                socket_groups.split_at(config.host_groups_per_socket as usize);
+
+            // Host-reserved node: the socket's cores + the host groups'
+            // frames, minus EPT frames (reserved for GFP_EPT) and guard
+            // frames (offlined).
+            let mut host_ranges = Vec::new();
+            for gid in host_groups {
+                host_ranges.extend(groups.group(*gid).expect("group exists").frames.clone());
+            }
+            let mut holes: Vec<u64> = Vec::new();
+            if let Some(plan) = &ept_plan {
+                let sp = plan.socket(socket).expect("plan covers socket");
+                holes.extend(sp.guard_frames.iter().copied());
+                holes.extend(sp.ept_frames.clone());
+            }
+            holes.extend(repair_holes.iter().copied().filter(|f| {
+                host_ranges.iter().any(|r| f >= &r.start && f < &r.end)
+            }));
+            holes.sort_unstable();
+            holes.dedup();
+            offlined += holes.len() as u64;
+            let host_id = topo.add_node(
+                NodeInfo {
+                    id: NodeId(0),
+                    socket,
+                    is_logical: true,
+                    cpus,
+                    frame_ranges: host_ranges,
+                },
+                &holes,
+            );
+            host_nodes.push(host_id);
+            for gid in host_groups {
+                node_of_group.insert(*gid, host_id);
+                groups_of_node.entry(host_id).or_default().push(*gid);
+            }
+
+            // Guest-reserved nodes: one memory-only node per group.
+            for gid in guest_groups {
+                let info = groups.group(*gid).expect("group exists");
+                let holes: Vec<u64> = repair_holes
+                    .iter()
+                    .copied()
+                    .filter(|f| info.contains_frame(*f))
+                    .collect();
+                offlined += holes.len() as u64;
+                let node_id = topo.add_node(
+                    NodeInfo {
+                        id: NodeId(0),
+                        socket,
+                        is_logical: true,
+                        cpus: Vec::new(),
+                        frame_ranges: info.frames.clone(),
+                    },
+                    &holes,
+                );
+                guest_nodes.push(node_id);
+                node_of_group.insert(*gid, node_id);
+                groups_of_node.entry(node_id).or_default().push(*gid);
+            }
+        }
+
+        Ok(Self {
+            topo,
+            groups,
+            host_nodes,
+            guest_nodes,
+            node_of_group,
+            groups_of_node,
+            ept_plan,
+            offlined_frames: offlined,
+        })
+    }
+
+    /// Guest-reserved nodes on `socket`, ascending.
+    pub fn guest_nodes_on_socket(&self, socket: u16) -> Vec<NodeId> {
+        self.guest_nodes
+            .iter()
+            .copied()
+            .filter(|&n| self.topo.node(n).map(|i| i.socket) == Ok(socket))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SilozConfig;
+    use dram_addr::decoder::SystemAddressDecoder;
+
+    fn provision_mini() -> ProvisionedTopology {
+        let config = SilozConfig::mini();
+        let decoder = SystemAddressDecoder::new(config.geometry, config.decoder).unwrap();
+        ProvisionedTopology::provision(&config, &decoder, &RepairMap::new()).unwrap()
+    }
+
+    #[test]
+    fn one_logical_node_per_group() {
+        let p = provision_mini();
+        // Mini: 8 groups -> 1 host node + 7 guest nodes.
+        assert_eq!(p.topo.len(), 8);
+        assert_eq!(p.host_nodes.len(), 1);
+        assert_eq!(p.guest_nodes.len(), 7);
+        assert_eq!(p.node_of_group.len(), 8);
+    }
+
+    #[test]
+    fn guest_nodes_are_memory_only_host_has_cpus() {
+        // §5.2: guest-reserved nodes are memory-only; host-reserved nodes
+        // keep the socket's cores.
+        let p = provision_mini();
+        for &n in &p.guest_nodes {
+            assert!(p.topo.node(n).unwrap().is_memory_only());
+            assert!(p.topo.node(n).unwrap().is_logical);
+        }
+        for &n in &p.host_nodes {
+            assert!(!p.topo.node(n).unwrap().is_memory_only());
+        }
+    }
+
+    #[test]
+    fn logical_nodes_record_their_physical_node() {
+        let config = SilozConfig::evaluation();
+        let decoder = SystemAddressDecoder::new(config.geometry, config.decoder).unwrap();
+        let p = ProvisionedTopology::provision(&config, &decoder, &RepairMap::new()).unwrap();
+        assert_eq!(p.topo.len(), 256, "128 groups x 2 sockets");
+        assert_eq!(p.guest_nodes_on_socket(0).len(), 127);
+        assert_eq!(p.guest_nodes_on_socket(1).len(), 127);
+        for info in p.topo.nodes() {
+            // Every frame of the node must physically live on its socket.
+            let f = info.frame_ranges[0].start;
+            let (socket, _) = decoder.row_group_of(f * 4096).unwrap();
+            assert_eq!(socket, info.socket);
+        }
+    }
+
+    #[test]
+    fn guard_and_ept_frames_are_excluded_from_host_node() {
+        let p = provision_mini();
+        let plan = p.ept_plan.as_ref().unwrap();
+        let sp = plan.socket(0).unwrap();
+        let host = p.host_nodes[0];
+        // Guard frames are offlined; EPT frames reserved: free count drops
+        // by both.
+        let info = p.topo.node(host).unwrap();
+        let total = info.total_frames();
+        let reserved =
+            sp.guard_frames.len() as u64 + (sp.ept_frames.end - sp.ept_frames.start);
+        assert_eq!(p.topo.free_frames(host).unwrap(), total - reserved);
+        assert!(p.offlined_frames >= reserved);
+    }
+
+    #[test]
+    fn guest_node_capacity_is_group_capacity() {
+        let p = provision_mini();
+        let group_frames = SilozConfig::mini().subarray_group_bytes() / 4096;
+        for &n in &p.guest_nodes {
+            assert_eq!(p.topo.free_frames(n).unwrap(), group_frames);
+        }
+    }
+
+    #[test]
+    fn inter_subarray_repairs_offline_pages_in_guest_nodes() {
+        let config = SilozConfig::mini();
+        let decoder = SystemAddressDecoder::new(config.geometry, config.decoder).unwrap();
+        let mut repairs = RepairMap::new();
+        // Repair a row in guest territory (row 600, bank 0) across
+        // subarrays (mini geometry: 256-row subarrays).
+        repairs.insert(dram_addr::BankId(0), 600, 100);
+        let p = ProvisionedTopology::provision(&config, &decoder, &repairs).unwrap();
+        let clean = provision_mini();
+        let total_free: u64 = p
+            .topo
+            .nodes()
+            .map(|i| p.topo.free_frames(i.id).unwrap())
+            .sum();
+        let clean_free: u64 = clean
+            .topo
+            .nodes()
+            .map(|i| clean.topo.free_frames(i.id).unwrap())
+            .sum();
+        assert!(total_free < clean_free, "repair holes reduce capacity");
+    }
+
+    #[test]
+    fn bad_host_group_counts_rejected() {
+        let mut config = SilozConfig::mini();
+        let decoder = SystemAddressDecoder::new(config.geometry, config.decoder).unwrap();
+        config.host_groups_per_socket = 0;
+        assert!(ProvisionedTopology::provision(&config, &decoder, &RepairMap::new()).is_err());
+        config.host_groups_per_socket = 8; // all groups: nothing for guests
+        assert!(ProvisionedTopology::provision(&config, &decoder, &RepairMap::new()).is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! Sub-NUMA clustering (SNC) support (§8.1).
+//!
+//! Subarray group sizes follow from the number of banks a page interleaves
+//! across. Today's sub-NUMA clustering BIOS option splits each socket into
+//! clusters whose pages interleave over only that cluster's channels —
+//! halving (for SNC-2) the row-group size and therefore the subarray group
+//! size, which lets providers provision VMs at finer granularity.
+//!
+//! We model SNC faithfully by its architectural effect: each cluster
+//! behaves as an independent physical node with `1/ways` of the socket's
+//! channels, cores, and address space. [`apply_snc`] rewrites a
+//! [`SilozConfig`] accordingly; [`SncMap`] remembers which clusters share a
+//! physical socket so placement policies can still reason about true
+//! socket locality.
+
+use crate::config::SilozConfig;
+use crate::SilozError;
+
+/// Mapping from SNC cluster index to the physical socket that hosts it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SncMap {
+    /// SNC ways (clusters per socket); 1 = SNC off.
+    pub ways: u16,
+    /// Physical sockets before clustering.
+    pub physical_sockets: u16,
+}
+
+impl SncMap {
+    /// The physical socket hosting `cluster`.
+    #[must_use]
+    pub fn socket_of_cluster(&self, cluster: u16) -> u16 {
+        cluster / self.ways
+    }
+
+    /// All clusters hosted by `socket`.
+    #[must_use]
+    pub fn clusters_of_socket(&self, socket: u16) -> Vec<u16> {
+        (socket * self.ways..(socket + 1) * self.ways).collect()
+    }
+
+    /// Whether two clusters share a physical socket (same local DRAM
+    /// latency class).
+    #[must_use]
+    pub fn same_socket(&self, a: u16, b: u16) -> bool {
+        self.socket_of_cluster(a) == self.socket_of_cluster(b)
+    }
+}
+
+/// Rewrites a configuration for `ways`-way sub-NUMA clustering.
+///
+/// Each cluster gets `channels / ways` channels and `cores / ways` cores;
+/// geometry "sockets" become clusters. Subarray group sizes shrink by
+/// `ways` (§8.1: "sub-NUMA clustering can reduce group sizes by 50%").
+pub fn apply_snc(config: &SilozConfig, ways: u16) -> Result<(SilozConfig, SncMap), SilozError> {
+    if ways == 0 {
+        return Err(SilozError::BadConfig("SNC ways must be >= 1".into()));
+    }
+    if config.geometry.channels_per_socket % ways != 0 {
+        return Err(SilozError::BadConfig(format!(
+            "{} channels per socket not divisible by SNC-{ways}",
+            config.geometry.channels_per_socket
+        )));
+    }
+    if config.cores_per_socket % ways as u32 != 0 {
+        return Err(SilozError::BadConfig(format!(
+            "{} cores per socket not divisible by SNC-{ways}",
+            config.cores_per_socket
+        )));
+    }
+    let mut clustered = config.clone();
+    clustered.geometry.sockets = config.geometry.sockets * ways;
+    clustered.geometry.channels_per_socket = config.geometry.channels_per_socket / ways;
+    clustered.cores_per_socket = config.cores_per_socket / ways as u32;
+    // The mapping jump must still tile the (smaller) cluster address space
+    // and its blocks; shrink it proportionally.
+    clustered.decoder.jump_bytes = config.decoder.jump_bytes / ways as u64;
+    clustered.geometry.validate().map_err(SilozError::BadConfig)?;
+    let map = SncMap {
+        ways,
+        physical_sockets: config.geometry.sockets,
+    };
+    Ok((clustered, map))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypervisor::{Hypervisor, HypervisorKind};
+    use crate::vm::VmSpec;
+
+    #[test]
+    fn snc2_halves_group_sizes_on_the_evaluation_server() {
+        let base = SilozConfig::evaluation();
+        let (snc, map) = apply_snc(&base, 2).unwrap();
+        assert_eq!(
+            snc.subarray_group_bytes(),
+            base.subarray_group_bytes() / 2,
+            "SNC-2 halves the subarray group size (§8.1)"
+        );
+        assert_eq!(snc.geometry.sockets, 4, "2 sockets x 2 clusters");
+        assert_eq!(snc.geometry.banks_per_socket(), 96);
+        assert_eq!(map.socket_of_cluster(0), 0);
+        assert_eq!(map.socket_of_cluster(1), 0);
+        assert_eq!(map.socket_of_cluster(2), 1);
+        assert!(map.same_socket(0, 1));
+        assert!(!map.same_socket(1, 2));
+        assert_eq!(map.clusters_of_socket(1), vec![2, 3]);
+    }
+
+    #[test]
+    fn snc_machine_boots_and_provisions_finer_vms() {
+        let (snc, _) = apply_snc(&SilozConfig::mini(), 2).unwrap();
+        let group = snc.subarray_group_bytes();
+        assert_eq!(group, SilozConfig::mini().subarray_group_bytes() / 2);
+        let mut hv = Hypervisor::boot(snc, HypervisorKind::Siloz).unwrap();
+        // A VM sized to one *clustered* group wastes nothing.
+        let vm = hv.create_vm(VmSpec::new("micro", 1, group)).unwrap();
+        assert_eq!(hv.vm_groups(vm).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn snc_rejects_indivisible_configs() {
+        assert!(apply_snc(&SilozConfig::evaluation(), 0).is_err());
+        assert!(apply_snc(&SilozConfig::evaluation(), 4).is_err(), "6 channels / 4");
+        // SNC-3 divides 6 channels but the jump must stay block-aligned.
+        let r = apply_snc(&SilozConfig::evaluation(), 3);
+        if let Ok((cfg, _)) = r {
+            // If accepted, the decoder must still construct.
+            assert!(dram_addr::SystemAddressDecoder::new(cfg.geometry, cfg.decoder).is_ok());
+        }
+    }
+
+    #[test]
+    fn snc_preserves_containment_boundaries() {
+        // Groups under SNC still partition rows exactly.
+        let (snc, _) = apply_snc(&SilozConfig::mini(), 2).unwrap();
+        let decoder =
+            dram_addr::SystemAddressDecoder::new(snc.geometry, snc.decoder).unwrap();
+        let map = crate::group::SubarrayGroupMap::compute(&decoder, snc.presumed_subarray_rows)
+            .unwrap();
+        let total: u64 = map.groups().iter().map(|gr| gr.bytes()).sum();
+        assert_eq!(total, decoder.capacity());
+    }
+}

@@ -1,0 +1,165 @@
+//! Noisy-neighbor colocation experiment (§8.4 context).
+//!
+//! Siloz isolates *disturbance* (security), not memory-controller bandwidth
+//! (performance): subarray groups deliberately span every bank, so two
+//! colocated tenants still contend for banks and channels exactly as on the
+//! baseline. This experiment quantifies that: a latency-sensitive tenant
+//! runs alone and then next to a bandwidth hog, under both hypervisors.
+//! Expected shape: colocation hurts both hypervisors similarly — Siloz
+//! neither adds interference nor (by design, §8.4) removes it; bank/channel
+//! partitioning is future work.
+
+use crate::run::SimConfig;
+use dram::{DimmProfile, DramSystemBuilder};
+use memctrl::{MemOp, MemoryController};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use siloz::{Hypervisor, HypervisorKind, SilozConfig, SilozError, VmSpec};
+use workloads::WorkloadGen;
+
+/// Result of one colocation measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColocationResult {
+    /// Victim tenant's mean memory latency running alone, ns.
+    pub solo_latency_ns: f64,
+    /// Victim tenant's mean memory latency next to the aggressor, ns.
+    pub colocated_latency_ns: f64,
+}
+
+impl ColocationResult {
+    /// Relative slowdown from colocation (1.0 = none).
+    #[must_use]
+    pub fn slowdown(&self) -> f64 {
+        if self.solo_latency_ns == 0.0 {
+            return 1.0;
+        }
+        self.colocated_latency_ns / self.solo_latency_ns
+    }
+}
+
+/// Builds a tenant's physical trace on threads `[thread_base, +threads)`.
+fn tenant_trace(
+    hv: &Hypervisor,
+    vm: siloz::VmHandle,
+    workload: &mut dyn WorkloadGen,
+    ops: usize,
+    threads: u16,
+    thread_base: u16,
+    seed: u64,
+) -> Result<Vec<MemOp>, SilozError> {
+    let blocks = hv.vm_unmediated_backing(vm)?;
+    let block_bytes = blocks[0].bytes();
+    let ram: u64 = blocks.iter().map(|b| b.bytes()).sum();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let guest_ops = workload.generate(ops, &mut rng);
+    let mut thread = 0u16;
+    Ok(guest_ops
+        .iter()
+        .map(|op| {
+            if !op.dependent {
+                thread = (thread + 1) % threads.max(1);
+            }
+            let guest = op.offset % ram;
+            let idx = (guest / block_bytes) as usize;
+            MemOp {
+                phys: blocks[idx].hpa() + guest % block_bytes,
+                write: op.write,
+                gap_ps: op.gap_ps,
+                dependent: op.dependent,
+                thread: thread_base + thread,
+            }
+        })
+        .collect())
+}
+
+/// Measures the victim workload's latency alone and colocated with the
+/// aggressor workload, under `kind`.
+pub fn run_colocation(
+    config: &SilozConfig,
+    kind: HypervisorKind,
+    victim: &mut dyn WorkloadGen,
+    aggressor: &mut dyn WorkloadGen,
+    sim: &SimConfig,
+    seed: u64,
+) -> Result<ColocationResult, SilozError> {
+    let threads = sim.vcpus.clamp(1, 8) as u16;
+    let measure = |with_aggressor: bool,
+                   victim: &mut dyn WorkloadGen,
+                   aggressor: &mut dyn WorkloadGen|
+     -> Result<f64, SilozError> {
+        let dram = DramSystemBuilder::new(config.geometry)
+            .profiles(vec![DimmProfile::invulnerable()])
+            .build();
+        let mut hv =
+            Hypervisor::boot_with(config.clone(), kind, dram, dram_addr::RepairMap::new())?;
+        let vm_v = hv.create_vm(VmSpec::new("victim", sim.vcpus, sim.vm_memory))?;
+        let trace_v = tenant_trace(&hv, vm_v, victim, sim.ops, threads, 0, seed)?;
+        let merged: Vec<MemOp> = if with_aggressor {
+            let vm_a = hv.create_vm(VmSpec::new("aggressor", sim.vcpus, sim.vm_memory))?;
+            let trace_a =
+                tenant_trace(&hv, vm_a, aggressor, sim.ops, threads, threads, seed ^ 0xa99)?;
+            // Interleave the two tenants' streams.
+            let mut merged = Vec::with_capacity(trace_v.len() + trace_a.len());
+            for (a, b) in trace_v.iter().zip(&trace_a) {
+                merged.push(*a);
+                merged.push(*b);
+            }
+            merged
+        } else {
+            trace_v
+        };
+        let mut ctrl = MemoryController::new(hv.decoder().clone()).without_physics();
+        let result = ctrl.run_trace(hv.dram_mut(), merged);
+        Ok(result.mean_latency_ns_of(0..threads))
+    };
+    let solo = measure(false, victim, aggressor)?;
+    let colocated = measure(true, victim, aggressor)?;
+    Ok(ColocationResult {
+        solo_latency_ns: solo,
+        colocated_latency_ns: colocated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::mlc::{Mlc, MlcKind};
+    use workloads::ycsb::{Ycsb, YcsbKind};
+
+    fn quick_sim() -> SimConfig {
+        SimConfig {
+            ops: 15_000,
+            repeats: 1,
+            vm_memory: 128 << 20,
+            vcpus: 4,
+            working_set: 16 << 20,
+        }
+    }
+
+    #[test]
+    fn colocation_slows_the_victim_under_both_hypervisors() {
+        let config = SilozConfig::mini();
+        let sim = quick_sim();
+        let mut results = Vec::new();
+        for kind in [HypervisorKind::Baseline, HypervisorKind::Siloz] {
+            let mut victim = Ycsb::new(YcsbKind::C, sim.working_set);
+            let mut hog = Mlc::new(MlcKind::Reads, sim.working_set);
+            let r = run_colocation(&config, kind, &mut victim, &mut hog, &sim, 3).unwrap();
+            assert!(
+                r.slowdown() > 1.02,
+                "{kind:?}: a bandwidth hog must slow the victim ({:.3})",
+                r.slowdown()
+            );
+            results.push(r.slowdown());
+        }
+        // Siloz neither amplifies nor removes performance interference:
+        // slowdowns are in the same ballpark (within 25% of each other).
+        let ratio = results[1] / results[0];
+        assert!(
+            (0.75..1.25).contains(&ratio),
+            "baseline slowdown {:.3} vs siloz {:.3}",
+            results[0],
+            results[1]
+        );
+    }
+}

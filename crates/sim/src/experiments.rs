@@ -1,0 +1,235 @@
+//! Drivers regenerating the paper's performance figures (Figs. 4-7).
+
+use crate::run::{run_workload, SimConfig};
+use crate::stats::{geomean, overhead_pct_higher_better, overhead_pct_lower_better, Summary};
+use siloz::{HypervisorKind, SilozConfig, SilozError};
+use workloads::{exec_time_suite, throughput_suite, Metric, WorkloadGen};
+
+/// One figure row: a workload measured under a reference and a candidate
+/// configuration, with the paired per-seed overhead distribution.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Workload label (matches the paper's x-axis).
+    pub workload: String,
+    /// Metric kind.
+    pub metric: Metric,
+    /// Reference samples (baseline hypervisor, or Siloz-1024 for
+    /// sensitivity figures).
+    pub reference: Summary,
+    /// Candidate samples (Siloz, or a sensitivity variant).
+    pub candidate: Summary,
+    /// Per-seed paired overheads, percent (positive = candidate slower).
+    pub overheads_pct: Summary,
+}
+
+impl Comparison {
+    /// Mean overhead percent.
+    #[must_use]
+    pub fn overhead_pct(&self) -> f64 {
+        self.overheads_pct.mean
+    }
+
+    /// 95% CI half-width of the overhead, percent.
+    #[must_use]
+    pub fn ci95_pct(&self) -> f64 {
+        self.overheads_pct.ci95
+    }
+}
+
+type SuiteFactory = fn(u64) -> Vec<Box<dyn WorkloadGen>>;
+
+/// Measures one suite under `reference_kind`/`reference_cfg` vs
+/// `candidate_kind`/`candidate_cfg`, paired per seed, plus a geomean row.
+fn compare_suite(
+    suite: SuiteFactory,
+    reference: (&SilozConfig, HypervisorKind),
+    candidate: (&SilozConfig, HypervisorKind),
+    sim: &SimConfig,
+) -> Result<Vec<Comparison>, SilozError> {
+    let names: Vec<(String, Metric)> = suite(sim.working_set)
+        .iter()
+        .map(|w| (w.name(), w.metric()))
+        .collect();
+    let n = names.len();
+    let mut ref_samples: Vec<Vec<f64>> = vec![Vec::new(); n];
+    let mut cand_samples: Vec<Vec<f64>> = vec![Vec::new(); n];
+    for seed in 0..sim.repeats as u64 {
+        // Fresh workload instances per run: generators are stateful.
+        let mut ref_suite = suite(sim.working_set);
+        let mut cand_suite = suite(sim.working_set);
+        for i in 0..n {
+            ref_samples[i].push(run_workload(
+                reference.0,
+                reference.1,
+                ref_suite[i].as_mut(),
+                sim,
+                seed,
+            )?);
+            cand_samples[i].push(run_workload(
+                candidate.0,
+                candidate.1,
+                cand_suite[i].as_mut(),
+                sim,
+                // Different noise stream for the candidate run — keyed by
+                // the candidate configuration too, so distinct sensitivity
+                // variants get independent nuisance factors, as real
+                // measurements would.
+                seed ^ 0x5a5a_0000 ^ (candidate.0.presumed_subarray_rows as u64) << 32,
+            )?);
+        }
+    }
+    let overhead = |metric: Metric, r: f64, c: f64| match metric {
+        Metric::ExecTime => overhead_pct_lower_better(r, c),
+        Metric::Throughput => overhead_pct_higher_better(r, c),
+    };
+    let mut out = Vec::with_capacity(n + 1);
+    for i in 0..n {
+        let (name, metric) = names[i].clone();
+        let overheads: Vec<f64> = ref_samples[i]
+            .iter()
+            .zip(&cand_samples[i])
+            .map(|(&r, &c)| overhead(metric, r, c))
+            .collect();
+        out.push(Comparison {
+            workload: name,
+            metric,
+            reference: Summary::of(&ref_samples[i]),
+            candidate: Summary::of(&cand_samples[i]),
+            overheads_pct: Summary::of(&overheads),
+        });
+    }
+    // Geomean row: per-seed geometric means across workloads.
+    let metric = names[0].1;
+    let per_seed_ref: Vec<f64> = (0..sim.repeats as usize)
+        .map(|s| geomean(&ref_samples.iter().map(|v| v[s]).collect::<Vec<_>>()))
+        .collect();
+    let per_seed_cand: Vec<f64> = (0..sim.repeats as usize)
+        .map(|s| geomean(&cand_samples.iter().map(|v| v[s]).collect::<Vec<_>>()))
+        .collect();
+    let overheads: Vec<f64> = per_seed_ref
+        .iter()
+        .zip(&per_seed_cand)
+        .map(|(&r, &c)| overhead(metric, r, c))
+        .collect();
+    out.push(Comparison {
+        workload: "geomean".into(),
+        metric,
+        reference: Summary::of(&per_seed_ref),
+        candidate: Summary::of(&per_seed_cand),
+        overheads_pct: Summary::of(&overheads),
+    });
+    Ok(out)
+}
+
+/// Fig. 4: baseline-normalized execution time for Siloz.
+pub fn figure4(config: &SilozConfig, sim: &SimConfig) -> Result<Vec<Comparison>, SilozError> {
+    compare_suite(
+        exec_time_suite,
+        (config, HypervisorKind::Baseline),
+        (config, HypervisorKind::Siloz),
+        sim,
+    )
+}
+
+/// Fig. 5: baseline-normalized throughput for Siloz.
+pub fn figure5(config: &SilozConfig, sim: &SimConfig) -> Result<Vec<Comparison>, SilozError> {
+    compare_suite(
+        throughput_suite,
+        (config, HypervisorKind::Baseline),
+        (config, HypervisorKind::Siloz),
+        sim,
+    )
+}
+
+/// A sensitivity variant label and its comparisons vs Siloz-1024.
+pub type SensitivityResult = Vec<(String, Vec<Comparison>)>;
+
+fn sensitivity(
+    suite: SuiteFactory,
+    config: &SilozConfig,
+    sim: &SimConfig,
+    sizes: &[u32],
+    reference_size: u32,
+) -> Result<SensitivityResult, SilozError> {
+    let reference_cfg = config.clone().with_presumed_subarray_rows(reference_size);
+    let mut out = Vec::new();
+    for &size in sizes {
+        let cand_cfg = config.clone().with_presumed_subarray_rows(size);
+        let rows = compare_suite(
+            suite,
+            (&reference_cfg, HypervisorKind::Siloz),
+            (&cand_cfg, HypervisorKind::Siloz),
+            sim,
+        )?;
+        out.push((format!("Siloz-{size}"), rows));
+    }
+    Ok(out)
+}
+
+/// Fig. 6: Siloz-1024-normalized execution time for Siloz-512/2048.
+pub fn figure6(config: &SilozConfig, sim: &SimConfig) -> Result<SensitivityResult, SilozError> {
+    let (small, reference, large) = sensitivity_sizes(config);
+    sensitivity(exec_time_suite, config, sim, &[small, large], reference)
+}
+
+/// Fig. 7: Siloz-1024-normalized throughput for Siloz-512/2048.
+pub fn figure7(config: &SilozConfig, sim: &SimConfig) -> Result<SensitivityResult, SilozError> {
+    let (small, reference, large) = sensitivity_sizes(config);
+    sensitivity(throughput_suite, config, sim, &[small, large], reference)
+}
+
+/// The (half, nominal, double) presumed subarray sizes for a config —
+/// 512/1024/2048 on the evaluation server, scaled for mini configs.
+#[must_use]
+pub fn sensitivity_sizes(config: &SilozConfig) -> (u32, u32, u32) {
+    let nominal = config.presumed_subarray_rows;
+    (nominal / 2, nominal, nominal * 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> (SilozConfig, SimConfig) {
+        let config = SilozConfig::mini();
+        let sim = SimConfig {
+            ops: 20_000,
+            repeats: 3,
+            vm_memory: 256 << 20,
+            vcpus: 2,
+            working_set: 8 << 20,
+        };
+        (config, sim)
+    }
+
+    #[test]
+    fn figure4_produces_all_rows_with_small_overheads() {
+        let (config, sim) = quick();
+        let rows = figure4(&config, &sim).unwrap();
+        assert_eq!(rows.len(), 10, "9 workloads + geomean");
+        assert_eq!(rows.last().unwrap().workload, "geomean");
+        for row in &rows {
+            assert!(
+                row.overhead_pct().abs() < 8.0,
+                "{} overhead {:.2}% unreasonably large",
+                row.workload,
+                row.overhead_pct()
+            );
+        }
+        // The headline claim at mini scale: geomean within ±2%.
+        assert!(rows.last().unwrap().overhead_pct().abs() < 2.0);
+    }
+
+    #[test]
+    fn figure6_has_two_variants() {
+        let (config, sim) = quick();
+        let res = figure6(&config, &sim).unwrap();
+        assert_eq!(res.len(), 2);
+        assert_eq!(res[0].0, "Siloz-128");
+        assert_eq!(res[1].0, "Siloz-512");
+        for (_, rows) in &res {
+            assert_eq!(rows.last().unwrap().workload, "geomean");
+            assert!(rows.last().unwrap().overhead_pct().abs() < 2.0);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! End-to-end performance simulation (§7.2-§7.4).
+//!
+//! Wires the whole stack together: boot a hypervisor (baseline or Siloz),
+//! create a VM, translate each workload's guest-address trace to host
+//! physical addresses through the VM's actual backing, replay it through
+//! the FR-FCFS memory controller, and report execution time or throughput
+//! with confidence intervals over repeated seeds.
+//!
+//! The experiment drivers in [`experiments`] regenerate each performance
+//! figure of the paper:
+//!
+//! - Fig. 4: baseline-normalized execution time (YCSB A-F, terasort,
+//!   SPEC-like, PARSEC-like);
+//! - Fig. 5: baseline-normalized throughput (memcached, mysql, MLC);
+//! - Fig. 6/7: Siloz-1024-normalized sensitivity across Siloz-512 /
+//!   Siloz-1024 / Siloz-2048.
+
+pub mod colocation;
+pub mod experiments;
+pub mod noise;
+pub mod run;
+pub mod stats;
+
+pub use colocation::{run_colocation, ColocationResult};
+pub use experiments::{figure4, figure5, figure6, figure7, Comparison};
+pub use run::{run_workload, SimConfig};
+pub use stats::Summary;

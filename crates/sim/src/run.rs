@@ -1,0 +1,177 @@
+//! Running one workload inside one VM under one hypervisor.
+
+use crate::noise::noisy;
+use dram::{DimmProfile, DramSystemBuilder};
+use memctrl::{MemOp, MemoryController};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use siloz::{Hypervisor, HypervisorKind, SilozConfig, SilozError, VmSpec};
+use workloads::{Metric, WorkloadGen};
+
+/// Simulation parameters shared across experiment runs.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Memory operations replayed per measurement.
+    pub ops: usize,
+    /// Repeats (independent seeds) per configuration, for error bars.
+    pub repeats: u32,
+    /// VM memory size (must cover the workloads' working sets).
+    pub vm_memory: u64,
+    /// VM vCPUs.
+    pub vcpus: u32,
+    /// Workload working-set size.
+    pub working_set: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            ops: 120_000,
+            repeats: 5,
+            vm_memory: 3 << 30,
+            vcpus: 40,
+            working_set: 256 << 20,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A smaller configuration for tests.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            ops: 20_000,
+            repeats: 3,
+            vm_memory: 256 << 20,
+            vcpus: 4,
+            working_set: 32 << 20,
+        }
+    }
+}
+
+/// One measured sample: execution time in milliseconds (ExecTime) or
+/// bandwidth in GiB/s (Throughput).
+pub fn run_workload(
+    config: &SilozConfig,
+    kind: HypervisorKind,
+    workload: &mut dyn WorkloadGen,
+    sim: &SimConfig,
+    seed: u64,
+) -> Result<f64, SilozError> {
+    // Performance runs use an invulnerable DIMM (disturbance bookkeeping
+    // off) — allocation policy is what is being measured.
+    let dram = DramSystemBuilder::new(config.geometry)
+        .profiles(vec![DimmProfile::invulnerable()])
+        .build();
+    let mut hv = Hypervisor::boot_with(
+        config.clone(),
+        kind,
+        dram,
+        dram_addr::RepairMap::new(),
+    )?;
+    let vm = hv.create_vm(VmSpec::new("perf-vm", sim.vcpus, sim.vm_memory))?;
+
+    // Guest-offset -> HPA translation table from the VM's actual backing.
+    let blocks = hv.vm_unmediated_backing(vm)?;
+    assert!(!blocks.is_empty());
+    let block_bytes = blocks[0].bytes();
+    let ram_bytes: u64 = blocks.iter().map(|b| b.bytes()).sum();
+    let to_hpa = |guest: u64| -> u64 {
+        let guest = guest % ram_bytes;
+        let idx = (guest / block_bytes) as usize;
+        blocks[idx].hpa() + guest % block_bytes
+    };
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let guest_ops = workload.generate(sim.ops, &mut rng);
+    // Deal each logical request (a chain starting at a non-dependent op) to
+    // the next vCPU, as a multi-threaded server would; dependencies stay
+    // within their thread.
+    let threads = sim.vcpus.clamp(1, 16) as u16;
+    let mut thread = 0u16;
+    let trace: Vec<MemOp> = guest_ops
+        .iter()
+        .map(|op| {
+            if !op.dependent {
+                thread = (thread + 1) % threads;
+            }
+            MemOp {
+                phys: to_hpa(op.offset),
+                write: op.write,
+                gap_ps: op.gap_ps,
+                dependent: op.dependent,
+                thread,
+            }
+        })
+        .collect();
+
+    let decoder = hv.decoder().clone();
+    let mut ctrl = MemoryController::new(decoder).without_physics();
+    let result = ctrl.run_trace(hv.dram_mut(), trace);
+    let raw = match workload.metric() {
+        Metric::ExecTime => result.elapsed_ms(),
+        Metric::Throughput => result.bandwidth_gib_s(),
+    };
+    Ok(noisy(raw, &mut rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::mlc::{Mlc, MlcKind};
+    use workloads::ycsb::{Ycsb, YcsbKind};
+
+    #[test]
+    fn exec_time_sample_is_positive_and_repeatable() {
+        let config = SilozConfig::mini();
+        let sim = SimConfig {
+            vm_memory: 256 << 20,
+            working_set: 16 << 20,
+            ops: 10_000,
+            repeats: 1,
+            vcpus: 2,
+        };
+        let mut wl = Ycsb::new(YcsbKind::C, sim.working_set);
+        let a = run_workload(&config, HypervisorKind::Siloz, &mut wl, &sim, 1).unwrap();
+        assert!(a > 0.0);
+        let mut wl2 = Ycsb::new(YcsbKind::C, sim.working_set);
+        let b = run_workload(&config, HypervisorKind::Siloz, &mut wl2, &sim, 1).unwrap();
+        assert_eq!(a, b, "same seed, same sample");
+    }
+
+    #[test]
+    fn throughput_sample_reports_bandwidth() {
+        let config = SilozConfig::mini();
+        let sim = SimConfig {
+            vm_memory: 128 << 20,
+            working_set: 16 << 20,
+            ops: 20_000,
+            repeats: 1,
+            vcpus: 2,
+        };
+        let mut wl = Mlc::new(MlcKind::Reads, sim.working_set);
+        let bw = run_workload(&config, HypervisorKind::Baseline, &mut wl, &sim, 2).unwrap();
+        assert!(bw > 1.0, "streaming reads exceed 1 GiB/s: {bw}");
+    }
+
+    #[test]
+    fn baseline_and_siloz_are_close_on_streaming() {
+        // The headline claim in miniature: same workload, both hypervisors,
+        // difference within a few percent (exact equality is not expected
+        // because physical layouts differ).
+        let config = SilozConfig::mini();
+        let sim = SimConfig {
+            vm_memory: 128 << 20,
+            working_set: 16 << 20,
+            ops: 30_000,
+            repeats: 1,
+            vcpus: 2,
+        };
+        let mut w1 = Mlc::new(MlcKind::Reads, sim.working_set);
+        let base = run_workload(&config, HypervisorKind::Baseline, &mut w1, &sim, 3).unwrap();
+        let mut w2 = Mlc::new(MlcKind::Reads, sim.working_set);
+        let sz = run_workload(&config, HypervisorKind::Siloz, &mut w2, &sim, 3).unwrap();
+        let diff_pct = ((sz / base) - 1.0).abs() * 100.0;
+        assert!(diff_pct < 3.0, "siloz vs baseline bandwidth differs {diff_pct:.2}%");
+    }
+}

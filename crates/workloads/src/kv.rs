@@ -1,0 +1,261 @@
+//! An in-memory key-value store substrate (redis/memcached-like).
+//!
+//! A real open-addressed hash table over a [`TraceArena`]: keys hash to
+//! bucket slots; values live in arena extents. Every probe, value read, and
+//! value write is emitted to the trace — so YCSB mixes (§7.2) and
+//! memcached-style throughput loads (§7.3) exercise the memory system the
+//! way a KV service does: a dependent pointer chase into the bucket array
+//! followed by value-sized sequential access.
+
+use crate::arena::TraceArena;
+use crate::{GuestOp, Metric, WorkloadGen};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const BUCKET_BYTES: u64 = 64;
+
+/// One bucket: key id + value location (modeled, sized one cache line).
+#[derive(Debug, Clone, Copy, Default)]
+struct Bucket {
+    key: u64,
+    value_off: u64,
+    value_len: u32,
+    used: bool,
+}
+
+/// The KV store substrate.
+#[derive(Debug)]
+pub struct KvStore {
+    arena: TraceArena,
+    buckets: Vec<Bucket>,
+    buckets_off: u64,
+    items: u64,
+    /// CPU cost modeled per operation (hashing, dispatch), ps.
+    op_compute_ps: u64,
+}
+
+impl KvStore {
+    /// A store whose table and values fit in `arena_bytes`, sized for
+    /// `expected_items` entries.
+    #[must_use]
+    pub fn new(arena_bytes: u64, expected_items: u64) -> Self {
+        let mut arena = TraceArena::new(arena_bytes);
+        let slots = (expected_items * 2).next_power_of_two();
+        let buckets_off = arena.alloc(slots * BUCKET_BYTES, 4096);
+        Self {
+            arena,
+            buckets: vec![Bucket::default(); slots as usize],
+            buckets_off,
+            items: 0,
+            op_compute_ps: 120_000, // ~120 ns of CPU per request
+        }
+    }
+
+    fn slot_of(&self, key: u64) -> usize {
+        let mut h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h ^= h >> 31;
+        (h as usize) & (self.buckets.len() - 1)
+    }
+
+    /// Number of live items.
+    #[must_use]
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Inserts/overwrites a key with a `value_len`-byte value.
+    pub fn set(&mut self, key: u64, value_len: u32) {
+        self.arena.compute(self.op_compute_ps);
+        let mut slot = self.slot_of(key);
+        // Linear probing; every probe is a dependent bucket read.
+        for _ in 0..self.buckets.len() {
+            let off = self.buckets_off + slot as u64 * BUCKET_BYTES;
+            self.arena.read_dependent(off, BUCKET_BYTES);
+            let b = self.buckets[slot];
+            if !b.used || b.key == key {
+                let value_off = if b.used && b.value_len >= value_len {
+                    b.value_off // Reuse in place.
+                } else {
+                    self.arena.alloc(value_len as u64, 64)
+                };
+                self.buckets[slot] = Bucket {
+                    key,
+                    value_off,
+                    value_len,
+                    used: true,
+                };
+                if !b.used {
+                    self.items += 1;
+                }
+                self.arena.write(off, BUCKET_BYTES);
+                self.arena.write(value_off, value_len as u64);
+                return;
+            }
+            slot = (slot + 1) & (self.buckets.len() - 1);
+        }
+    }
+
+    /// Reads a key's value; returns whether it existed.
+    pub fn get(&mut self, key: u64) -> bool {
+        self.arena.compute(self.op_compute_ps);
+        let mut slot = self.slot_of(key);
+        for _ in 0..self.buckets.len() {
+            let off = self.buckets_off + slot as u64 * BUCKET_BYTES;
+            self.arena.read_dependent(off, BUCKET_BYTES);
+            let b = self.buckets[slot];
+            if !b.used {
+                return false;
+            }
+            if b.key == key {
+                self.arena.read(b.value_off, b.value_len as u64);
+                return true;
+            }
+            slot = (slot + 1) & (self.buckets.len() - 1);
+        }
+        false
+    }
+
+    /// Scans `count` consecutive keys starting at `key` (YCSB-E).
+    pub fn scan(&mut self, key: u64, count: u32) {
+        for k in key..key + count as u64 {
+            if !self.get(k) {
+                break;
+            }
+        }
+    }
+
+    /// Takes the trace accumulated by operations so far.
+    pub fn take_trace(&mut self) -> Vec<GuestOp> {
+        self.arena.take_trace()
+    }
+
+    /// Arena capacity (the workload's working set).
+    #[must_use]
+    pub fn working_set(&self) -> u64 {
+        self.arena.capacity()
+    }
+}
+
+/// memcached-style throughput workload: 90% GET / 10% SET over a scrambled
+/// Zipfian keyspace with small values.
+#[derive(Debug)]
+pub struct Memcached {
+    store: KvStore,
+    zipf: crate::zipf::Zipfian,
+    keys: u64,
+    loaded: bool,
+}
+
+impl Memcached {
+    /// A memcached instance filling most of `working_set`.
+    #[must_use]
+    pub fn new(working_set: u64) -> Self {
+        // ~256 B objects; keep table + values within the working set.
+        let keys = (working_set / 512).max(64);
+        Self {
+            store: KvStore::new(working_set, keys),
+            zipf: crate::zipf::Zipfian::ycsb(keys),
+            keys,
+            loaded: false,
+        }
+    }
+
+    fn ensure_loaded(&mut self, rng: &mut StdRng) {
+        if self.loaded {
+            return;
+        }
+        for k in 0..self.keys {
+            self.store.set(k, rng.gen_range(64..=400));
+        }
+        // The load phase is warmup, not measured traffic.
+        let _ = self.store.take_trace();
+        self.loaded = true;
+    }
+}
+
+impl WorkloadGen for Memcached {
+    fn name(&self) -> String {
+        "memcached".into()
+    }
+
+    fn working_set(&self) -> u64 {
+        self.store.working_set()
+    }
+
+    fn metric(&self) -> Metric {
+        Metric::Throughput
+    }
+
+    fn generate(&mut self, count: usize, rng: &mut StdRng) -> Vec<GuestOp> {
+        self.ensure_loaded(rng);
+        while self.store.arena.trace_len() < count {
+            let key = self.zipf.sample(rng);
+            if rng.gen_bool(0.9) {
+                self.store.get(key);
+            } else {
+                self.store.set(key, rng.gen_range(64..=400));
+            }
+        }
+        let mut t = self.store.take_trace();
+        t.truncate(count);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn set_get_roundtrip_with_probing() {
+        let mut kv = KvStore::new(1 << 20, 100);
+        for k in 0..100 {
+            kv.set(k, 128);
+        }
+        assert_eq!(kv.items(), 100);
+        for k in 0..100 {
+            assert!(kv.get(k), "key {k} lost");
+        }
+        assert!(!kv.get(1000));
+        let trace = kv.take_trace();
+        assert!(!trace.is_empty());
+        // Bucket probes are dependent reads.
+        assert!(trace.iter().any(|op| op.dependent));
+        // Value writes exist.
+        assert!(trace.iter().any(|op| op.write));
+    }
+
+    #[test]
+    fn overwrite_reuses_value_space() {
+        let mut kv = KvStore::new(1 << 20, 10);
+        kv.set(1, 256);
+        let used = kv.arena.used();
+        kv.set(1, 128); // Smaller: reuse in place.
+        assert_eq!(kv.arena.used(), used);
+        assert_eq!(kv.items(), 1);
+    }
+
+    #[test]
+    fn scan_touches_consecutive_keys() {
+        let mut kv = KvStore::new(1 << 20, 64);
+        for k in 0..64 {
+            kv.set(k, 64);
+        }
+        let _ = kv.take_trace();
+        kv.scan(10, 5);
+        let t = kv.take_trace();
+        assert!(t.len() >= 10, "5 gets with probes and value reads");
+    }
+
+    #[test]
+    fn memcached_generates_bounded_ops() {
+        let mut m = Memcached::new(4 << 20);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ops = m.generate(5_000, &mut rng);
+        assert_eq!(ops.len(), 5_000);
+        assert!(ops.iter().all(|o| o.offset < m.working_set()));
+        let writes = ops.iter().filter(|o| o.write).count();
+        assert!(writes > 0 && writes < ops.len() / 3, "GET-heavy mix");
+    }
+}

@@ -1,0 +1,185 @@
+//! Workload generators for the Siloz performance evaluation (§7.2, §7.3).
+//!
+//! The paper measures execution time with redis+YCSB, Hadoop terasort, SPEC
+//! CPU 2017 and PARSEC 3.0, and throughput with memcached, SysBench mySQL,
+//! and Intel MLC. This crate rebuilds the *memory behaviour* of each from
+//! scratch: real in-memory substrates (a hash-table KV store, a slab cache,
+//! a B+-tree, a merge sorter) executed over an address-traced arena, plus
+//! synthetic kernels whose access patterns match the SPEC/PARSEC/MLC
+//! categories (pointer chasing, stencils, streaming, random walks).
+//!
+//! Every workload implements [`WorkloadGen`]: it yields [`GuestOp`]s —
+//! guest-address memory operations with compute gaps and dependency flags —
+//! which the `sim` crate translates to host physical traces under a given
+//! hypervisor and replays through the memory controller.
+
+pub mod arena;
+pub mod extra;
+pub mod kv;
+pub mod mlc;
+pub mod oltp;
+pub mod parsec;
+pub mod spec;
+pub mod terasort;
+pub mod ycsb;
+pub mod zipf;
+
+pub use arena::TraceArena;
+pub use extra::{Gups, PageRank};
+pub use kv::KvStore;
+pub use zipf::Zipfian;
+
+use rand::rngs::StdRng;
+
+/// One guest-address memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuestOp {
+    /// Byte offset within the workload's working set (guest address space).
+    pub offset: u64,
+    /// Write (true) or read (false).
+    pub write: bool,
+    /// Compute time before issuing this op, picoseconds.
+    pub gap_ps: u64,
+    /// Whether this op depends on the previous op's data (serializes).
+    pub dependent: bool,
+}
+
+impl GuestOp {
+    /// An independent read.
+    #[must_use]
+    pub const fn read(offset: u64) -> Self {
+        Self {
+            offset,
+            write: false,
+            gap_ps: 0,
+            dependent: false,
+        }
+    }
+
+    /// An independent write.
+    #[must_use]
+    pub const fn write(offset: u64) -> Self {
+        Self {
+            offset,
+            write: true,
+            gap_ps: 0,
+            dependent: false,
+        }
+    }
+
+    /// Marks the op dependent on the previous one.
+    #[must_use]
+    pub const fn chained(mut self) -> Self {
+        self.dependent = true;
+        self
+    }
+
+    /// Adds compute time before the op.
+    #[must_use]
+    pub const fn with_gap_ps(mut self, gap: u64) -> Self {
+        self.gap_ps = gap;
+        self
+    }
+}
+
+/// Whether a workload is reported as execution time (Fig. 4/6) or
+/// throughput (Fig. 5/7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Lower-is-better completion time.
+    ExecTime,
+    /// Higher-is-better operation/bandwidth rate.
+    Throughput,
+}
+
+/// A workload generator.
+pub trait WorkloadGen {
+    /// Display name (matches the paper's figure labels).
+    fn name(&self) -> String;
+    /// Working-set size in bytes (guest addresses are `[0, working_set)`).
+    fn working_set(&self) -> u64;
+    /// How the workload is reported.
+    fn metric(&self) -> Metric;
+    /// Generates the next `count` operations.
+    fn generate(&mut self, count: usize, rng: &mut StdRng) -> Vec<GuestOp>;
+}
+
+/// The full execution-time roster of Fig. 4: six YCSB workloads on the KV
+/// store, terasort, a SPEC CPU 2017-like suite and a PARSEC 3.0-like suite.
+#[must_use]
+pub fn exec_time_suite(working_set: u64) -> Vec<Box<dyn WorkloadGen>> {
+    let mut v: Vec<Box<dyn WorkloadGen>> = Vec::new();
+    for wl in ycsb::YcsbKind::ALL {
+        v.push(Box::new(ycsb::Ycsb::new(wl, working_set)));
+    }
+    v.push(Box::new(terasort::Terasort::new(working_set)));
+    v.push(Box::new(spec::SpecSuite::new(working_set)));
+    v.push(Box::new(parsec::ParsecSuite::new(working_set)));
+    v
+}
+
+/// The throughput roster of Fig. 5: memcached, SysBench-mySQL-like OLTP,
+/// and the five Intel MLC configurations.
+#[must_use]
+pub fn throughput_suite(working_set: u64) -> Vec<Box<dyn WorkloadGen>> {
+    let mut v: Vec<Box<dyn WorkloadGen>> = Vec::new();
+    v.push(Box::new(kv::Memcached::new(working_set)));
+    v.push(Box::new(oltp::SysbenchOltp::new(working_set)));
+    for kind in mlc::MlcKind::ALL {
+        v.push(Box::new(mlc::Mlc::new(kind, working_set)));
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn suites_cover_the_paper_rosters() {
+        let et = exec_time_suite(64 << 20);
+        let names: Vec<String> = et.iter().map(|w| w.name()).collect();
+        assert!(names.contains(&"redis-A".to_string()));
+        assert!(names.contains(&"redis-F".to_string()));
+        assert!(names.contains(&"terasort".to_string()));
+        assert!(names.contains(&"SPEC-2017".to_string()));
+        assert!(names.contains(&"PARSEC-3.0".to_string()));
+        assert_eq!(et.len(), 9);
+
+        let tp = throughput_suite(64 << 20);
+        let names: Vec<String> = tp.iter().map(|w| w.name()).collect();
+        assert!(names.contains(&"memcached".to_string()));
+        assert!(names.contains(&"mysql".to_string()));
+        assert!(names.contains(&"mlc-stream".to_string()));
+        assert_eq!(tp.len(), 7);
+    }
+
+    #[test]
+    fn all_workloads_generate_in_bounds_ops() {
+        let ws = 16 << 20;
+        let mut rng = StdRng::seed_from_u64(1);
+        for mut wl in exec_time_suite(ws).into_iter().chain(throughput_suite(ws)) {
+            let ops = wl.generate(2000, &mut rng);
+            assert!(!ops.is_empty(), "{} generated nothing", wl.name());
+            for op in &ops {
+                assert!(
+                    op.offset < wl.working_set(),
+                    "{} op at {:#x} beyond working set {:#x}",
+                    wl.name(),
+                    op.offset,
+                    wl.working_set()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = ycsb::Ycsb::new(ycsb::YcsbKind::A, 8 << 20);
+        let mut b = ycsb::Ycsb::new(ycsb::YcsbKind::A, 8 << 20);
+        let ops_a = a.generate(500, &mut StdRng::seed_from_u64(9));
+        let ops_b = b.generate(500, &mut StdRng::seed_from_u64(9));
+        assert_eq!(ops_a, ops_b);
+    }
+}

@@ -1,0 +1,64 @@
+//! Paravirtual I/O under Siloz (§5.1): a guest submits virtio-blk requests
+//! through a split virtqueue in its own RAM; the host performs every DMA
+//! byte on its behalf — through the EPT into simulated DRAM — and can rate-
+//! limit the mediated traffic.
+//!
+//! Run with: `cargo run --example virtio_io`
+
+use siloz_repro::siloz::virtio::{driver, DmaRateLimiter, VirtQueue, VirtioBlk, VIRTIO_BLK_T_IN, VIRTIO_BLK_T_OUT};
+use siloz_repro::siloz::{Hypervisor, HypervisorKind, SilozConfig, VmSpec};
+
+fn main() {
+    let mut hv = Hypervisor::boot(SilozConfig::mini(), HypervisorKind::Siloz).expect("boot");
+    let vm = hv.create_vm(VmSpec::new("guest", 2, 96 << 20)).expect("vm");
+
+    // The queue lives in guest RAM — inside the VM's private subarray
+    // groups, like all unmediated memory.
+    let q = VirtQueue::at(0x10_0000, 8);
+    hv.guest_write(vm, q.avail_gpa, &[0u8; 4]).unwrap();
+    hv.guest_write(vm, q.used_gpa, &[0u8; 4]).unwrap();
+    let t = hv.translate(vm, q.desc_gpa).unwrap();
+    println!(
+        "virtqueue at GPA {:#x} -> HPA {:#x} (group {:?})",
+        q.desc_gpa,
+        t.hpa,
+        hv.groups().group_of_phys(t.hpa).unwrap()
+    );
+
+    // A 64 MiB disk behind a 4 MiB/s mediated-DMA rate limiter (§5.1: the
+    // host can rate-limit exit-induced memory accesses).
+    let mut blk =
+        VirtioBlk::new(q, 131_072).with_limiter(DmaRateLimiter::new(4 << 20));
+
+    // Guest writes a log record to sector 9.
+    let record = b"siloz demo: all my DMA is chaperoned";
+    hv.guest_write(vm, 0x20_0000, record).unwrap();
+    driver::submit_request(
+        &mut hv, vm, &q, 0, VIRTIO_BLK_T_OUT, 9, 0x21_0000, 0x20_0000,
+        record.len() as u32, 0x22_0000,
+    )
+    .unwrap();
+    hv.dram_mut().advance_ns(50_000_000); // let the token bucket fill
+    let done = blk.process_queue(&mut hv, vm).unwrap();
+    println!("device processed {done} request(s): {:?}", blk.stats);
+
+    // Guest reads it back into a different buffer.
+    driver::submit_request(
+        &mut hv, vm, &q, 3, VIRTIO_BLK_T_IN, 9, 0x21_0000, 0x30_0000,
+        record.len() as u32, 0x22_0000,
+    )
+    .unwrap();
+    hv.dram_mut().advance_ns(50_000_000);
+    blk.process_queue(&mut hv, vm).unwrap();
+    let (data, intact) = hv.guest_read(vm, 0x30_0000, record.len()).unwrap();
+    assert!(intact);
+    assert_eq!(&data, record);
+    println!("read back: {:?}", String::from_utf8_lossy(&data));
+    println!(
+        "totals: {} requests OK, {} bytes of host-mediated DMA, {} throttled",
+        blk.stats.ok, blk.stats.bytes, blk.stats.throttled
+    );
+    println!("\nBecause the hypervisor performs all of this I/O, a guest cannot use");
+    println!("DMA to hammer rows outside its subarray groups — and the host can");
+    println!("throttle any attempt to abuse the mediated path (§5.1).");
+}

@@ -1,0 +1,17 @@
+//! Umbrella crate for the Siloz reproduction workspace.
+//!
+//! Re-exports every subsystem crate so examples and integration tests can use
+//! a single dependency. See the individual crates for full documentation:
+//! [`siloz`] (the hypervisor, i.e. the paper's contribution), [`dram`],
+//! [`dram_addr`], [`memctrl`], [`numa`], [`ept`], [`hammer`], [`workloads`],
+//! and [`sim`].
+
+pub use dram;
+pub use dram_addr;
+pub use ept;
+pub use hammer;
+pub use memctrl;
+pub use numa;
+pub use siloz;
+pub use sim;
+pub use workloads;

@@ -1,0 +1,77 @@
+//! Integration: an attacker with *no address-map knowledge* — the realistic
+//! cloud threat model. It only has its own VM's pages. It recovers same-bank
+//! address groups with the DRAMA-style timing probe, hammers within the
+//! largest group, and still cannot escape its subarray groups under Siloz.
+
+use memctrl::MemoryController;
+use siloz_repro::hammer::timing_channel::group_by_bank;
+use siloz_repro::hammer::T_RC_NS;
+use siloz_repro::siloz::{Hypervisor, HypervisorKind, SilozConfig, VmSpec};
+
+#[test]
+fn blind_attacker_recovers_banks_flips_bits_and_stays_contained() {
+    let mut hv = Hypervisor::boot(SilozConfig::mini(), HypervisorKind::Siloz).unwrap();
+    let attacker = hv.create_vm(VmSpec::new("blind", 2, 256 << 20)).unwrap();
+    let _victim = hv.create_vm(VmSpec::new("victim", 2, 256 << 20)).unwrap();
+
+    // Step 1 (attacker's view): sample addresses from its own allocation at
+    // a fixed stride and classify them by bank using only access timing.
+    let backing = hv.vm_unmediated_backing(attacker).unwrap();
+    let base = backing[0].hpa();
+    let rg = hv.decoder().geometry().row_group_bytes(); // unknown to the
+    // attacker; it would sweep strides — we use the right one to keep the
+    // test fast, which only shortens its search.
+    let candidates: Vec<u64> = (0..48u64).map(|i| base + i * rg).collect();
+
+    let mut probe_ctrl = MemoryController::new(hv.decoder().clone()).without_physics();
+    let mut probe_dram = dram::DramSystem::new(*hv.decoder().geometry());
+    let groups = group_by_bank(&mut probe_ctrl, &mut probe_dram, &candidates);
+    let biggest = groups.iter().max_by_key(|g| g.len()).unwrap().clone();
+    // Bank hashing (XOR with row bits) splits same-slot addresses across
+    // several banks; the probe discovers that structure without knowing it.
+    assert!(
+        biggest.len() >= 10,
+        "the timing probe must recover a same-bank set: {} groups, biggest {}",
+        groups.len(),
+        biggest.len()
+    );
+    // Ground truth check: the probe classified correctly.
+    let dec = hv.decoder().clone();
+    let g = *dec.geometry();
+    let bank0 = dec.decode(biggest[0]).unwrap().global_bank(&g);
+    for &a in &biggest {
+        assert_eq!(dec.decode(a).unwrap().global_bank(&g), bank0);
+    }
+
+    // Step 2: hammer everything in the recovered set round-robin (the
+    // attacker does not know which pairs are row-adjacent; it does not need
+    // to — consecutive same-slot addresses are consecutive rows).
+    // A Blacksmith-style attacker sweeps subset sizes and phases; here the
+    // winning configuration (6 aggressors, fixed phase — more schedules
+    // than the 4-entry TRR can track, fast enough to beat the refresh
+    // window) is used directly to keep the test short.
+    {
+        let media: Vec<_> = biggest
+            .iter()
+            .take(6)
+            .map(|&a| dec.decode(a).unwrap())
+            .collect();
+        let dram = hv.dram_mut();
+        for _ in 0..300_000usize {
+            for m in &media {
+                dram.activate(m, 0);
+            }
+            dram.advance_ns(media.len() as u64 * T_RC_NS);
+        }
+    }
+    let flips = hv.dram().flip_log().len();
+    assert!(flips > 0, "the blind campaign must flip bits in-domain");
+
+    // Step 3: Siloz containment still holds.
+    let escapes = hv.flips_outside_vm(attacker).unwrap();
+    assert!(
+        escapes.is_empty(),
+        "blind attacker escaped with {} flips",
+        escapes.len()
+    );
+}

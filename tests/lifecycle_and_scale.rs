@@ -1,0 +1,233 @@
+//! Integration: VM lifecycle at evaluation-server scale, sensitivity
+//! variants, and boot-time invariants across the whole stack.
+
+use siloz_repro::siloz::{
+    EptProtection, Hypervisor, HypervisorKind, SilozConfig, SilozError, VmSpec,
+};
+
+#[test]
+fn evaluation_server_boots_with_256_logical_nodes() {
+    let hv = Hypervisor::boot(SilozConfig::evaluation(), HypervisorKind::Siloz).unwrap();
+    assert_eq!(hv.topology().len(), 256);
+    assert_eq!(hv.host_nodes().len(), 2);
+    assert_eq!(hv.guest_nodes().len(), 254);
+    // Guard reservation matches the paper's ≈0.024% per bank.
+    let plan = hv.ept_plan().unwrap();
+    let frac = plan.reserved_fraction(&hv.config().geometry);
+    assert!((frac - 0.000244).abs() < 1e-5, "reserved fraction {frac}");
+}
+
+#[test]
+fn sensitivity_variants_change_node_counts_as_described() {
+    // §7.4: Siloz-512 needs twice the nodes of Siloz-1024; Siloz-2048 half.
+    let base = SilozConfig::evaluation();
+    let n1024 = Hypervisor::boot(base.clone(), HypervisorKind::Siloz)
+        .unwrap()
+        .topology()
+        .len();
+    let n512 = Hypervisor::boot(
+        base.clone().with_presumed_subarray_rows(512),
+        HypervisorKind::Siloz,
+    )
+    .unwrap()
+    .topology()
+    .len();
+    let n2048 = Hypervisor::boot(
+        base.with_presumed_subarray_rows(2048),
+        HypervisorKind::Siloz,
+    )
+    .unwrap()
+    .topology()
+    .len();
+    assert_eq!(n512, 2 * n1024);
+    assert_eq!(n2048, n1024 / 2);
+}
+
+#[test]
+fn full_server_vm_lifecycle_with_160_gib_vm() {
+    // The paper's VM shape: 40 vCPUs, many groups, 2 MiB backing. Scaled to
+    // 24 GiB here to keep test time sane (same code paths; more blocks).
+    let mut hv = Hypervisor::boot(SilozConfig::evaluation(), HypervisorKind::Siloz).unwrap();
+    let vm = hv
+        .create_vm(VmSpec::new("big", 40, 24u64 << 30).on_socket(0))
+        .unwrap();
+    let groups = hv.vm_groups(vm).unwrap();
+    assert_eq!(groups.len(), 16, "24 GiB / 1.5 GiB groups");
+    // All on socket 0 (NUMA locality preserved, §5.2).
+    for n in hv.vm_nodes(vm).unwrap() {
+        assert_eq!(hv.topology().node(*n).unwrap().socket, 0);
+    }
+    // Guest I/O works at offset extremes.
+    hv.guest_write(vm, 0, b"start").unwrap();
+    let top = (24u64 << 30) - 64;
+    hv.guest_write(vm, top, b"end").unwrap();
+    let (s, _) = hv.guest_read(vm, 0, 5).unwrap();
+    let (e, _) = hv.guest_read(vm, top, 3).unwrap();
+    assert_eq!(&s, b"start");
+    assert_eq!(&e, b"end");
+    hv.destroy_vm(vm).unwrap();
+}
+
+#[test]
+fn one_gib_pages_respect_three_gib_sets() {
+    use siloz_repro::ept::PageSize;
+    let mut hv = Hypervisor::boot(SilozConfig::evaluation(), HypervisorKind::Siloz).unwrap();
+    let vm = hv
+        .create_vm(VmSpec::new("gig", 4, 2u64 << 30).with_page_size(PageSize::Size1G))
+        .unwrap();
+    for block in hv.vm_unmediated_backing(vm).unwrap() {
+        assert_eq!(block.bytes(), 1 << 30);
+        let first = hv.groups().group_of_phys(block.hpa()).unwrap();
+        let last = hv.groups().group_of_phys(block.hpa() + block.bytes() - 1).unwrap();
+        assert_eq!(
+            hv.groups().gig_set_of(first),
+            hv.groups().gig_set_of(last),
+            "1 GiB page crossed a 3 GiB set"
+        );
+    }
+}
+
+#[test]
+fn many_tenants_fill_and_drain_cleanly() {
+    let mut hv = Hypervisor::boot(SilozConfig::mini(), HypervisorKind::Siloz).unwrap();
+    // Mini: 7 guest groups of 128 MiB. Fill with 7 one-group VMs.
+    let vms: Vec<_> = (0..7)
+        .map(|i| {
+            hv.create_vm(VmSpec::new(&format!("t{i}"), 1, 100 << 20))
+                .unwrap()
+        })
+        .collect();
+    assert!(matches!(
+        hv.create_vm(VmSpec::new("overflow", 1, 100 << 20)),
+        Err(SilozError::InsufficientCapacity { .. })
+    ));
+    // Pairwise disjoint groups.
+    for i in 0..vms.len() {
+        for j in i + 1..vms.len() {
+            let gi = hv.vm_groups(vms[i]).unwrap();
+            let gj = hv.vm_groups(vms[j]).unwrap();
+            assert!(gi.iter().all(|g| !gj.contains(g)));
+        }
+    }
+    for vm in vms {
+        hv.destroy_vm(vm).unwrap();
+    }
+    // Everything drains back.
+    let free: u64 = hv
+        .guest_nodes()
+        .to_vec()
+        .iter()
+        .map(|&n| hv.topology().free_frames(n).unwrap())
+        .sum();
+    assert_eq!(free, 7 * ((128u64 << 20) / 4096));
+}
+
+#[test]
+fn secure_ept_and_guard_rows_are_interchangeable_configs() {
+    for protection in [
+        EptProtection::paper_guard_rows(),
+        EptProtection::SecureEpt,
+        EptProtection::None,
+    ] {
+        let mut config = SilozConfig::mini();
+        config.ept_protection = protection;
+        let mut hv = Hypervisor::boot(config, HypervisorKind::Siloz).unwrap();
+        let vm = hv.create_vm(VmSpec::new("t", 1, 64 << 20)).unwrap();
+        assert!(hv.translate(vm, 0).is_ok(), "{protection:?}");
+        match protection {
+            EptProtection::GuardRows { .. } => assert!(hv.ept_plan().is_some()),
+            _ => assert!(hv.ept_plan().is_none()),
+        }
+    }
+}
+
+#[test]
+fn expand_vm_hotplugs_memory_in_new_groups() {
+    let mut hv = Hypervisor::boot(SilozConfig::mini(), HypervisorKind::Siloz).unwrap();
+    let vm = hv.create_vm(VmSpec::new("grow", 2, 100 << 20)).unwrap();
+    let groups_before = hv.vm_groups(vm).unwrap();
+    let backing_before = hv.vm_unmediated_backing(vm).unwrap().len();
+    // Grow beyond the first group's capacity: a second group gets claimed.
+    hv.expand_vm(vm, 100 << 20).unwrap();
+    let groups_after = hv.vm_groups(vm).unwrap();
+    assert!(groups_after.len() > groups_before.len());
+    assert!(groups_after.starts_with(&groups_before));
+    // New memory is addressable right after the old top.
+    let backing = hv.vm_unmediated_backing(vm).unwrap();
+    assert!(backing.len() > backing_before);
+    let top_gpa = backing.iter().map(|b| b.gpa).max().unwrap();
+    hv.guest_write(vm, top_gpa + 100, b"grown").unwrap();
+    let (data, intact) = hv.guest_read(vm, top_gpa + 100, 5).unwrap();
+    assert!(intact);
+    assert_eq!(&data, b"grown");
+    // Still all inside the VM's (possibly grown) groups.
+    for b in &backing {
+        let g = hv.groups().group_of_phys(b.hpa()).unwrap();
+        assert!(groups_after.contains(&g));
+    }
+}
+
+#[test]
+fn expand_vm_fails_cleanly_when_no_groups_left() {
+    let mut hv = Hypervisor::boot(SilozConfig::mini(), HypervisorKind::Siloz).unwrap();
+    let vm = hv.create_vm(VmSpec::new("grow", 2, 100 << 20)).unwrap();
+    let free_before: u64 = hv
+        .guest_nodes()
+        .to_vec()
+        .iter()
+        .map(|&n| hv.topology().free_frames(n).unwrap())
+        .sum();
+    assert!(matches!(
+        hv.expand_vm(vm, 4u64 << 30),
+        Err(SilozError::InsufficientCapacity { .. })
+    ));
+    let free_after: u64 = hv
+        .guest_nodes()
+        .to_vec()
+        .iter()
+        .map(|&n| hv.topology().free_frames(n).unwrap())
+        .sum();
+    assert_eq!(free_before, free_after, "failed expansion must not leak");
+}
+
+#[test]
+fn host_shutdown_kills_every_vm() {
+    let mut hv = Hypervisor::boot(SilozConfig::mini(), HypervisorKind::Siloz).unwrap();
+    for i in 0..3 {
+        hv.create_vm(VmSpec::new(&format!("vm{i}"), 1, 64 << 20))
+            .unwrap();
+    }
+    assert_eq!(hv.shutdown(), 3);
+    assert!(hv.vm_handles().is_empty());
+    // All guest capacity is back.
+    let group_frames = SilozConfig::mini().subarray_group_bytes() / 4096;
+    for &n in hv.guest_nodes() {
+        assert_eq!(hv.topology().free_frames(n).unwrap(), group_frames);
+    }
+}
+
+#[test]
+fn baseline_and_siloz_report_identical_total_capacity() {
+    // Siloz must not lose capacity beyond the documented reservations.
+    let config = SilozConfig::mini();
+    let base = Hypervisor::boot(config.clone(), HypervisorKind::Baseline).unwrap();
+    let siloz = Hypervisor::boot(config.clone(), HypervisorKind::Siloz).unwrap();
+    let total = |hv: &Hypervisor| -> u64 {
+        hv.topology()
+            .nodes()
+            .map(|n| hv.topology().free_frames(n.id).unwrap())
+            .sum()
+    };
+    let base_free = total(&base);
+    let siloz_free = total(&siloz);
+    let reserved = match config.ept_protection {
+        EptProtection::GuardRows { b, .. } => {
+            // b row groups per socket (EPT row group + guards).
+            b as u64 * config.geometry.row_group_bytes() / 4096
+        }
+        _ => 0,
+    };
+    assert_eq!(base_free, siloz_free + reserved);
+    // And the reservation is tiny (≈0.4% on mini, 0.024% at full scale).
+    assert!((reserved as f64 / base_free as f64) < 0.005);
+}

@@ -1,0 +1,100 @@
+//! Property tests over the hypervisor: random VM fleets must always respect
+//! isolation and conservation invariants.
+
+use proptest::prelude::*;
+use siloz_repro::siloz::{Hypervisor, HypervisorKind, SilozConfig, SilozError, VmSpec};
+
+/// Total free guest frames across the topology.
+fn guest_free(hv: &Hypervisor) -> u64 {
+    hv.guest_nodes()
+        .to_vec()
+        .iter()
+        .map(|&n| hv.topology().free_frames(n).unwrap())
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any sequence of VM creations yields pairwise-disjoint groups, with
+    /// all backing inside the owner's groups, and full conservation after
+    /// teardown.
+    #[test]
+    fn fleets_preserve_isolation_and_conservation(
+        sizes in prop::collection::vec(16u64..200, 1..6),
+        destroy_order in prop::collection::vec(any::<prop::sample::Index>(), 0..6),
+    ) {
+        let mut hv = Hypervisor::boot(SilozConfig::mini(), HypervisorKind::Siloz).unwrap();
+        let free_at_boot = guest_free(&hv);
+        let mut vms = Vec::new();
+        for (i, mib) in sizes.iter().enumerate() {
+            match hv.create_vm(VmSpec::new(&format!("vm{i}"), 1, mib << 20)) {
+                Ok(vm) => vms.push(vm),
+                Err(SilozError::InsufficientCapacity { .. }) => break,
+                Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+            }
+        }
+        // Pairwise disjoint groups.
+        for i in 0..vms.len() {
+            for j in i + 1..vms.len() {
+                let gi = hv.vm_groups(vms[i]).unwrap();
+                let gj = hv.vm_groups(vms[j]).unwrap();
+                prop_assert!(gi.iter().all(|g| !gj.contains(g)),
+                    "groups overlap: {gi:?} vs {gj:?}");
+            }
+        }
+        // Backing within own groups; GPA space contiguous per region.
+        for &vm in &vms {
+            let groups = hv.vm_groups(vm).unwrap();
+            for block in hv.vm_unmediated_backing(vm).unwrap() {
+                let first = hv.groups().group_of_phys(block.hpa()).unwrap();
+                let last = hv.groups().group_of_phys(block.hpa() + block.bytes() - 1).unwrap();
+                prop_assert!(groups.contains(&first));
+                prop_assert!(groups.contains(&last));
+            }
+        }
+        // Destroy a random subset, then everything; frames must return.
+        let mut remaining = vms.clone();
+        for idx in destroy_order {
+            if remaining.is_empty() { break; }
+            let vm = remaining.remove(idx.index(remaining.len()));
+            hv.destroy_vm(vm).unwrap();
+        }
+        for vm in remaining {
+            hv.destroy_vm(vm).unwrap();
+        }
+        prop_assert_eq!(guest_free(&hv), free_at_boot, "frames leaked");
+    }
+
+    /// Guest reads always return exactly what was written, at any offset
+    /// and length, for any VM size (translation correctness under 2 MiB
+    /// backing).
+    #[test]
+    fn guest_io_roundtrips(
+        mib in 16u64..128,
+        offset in 0u64..(8 << 20),
+        len in 1usize..5000,
+    ) {
+        let mut hv = Hypervisor::boot(SilozConfig::mini(), HypervisorKind::Siloz).unwrap();
+        let vm = hv.create_vm(VmSpec::new("io", 1, mib << 20)).unwrap();
+        let offset = offset % (mib << 20).saturating_sub(len as u64 + 1);
+        let data: Vec<u8> = (0..len).map(|i| (i * 131 % 251) as u8).collect();
+        hv.guest_write(vm, offset, &data).unwrap();
+        let (back, intact) = hv.guest_read(vm, offset, len).unwrap();
+        prop_assert!(intact);
+        prop_assert_eq!(back, data);
+    }
+
+    /// Translation agrees with the backing table for arbitrary GPAs.
+    #[test]
+    fn translation_matches_backing(mib in 16u64..256, probe in 0u64..(1u64 << 28)) {
+        let mut hv = Hypervisor::boot(SilozConfig::mini(), HypervisorKind::Siloz).unwrap();
+        let vm = hv.create_vm(VmSpec::new("t", 1, mib << 20)).unwrap();
+        let bytes = mib << 20;
+        let gpa = probe % bytes;
+        let t = hv.translate(vm, gpa).unwrap();
+        let blocks = hv.vm_unmediated_backing(vm).unwrap();
+        let block = blocks.iter().find(|b| gpa >= b.gpa && gpa < b.gpa + b.bytes()).unwrap();
+        prop_assert_eq!(t.hpa, block.hpa() + (gpa - block.gpa));
+    }
+}
