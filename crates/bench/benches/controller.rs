@@ -1,45 +1,60 @@
 #![allow(missing_docs)] // criterion macros generate undocumented items
 
 //! Criterion bench: memory-controller scheduling throughput for
-//! sequential, random, and dependent access streams.
+//! sequential, random, and dependent access streams, with the flat-array
+//! [`MemoryController`] benched head-to-head against the retained hash-map
+//! [`HashedController`] baseline on every stream.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dram::DramSystem;
 use dram_addr::mini_decoder;
-use memctrl::{MemOp, MemoryController};
+use memctrl::{HashedController, MemOp, MemoryController};
+
+/// Sequential 4k-op stream.
+fn sequential_ops() -> Vec<MemOp> {
+    (0..4096u64).map(|i| MemOp::read(i * 64)).collect()
+}
+
+/// Uniform-random 4k-op stream.
+fn random_ops() -> Vec<MemOp> {
+    let cap = mini_decoder().capacity();
+    let mut x = 99u64;
+    (0..4096)
+        .map(|_| {
+            x = dram::util::splitmix64(x);
+            MemOp::read((x % cap) & !63)
+        })
+        .collect()
+}
 
 /// Criterion entry point.
 fn bench_controller(c: &mut Criterion) {
     let mut group = c.benchmark_group("controller");
-    group.bench_function("sequential_4k_ops", |b| {
-        b.iter_with_setup(
-            || {
-                let dec = mini_decoder();
-                let dram = DramSystem::new(*dec.geometry());
-                let ops: Vec<MemOp> = (0..4096u64).map(|i| MemOp::read(i * 64)).collect();
-                (MemoryController::new(dec).without_physics(), dram, ops)
-            },
-            |(mut ctrl, mut dram, ops)| black_box(ctrl.run_trace(&mut dram, ops)),
-        )
-    });
-    group.bench_function("random_4k_ops", |b| {
-        b.iter_with_setup(
-            || {
-                let dec = mini_decoder();
-                let cap = dec.capacity();
-                let dram = DramSystem::new(*dec.geometry());
-                let mut x = 99u64;
-                let ops: Vec<MemOp> = (0..4096)
-                    .map(|_| {
-                        x = dram::util::splitmix64(x);
-                        MemOp::read(x % cap & !63)
-                    })
-                    .collect();
-                (MemoryController::new(dec).without_physics(), dram, ops)
-            },
-            |(mut ctrl, mut dram, ops)| black_box(ctrl.run_trace(&mut dram, ops)),
-        )
-    });
+    for (stream, make) in [
+        ("sequential_4k_ops", sequential_ops as fn() -> Vec<MemOp>),
+        ("random_4k_ops", random_ops),
+    ] {
+        group.bench_function(&format!("flat/{stream}"), |b| {
+            b.iter_with_setup(
+                || {
+                    let dec = mini_decoder();
+                    let dram = DramSystem::new(*dec.geometry());
+                    (MemoryController::new(dec).without_physics(), dram, make())
+                },
+                |(mut ctrl, mut dram, ops)| black_box(ctrl.run_trace(&mut dram, ops)),
+            )
+        });
+        group.bench_function(&format!("hashed/{stream}"), |b| {
+            b.iter_with_setup(
+                || {
+                    let dec = mini_decoder();
+                    let dram = DramSystem::new(*dec.geometry());
+                    (HashedController::new(dec).without_physics(), dram, make())
+                },
+                |(mut ctrl, mut dram, ops)| black_box(ctrl.run_trace(&mut dram, ops)),
+            )
+        });
+    }
     group.finish();
 }
 

@@ -1,10 +1,11 @@
 #![allow(missing_docs)] // criterion macros generate undocumented items
 
 //! Criterion bench: address decode/encode throughput (the boot-time group
-//! computation and every simulated access depend on it).
+//! computation and every simulated access depend on it), including the
+//! memoized [`DecodeTlb`] against the raw decoder.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use dram_addr::skylake_decoder;
+use dram_addr::{skylake_decoder, DecodeTlb};
 
 /// Criterion entry point.
 fn bench_decoder(c: &mut Criterion) {
@@ -15,6 +16,17 @@ fn bench_decoder(c: &mut Criterion) {
         b.iter(|| {
             p = (p + 4096) % dec.capacity();
             black_box(dec.decode(black_box(p)).unwrap())
+        })
+    });
+    group.bench_function("decode_tlb", |b| {
+        // Same stride as `decode`; the bounded working set keeps stripe
+        // slots hot, which is the trace-replay access pattern.
+        let mut tlb = DecodeTlb::new(skylake_decoder());
+        let span = 256u64 << 20;
+        let mut p = 0u64;
+        b.iter(|| {
+            p = (p + 4096) % span;
+            black_box(tlb.decode(black_box(p)).unwrap())
         })
     });
     group.bench_function("decode_encode_roundtrip", |b| {

@@ -6,8 +6,8 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dram::DramSystemBuilder;
 use dram_addr::{mini_geometry, BankId};
-use hammer::{Blacksmith, FuzzConfig};
 use hammer::pattern::HammerPattern;
+use hammer::{Blacksmith, FuzzConfig};
 
 /// Criterion entry point.
 fn bench_fuzzer(c: &mut Criterion) {

@@ -10,8 +10,8 @@
 //! Usage: `cargo run --release -p bench --bin colocation [--quick]`
 
 use bench::Scale;
-use sim::run_colocation;
 use siloz::HypervisorKind;
+use sim::run_colocation_suite;
 use workloads::mlc::{Mlc, MlcKind};
 use workloads::ycsb::{Ycsb, YcsbKind};
 
@@ -25,11 +25,22 @@ fn main() {
         "{:<10} {:>16} {:>18} {:>10}",
         "kernel", "solo latency", "colocated latency", "slowdown"
     );
-    for kind in [HypervisorKind::Baseline, HypervisorKind::Siloz] {
-        let mut victim = Ycsb::new(YcsbKind::C, sim_cfg.working_set);
-        let mut hog = Mlc::new(MlcKind::Reads, sim_cfg.working_set);
-        let r = run_colocation(&config, kind, &mut victim, &mut hog, &sim_cfg, 7)
-            .expect("colocation run");
+    // Both hypervisor kinds run concurrently; each cell builds its own
+    // fresh workload generators, so output matches the old serial loop.
+    let results = run_colocation_suite(
+        &config,
+        &[HypervisorKind::Baseline, HypervisorKind::Siloz],
+        || Box::new(Ycsb::new(YcsbKind::C, sim_cfg.working_set)) as Box<dyn workloads::WorkloadGen>,
+        || {
+            Box::new(Mlc::new(MlcKind::Reads, sim_cfg.working_set))
+                as Box<dyn workloads::WorkloadGen>
+        },
+        &sim_cfg,
+        7,
+        sim::default_threads(),
+    )
+    .expect("colocation run");
+    for (kind, r) in results {
         println!(
             "{:<10} {:>13.1} ns {:>15.1} ns {:>9.2}x",
             format!("{kind:?}"),

@@ -16,17 +16,17 @@ fn main() {
         dram.activate_row(bank, 2, 0);
         dram.advance_ns(47);
     }
-    let flipped: std::collections::HashSet<u32> = dram
-        .flip_log()
-        .all()
-        .iter()
-        .map(|f| f.media_row)
-        .collect();
+    let flipped: std::collections::HashSet<u32> =
+        dram.flip_log().all().iter().map(|f| f.media_row).collect();
 
     println!("Figure 1: DRAM module hierarchy under a frequently-activated row\n");
     println!("DRAM Module ({} ranks)", g.ranks_per_dimm);
     println!("└─ Rank 0 ({} banks)", g.banks_per_rank());
-    println!("   └─ Bank 0 ({} subarrays of {} rows)", g.subarrays_per_bank(), g.rows_per_subarray);
+    println!(
+        "   └─ Bank 0 ({} subarrays of {} rows)",
+        g.subarrays_per_bank(),
+        g.rows_per_subarray
+    );
     for sub in 0..2u32 {
         println!("      ├─ Subarray {sub}");
         for row in (sub * g.rows_per_subarray)..(sub * g.rows_per_subarray + 4) {

@@ -34,7 +34,7 @@ fn main() {
     // alternation and the 768 MiB jump.
     let samples: Vec<u64> = (0..8)
         .map(|i| i * block)
-        .chain((0..4).map(|i| (384 << 20) / (768 << 20) * 0 + (decoder.config().jump_bytes / 2) + i * block))
+        .chain((0..4).map(|i| decoder.config().jump_bytes / 2 + i * block))
         .chain((0..4).map(|i| decoder.config().jump_bytes + i * block))
         .collect();
     for phys in samples {
@@ -44,7 +44,11 @@ fn main() {
         let (_, row) = decoder.row_group_of(phys).expect("in range");
         let group = map.group_of_phys(phys).expect("in range");
         let half = decoder.config().jump_bytes / 2;
-        let range = if phys % decoder.config().jump_bytes < half { "A" } else { "B" };
+        let range = if phys % decoder.config().jump_bytes < half {
+            "A"
+        } else {
+            "B"
+        };
         println!(
             "{:>16} {:>10} {:>10} {:>8} {:>14}",
             format!("{phys:#x}"),

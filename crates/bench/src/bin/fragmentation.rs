@@ -57,12 +57,14 @@ fn main() {
     };
     let mut rng = rand::rngs::StdRng::seed_from_u64(81);
     let vms: Vec<f64> = (0..n).map(|_| sample_vm_gib(&mut rng)).collect();
-    let requested_tib: f64 =
-        vms.iter().sum::<f64>() / 1024.0;
+    let requested_tib: f64 = vms.iter().sum::<f64>() / 1024.0;
     println!(
         "Fragmentation under group-granular provisioning (§8.1): {n} VMs, {requested_tib:.1} TiB requested\n"
     );
-    println!("{:<34} {:>12} {:>14}", "configuration", "group size", "DRAM wasted");
+    println!(
+        "{:<34} {:>12} {:>14}",
+        "configuration", "group size", "DRAM wasted"
+    );
     let base = SilozConfig::evaluation();
     let rows = [
         ("Siloz-512", base.clone().with_presumed_subarray_rows(512)),

@@ -1,0 +1,226 @@
+//! Performance suite quantifying the three hot-path optimizations:
+//!
+//! 1. **Decode TLB** — memoized [`DecodeTlb`] vs the raw
+//!    [`SystemAddressDecoder`] division chains, on a row-local scan.
+//! 2. **Flat controller** — geometry-ordinal `Vec` state + decode-once
+//!    window ([`MemoryController`]) vs the retained hash-map baseline
+//!    ([`HashedController`]) on a mixed trace, with the results asserted
+//!    identical.
+//! 3. **Parallel experiment engine** — `figure4` fan-out across threads vs
+//!    the serial path, with the figure output asserted bit-identical.
+//!
+//! Writes the measurements to `BENCH_perfsuite.json` in the working
+//! directory (overwritten each run) and prints a summary table.
+//!
+//! Usage: `cargo run --release -p bench --bin perfsuite`
+//!
+//! [`DecodeTlb`]: dram_addr::DecodeTlb
+//! [`SystemAddressDecoder`]: dram_addr::SystemAddressDecoder
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use dram::DramSystem;
+use dram_addr::{mini_decoder, skylake_decoder, DecodeTlb};
+use memctrl::{HashedController, MemOp, MemoryController};
+use siloz::SilozConfig;
+use sim::SimConfig;
+
+/// One head-to-head measurement.
+struct Measure {
+    name: &'static str,
+    baseline: &'static str,
+    optimized: &'static str,
+    baseline_ns: f64,
+    optimized_ns: f64,
+}
+
+impl Measure {
+    fn speedup(&self) -> f64 {
+        if self.optimized_ns == 0.0 {
+            return 0.0;
+        }
+        self.baseline_ns / self.optimized_ns
+    }
+}
+
+/// Best-of-`reps` wall time of `f`, in nanoseconds.
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+/// Decode throughput: a 4 KiB-stride scan over 256 MiB, repeated so the
+/// TLB's stripe slots stay hot — the access pattern every trace replay has.
+fn bench_decode() -> Measure {
+    let dec = skylake_decoder();
+    let mut tlb = DecodeTlb::new(skylake_decoder());
+    let span = 256u64 << 20;
+    let iters = 8u64;
+    let ops = (span / 4096) * iters;
+    let uncached = best_of(5, || {
+        let mut acc = 0u64;
+        for _ in 0..iters {
+            for phys in (0..span).step_by(4096) {
+                acc ^= dec.decode(phys).expect("in range").row as u64;
+            }
+        }
+        acc
+    });
+    let cached = best_of(5, || {
+        let mut acc = 0u64;
+        for _ in 0..iters {
+            for phys in (0..span).step_by(4096) {
+                acc ^= tlb.decode(phys).expect("in range").row as u64;
+            }
+        }
+        acc
+    });
+    Measure {
+        name: "decode_4k_stride",
+        baseline: "SystemAddressDecoder::decode",
+        optimized: "DecodeTlb::decode",
+        baseline_ns: uncached / ops as f64,
+        optimized_ns: cached / ops as f64,
+    }
+}
+
+/// A mixed trace exercising every scheduler path: sequential streams,
+/// hot-row hits, random conflicts, dependent chases, several threads.
+fn mixed_trace(n: u64) -> Vec<MemOp> {
+    let dec = mini_decoder();
+    let cap = dec.capacity();
+    let rg = dec.geometry().row_group_bytes();
+    let mut x = 0x5eedu64;
+    (0..n)
+        .map(|i| match i % 5 {
+            0 => MemOp::read(i * 64),
+            1 => MemOp::read((i % 512) * 64).on_thread(1),
+            2 => {
+                x = dram::util::splitmix64(x);
+                MemOp::write((x % cap) & !63).on_thread(2)
+            }
+            3 => MemOp::read((i * rg) % cap).after_previous().on_thread(3),
+            _ => MemOp::read(i * 64).with_gap_ps(1_000).on_thread(4),
+        })
+        .collect()
+}
+
+/// Trace replay: flat-array controller vs the retained hash-map baseline,
+/// asserting both produce the identical `TraceResult`.
+fn bench_controller() -> Measure {
+    let n = 200_000u64;
+    let ops = mixed_trace(n);
+    let flat_res = {
+        let dec = mini_decoder();
+        let mut dram = DramSystem::new(*dec.geometry());
+        MemoryController::new(dec)
+            .without_physics()
+            .run_trace(&mut dram, ops.clone())
+    };
+    let hashed_res = {
+        let dec = mini_decoder();
+        let mut dram = DramSystem::new(*dec.geometry());
+        HashedController::new(dec)
+            .without_physics()
+            .run_trace(&mut dram, ops.clone())
+    };
+    assert_eq!(flat_res, hashed_res, "flat and hashed controllers diverged");
+
+    let hashed = best_of(3, || {
+        let dec = mini_decoder();
+        let mut dram = DramSystem::new(*dec.geometry());
+        let mut ctrl = HashedController::new(dec).without_physics();
+        ctrl.run_trace(&mut dram, ops.clone())
+    });
+    let flat = best_of(3, || {
+        let dec = mini_decoder();
+        let mut dram = DramSystem::new(*dec.geometry());
+        let mut ctrl = MemoryController::new(dec).without_physics();
+        ctrl.run_trace(&mut dram, ops.clone())
+    });
+    Measure {
+        name: "run_trace_200k_mixed",
+        baseline: "HashedController (hash maps, re-decode per pick)",
+        optimized: "MemoryController (flat arrays, decode-once + TLB)",
+        baseline_ns: hashed / n as f64,
+        optimized_ns: flat / n as f64,
+    }
+}
+
+/// Figure-4 regeneration: serial vs parallel engine, outputs asserted
+/// bit-identical. Per-cell cost dominates, so ns are reported per run.
+fn bench_figure4(threads: usize) -> Measure {
+    let config = SilozConfig::mini();
+    let sim = SimConfig::quick();
+    let serial_rows = sim::figure4_with_threads(&config, &sim, 1).expect("serial figure 4");
+    let parallel_rows =
+        sim::figure4_with_threads(&config, &sim, threads).expect("parallel figure 4");
+    assert_eq!(
+        serial_rows, parallel_rows,
+        "parallel figure 4 diverged from serial"
+    );
+
+    let serial = best_of(2, || {
+        sim::figure4_with_threads(&config, &sim, 1).expect("serial figure 4")
+    });
+    let parallel = best_of(2, || {
+        sim::figure4_with_threads(&config, &sim, threads).expect("parallel figure 4")
+    });
+    Measure {
+        name: "figure4_quick",
+        baseline: "serial engine (threads=1)",
+        optimized: "parallel engine (default threads)",
+        baseline_ns: serial,
+        optimized_ns: parallel,
+    }
+}
+
+fn main() {
+    let threads = sim::default_threads();
+    println!("perfsuite: {threads} worker thread(s) available\n");
+
+    let measures = [bench_decode(), bench_controller(), bench_figure4(threads)];
+
+    println!(
+        "{:<22} {:>16} {:>16} {:>9}",
+        "benchmark", "baseline ns/op", "optimized ns/op", "speedup"
+    );
+    for m in &measures {
+        println!(
+            "{:<22} {:>16.1} {:>16.1} {:>8.2}x",
+            m.name,
+            m.baseline_ns,
+            m.optimized_ns,
+            m.speedup()
+        );
+    }
+
+    let mut json = String::from("{\n  \"suite\": \"perfsuite\",\n");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    json.push_str("  \"results\": [\n");
+    for (i, m) in measures.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"baseline\": \"{}\", \"optimized\": \"{}\", \
+             \"baseline_ns_per_op\": {:.2}, \"optimized_ns_per_op\": {:.2}, \
+             \"speedup\": {:.3}}}",
+            m.name,
+            m.baseline,
+            m.optimized,
+            m.baseline_ns,
+            m.optimized_ns,
+            m.speedup()
+        );
+        json.push_str(if i + 1 < measures.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_perfsuite.json", &json).expect("write BENCH_perfsuite.json");
+    println!("\nwrote BENCH_perfsuite.json");
+}

@@ -23,7 +23,10 @@ fn main() {
     };
     println!("RowPress sweep: fixed ACT budget ({periods} periods of a double-sided pair),");
     println!("increasing row-open time tAggOn. Flips vs tAggOn:\n");
-    println!("{:>12} {:>10} {:>24}", "tAggOn (ns)", "flips", "all in same subarray?");
+    println!(
+        "{:>12} {:>10} {:>24}",
+        "tAggOn (ns)", "flips", "all in same subarray?"
+    );
     let sub = g.rows_per_subarray;
     for extra_open_ns in [0u64, 500, 1_000, 2_000, 4_000, 8_000] {
         let mut dram = DramSystemBuilder::new(g).trr(0, 0).build();

@@ -26,11 +26,12 @@ fn main() {
         .trr(4, 2)
         .patrol_scrub(100_000_000)
         .build();
-    let mut hv = Hypervisor::boot_with(config, HypervisorKind::Siloz, dram, RepairMap::new())
-        .expect("boot");
+    let mut hv =
+        Hypervisor::boot_with(config, HypervisorKind::Siloz, dram, RepairMap::new()).expect("boot");
     let attacker = hv.create_vm(VmSpec::new("attacker", 4, vm_mem)).unwrap();
     let victim = hv.create_vm(VmSpec::new("victim", 4, vm_mem)).unwrap();
-    hv.guest_write(victim, 0x1000, b"victim canary data").unwrap();
+    hv.guest_write(victim, 0x1000, b"victim canary data")
+        .unwrap();
 
     let rows = hammer::vm_rows(&hv, attacker).unwrap();
     let (_, socket_rows) = &rows[0];
@@ -70,7 +71,11 @@ fn main() {
         assert!(escapes.is_empty(), "containment breached in round {round}");
         assert!(canary_ok, "victim data corrupted in round {round}");
         let audit = siloz::audit(&hv).expect("audit");
-        assert!(audit.is_healthy(), "invariants broken: {:?}", audit.violations);
+        assert!(
+            audit.is_healthy(),
+            "invariants broken: {:?}",
+            audit.violations
+        );
     }
     println!(
         "\nVERDICT: {} flips induced over the soak, all inside the attacker's \

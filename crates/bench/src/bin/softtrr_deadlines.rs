@@ -16,9 +16,15 @@ fn main() {
     println!("Software refresh (SoftTRR-like) under generic scheduling (§8.3)\n");
     let generic = simulate_soft_refresh(&SchedulerModel::default(), ticks, &mut rng);
     println!("generic production kernel, {} ticks:", generic.ticks);
-    println!("  min period:  {:.3} ms (Linux scheduling floor: >= 1 ms)", generic.min_period_ms);
+    println!(
+        "  min period:  {:.3} ms (Linux scheduling floor: >= 1 ms)",
+        generic.min_period_ms
+    );
     println!("  mean period: {:.3} ms", generic.mean_period_ms);
-    println!("  max period:  {:.3} ms (paper observed > 32 ms)", generic.max_period_ms);
+    println!(
+        "  max period:  {:.3} ms (paper observed > 32 ms)",
+        generic.max_period_ms
+    );
     println!(
         "  missed 1 ms deadlines: {} ({:.3}%)",
         generic.missed_deadlines,
@@ -39,7 +45,10 @@ fn main() {
     };
     let t = simulate_soft_refresh(&tickless, ticks, &mut rng);
     println!("\nwith dynticks-idle cores (tick stopped more often):");
-    println!("  max period: {:.3} ms, gross misses: {}", t.max_period_ms, t.gross_misses);
+    println!(
+        "  max period: {:.3} ms, gross misses: {}",
+        t.max_period_ms, t.gross_misses
+    );
 
     println!("\nConclusion (§8.3): software refresh cannot guarantee 1 ms periods on a");
     println!("generic production kernel; Siloz therefore protects EPTs with guard rows.");

@@ -58,7 +58,11 @@ fn main() {
         });
         println!(
             "  {rows:>5}-row subarrays: grouping {}",
-            if ok { "PRESERVED (power-of-2 in commodity range)" } else { "VIOLATED -> artificial groups + guard rows" }
+            if ok {
+                "PRESERVED (power-of-2 in commodity range)"
+            } else {
+                "VIOLATED -> artificial groups + guard rows"
+            }
         );
     }
 }

@@ -52,12 +52,22 @@ fn campaign(
     let escapes = hv.flips_outside_vm(vm).expect("containment query");
     let mut table = Vec::new();
     for channel in 0..g.channels_per_socket {
-        let name = hv.dram().profile_for(BankId(channel as u32)).name.to_string();
+        let name = hv
+            .dram()
+            .profile_for(BankId(channel as u32))
+            .name
+            .to_string();
         let in_dimm = |f: &dram::BitFlip| {
             let m = f.bank.to_media(&g);
             m.socket == 0 && m.channel == channel
         };
-        let total = hv.dram().flip_log().all().iter().filter(|f| in_dimm(f)).count();
+        let total = hv
+            .dram()
+            .flip_log()
+            .all()
+            .iter()
+            .filter(|f| in_dimm(f))
+            .count();
         let outside = escapes.iter().filter(|f| in_dimm(f)).count();
         table.push((name, total - outside, outside));
     }
@@ -72,22 +82,45 @@ fn main() {
         Scale::Full => 3 << 30,
     };
 
-    println!("Table 3: bit-flip containment per DIMM (Blacksmith pinned to a Siloz subarray group)");
+    println!(
+        "Table 3: bit-flip containment per DIMM (Blacksmith pinned to a Siloz subarray group)"
+    );
     let mut hv = boot(config.clone(), HypervisorKind::Siloz);
     let attacker = hv.create_vm(VmSpec::new("attacker", 2, vm_mem)).unwrap();
     let _victim = hv.create_vm(VmSpec::new("victim", 2, vm_mem)).unwrap();
     let table = campaign(&mut hv, attacker, scale, 1);
-    println!("\n{:<26} {}", "", table.iter().map(|(n, _, _)| format!("{n:>8}")).collect::<String>());
+    println!(
+        "\n{:<26} {}",
+        "",
+        table
+            .iter()
+            .map(|(n, _, _)| format!("{n:>8}"))
+            .collect::<String>()
+    );
     print!("{:<26}", "Inside Subarray Group");
     for (_, inside, _) in &table {
-        print!("{:>8}", if *inside > 0 { format!("yes({inside})") } else { "none".into() });
+        print!(
+            "{:>8}",
+            if *inside > 0 {
+                format!("yes({inside})")
+            } else {
+                "none".into()
+            }
+        );
     }
     println!();
     print!("{:<26}", "Outside Subarray Group");
     let mut any_escape = false;
     for (_, _, outside) in &table {
         any_escape |= *outside > 0;
-        print!("{:>8}", if *outside > 0 { format!("YES({outside})") } else { "NO".into() });
+        print!(
+            "{:>8}",
+            if *outside > 0 {
+                format!("YES({outside})")
+            } else {
+                "NO".into()
+            }
+        );
     }
     println!();
     println!(
@@ -99,7 +132,9 @@ fn main() {
         }
     );
 
-    println!("\n-- Baseline comparison (same campaign + boundary targeting, unmodified allocation) --");
+    println!(
+        "\n-- Baseline comparison (same campaign + boundary targeting, unmodified allocation) --"
+    );
     let mut hv = boot(config, HypervisorKind::Baseline);
     let attacker = hv.create_vm(VmSpec::new("attacker", 2, vm_mem)).unwrap();
     let _victim = hv.create_vm(VmSpec::new("victim", 2, vm_mem)).unwrap();

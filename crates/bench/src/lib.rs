@@ -5,8 +5,8 @@
 //! (scaled-down geometry/workloads, for smoke runs) and default to the
 //! evaluation-server configuration.
 
-use sim::{Comparison, SimConfig};
 use siloz::SilozConfig;
+use sim::{Comparison, SimConfig};
 
 /// Scale at which to run an experiment binary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,7 +86,7 @@ pub fn print_comparison_table(title: &str, unit: &str, rows: &[Comparison]) {
 #[must_use]
 pub fn bar(pct: f64, scale: f64) -> String {
     let chars = (pct.abs() / scale * 20.0).round() as usize;
-    let body: String = std::iter::repeat('#').take(chars.min(40)).collect();
+    let body: String = std::iter::repeat_n('#', chars.min(40)).collect();
     if pct < 0.0 {
         format!("{body:>20}|")
     } else {

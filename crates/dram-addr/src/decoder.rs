@@ -46,7 +46,10 @@ impl fmt::Display for AddrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AddrError::PhysOutOfRange { phys, capacity } => {
-                write!(f, "physical address {phys:#x} beyond capacity {capacity:#x}")
+                write!(
+                    f,
+                    "physical address {phys:#x} beyond capacity {capacity:#x}"
+                )
             }
             AddrError::MediaOutOfRange { what } => write!(f, "media address out of range: {what}"),
             AddrError::BadConfig(msg) => write!(f, "bad decoder config: {msg}"),
@@ -113,16 +116,18 @@ impl SystemAddressDecoder {
         let row_group_bytes = geometry.row_group_bytes();
         let block_bytes = config.row_groups_per_block as u64 * row_group_bytes;
         if config.row_groups_per_block == 0 {
-            return Err(AddrError::BadConfig("row_groups_per_block must be > 0".into()));
+            return Err(AddrError::BadConfig(
+                "row_groups_per_block must be > 0".into(),
+            ));
         }
-        if config.jump_bytes % (2 * block_bytes) != 0 {
+        if !config.jump_bytes.is_multiple_of(2 * block_bytes) {
             return Err(AddrError::BadConfig(format!(
                 "jump {} is not a multiple of two {}-byte blocks",
                 config.jump_bytes, block_bytes
             )));
         }
         let socket_bytes = geometry.socket_bytes();
-        if socket_bytes % config.jump_bytes != 0 {
+        if !socket_bytes.is_multiple_of(config.jump_bytes) {
             return Err(AddrError::BadConfig(format!(
                 "socket capacity {} is not a multiple of the {} jump",
                 socket_bytes, config.jump_bytes
@@ -176,7 +181,10 @@ impl SystemAddressDecoder {
         let socket = phys / self.socket_bytes;
         let local = phys % self.socket_bytes;
         let (row, line_slot, col_line) = self.local_to_row_line(local);
-        let flat_bank = self.config.bank_hash.bank_of_line(line_slot, row, &self.geometry);
+        let flat_bank = self
+            .config
+            .bank_hash
+            .bank_of_line(line_slot, row, &self.geometry);
         let mut media = crate::BankId(flat_bank).to_media(&self.geometry);
         media.socket = socket as u16;
         media.row = row;
@@ -219,9 +227,7 @@ impl SystemAddressDecoder {
         let col_line = media.col as u64 / CACHE_LINE_BYTES;
         let line = col_line * self.banks_per_socket + slot;
         let local = self.row_line_to_local(media.row, line);
-        Ok(media.socket as u64 * self.socket_bytes
-            + local
-            + media.col as u64 % CACHE_LINE_BYTES)
+        Ok(media.socket as u64 * self.socket_bytes + local + media.col as u64 % CACHE_LINE_BYTES)
     }
 
     /// Maps a socket-local byte offset to `(row, line_slot, col_line)` where
@@ -422,7 +428,11 @@ mod tests {
             assert_eq!(media.channel as u64, l % g.channels_per_socket as u64);
             seen.insert(media.global_bank(g));
         }
-        assert_eq!(seen.len() as u64, banks, "first {banks} lines touch every bank once");
+        assert_eq!(
+            seen.len() as u64,
+            banks,
+            "first {banks} lines touch every bank once"
+        );
     }
 
     #[test]
@@ -477,7 +487,11 @@ mod tests {
             let (_, rows) = dec.row_groups_of_range(page, PAGE_2M).unwrap();
             let groups: std::collections::HashSet<u32> =
                 rows.iter().map(|&r| g.subarray_of_row(r)).collect();
-            assert_eq!(groups.len(), 1, "2 MiB page @ {page:#x} split across groups");
+            assert_eq!(
+                groups.len(),
+                1,
+                "2 MiB page @ {page:#x} split across groups"
+            );
             let (_, rows4k) = dec.row_groups_of_range(page, PAGE_4K).unwrap();
             assert_eq!(rows4k.len(), 1, "a 4 KiB page fits one row group");
             checked += 1;
@@ -531,10 +545,7 @@ mod tests {
         for &row in &[0u32, 1, 15, 16, 511, 512, 1023, 1024, 131_071] {
             for socket in 0..2 {
                 let range = dec.phys_range_of_row_group(socket, row).unwrap();
-                assert_eq!(
-                    range.end - range.start,
-                    dec.geometry().row_group_bytes()
-                );
+                assert_eq!(range.end - range.start, dec.geometry().row_group_bytes());
                 for p in [range.start, range.start + 4096, range.end - 1] {
                     assert_eq!(dec.row_group_of(p).unwrap(), (socket, row));
                 }

@@ -82,6 +82,35 @@ impl Geometry {
         self.sockets as u64 * self.socket_bytes()
     }
 
+    /// Number of channel buses in the whole machine (one per
+    /// (socket, channel) pair).
+    #[must_use]
+    pub const fn total_channels(&self) -> u32 {
+        self.sockets as u32 * self.channels_per_socket as u32
+    }
+
+    /// Number of ranks in the whole machine.
+    #[must_use]
+    pub const fn total_ranks(&self) -> u32 {
+        self.total_channels() * self.dimms_per_channel as u32 * self.ranks_per_dimm as u32
+    }
+
+    /// Dense ordinal of a channel bus in `[0, total_channels)`, for
+    /// flat-array indexing of per-channel state.
+    #[must_use]
+    pub const fn channel_ordinal(&self, socket: u16, channel: u16) -> usize {
+        socket as usize * self.channels_per_socket as usize + channel as usize
+    }
+
+    /// Dense ordinal of a rank in `[0, total_ranks)`, for flat-array
+    /// indexing of per-rank state.
+    #[must_use]
+    pub const fn rank_ordinal(&self, socket: u16, channel: u16, dimm: u16, rank: u16) -> usize {
+        (self.channel_ordinal(socket, channel) * self.dimms_per_channel as usize + dimm as usize)
+            * self.ranks_per_dimm as usize
+            + rank as usize
+    }
+
     /// Number of subarrays in each bank.
     ///
     /// Rounds up if `rows_per_bank` is not a multiple of the subarray size
@@ -144,7 +173,7 @@ impl Geometry {
         if self.rows_per_bank == 0 || self.row_bytes == 0 {
             return Err("geometry must have non-zero rows and row size".into());
         }
-        if self.row_bytes % crate::CACHE_LINE_BYTES != 0 {
+        if !self.row_bytes.is_multiple_of(crate::CACHE_LINE_BYTES) {
             return Err(format!(
                 "row size {} is not a multiple of the {} B cache line",
                 self.row_bytes,
@@ -232,14 +261,47 @@ mod tests {
     fn validate_rejects_degenerate_geometries() {
         let g = skylake_geometry();
         assert!(Geometry { sockets: 0, ..g }.validate().is_err());
-        assert!(Geometry { row_bytes: 100, ..g }.validate().is_err());
-        assert!(Geometry { rows_per_subarray: 0, ..g }.validate().is_err());
+        assert!(Geometry {
+            row_bytes: 100,
+            ..g
+        }
+        .validate()
+        .is_err());
+        assert!(Geometry {
+            rows_per_subarray: 0,
+            ..g
+        }
+        .validate()
+        .is_err());
         assert!(Geometry {
             rows_per_subarray: g.rows_per_bank + 1,
             ..g
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn ordinals_are_dense_and_unique() {
+        let g = skylake_geometry();
+        let mut chans = std::collections::HashSet::new();
+        let mut ranks = std::collections::HashSet::new();
+        for s in 0..g.sockets {
+            for c in 0..g.channels_per_socket {
+                let ord = g.channel_ordinal(s, c);
+                assert!(ord < g.total_channels() as usize);
+                chans.insert(ord);
+                for d in 0..g.dimms_per_channel {
+                    for r in 0..g.ranks_per_dimm {
+                        let ord = g.rank_ordinal(s, c, d, r);
+                        assert!(ord < g.total_ranks() as usize);
+                        ranks.insert(ord);
+                    }
+                }
+            }
+        }
+        assert_eq!(chans.len(), g.total_channels() as usize);
+        assert_eq!(ranks.len(), g.total_ranks() as usize);
     }
 
     #[test]

@@ -61,7 +61,10 @@ impl BankHash {
         // XOR bank-group index with low row bits; masking to the group count
         // keeps it in range, and requires a power-of-2 group count to stay a
         // bijection (DDR4 bank groups are always a power of 2).
-        debug_assert!(groups.is_power_of_two(), "DDR4 bank-group counts are powers of two");
+        debug_assert!(
+            groups.is_power_of_two(),
+            "DDR4 bank-group counts are powers of two"
+        );
         let hashed = group ^ (row & (groups - 1));
         channel + (hashed + above * groups) * channels
     }

@@ -28,6 +28,7 @@ pub mod interleave;
 pub mod media;
 pub mod repair;
 pub mod skylake;
+pub mod tlb;
 pub mod transform;
 
 pub use decoder::{AddrError, SystemAddressDecoder};
@@ -35,7 +36,10 @@ pub use geometry::Geometry;
 pub use interleave::BankHash;
 pub use media::{BankId, MediaAddress, RankSide};
 pub use repair::{RepairKind, RepairMap};
-pub use skylake::{ddr5_decoder, ddr5_geometry, mini_decoder, mini_geometry, skylake_decoder, skylake_geometry};
+pub use skylake::{
+    ddr5_decoder, ddr5_geometry, mini_decoder, mini_geometry, skylake_decoder, skylake_geometry,
+};
+pub use tlb::DecodeTlb;
 pub use transform::{internal_row, InternalMapConfig};
 
 /// Size of one cache line in bytes; the granularity at which the memory

@@ -1,0 +1,238 @@
+//! Decode TLB: row-granularity memoization of the hot decode path.
+//!
+//! [`SystemAddressDecoder::decode`] spends most of its time on two division
+//! chains: deriving the media *row* from the socket-local offset (the A/B
+//! range and block arithmetic of §4.2), and unpacking the flat bank index
+//! into structured channel/DIMM/rank/bank coordinates. Both are memoizable:
+//!
+//! - Each row group occupies one contiguous, `row_group_bytes`-aligned
+//!   physical stripe (every term of the inverse mapping is a multiple of
+//!   `row_group_bytes`, and socket capacity is a multiple of it too), so the
+//!   map `stripe = phys / row_group_bytes → (socket, row)` is a pure
+//!   function and a direct-mapped cache over stripes is *exact* — no false
+//!   hits are possible because the full stripe index is the tag.
+//! - The flat-bank → [`MediaAddress`] unpacking depends only on the flat
+//!   index, so a dense table of `banks_per_socket` entries, built once,
+//!   replaces the division chain entirely.
+//!
+//! On a hit, the remaining work is the same tail the uncached path runs:
+//! line slot and column from `phys % row_group_bytes`, the bank-hash
+//! permutation, and a table lookup. The crate's property tests assert
+//! cached and uncached decode agree exactly across the address space.
+
+use crate::{AddrError, BankId, MediaAddress, SystemAddressDecoder, CACHE_LINE_BYTES};
+
+/// Tag value marking an empty TLB slot (no stripe hashes to it yet —
+/// `u64::MAX / row_group_bytes` exceeds any in-range stripe index).
+const EMPTY: u64 = u64::MAX;
+
+/// A direct-mapped, row-group-granularity memoization cache in front of
+/// [`SystemAddressDecoder::decode`].
+///
+/// # Examples
+///
+/// ```
+/// use dram_addr::{mini_decoder, DecodeTlb};
+///
+/// let mut tlb = DecodeTlb::new(mini_decoder());
+/// let cached = tlb.decode(0x1234_5678).unwrap();
+/// let uncached = tlb.inner().decode(0x1234_5678).unwrap();
+/// assert_eq!(cached, uncached);
+/// assert!(tlb.hits() + tlb.misses() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecodeTlb {
+    inner: SystemAddressDecoder,
+    /// Stripe tags, `EMPTY` when the slot holds nothing.
+    tags: Vec<u64>,
+    /// Cached media row for the tagged stripe.
+    rows: Vec<u32>,
+    /// `tags.len() - 1`; length is a power of two.
+    mask: u64,
+    /// Structured bank coordinates by flat bank index within a socket
+    /// (socket/row/col zeroed), replacing `BankId::to_media`'s division
+    /// chain on every decode.
+    bank_media: Vec<MediaAddress>,
+    hits: u64,
+    misses: u64,
+    // Copies of the inner decoder's derived constants for the hot path.
+    row_group_bytes: u64,
+    banks_per_socket: u64,
+    socket_bytes: u64,
+    capacity: u64,
+}
+
+impl DecodeTlb {
+    /// Default number of stripe slots; covers 1.5 GiB of working set at the
+    /// evaluation geometry's 1.5 MiB row groups.
+    pub const DEFAULT_SLOTS: usize = 1024;
+
+    /// Wraps `decoder` with a [`Self::DEFAULT_SLOTS`]-entry cache.
+    #[must_use]
+    pub fn new(decoder: SystemAddressDecoder) -> Self {
+        Self::with_slots(decoder, Self::DEFAULT_SLOTS)
+    }
+
+    /// Wraps `decoder` with at least `slots` cache entries (rounded up to a
+    /// power of two, minimum 1).
+    #[must_use]
+    pub fn with_slots(decoder: SystemAddressDecoder, slots: usize) -> Self {
+        let slots = slots.max(1).next_power_of_two();
+        let g = decoder.geometry();
+        let bank_media = (0..g.banks_per_socket())
+            .map(|flat| BankId(flat).to_media(g))
+            .collect();
+        Self {
+            tags: vec![EMPTY; slots],
+            rows: vec![0; slots],
+            mask: slots as u64 - 1,
+            bank_media,
+            hits: 0,
+            misses: 0,
+            row_group_bytes: g.row_group_bytes(),
+            banks_per_socket: g.banks_per_socket() as u64,
+            socket_bytes: decoder.socket_bytes(),
+            capacity: decoder.capacity(),
+            inner: decoder,
+        }
+    }
+
+    /// The wrapped decoder.
+    #[must_use]
+    pub fn inner(&self) -> &SystemAddressDecoder {
+        &self.inner
+    }
+
+    /// Cache hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Empties the cache (counters are kept).
+    pub fn flush(&mut self) {
+        self.tags.fill(EMPTY);
+    }
+
+    /// Memoized [`SystemAddressDecoder::decode`]; exact for all addresses.
+    #[inline]
+    pub fn decode(&mut self, phys: u64) -> Result<MediaAddress, AddrError> {
+        self.decode_with_bank(phys).map(|(media, _)| media)
+    }
+
+    /// Memoized decode that also returns the machine-wide flat bank id,
+    /// which the hot caller (the memory controller) would otherwise
+    /// recompute from the media address.
+    #[inline]
+    pub fn decode_with_bank(&mut self, phys: u64) -> Result<(MediaAddress, BankId), AddrError> {
+        if phys >= self.capacity {
+            return Err(AddrError::PhysOutOfRange {
+                phys,
+                capacity: self.capacity,
+            });
+        }
+        let stripe = phys / self.row_group_bytes;
+        let slot_idx = (stripe & self.mask) as usize;
+        let row = if self.tags[slot_idx] == stripe {
+            self.hits += 1;
+            self.rows[slot_idx]
+        } else {
+            self.misses += 1;
+            // `row_group_of` runs the same row derivation `decode` does.
+            let (_, row) = self.inner.row_group_of(phys)?;
+            self.tags[slot_idx] = stripe;
+            self.rows[slot_idx] = row;
+            row
+        };
+        // Identical tail to the uncached decode: line slot and column come
+        // from the stripe-local offset, then the bank-hash permutation and
+        // the precomputed coordinate table.
+        let line_off = phys % self.row_group_bytes;
+        let line = line_off / CACHE_LINE_BYTES;
+        let bank_slot = line % self.banks_per_socket;
+        let col_line = line / self.banks_per_socket;
+        let g = self.inner.geometry();
+        let flat = self
+            .inner
+            .config()
+            .bank_hash
+            .bank_of_line(bank_slot, row, g);
+        let socket = phys / self.socket_bytes;
+        let mut media = self.bank_media[flat as usize];
+        media.socket = socket as u16;
+        media.row = row;
+        media.col = (col_line * CACHE_LINE_BYTES + phys % CACHE_LINE_BYTES) as u32;
+        let bank = BankId(socket as u32 * self.banks_per_socket as u32 + flat);
+        Ok((media, bank))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skylake::{mini_decoder, skylake_decoder};
+
+    #[test]
+    fn cached_decode_matches_uncached_on_dense_scan() {
+        let mut tlb = DecodeTlb::with_slots(mini_decoder(), 64);
+        let dec = mini_decoder();
+        // Dense scan plus large strides to force evictions and re-fills.
+        for phys in (0..(4u64 << 20)).step_by(4096) {
+            assert_eq!(tlb.decode(phys).unwrap(), dec.decode(phys).unwrap());
+        }
+        for phys in (0..dec.capacity()).step_by((97 << 20) + 64) {
+            assert_eq!(tlb.decode(phys).unwrap(), dec.decode(phys).unwrap());
+        }
+        assert!(tlb.hits() > 0, "dense scan must hit");
+        assert!(tlb.misses() > 0);
+    }
+
+    #[test]
+    fn decode_with_bank_matches_global_bank() {
+        let mut tlb = DecodeTlb::new(skylake_decoder());
+        let dec = skylake_decoder();
+        for phys in (0..dec.capacity()).step_by((1 << 30) + 4096 + 64) {
+            let (media, bank) = tlb.decode_with_bank(phys).unwrap();
+            let expect = dec.decode(phys).unwrap();
+            assert_eq!(media, expect);
+            assert_eq!(bank, expect.global_bank(dec.geometry()));
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_rejected_like_inner() {
+        let mut tlb = DecodeTlb::new(mini_decoder());
+        let cap = tlb.inner().capacity();
+        assert!(matches!(
+            tlb.decode(cap),
+            Err(AddrError::PhysOutOfRange { .. })
+        ));
+        assert!(tlb.decode(cap - 64).is_ok());
+    }
+
+    #[test]
+    fn flush_empties_but_keeps_correctness() {
+        let mut tlb = DecodeTlb::new(mini_decoder());
+        let a = tlb.decode(1 << 20).unwrap();
+        tlb.flush();
+        assert_eq!(tlb.decode(1 << 20).unwrap(), a);
+        assert!(tlb.misses() >= 2, "flush forces a refill");
+    }
+
+    #[test]
+    fn repeated_rows_hit() {
+        let mut tlb = DecodeTlb::new(mini_decoder());
+        let _ = tlb.decode(0);
+        for l in 1..64u64 {
+            let _ = tlb.decode(l * 64);
+        }
+        assert_eq!(tlb.misses(), 1, "one stripe, one miss");
+        assert_eq!(tlb.hits(), 63);
+    }
+}

@@ -299,7 +299,13 @@ mod tests {
         for &rows in &[8u32, 24, 520, 768, 1000, 1024] {
             for rank in 0..2 {
                 for side in RankSide::BOTH {
-                    assert!(preserves_subarray_grouping(rows, rank, side, cfg, 131_072 / 8 * 8));
+                    assert!(preserves_subarray_grouping(
+                        rows,
+                        rank,
+                        side,
+                        cfg,
+                        131_072 / 8 * 8
+                    ));
                 }
             }
         }
@@ -310,7 +316,13 @@ mod tests {
         // A 768-row subarray straddles the inverted bit range, so inversion
         // splits media subarrays across internal ones.
         let cfg = InternalMapConfig::default();
-        assert!(!preserves_subarray_grouping(768, 0, RankSide::B, cfg, 768 * 64));
+        assert!(!preserves_subarray_grouping(
+            768,
+            0,
+            RankSide::B,
+            cfg,
+            768 * 64
+        ));
         let violations = isolation_violating_rows(768, 0, RankSide::B, cfg, 768 * 4);
         assert!(!violations.is_empty());
     }
@@ -326,10 +338,14 @@ mod tests {
             inversion: false,
             scrambling: false,
         };
-        assert!(!preserves_subarray_grouping(256, 1, RankSide::A, mirror_only, 2048));
-        assert!(
-            !isolation_violating_rows(256, 1, RankSide::A, mirror_only, 2048).is_empty()
-        );
+        assert!(!preserves_subarray_grouping(
+            256,
+            1,
+            RankSide::A,
+            mirror_only,
+            2048
+        ));
+        assert!(!isolation_violating_rows(256, 1, RankSide::A, mirror_only, 2048).is_empty());
         // Inversion alone XORs a constant mask, which is always block-wise:
         // any power-of-two size is preserved, even sub-commodity ones.
         let invert_only = InternalMapConfig {
@@ -338,7 +354,13 @@ mod tests {
             scrambling: false,
         };
         for rows in [64u32, 128, 256, 512] {
-            assert!(preserves_subarray_grouping(rows, 1, RankSide::B, invert_only, 2048));
+            assert!(preserves_subarray_grouping(
+                rows,
+                1,
+                RankSide::B,
+                invert_only,
+                2048
+            ));
         }
     }
 
@@ -346,7 +368,13 @@ mod tests {
     fn identity_config_never_violates() {
         let cfg = InternalMapConfig::identity();
         for &rows in &[512u32, 768, 1000, 1024] {
-            assert!(preserves_subarray_grouping(rows, 1, RankSide::B, cfg, rows * 16));
+            assert!(preserves_subarray_grouping(
+                rows,
+                1,
+                RankSide::B,
+                cfg,
+                rows * 16
+            ));
         }
     }
 

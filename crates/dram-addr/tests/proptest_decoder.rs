@@ -2,7 +2,8 @@
 
 use dram_addr::transform::{invert, mirror, preserves_subarray_grouping, scramble};
 use dram_addr::{
-    internal_row, mini_decoder, skylake_decoder, InternalMapConfig, RankSide, PAGE_2M, PAGE_4K,
+    internal_row, mini_decoder, skylake_decoder, DecodeTlb, InternalMapConfig, RankSide, PAGE_2M,
+    PAGE_4K,
 };
 use proptest::prelude::*;
 
@@ -42,6 +43,22 @@ proptest! {
         let (_, rows) = dec.row_groups_of_range(page * PAGE_2M, PAGE_2M).unwrap();
         let first = g.subarray_of_row(rows[0]);
         prop_assert!(rows.iter().all(|&r| g.subarray_of_row(r) == first));
+    }
+
+    #[test]
+    fn tlb_decode_is_exact(phys in 0u64..(384u64 << 30), extra in 0u64..(384u64 << 30)) {
+        // The decode TLB must be a pure memoization: cached and uncached
+        // decode agree for every address, including after the second lookup
+        // evicts or aliases the first one's stripe slot. A tiny TLB
+        // maximizes conflict pressure.
+        let dec = skylake_decoder();
+        let mut tlb = DecodeTlb::with_slots(skylake_decoder(), 2);
+        for p in [phys, extra, phys] {
+            let (media, bank) = tlb.decode_with_bank(p).unwrap();
+            let expect = dec.decode(p).unwrap();
+            prop_assert_eq!(media, expect);
+            prop_assert_eq!(bank, expect.global_bank(dec.geometry()));
+        }
     }
 
     #[test]

@@ -91,10 +91,7 @@ impl BankState {
     /// Peak accumulated disturbance across all victims (diagnostics).
     #[must_use]
     pub fn max_disturbance(&self) -> f64 {
-        self.victims
-            .values()
-            .map(|v| v.disturb)
-            .fold(0.0, f64::max)
+        self.victims.values().map(|v| v.disturb).fold(0.0, f64::max)
     }
 }
 

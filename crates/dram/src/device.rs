@@ -6,7 +6,9 @@ use crate::flip::{BitFlip, FlipLog};
 use crate::profile::DimmProfile;
 use crate::{REFRESH_WINDOW_NS, REFS_PER_WINDOW};
 use dram_addr::transform::media_row_from_internal;
-use dram_addr::{internal_row, BankId, Geometry, InternalMapConfig, MediaAddress, RankSide, RepairMap};
+use dram_addr::{
+    internal_row, BankId, Geometry, InternalMapConfig, MediaAddress, RankSide, RepairMap,
+};
 use std::collections::HashMap;
 
 /// Running counters of device-level events.
@@ -33,6 +35,9 @@ pub struct ScrubReport {
     /// Locations with multi-bit (uncorrectable) damage, left in place.
     pub uncorrectable: Vec<(BankId, u32, u32)>,
 }
+
+/// Flipped cells of one media row: `(byte, bit, side)` tuples.
+type FlippedCells = Vec<(u32, u8, RankSide)>;
 
 /// Builder for [`DramSystem`].
 #[derive(Debug, Clone)]
@@ -211,8 +216,8 @@ pub struct DramSystem {
     banks: HashMap<BankId, BankState>,
     /// Written row data, media coordinates; unwritten rows read as zeros.
     data: HashMap<(BankId, u32), Box<[u8]>>,
-    /// Currently-flipped cells per media row: `(byte, bit, side)`.
-    flipped: HashMap<(BankId, u32), Vec<(u32, u8, RankSide)>>,
+    /// Currently-flipped cells per media row.
+    flipped: HashMap<(BankId, u32), FlippedCells>,
     flip_log: FlipLog,
     now_ns: u64,
     next_ref_ns: u64,
@@ -280,7 +285,9 @@ impl DramSystem {
             while self.next_scrub_ns <= self.now_ns {
                 let report = self.scrub();
                 self.scrub_history.corrected.extend(report.corrected);
-                self.scrub_history.uncorrectable.extend(report.uncorrectable);
+                self.scrub_history
+                    .uncorrectable
+                    .extend(report.uncorrectable);
                 self.next_scrub_ns += self.scrub_interval_ns;
             }
         }

@@ -211,7 +211,11 @@ mod tests {
         assert_eq!(w.at(1), 1.0);
         assert_eq!(w.at(2), 0.2);
         assert_eq!(w.at(3), 0.0);
-        assert_eq!(w.at(0), 0.0, "the aggressor itself is refreshed, not disturbed");
+        assert_eq!(
+            w.at(0),
+            0.0,
+            "the aggressor itself is refreshed, not disturbed"
+        );
         let d1_only = DisturbanceWeights {
             distance1: 1.0,
             distance2: 0.0,

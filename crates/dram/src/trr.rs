@@ -69,7 +69,7 @@ impl TrrTracker {
         if self.capacity == 0 || self.served_per_ref == 0 {
             return Vec::new();
         }
-        self.entries.sort_by(|a, b| b.1.cmp(&a.1));
+        self.entries.sort_by_key(|e| std::cmp::Reverse(e.1));
         let n = self.served_per_ref.min(self.entries.len());
         let mut served = Vec::with_capacity(n);
         for e in self.entries.iter_mut().take(n) {

@@ -1,7 +1,7 @@
 //! Property tests on the disturbance physics: subarray containment, refresh
 //! safety, and aggressor self-immunity under arbitrary hammering.
 
-use dram::{DramSystemBuilder, DimmProfile};
+use dram::{DimmProfile, DramSystemBuilder};
 use dram_addr::{mini_geometry, BankId, InternalMapConfig};
 use proptest::prelude::*;
 

@@ -59,7 +59,10 @@ impl core::fmt::Display for EptError {
             EptError::Misaligned => write!(f, "misaligned mapping request"),
             EptError::AlreadyMapped { gpa } => write!(f, "GPA {gpa:#x} already mapped"),
             EptError::IntegrityViolation { level, entry_addr } => {
-                write!(f, "EPT integrity violation at level {level}, entry {entry_addr:#x}")
+                write!(
+                    f,
+                    "EPT integrity violation at level {level}, entry {entry_addr:#x}"
+                )
             }
         }
     }
@@ -177,7 +180,7 @@ impl Ept {
         size: PageSize,
         perms: EptPerms,
     ) -> Result<(), EptError> {
-        if gpa % size.bytes() != 0 || hpa % size.bytes() != 0 {
+        if !gpa.is_multiple_of(size.bytes()) || !hpa.is_multiple_of(size.bytes()) {
             return Err(EptError::Misaligned);
         }
         let leaf_level = size.leaf_level();
@@ -200,7 +203,10 @@ impl Ept {
                     mem.write_u64(new_table + i * 8, 0);
                 }
                 self.table_pages.push(new_table);
-                mem.write_u64(entry_addr, EptEntry::table(new_table, self.mode, self.salt).0);
+                mem.write_u64(
+                    entry_addr,
+                    EptEntry::table(new_table, self.mode, self.salt).0,
+                );
                 table = new_table;
             }
             level -= 1;
@@ -210,7 +216,10 @@ impl Ept {
         if existing.is_present() {
             return Err(EptError::AlreadyMapped { gpa });
         }
-        mem.write_u64(entry_addr, EptEntry::leaf(hpa, perms, self.mode, self.salt).0);
+        mem.write_u64(
+            entry_addr,
+            EptEntry::leaf(hpa, perms, self.mode, self.salt).0,
+        );
         self.mapped_leaves += 1;
         Ok(())
     }
@@ -312,8 +321,15 @@ mod tests {
     #[test]
     fn map_translate_all_sizes() {
         let (mut mem, mut alloc, mut ept) = setup(IntegrityMode::Checked);
-        ept.map(&mut mem, &mut alloc, 0x1000, 0xAA000, PageSize::Size4K, EptPerms::RO)
-            .unwrap();
+        ept.map(
+            &mut mem,
+            &mut alloc,
+            0x1000,
+            0xAA000,
+            PageSize::Size4K,
+            EptPerms::RO,
+        )
+        .unwrap();
         ept.map(
             &mut mem,
             &mut alloc,
@@ -334,7 +350,7 @@ mod tests {
         .unwrap();
 
         let t = ept.translate(&mut mem, 0x1abc).unwrap();
-        assert_eq!(t.hpa, 0xAAabc);
+        assert_eq!(t.hpa, 0xaaabc);
         assert_eq!(t.size, PageSize::Size4K);
         assert!(!t.perms.write);
 
@@ -361,11 +377,25 @@ mod tests {
     fn misaligned_map_rejected() {
         let (mut mem, mut alloc, mut ept) = setup(IntegrityMode::None);
         assert_eq!(
-            ept.map(&mut mem, &mut alloc, 0x1234, 0, PageSize::Size4K, EptPerms::RWX),
+            ept.map(
+                &mut mem,
+                &mut alloc,
+                0x1234,
+                0,
+                PageSize::Size4K,
+                EptPerms::RWX
+            ),
             Err(EptError::Misaligned)
         );
         assert_eq!(
-            ept.map(&mut mem, &mut alloc, 0x20_0000, 0x1000, PageSize::Size2M, EptPerms::RWX),
+            ept.map(
+                &mut mem,
+                &mut alloc,
+                0x20_0000,
+                0x1000,
+                PageSize::Size2M,
+                EptPerms::RWX
+            ),
             Err(EptError::Misaligned)
         );
     }
@@ -373,10 +403,24 @@ mod tests {
     #[test]
     fn double_map_rejected() {
         let (mut mem, mut alloc, mut ept) = setup(IntegrityMode::None);
-        ept.map(&mut mem, &mut alloc, 0x1000, 0xA000, PageSize::Size4K, EptPerms::RWX)
-            .unwrap();
+        ept.map(
+            &mut mem,
+            &mut alloc,
+            0x1000,
+            0xA000,
+            PageSize::Size4K,
+            EptPerms::RWX,
+        )
+        .unwrap();
         assert_eq!(
-            ept.map(&mut mem, &mut alloc, 0x1000, 0xB000, PageSize::Size4K, EptPerms::RWX),
+            ept.map(
+                &mut mem,
+                &mut alloc,
+                0x1000,
+                0xB000,
+                PageSize::Size4K,
+                EptPerms::RWX
+            ),
             Err(EptError::AlreadyMapped { gpa: 0x1000 })
         );
     }
@@ -384,15 +428,29 @@ mod tests {
     #[test]
     fn unmap_then_translate_fails_then_remap() {
         let (mut mem, mut alloc, mut ept) = setup(IntegrityMode::Checked);
-        ept.map(&mut mem, &mut alloc, 0x1000, 0xA000, PageSize::Size4K, EptPerms::RWX)
-            .unwrap();
+        ept.map(
+            &mut mem,
+            &mut alloc,
+            0x1000,
+            0xA000,
+            PageSize::Size4K,
+            EptPerms::RWX,
+        )
+        .unwrap();
         ept.unmap(&mut mem, 0x1000).unwrap();
         assert!(matches!(
             ept.translate(&mut mem, 0x1000),
             Err(EptError::NotMapped { .. })
         ));
-        ept.map(&mut mem, &mut alloc, 0x1000, 0xB000, PageSize::Size4K, EptPerms::RWX)
-            .unwrap();
+        ept.map(
+            &mut mem,
+            &mut alloc,
+            0x1000,
+            0xB000,
+            PageSize::Size4K,
+            EptPerms::RWX,
+        )
+        .unwrap();
         assert_eq!(ept.translate(&mut mem, 0x1000).unwrap().hpa, 0xB000);
     }
 
@@ -400,11 +458,18 @@ mod tests {
     fn corrupted_leaf_detected_with_integrity() {
         // The §5.4 scenario: a bit flip in a leaf entry redirects the VM.
         let (mut mem, mut alloc, mut ept) = setup(IntegrityMode::Checked);
-        ept.map(&mut mem, &mut alloc, 0x1000, 0xA000, PageSize::Size4K, EptPerms::RWX)
-            .unwrap();
+        ept.map(
+            &mut mem,
+            &mut alloc,
+            0x1000,
+            0xA000,
+            PageSize::Size4K,
+            EptPerms::RWX,
+        )
+        .unwrap();
         // Find and corrupt the leaf entry (flip a PFN bit).
         let leaf_table = *ept.table_pages().last().unwrap();
-        let entry_addr = leaf_table + ((0x1000u64 >> 12) & 511) * 8;
+        let entry_addr = leaf_table + 8;
         let raw = mem.read_u64(entry_addr);
         mem.write_u64(entry_addr, raw ^ (1 << 20));
         assert!(matches!(
@@ -419,10 +484,17 @@ mod tests {
         // different HPA — the subarray-group escape Siloz must prevent via
         // guard rows on legacy hardware.
         let (mut mem, mut alloc, mut ept) = setup(IntegrityMode::None);
-        ept.map(&mut mem, &mut alloc, 0x1000, 0xA000, PageSize::Size4K, EptPerms::RWX)
-            .unwrap();
+        ept.map(
+            &mut mem,
+            &mut alloc,
+            0x1000,
+            0xA000,
+            PageSize::Size4K,
+            EptPerms::RWX,
+        )
+        .unwrap();
         let leaf_table = *ept.table_pages().last().unwrap();
-        let entry_addr = leaf_table + ((0x1000u64 >> 12) & 511) * 8;
+        let entry_addr = leaf_table + 8;
         let raw = mem.read_u64(entry_addr);
         mem.write_u64(entry_addr, raw ^ (1 << 20));
         let t = ept.translate(&mut mem, 0x1000).unwrap();
@@ -469,8 +541,15 @@ mod tests {
     fn table_pages_reported_for_placement() {
         let (mut mem, mut alloc, mut ept) = setup(IntegrityMode::None);
         let before = ept.table_pages().len();
-        ept.map(&mut mem, &mut alloc, 0x4000_0000, 0, PageSize::Size4K, EptPerms::RWX)
-            .unwrap();
+        ept.map(
+            &mut mem,
+            &mut alloc,
+            0x4000_0000,
+            0,
+            PageSize::Size4K,
+            EptPerms::RWX,
+        )
+        .unwrap();
         assert!(ept.table_pages().len() > before);
         assert_eq!(ept.table_pages()[0], ept.root());
     }

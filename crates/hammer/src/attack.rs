@@ -148,7 +148,10 @@ mod tests {
         let _victim = hv.create_vm(VmSpec::new("victim", 2, 256 << 20)).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(42);
         let report = hammer_vm(&mut hv, attacker, 2, quick_cfg(), &mut rng).unwrap();
-        assert!(report.flips_total > 0, "attack must succeed inside the domain");
+        assert!(
+            report.flips_total > 0,
+            "attack must succeed inside the domain"
+        );
         assert!(
             report.escapes.is_empty(),
             "Siloz must contain flips: {:?}",

@@ -111,7 +111,9 @@ impl HammerPattern {
     /// Randomly samples a Blacksmith-style pattern from `allowed_rows`
     /// (ascending candidate rows within one bank and subarray).
     pub fn random<R: Rng>(allowed_rows: &[u32], rng: &mut R) -> Self {
-        let n = rng.gen_range(2..=16usize).min(allowed_rows.len().max(2) / 2);
+        let n = rng
+            .gen_range(2..=16usize)
+            .min(allowed_rows.len().max(2) / 2);
         let mut slots = Vec::with_capacity(n);
         // Pick aggressor rows spaced by 2 where possible (sandwiching
         // victims), from a random starting index.

@@ -30,7 +30,9 @@ pub fn addresses_conflict(
     let mut samples = Vec::with_capacity(rounds);
     for _ in 0..rounds {
         let ra = ctrl.access_at(dram, a, false, start).expect("valid addr");
-        let rb = ctrl.access_at(dram, b, false, ra.done_ps).expect("valid addr");
+        let rb = ctrl
+            .access_at(dram, b, false, ra.done_ps)
+            .expect("valid addr");
         samples.push((rb.done_ps - start).max(1));
         start = rb.done_ps;
     }

@@ -94,7 +94,10 @@ impl BankFsm {
                 let floor = self.last_act_ps.map_or(0, |a| a + timings.t_rc_ps);
                 let act = pre_done.max(floor);
                 self.last_act_ps = Some(act);
-                (act, act + timings.t_rcd_ps + timings.t_cl_ps + timings.t_burst_ps)
+                (
+                    act,
+                    act + timings.t_rcd_ps + timings.t_cl_ps + timings.t_burst_ps,
+                )
             }
         };
         self.open_row = Some(row);

@@ -1,10 +1,21 @@
 //! The FR-FCFS memory controller.
+//!
+//! All scheduling state lives in dense `Vec`s indexed by ordinals derived
+//! from the [`Geometry`] (flat bank id, channel ordinal, rank ordinal)
+//! rather than hash maps — the controller's hot path does no hashing at
+//! all. Address decode goes through a [`DecodeTlb`], and [`run_trace`]
+//! decodes each op once at window-fill time instead of re-decoding the
+//! whole pending window on every FR-FCFS pick. The pre-flattening
+//! implementation is retained as [`crate::HashedController`] for benchmark
+//! comparison and semantic-equivalence tests.
+//!
+//! [`run_trace`]: MemoryController::run_trace
 
 use crate::bankfsm::{AccessKind, BankFsm, PagePolicy};
 use crate::stats::CtrlStats;
 use crate::timing::DdrTimings;
 use dram::DramSystem;
-use dram_addr::{AddrError, BankId, SystemAddressDecoder};
+use dram_addr::{AddrError, BankId, DecodeTlb, Geometry, MediaAddress, SystemAddressDecoder};
 use std::collections::{HashMap, VecDeque};
 
 /// One memory operation of a trace.
@@ -136,6 +147,44 @@ struct RankState {
     last_act_ps: u64,
 }
 
+/// Per-thread issue state during [`MemoryController::run_trace`], stored in
+/// a dense `Vec` indexed by thread id.
+#[derive(Debug, Clone, Copy)]
+struct PerThread {
+    cursor: u64,
+    last_done: u64,
+    outstanding: u32,
+    lat_sum: u64,
+    lat_count: u64,
+}
+
+/// Returns the state slot for `thread`, growing the table on first sight.
+fn per_thread(threads: &mut Vec<PerThread>, thread: u16, start_clock: u64) -> &mut PerThread {
+    let idx = thread as usize;
+    if idx >= threads.len() {
+        threads.resize(
+            idx + 1,
+            PerThread {
+                cursor: start_clock,
+                last_done: start_clock,
+                outstanding: 0,
+                lat_sum: 0,
+                lat_count: 0,
+            },
+        );
+    }
+    &mut threads[idx]
+}
+
+/// A window entry of [`MemoryController::run_trace`]: the op, its issue
+/// time, and its decode (performed once, at window entry).
+#[derive(Debug, Clone, Copy)]
+struct PendingOp {
+    op: MemOp,
+    issue: u64,
+    decoded: Option<(MediaAddress, BankId)>,
+}
+
 /// The memory controller: address decode, FR-FCFS scheduling, DDR timing.
 ///
 /// # Examples
@@ -155,17 +204,27 @@ struct RankState {
 /// ```
 #[derive(Debug)]
 pub struct MemoryController {
-    decoder: SystemAddressDecoder,
+    tlb: DecodeTlb,
+    /// Copy of the decoder's geometry, for ordinal arithmetic without
+    /// borrowing through the TLB.
+    geometry: Geometry,
     timings: DdrTimings,
-    banks: HashMap<BankId, BankFsm>,
-    /// Channel bus free time, keyed by (socket, channel).
-    bus_free: HashMap<(u16, u16), u64>,
-    ranks: HashMap<(u16, u16, u16, u16), RankState>,
+    /// Per-bank row-buffer FSMs, indexed by flat [`BankId`].
+    banks: Vec<BankFsm>,
+    /// Channel bus free time, indexed by [`Geometry::channel_ordinal`].
+    bus_free: Vec<u64>,
+    /// Per-rank ACT bookkeeping, indexed by [`Geometry::rank_ordinal`].
+    ranks: Vec<RankState>,
     next_ref_ps: u64,
     stats: CtrlStats,
-    /// Accesses per bank (utilization accounting; §4.1's bank-level
-    /// parallelism claim is auditable from this).
-    bank_touches: HashMap<BankId, u64>,
+    /// Accesses per bank, indexed by flat [`BankId`] (utilization
+    /// accounting; §4.1's bank-level parallelism claim is auditable from
+    /// this).
+    bank_touches: Vec<u64>,
+    /// Flat ids of banks touched so far, in first-touch order; the
+    /// distributed-refresh sweep visits only these, matching the hash-map
+    /// implementation where un-accessed banks accrued no refresh debt.
+    touched: Vec<u32>,
     drive_physics: bool,
     /// Row-buffer management policy.
     pub policy: PagePolicy,
@@ -189,19 +248,22 @@ impl MemoryController {
     #[must_use]
     pub fn with_timings(decoder: SystemAddressDecoder, timings: DdrTimings) -> Self {
         timings.validate().expect("valid timings");
+        let geometry = *decoder.geometry();
         Self {
-            decoder,
+            geometry,
             timings,
-            banks: HashMap::new(),
-            bus_free: HashMap::new(),
-            ranks: HashMap::new(),
+            banks: vec![BankFsm::default(); geometry.total_banks() as usize],
+            bus_free: vec![0; geometry.total_channels() as usize],
+            ranks: vec![RankState::default(); geometry.total_ranks() as usize],
             next_ref_ps: timings.t_refi_ps,
             stats: CtrlStats::default(),
-            bank_touches: HashMap::new(),
+            bank_touches: vec![0; geometry.total_banks() as usize],
+            touched: Vec::new(),
             drive_physics: true,
             policy: PagePolicy::Open,
             window: 16,
             dram_sync_counter: 0,
+            tlb: DecodeTlb::new(decoder),
         }
     }
 
@@ -223,7 +285,13 @@ impl MemoryController {
     /// The decoder in use.
     #[must_use]
     pub fn decoder(&self) -> &SystemAddressDecoder {
-        &self.decoder
+        self.tlb.inner()
+    }
+
+    /// Decode-TLB `(hits, misses)` so far.
+    #[must_use]
+    pub fn tlb_stats(&self) -> (u64, u64) {
+        (self.tlb.hits(), self.tlb.misses())
     }
 
     /// Accumulated statistics.
@@ -241,32 +309,34 @@ impl MemoryController {
     /// Number of distinct banks touched so far.
     #[must_use]
     pub fn banks_touched(&self) -> usize {
-        self.bank_touches.len()
+        self.touched.len()
     }
 
-    /// Per-bank access counts (utilization audit).
-    #[must_use]
-    pub fn bank_touches(&self) -> &HashMap<BankId, u64> {
-        &self.bank_touches
+    /// Per-bank access counts for touched banks (utilization audit).
+    pub fn bank_touches(&self) -> impl Iterator<Item = (BankId, u64)> + '_ {
+        self.touched
+            .iter()
+            .map(|&ord| (BankId(ord), self.bank_touches[ord as usize]))
     }
 
-    /// Coefficient of variation of per-bank load (0 = perfectly even).
+    /// Coefficient of variation of per-bank load (0 = perfectly even),
+    /// over touched banks only.
     #[must_use]
     pub fn bank_load_cv(&self) -> f64 {
-        if self.bank_touches.is_empty() {
+        if self.touched.is_empty() {
             return 0.0;
         }
-        let n = self.bank_touches.len() as f64;
-        let mean = self.bank_touches.values().sum::<u64>() as f64 / n;
+        let n = self.touched.len() as f64;
+        let counts = || {
+            self.touched
+                .iter()
+                .map(|&ord| self.bank_touches[ord as usize])
+        };
+        let mean = counts().sum::<u64>() as f64 / n;
         if mean == 0.0 {
             return 0.0;
         }
-        let var = self
-            .bank_touches
-            .values()
-            .map(|&c| (c as f64 - mean).powi(2))
-            .sum::<f64>()
-            / n;
+        let var = counts().map(|c| (c as f64 - mean).powi(2)).sum::<f64>() / n;
         var.sqrt() / mean
     }
 
@@ -278,25 +348,39 @@ impl MemoryController {
         write: bool,
         arrival_ps: u64,
     ) -> Result<AccessResult, AddrError> {
-        let media = self.decoder.decode(phys)?;
-        let bank_id = media.global_bank(self.decoder.geometry());
+        let (media, bank_id) = self.tlb.decode_with_bank(phys)?;
+        Ok(self.access_decoded(dram, media, bank_id, write, arrival_ps))
+    }
+
+    /// The decode-free access path: serves an already-decoded access.
+    fn access_decoded(
+        &mut self,
+        dram: &mut DramSystem,
+        media: MediaAddress,
+        bank_id: BankId,
+        write: bool,
+        arrival_ps: u64,
+    ) -> AccessResult {
         // Distributed refresh: when the clock crosses tREFI, steal tRFC from
-        // every bank (coarse model of per-rank staggered REF).
+        // every touched bank (coarse model of per-rank staggered REF).
         while arrival_ps >= self.next_ref_ps {
             let t = self.timings;
-            for fsm in self.banks.values_mut() {
+            for &ord in &self.touched {
+                let fsm = &mut self.banks[ord as usize];
                 fsm.precharge(self.next_ref_ps, &t);
                 fsm.ready_ps += t.t_rfc_ps;
             }
             self.next_ref_ps += t.t_refi_ps;
         }
-        let fsm = self.banks.entry(bank_id).or_default();
+        let ord = bank_id.0 as usize;
         // Rank-level ACT constraints apply only if an ACT will be issued.
-        let needs_act = fsm.classify(media.row) != AccessKind::RowHit;
+        let needs_act = self.banks[ord].classify(media.row) != AccessKind::RowHit;
         let mut arrival = arrival_ps;
-        let rank_key = (media.socket, media.channel, media.dimm, media.rank);
+        let rank_ord =
+            self.geometry
+                .rank_ordinal(media.socket, media.channel, media.dimm, media.rank);
         if needs_act {
-            let rank = self.ranks.entry(rank_key).or_default();
+            let rank = &self.ranks[rank_ord];
             arrival = arrival.max(rank.last_act_ps + self.timings.t_rrd_ps);
             if rank.recent_acts.len() == 4 {
                 let oldest = rank.recent_acts[0];
@@ -304,9 +388,9 @@ impl MemoryController {
             }
         }
         let (kind, act_start, bank_done) =
-            fsm.access_with_policy(media.row, arrival, &self.timings, self.policy);
+            self.banks[ord].access_with_policy(media.row, arrival, &self.timings, self.policy);
         if kind != AccessKind::RowHit {
-            let rank = self.ranks.entry(rank_key).or_default();
+            let rank = &mut self.ranks[rank_ord];
             rank.last_act_ps = act_start;
             rank.recent_acts.push_back(act_start);
             while rank.recent_acts.len() > 4 {
@@ -314,20 +398,20 @@ impl MemoryController {
             }
         }
         // Channel data bus: the burst occupies the bus; queue if busy.
-        let bus = self
-            .bus_free
-            .entry((media.socket, media.channel))
-            .or_insert(0);
+        let bus = &mut self.bus_free[self.geometry.channel_ordinal(media.socket, media.channel)];
         let data_start = (bank_done - self.timings.t_burst_ps).max(*bus);
         let done = data_start + self.timings.t_burst_ps;
         *bus = done;
         if done > bank_done {
             // Bus queueing delays this bank's next availability too.
-            self.banks.get_mut(&bank_id).expect("bank exists").ready_ps = done;
+            self.banks[ord].ready_ps = done;
         }
         let latency = done - arrival_ps;
         self.stats.record(kind, !write, latency, done);
-        *self.bank_touches.entry(bank_id).or_insert(0) += 1;
+        if self.bank_touches[ord] == 0 {
+            self.touched.push(bank_id.0);
+        }
+        self.bank_touches[ord] += 1;
         if self.drive_physics && kind != AccessKind::RowHit {
             dram.activate(&media, 0);
             self.dram_sync_counter += 1;
@@ -336,11 +420,11 @@ impl MemoryController {
                 self.sync_dram_time(dram);
             }
         }
-        Ok(AccessResult {
+        AccessResult {
             kind,
             done_ps: done,
             latency_ps: latency,
-        })
+        }
     }
 
     /// Brings the DRAM device clock up to the controller clock so
@@ -357,20 +441,18 @@ impl MemoryController {
     /// Each thread's ops issue in order, separated by their `gap_ps` (and
     /// by completion when `dependent`); different threads progress
     /// independently. Within the lookahead window, row-buffer hits are
-    /// served first, as real controllers do.
+    /// served first, as real controllers do. Ops are decoded once when they
+    /// enter the window; the FR-FCFS scan works on the stored decode.
     pub fn run_trace<I>(&mut self, dram: &mut DramSystem, ops: I) -> TraceResult
     where
         I: IntoIterator<Item = MemOp>,
     {
         let start_clock = self.stats.clock_ps;
         let before = self.stats;
-        let mut thread_cursor: HashMap<u16, u64> = HashMap::new();
-        let mut thread_last_done: HashMap<u16, u64> = HashMap::new();
-        let mut outstanding: HashMap<u16, u32> = HashMap::new();
+        let mut threads: Vec<PerThread> = Vec::new();
         let mut first_issue: Option<u64> = None;
-        let mut pending: VecDeque<(MemOp, u64)> = VecDeque::new();
+        let mut pending: VecDeque<PendingOp> = VecDeque::new();
         let mut staged: Option<MemOp> = None;
-        let mut thread_latency: HashMap<u16, (u64, u64)> = HashMap::new();
         let mut bypassed = 0u32;
         let mut iter = ops.into_iter();
         loop {
@@ -381,26 +463,26 @@ impl MemoryController {
                 let Some(op) = staged.take().or_else(|| iter.next()) else {
                     break;
                 };
-                if op.dependent && outstanding.get(&op.thread).copied().unwrap_or(0) > 0 {
+                let t = per_thread(&mut threads, op.thread, start_clock);
+                if op.dependent && t.outstanding > 0 {
                     staged = Some(op);
                     break;
                 }
-                let cursor = thread_cursor.entry(op.thread).or_insert(start_clock);
-                let mut issue = *cursor + op.gap_ps;
+                let mut issue = t.cursor + op.gap_ps;
                 if op.dependent {
-                    issue = issue.max(
-                        thread_last_done
-                            .get(&op.thread)
-                            .copied()
-                            .unwrap_or(start_clock),
-                    );
+                    issue = issue.max(t.last_done);
                 }
-                *cursor = issue;
+                t.cursor = issue;
+                t.outstanding += 1;
                 first_issue.get_or_insert(issue);
-                *outstanding.entry(op.thread).or_insert(0) += 1;
-                pending.push_back((op, issue));
+                // Decode once on entry; invalid addresses stay undecoded and
+                // are dropped when picked.
+                let decoded = self.tlb.decode_with_bank(op.phys).ok();
+                pending.push_back(PendingOp { op, issue, decoded });
             }
-            let Some(_) = pending.front() else { break };
+            if pending.is_empty() {
+                break;
+            }
             // FR-FCFS: pick the oldest row-hit if any, else the oldest op.
             // Cap how often the oldest op may be bypassed — real
             // controllers bound reordering to prevent starvation.
@@ -409,32 +491,26 @@ impl MemoryController {
             } else {
                 pending
                     .iter()
-                    .position(|(op, _)| {
-                        self.decoder.decode(op.phys).ok().is_some_and(|m| {
-                            let bank = m.global_bank(self.decoder.geometry());
-                            self.banks
-                                .get(&bank)
-                                .is_some_and(|f| f.classify(m.row) == AccessKind::RowHit)
+                    .position(|p| {
+                        p.decoded.is_some_and(|(m, bank)| {
+                            self.banks[bank.0 as usize].classify(m.row) == AccessKind::RowHit
                         })
                     })
                     .unwrap_or(0)
             };
             bypassed = if choice == 0 { 0 } else { bypassed + 1 };
-            let (op, issue) = pending.remove(choice).expect("choice is in range");
-            *outstanding.get_mut(&op.thread).expect("counted") -= 1;
-            match self.access_at(dram, op.phys, op.write, issue) {
-                Ok(res) => {
-                    let last = thread_last_done.entry(op.thread).or_insert(start_clock);
-                    *last = (*last).max(res.done_ps);
-                    let lat = thread_latency.entry(op.thread).or_insert((0, 0));
-                    lat.0 += res.latency_ps;
-                    lat.1 += 1;
-                }
-                Err(_) => {
-                    // Out-of-range addresses are dropped from the trace; the
-                    // workload layer is responsible for valid addressing.
-                }
+            let p = pending.remove(choice).expect("choice is in range");
+            let thread = p.op.thread as usize;
+            threads[thread].outstanding -= 1;
+            if let Some((media, bank)) = p.decoded {
+                let res = self.access_decoded(dram, media, bank, p.op.write, p.issue);
+                let t = &mut threads[thread];
+                t.last_done = t.last_done.max(res.done_ps);
+                t.lat_sum += res.latency_ps;
+                t.lat_count += 1;
             }
+            // Undecoded (out-of-range) ops are dropped from the trace; the
+            // workload layer is responsible for valid addressing.
         }
         let elapsed = self
             .stats
@@ -448,6 +524,12 @@ impl MemoryController {
         delta.reads -= before.reads;
         delta.total_latency_ps -= before.total_latency_ps;
         delta.bytes -= before.bytes;
+        let thread_latency = threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.lat_count > 0)
+            .map(|(id, t)| (id as u16, (t.lat_sum, t.lat_count)))
+            .collect();
         TraceResult {
             stats: delta,
             elapsed_ps: elapsed,
@@ -517,7 +599,7 @@ mod tests {
         let rnd: Vec<MemOp> = (0..4096)
             .map(|_| {
                 x = dram::util::splitmix64(x);
-                MemOp::read(x % cap & !63)
+                MemOp::read((x % cap) & !63)
             })
             .collect();
         let rnd_res = ctrl2.run_trace(&mut dram2, rnd);
@@ -563,7 +645,10 @@ mod tests {
         let rg = ctrl.decoder().geometry().row_group_bytes();
         let ops: Vec<MemOp> = (0..512u64).map(|i| MemOp::read(i * rg)).collect();
         ctrl.run_trace(&mut dram, ops);
-        assert!(dram.stats().acts > 0, "activates must reach the device model");
+        assert!(
+            dram.stats().acts > 0,
+            "activates must reach the device model"
+        );
 
         let dec = mini_decoder();
         let mut dram2 = DramSystem::new(mini_geometry());
@@ -607,11 +692,7 @@ mod tests {
         // Interleave two 256-op chains.
         let a = chase(0, 256);
         let b = chase(1, 256);
-        let interleaved: Vec<MemOp> = a
-            .into_iter()
-            .zip(b)
-            .flat_map(|(x, y)| [x, y])
-            .collect();
+        let interleaved: Vec<MemOp> = a.into_iter().zip(b).flat_map(|(x, y)| [x, y]).collect();
         let dual = c2.run_trace(&mut d2, interleaved);
         assert_eq!(dual.stats.accesses, 512);
         assert!(
@@ -656,8 +737,15 @@ mod tests {
             .with_policy(PagePolicy::Closed);
         let closed_res = closed_ctrl.run_trace(&mut d2, hot_row);
         assert_eq!(closed_res.stats.row_hits, 0, "closed page never hits");
-        assert_eq!(closed_res.stats.row_conflicts, 0, "closed page never conflicts");
-        assert!(open_res.stats.hit_rate() > 0.9, "hit rate {}", open_res.stats.hit_rate());
+        assert_eq!(
+            closed_res.stats.row_conflicts, 0,
+            "closed page never conflicts"
+        );
+        assert!(
+            open_res.stats.hit_rate() > 0.9,
+            "hit rate {}",
+            open_res.stats.hit_rate()
+        );
         assert!(
             open_res.stats.mean_latency_ns() < closed_res.stats.mean_latency_ns(),
             "locality favors open page: open {} vs closed {}",
@@ -665,6 +753,42 @@ mod tests {
             closed_res.stats.mean_latency_ns()
         );
         assert!(open_res.elapsed_ps < closed_res.elapsed_ps);
+    }
+
+    #[test]
+    fn flat_controller_matches_hashed_baseline() {
+        // The flattened controller must be semantically identical to the
+        // retained hash-map implementation: same TraceResult on a mixed
+        // trace (sequential, hot-row, random, dependent, multi-threaded)
+        // long enough to cross refresh intervals, and same bank census.
+        let dec = mini_decoder();
+        let cap = dec.capacity();
+        let rg = dec.geometry().row_group_bytes();
+        let mut ops = Vec::new();
+        let mut x = 0xdead_beefu64;
+        for i in 0..20_000u64 {
+            let op = match i % 5 {
+                0 => MemOp::read(i * 64),
+                1 => MemOp::read(0).with_gap_ps(1_000).on_thread(1),
+                2 => {
+                    x = dram::util::splitmix64(x);
+                    MemOp::write((x % cap) & !63).on_thread(2)
+                }
+                3 => MemOp::read((i * rg) % cap).after_previous().on_thread(3),
+                _ => MemOp::read(cap + i), // invalid: dropped by both
+            };
+            ops.push(op);
+        }
+        let (mut flat, mut d1) = setup();
+        let flat_res = flat.run_trace(&mut d1, ops.clone());
+
+        let mut d2 = DramSystem::new(mini_geometry());
+        let mut hashed = crate::HashedController::new(mini_decoder());
+        let hashed_res = hashed.run_trace(&mut d2, ops);
+
+        assert_eq!(flat_res, hashed_res);
+        assert_eq!(flat.banks_touched(), hashed.banks_touched());
+        assert_eq!(d1.stats().acts, d2.stats().acts);
     }
 
     #[test]

@@ -16,11 +16,13 @@
 //! simulated bytes.
 
 pub mod bankfsm;
+pub mod baseline;
 pub mod controller;
 pub mod stats;
 pub mod timing;
 
 pub use bankfsm::{AccessKind, BankFsm, PagePolicy};
+pub use baseline::HashedController;
 pub use controller::{AccessResult, MemOp, MemoryController, TraceResult};
 pub use stats::CtrlStats;
 pub use timing::DdrTimings;

@@ -101,11 +101,15 @@ mod tests {
 
     #[test]
     fn validate_catches_bad_trc() {
-        let mut t = DdrTimings::default();
-        t.t_rc_ps = 1;
+        let t = DdrTimings {
+            t_rc_ps: 1,
+            ..DdrTimings::default()
+        };
         assert!(t.validate().is_err());
-        let mut t2 = DdrTimings::default();
-        t2.t_burst_ps = 0;
+        let t2 = DdrTimings {
+            t_burst_ps: 0,
+            ..DdrTimings::default()
+        };
         assert!(t2.validate().is_err());
     }
 }

@@ -50,11 +50,8 @@ impl BuddyAllocator {
     /// never made available — e.g. guard rows reserved at boot).
     #[must_use]
     pub fn with_holes(ranges: &[Range<u64>], holes: &[u64]) -> Self {
-        let mut norm: Vec<Range<u64>> = ranges
-            .iter()
-            .filter(|r| r.end > r.start)
-            .cloned()
-            .collect();
+        let mut norm: Vec<Range<u64>> =
+            ranges.iter().filter(|r| r.end > r.start).cloned().collect();
         norm.sort_by_key(|r| r.start);
         let hole_set: BTreeSet<u64> = holes.iter().copied().collect();
         let mut this = Self {
@@ -67,10 +64,7 @@ impl BuddyAllocator {
         for range in &norm {
             // Insert maximal aligned blocks between holes.
             let mut start = range.start;
-            let holes_in: Vec<u64> = hole_set
-                .range(range.start..range.end)
-                .copied()
-                .collect();
+            let holes_in: Vec<u64> = hole_set.range(range.start..range.end).copied().collect();
             let mut segments = Vec::new();
             for h in holes_in {
                 if h > start {
@@ -156,7 +150,10 @@ impl BuddyAllocator {
     ///
     /// Coalesces with free buddies, but never across coverage holes.
     pub fn free(&mut self, frame: u64, order: u8) -> Result<(), NumaError> {
-        if order > MAX_ORDER || frame % (1u64 << order) != 0 || !self.in_coverage(frame, order) {
+        if order > MAX_ORDER
+            || !frame.is_multiple_of(1u64 << order)
+            || !self.in_coverage(frame, order)
+        {
             return Err(NumaError::BadFree { frame, order });
         }
         if self.is_free_or_overlapping(frame, order) {
@@ -186,10 +183,7 @@ impl BuddyAllocator {
     /// coverage range with no offlined frames.
     fn in_coverage(&self, frame: u64, order: u8) -> bool {
         let end = frame + (1u64 << order);
-        let inside = self
-            .ranges
-            .iter()
-            .any(|r| frame >= r.start && end <= r.end);
+        let inside = self.ranges.iter().any(|r| frame >= r.start && end <= r.end);
         inside && self.offlined.range(frame..end).next().is_none()
     }
 
@@ -247,7 +241,10 @@ impl BuddyAllocator {
 
     /// Offlines many frames; returns how many were actually taken offline.
     pub fn offline_frames(&mut self, frames: impl IntoIterator<Item = u64>) -> u64 {
-        frames.into_iter().filter(|&f| self.offline_frame(f)).count() as u64
+        frames
+            .into_iter()
+            .filter(|&f| self.offline_frame(f))
+            .count() as u64
     }
 }
 

@@ -41,7 +41,7 @@ proptest! {
         prop_assert_eq!(b.free_frames(), total);
         // Full coalescing: the whole region is allocatable as big blocks.
         let mut big = 0u64;
-        while let Ok(_) = b.alloc(10) { big += 1 << 10; }
+        while b.alloc(10).is_ok() { big += 1 << 10; }
         prop_assert_eq!(big, total);
     }
 

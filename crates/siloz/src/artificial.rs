@@ -21,7 +21,7 @@ const FRAME_BYTES: u64 = 4096;
 /// boundary falls inside such a block, the whole block is reserved.
 #[must_use]
 pub fn scrambling_reserved_rows(subarray_rows: u32, rows_per_bank: u32) -> Vec<u32> {
-    if subarray_rows == 0 || subarray_rows % 8 == 0 {
+    if subarray_rows == 0 || subarray_rows.is_multiple_of(8) {
         return Vec::new();
     }
     let mut out = Vec::new();
@@ -202,8 +202,16 @@ mod tests {
         let small = ArtificialGroupPlan::new(513, 4, cfg, rows_per_bank);
         // Artificial size 1024; 4 guard rows x up to 4 variants per
         // boundary = at most 16 rows per 1024 = 1.56%.
-        assert!(small.reserved_fraction() <= 0.0157, "{}", small.reserved_fraction());
-        assert!(small.reserved_fraction() >= 0.0039, "{}", small.reserved_fraction());
+        assert!(
+            small.reserved_fraction() <= 0.0157,
+            "{}",
+            small.reserved_fraction()
+        );
+        assert!(
+            small.reserved_fraction() >= 0.0039,
+            "{}",
+            small.reserved_fraction()
+        );
         let large = ArtificialGroupPlan::new(1025, 4, cfg, rows_per_bank);
         // Artificial size 2048: fraction halves.
         assert!(large.reserved_fraction() <= small.reserved_fraction());
@@ -252,9 +260,21 @@ mod tests {
     fn repair_frames_cover_only_crossing_repairs() {
         let dec = skylake_decoder();
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-        let intra = RepairMap::generate(dec.geometry(), 0.000001, RepairKind::IntraSubarray, &mut rng);
-        assert!(inter_subarray_repair_frames(&dec, &intra).unwrap().is_empty());
-        let inter = RepairMap::generate(dec.geometry(), 0.000001, RepairKind::InterSubarray, &mut rng);
+        let intra = RepairMap::generate(
+            dec.geometry(),
+            0.000001,
+            RepairKind::IntraSubarray,
+            &mut rng,
+        );
+        assert!(inter_subarray_repair_frames(&dec, &intra)
+            .unwrap()
+            .is_empty());
+        let inter = RepairMap::generate(
+            dec.geometry(),
+            0.000001,
+            RepairKind::InterSubarray,
+            &mut rng,
+        );
         let frames = inter_subarray_repair_frames(&dec, &inter).unwrap();
         assert_eq!(frames.len(), inter.len() * 128);
     }

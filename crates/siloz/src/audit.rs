@@ -121,7 +121,9 @@ pub fn audit(hv: &Hypervisor) -> Result<AuditReport, SilozError> {
     }
     let installed = geometry.total_bytes() / 4096;
     if covered != installed {
-        report.violations.push(Violation::CoverageGap { covered, installed });
+        report
+            .violations
+            .push(Violation::CoverageGap { covered, installed });
     }
 
     // 3: node frames inside their groups (Siloz logical nodes only).
@@ -172,9 +174,7 @@ pub fn audit(hv: &Hypervisor) -> Result<AuditReport, SilozError> {
         if let Some(plan) = hv.ept_plan() {
             for &hpa in hv.vm_ept_pages(vm)? {
                 let (socket, row) = hv.decoder().row_group_of(hpa)?;
-                let ok = plan
-                    .socket(socket)
-                    .is_some_and(|sp| row == sp.ept_row);
+                let ok = plan.socket(socket).is_some_and(|sp| row == sp.ept_row);
                 if !ok {
                     report
                         .violations

@@ -179,7 +179,11 @@ mod tests {
         let dec = skylake_decoder();
         let map = SubarrayGroupMap::compute(&dec, 1024).unwrap();
         let cache = to_cache(&map);
-        assert!(cache.len() < 64 << 10, "cache stays compact: {}", cache.len());
+        assert!(
+            cache.len() < 64 << 10,
+            "cache stays compact: {}",
+            cache.len()
+        );
         let restored = from_cache(&cache, &dec, 1024).unwrap();
         assert_eq!(map.groups().len(), restored.groups().len());
     }

@@ -204,7 +204,10 @@ mod tests {
         // not consistently meet deadlines; gaps can exceed 32 ms.
         let mut rng = rand::rngs::StdRng::seed_from_u64(83);
         let report = simulate_soft_refresh(&SchedulerModel::default(), 100_000, &mut rng);
-        assert!(report.min_period_ms >= 1.0, "Linux enforces >= 1 ms periods");
+        assert!(
+            report.min_period_ms >= 1.0,
+            "Linux enforces >= 1 ms periods"
+        );
         assert!(report.missed_deadlines > 0);
         assert!(report.gross_misses > 0, "some gaps exceed 32 ms");
         assert!(report.max_period_ms > 32.0);

@@ -71,7 +71,7 @@ impl EptGuardPlan {
         let mut sockets = Vec::with_capacity(g.sockets as usize);
         for socket in 0..g.sockets {
             let base = base_row(socket);
-            if base % b != 0 {
+            if !base.is_multiple_of(b) {
                 return Err(SilozError::BadConfig(format!(
                     "EPT block base row {base} not {b}-aligned on socket {socket}"
                 )));
@@ -216,7 +216,10 @@ mod tests {
         let dec = skylake_decoder();
         assert!(EptGuardPlan::compute(&dec, 0, 0, |_| 0).is_err());
         assert!(EptGuardPlan::compute(&dec, 32, 32, |_| 0).is_err());
-        assert!(EptGuardPlan::compute(&dec, 32, 12, |_| 7).is_err(), "unaligned base");
+        assert!(
+            EptGuardPlan::compute(&dec, 32, 12, |_| 7).is_err(),
+            "unaligned base"
+        );
         assert!(
             EptGuardPlan::compute(&dec, 32, 12, |_| 1024 - 16).is_err(),
             "straddles subarray"

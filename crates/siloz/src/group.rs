@@ -46,7 +46,9 @@ impl GroupInfo {
     /// Whether `frame` belongs to this group.
     #[must_use]
     pub fn contains_frame(&self, frame: u64) -> bool {
-        self.frames.iter().any(|r| frame >= r.start && frame < r.end)
+        self.frames
+            .iter()
+            .any(|r| frame >= r.start && frame < r.end)
     }
 }
 
@@ -67,10 +69,7 @@ impl SubarrayGroupMap {
     /// structure (a block of `n` row groups must not straddle group
     /// boundaries, or pages would split across groups and 2 MiB isolation
     /// would be impossible, §4.2).
-    pub fn compute(
-        decoder: &SystemAddressDecoder,
-        presumed_rows: u32,
-    ) -> Result<Self, SilozError> {
+    pub fn compute(decoder: &SystemAddressDecoder, presumed_rows: u32) -> Result<Self, SilozError> {
         let g = decoder.geometry();
         if presumed_rows == 0 || presumed_rows > g.rows_per_bank {
             return Err(SilozError::BadConfig(format!(
@@ -78,13 +77,13 @@ impl SubarrayGroupMap {
             )));
         }
         let n = decoder.config().row_groups_per_block;
-        if presumed_rows % n != 0 {
+        if !presumed_rows.is_multiple_of(n) {
             return Err(SilozError::BadConfig(format!(
                 "presumed subarray rows {presumed_rows} not a multiple of the \
                  {n}-row-group mapping block; pages would straddle groups"
             )));
         }
-        if g.rows_per_bank % presumed_rows != 0 {
+        if !g.rows_per_bank.is_multiple_of(presumed_rows) {
             return Err(SilozError::BadConfig(format!(
                 "rows per bank {} not divisible by presumed subarray rows {presumed_rows}",
                 g.rows_per_bank
@@ -141,8 +140,10 @@ impl SubarrayGroupMap {
         groups: Vec<GroupInfo>,
     ) -> Result<Self, SilozError> {
         let g = decoder.geometry();
-        if presumed_rows == 0 || g.rows_per_bank % presumed_rows != 0 {
-            return Err(SilozError::BadConfig("cached presumed size inconsistent".into()));
+        if presumed_rows == 0 || !g.rows_per_bank.is_multiple_of(presumed_rows) {
+            return Err(SilozError::BadConfig(
+                "cached presumed size inconsistent".into(),
+            ));
         }
         let groups_per_socket = g.rows_per_bank / presumed_rows;
         let expected = (g.sockets as u32 * groups_per_socket) as usize;

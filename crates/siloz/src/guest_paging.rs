@@ -39,7 +39,7 @@ impl GuestPageTables {
         region_gpa: u64,
         region_len: u64,
     ) -> Result<Self, SilozError> {
-        if region_gpa % 4096 != 0 || region_len < 4096 {
+        if !region_gpa.is_multiple_of(4096) || region_len < 4096 {
             return Err(SilozError::BadConfig("bad guest table region".into()));
         }
         let mut this = Self {
@@ -63,7 +63,12 @@ impl GuestPageTables {
         (self.root_gpa..self.next_free).step_by(4096).collect()
     }
 
-    fn zero_table(&mut self, hv: &mut Hypervisor, vm: VmHandle, gpa: u64) -> Result<(), SilozError> {
+    fn zero_table(
+        &mut self,
+        hv: &mut Hypervisor,
+        vm: VmHandle,
+        gpa: u64,
+    ) -> Result<(), SilozError> {
         hv.guest_write(vm, gpa, &[0u8; 4096])
     }
 
@@ -114,7 +119,7 @@ impl GuestPageTables {
         size: PageSize,
         writable: bool,
     ) -> Result<(), SilozError> {
-        if gva % size.bytes() != 0 || gpa % size.bytes() != 0 {
+        if !gva.is_multiple_of(size.bytes()) || !gpa.is_multiple_of(size.bytes()) {
             return Err(SilozError::BadConfig("misaligned guest mapping".into()));
         }
         let leaf_level = size.leaf_level();
@@ -125,7 +130,13 @@ impl GuestPageTables {
             let entry = Self::read_entry(hv, vm, table, idx)?;
             if entry & PRESENT == 0 {
                 let new_table = self.alloc_table(hv, vm)?;
-                Self::write_entry(hv, vm, table, idx, (new_table & ADDR_MASK) | PRESENT | WRITABLE)?;
+                Self::write_entry(
+                    hv,
+                    vm,
+                    table,
+                    idx,
+                    (new_table & ADDR_MASK) | PRESENT | WRITABLE,
+                )?;
                 table = new_table;
             } else {
                 table = entry & ADDR_MASK;
@@ -173,12 +184,7 @@ impl GuestPageTables {
     }
 
     /// The full §2.1 chain: GVA → GPA (guest tables) → HPA (EPT).
-    pub fn resolve(
-        &self,
-        hv: &mut Hypervisor,
-        vm: VmHandle,
-        gva: u64,
-    ) -> Result<u64, SilozError> {
+    pub fn resolve(&self, hv: &mut Hypervisor, vm: VmHandle, gva: u64) -> Result<u64, SilozError> {
         let (gpa, _) = self.translate(hv, vm, gva)?;
         Ok(hv.translate(vm, gpa)?.hpa)
     }
@@ -201,8 +207,15 @@ mod tests {
     #[test]
     fn map_and_translate_4k_and_2m() {
         let (mut hv, vm, mut pt) = setup();
-        pt.map(&mut hv, vm, 0x7fff_0000_1000, 0x50_0000, PageSize::Size4K, true)
-            .unwrap();
+        pt.map(
+            &mut hv,
+            vm,
+            0x7fff_0000_1000,
+            0x50_0000,
+            PageSize::Size4K,
+            true,
+        )
+        .unwrap();
         pt.map(&mut hv, vm, 0x20_0000, 0x40_0000, PageSize::Size2M, false)
             .unwrap();
         let (gpa, w) = pt.translate(&mut hv, vm, 0x7fff_0000_1abc).unwrap();

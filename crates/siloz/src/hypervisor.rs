@@ -146,10 +146,7 @@ impl Hypervisor {
         dram: DramSystem,
         repairs: RepairMap,
     ) -> Result<Self, SilozError> {
-        config
-            .geometry
-            .validate()
-            .map_err(SilozError::BadConfig)?;
+        config.geometry.validate().map_err(SilozError::BadConfig)?;
         let decoder = SystemAddressDecoder::new(config.geometry, config.decoder)?;
         match kind {
             HypervisorKind::Siloz => {
@@ -183,8 +180,7 @@ impl Hypervisor {
                 // One conventional node per socket; groups are still
                 // computed for *measurement* (the baseline kernel has no
                 // idea they exist).
-                let groups =
-                    SubarrayGroupMap::compute(&decoder, config.presumed_subarray_rows)?;
+                let groups = SubarrayGroupMap::compute(&decoder, config.presumed_subarray_rows)?;
                 let mut topo = Topology::new();
                 let mut host_nodes = Vec::new();
                 let g = decoder.geometry();
@@ -302,7 +298,9 @@ impl Hypervisor {
     }
 
     fn vm(&self, handle: VmHandle) -> Result<&Vm, SilozError> {
-        self.vms.get(&handle.0).ok_or(SilozError::NoSuchVm(handle.0))
+        self.vms
+            .get(&handle.0)
+            .ok_or(SilozError::NoSuchVm(handle.0))
     }
 
     /// Creates a VM per `spec` (§5.3's lifecycle: control group, UNMEDIATED
@@ -324,7 +322,9 @@ impl Hypervisor {
 
         let (socket, nodes) = self.pick_nodes(&spec, unmediated_bytes)?;
         let cpus: Vec<u32> = (0..spec.vcpus)
-            .map(|c| socket as u32 * self.config.cores_per_socket + c % self.config.cores_per_socket)
+            .map(|c| {
+                socket as u32 * self.config.cores_per_socket + c % self.config.cores_per_socket
+            })
             .collect();
         match self.kind {
             // Siloz: exclusive node reservations enforce one-VM-per-group.
@@ -418,12 +418,7 @@ impl Hypervisor {
     /// Backing memory is allocated before any EPT table page — as with
     /// boot-time hugepage reservation, guest RAM occupies the front of its
     /// pool, row-group aligned, under both hypervisors.
-    fn build_vm(
-        &mut self,
-        spec: &VmSpec,
-        socket: u16,
-        nodes: &[NodeId],
-    ) -> Result<Vm, SilozError> {
+    fn build_vm(&mut self, spec: &VmSpec, socket: u16, nodes: &[NodeId]) -> Result<Vm, SilozError> {
         let cgroup = self
             .cgroups
             .get(&spec.name)
@@ -470,9 +465,7 @@ impl Hypervisor {
                             // against its control group (§5.3).
                             guest_policy.alloc(&self.topo, order, Some(&cgroup))
                         }
-                        HypervisorKind::Baseline => {
-                            host_policy.alloc(&self.topo, order, None)
-                        }
+                        HypervisorKind::Baseline => host_policy.alloc(&self.topo, order, None),
                     }
                 } else {
                     // Mediated pages always come from host-reserved memory.
@@ -733,16 +726,28 @@ impl Hypervisor {
             let vm = self.vms.get_mut(&handle.0).expect("vm exists");
             let map_result = if use_guard_pool {
                 let alloc = self.ept_allocs.get_mut(&socket).expect("guard pool");
-                vm.ept
-                    .map(&mut mem, alloc, block.gpa, block.hpa(), page_size, EptPerms::RWX)
+                vm.ept.map(
+                    &mut mem,
+                    alloc,
+                    block.gpa,
+                    block.hpa(),
+                    page_size,
+                    EptPerms::RWX,
+                )
             } else {
                 let mut alloc = NodeEptAlloc {
                     topo: &self.topo,
                     node: host_node,
                     got: Vec::new(),
                 };
-                vm.ept
-                    .map(&mut mem, &mut alloc, block.gpa, block.hpa(), page_size, EptPerms::RWX)
+                vm.ept.map(
+                    &mut mem,
+                    &mut alloc,
+                    block.gpa,
+                    block.hpa(),
+                    page_size,
+                    EptPerms::RWX,
+                )
             };
             map_result?;
         }
@@ -838,7 +843,10 @@ impl Hypervisor {
     /// Translates a guest physical address through the VM's EPT, walking the
     /// tables in simulated DRAM (bit flips in EPT rows corrupt this walk).
     pub fn translate(&mut self, handle: VmHandle, gpa: u64) -> Result<Translation, SilozError> {
-        let vm = self.vms.get(&handle.0).ok_or(SilozError::NoSuchVm(handle.0))?;
+        let vm = self
+            .vms
+            .get(&handle.0)
+            .ok_or(SilozError::NoSuchVm(handle.0))?;
         let mut mem = DramPhysMem {
             dram: &mut self.dram,
             decoder: &self.decoder,
@@ -897,9 +905,7 @@ impl Hypervisor {
             let media = self.decoder.decode(t.hpa)?;
             let bank = media.global_bank(self.decoder.geometry());
             let chunk = ((line - t.hpa % line) as usize).min(len - out.len());
-            let (bytes, integrity) = self
-                .dram
-                .read_row(bank, media.row, media.col, chunk as u32);
+            let (bytes, integrity) = self.dram.read_row(bank, media.row, media.col, chunk as u32);
             intact &= integrity.data_is_correct();
             out.extend(bytes);
         }
@@ -937,11 +943,7 @@ impl Hypervisor {
                 // Rows actually backing the VM.
                 let mut vm_rows: std::collections::HashSet<(u16, u32)> =
                     std::collections::HashSet::new();
-                for b in vm
-                    .regions
-                    .iter()
-                    .flat_map(|r| r.backing.iter())
-                {
+                for b in vm.regions.iter().flat_map(|r| r.backing.iter()) {
                     let mut p = b.hpa();
                     let end = b.hpa() + b.bytes();
                     while p < end {
@@ -1058,14 +1060,16 @@ impl Hypervisor {
             vm.ept.unmap(&mut mem, old.gpa)?;
             if use_guard_pool {
                 let alloc = self.ept_allocs.get_mut(&socket).expect("guard pool");
-                vm.ept.map(&mut mem, alloc, old.gpa, new.hpa(), size, perms)?;
+                vm.ept
+                    .map(&mut mem, alloc, old.gpa, new.hpa(), size, perms)?;
             } else {
                 let mut alloc = NodeEptAlloc {
                     topo: &self.topo,
                     node: host_node,
                     got: Vec::new(),
                 };
-                vm.ept.map(&mut mem, &mut alloc, old.gpa, new.hpa(), size, perms)?;
+                vm.ept
+                    .map(&mut mem, &mut alloc, old.gpa, new.hpa(), size, perms)?;
             }
             vm.regions[region_idx].backing[block_idx] = new;
         }
@@ -1124,7 +1128,10 @@ mod tests {
         let ga = hv.vm_groups(a).unwrap();
         let gb = hv.vm_groups(b).unwrap();
         assert!(!ga.is_empty() && !gb.is_empty());
-        assert!(ga.iter().all(|g| !gb.contains(g)), "groups must be disjoint");
+        assert!(
+            ga.iter().all(|g| !gb.contains(g)),
+            "groups must be disjoint"
+        );
     }
 
     #[test]
@@ -1144,9 +1151,7 @@ mod tests {
     fn mediated_regions_go_to_host_reserved_memory() {
         let mut hv = mini_siloz();
         let vm = hv
-            .create_vm(
-                VmSpec::new("a", 2, 96 << 20).with_region(MemoryRegionKind::Mmio, 16 << 10),
-            )
+            .create_vm(VmSpec::new("a", 2, 96 << 20).with_region(MemoryRegionKind::Mmio, 16 << 10))
             .unwrap();
         let host_node = hv.host_nodes()[0];
         let regions = hv.vm_regions(vm).unwrap();
@@ -1162,7 +1167,10 @@ mod tests {
             .find(|r| r.kind == MemoryRegionKind::Ram)
             .unwrap();
         for b in &ram.backing {
-            assert_ne!(b.node, host_node, "unmediated pages must not be host-reserved");
+            assert_ne!(
+                b.node, host_node,
+                "unmediated pages must not be host-reserved"
+            );
         }
     }
 
@@ -1234,10 +1242,7 @@ mod tests {
         let a = hv.create_vm(VmSpec::new("a", 1, 512 << 20)).unwrap();
         hv.destroy_vm(a).unwrap();
         assert!(hv.create_vm(VmSpec::new("b", 1, 512 << 20)).is_ok());
-        assert!(matches!(
-            hv.destroy_vm(a),
-            Err(SilozError::NoSuchVm(_))
-        ));
+        assert!(matches!(hv.destroy_vm(a), Err(SilozError::NoSuchVm(_))));
     }
 
     #[test]
@@ -1308,9 +1313,7 @@ mod tests {
     fn rom_regions_are_read_only_in_the_ept() {
         let mut hv = mini_siloz();
         let vm = hv
-            .create_vm(
-                VmSpec::new("a", 1, 64 << 20).with_region(MemoryRegionKind::Rom, 2 << 20),
-            )
+            .create_vm(VmSpec::new("a", 1, 64 << 20).with_region(MemoryRegionKind::Rom, 2 << 20))
             .unwrap();
         let regions = hv.vm_regions(vm).unwrap();
         let rom_gpa = regions
@@ -1349,9 +1352,7 @@ mod tests {
     fn guest_writes_to_rom_are_rejected() {
         let mut hv = mini_siloz();
         let vm = hv
-            .create_vm(
-                VmSpec::new("a", 1, 64 << 20).with_region(MemoryRegionKind::Rom, 2 << 20),
-            )
+            .create_vm(VmSpec::new("a", 1, 64 << 20).with_region(MemoryRegionKind::Rom, 2 << 20))
             .unwrap();
         let rom_gpa = hv
             .vm_regions(vm)
@@ -1398,9 +1399,7 @@ mod tests {
     fn mmio_regions_are_not_mapped() {
         let mut hv = mini_siloz();
         let vm = hv
-            .create_vm(
-                VmSpec::new("a", 1, 64 << 20).with_region(MemoryRegionKind::Mmio, 4096),
-            )
+            .create_vm(VmSpec::new("a", 1, 64 << 20).with_region(MemoryRegionKind::Mmio, 4096))
             .unwrap();
         let regions = hv.vm_regions(vm).unwrap();
         let mmio_gpa = regions

@@ -69,8 +69,10 @@ impl IommuDomain {
     /// Fails with [`SilozError::NotPermitted`] if `hpa` lies outside the
     /// VM's subarray groups — the §5.1 requirement for secure passthrough.
     pub fn map(&mut self, hv: &mut Hypervisor, iova: u64, hpa: u64) -> Result<(), SilozError> {
-        if iova % 4096 != 0 || hpa % 4096 != 0 {
-            return Err(SilozError::BadConfig("IOMMU mappings are 4 KiB aligned".into()));
+        if !iova.is_multiple_of(4096) || !hpa.is_multiple_of(4096) {
+            return Err(SilozError::BadConfig(
+                "IOMMU mappings are 4 KiB aligned".into(),
+            ));
         }
         let group = hv.groups().group_of_phys(hpa)?;
         if !self.groups.contains(&group) {
@@ -81,7 +83,8 @@ impl IommuDomain {
         // Grow the (modeled) table every 512 mappings, from the protected
         // pool, like last-level EPT pages.
         if self.mappings.len() % 512 == 511 {
-            self.table_pages.push(hv.alloc_protected_table_page(self.vm)?);
+            self.table_pages
+                .push(hv.alloc_protected_table_page(self.vm)?);
         }
         self.mappings.insert(iova, hpa);
         Ok(())
@@ -156,7 +159,10 @@ mod tests {
         let sp = plan.socket(0).unwrap();
         for &hpa in dom.table_pages() {
             let (_, row) = hv.decoder().row_group_of(hpa).unwrap();
-            assert_eq!(row, sp.ept_row, "IOMMU tables must be guard-protected (§5.1)");
+            assert_eq!(
+                row, sp.ept_row,
+                "IOMMU tables must be guard-protected (§5.1)"
+            );
         }
     }
 

@@ -53,7 +53,7 @@ pub use iommu::IommuDomain;
 pub use provision::ProvisionedTopology;
 pub use snc::{apply_snc, SncMap};
 pub use virtio::{DmaRateLimiter, VirtQueue, VirtioBlk};
-pub use vm::{MemoryRegionKind, VmHandle, VmSpec};
+pub use vm::{BackingBlock, MemoryRegionKind, VmHandle, VmSpec};
 
 /// Errors produced by the hypervisor and its boot-time computations.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,7 +91,10 @@ impl core::fmt::Display for SilozError {
             SilozError::InsufficientCapacity {
                 requested,
                 available,
-            } => write!(f, "insufficient capacity: requested {requested}, available {available}"),
+            } => write!(
+                f,
+                "insufficient capacity: requested {requested}, available {available}"
+            ),
             SilozError::NoSuchVm(id) => write!(f, "no such VM {id}"),
             SilozError::NotPermitted(what) => write!(f, "not permitted: {what}"),
         }

@@ -98,9 +98,12 @@ impl ProvisionedTopology {
                 holes.extend(sp.guard_frames.iter().copied());
                 holes.extend(sp.ept_frames.clone());
             }
-            holes.extend(repair_holes.iter().copied().filter(|f| {
-                host_ranges.iter().any(|r| f >= &r.start && f < &r.end)
-            }));
+            holes.extend(
+                repair_holes
+                    .iter()
+                    .copied()
+                    .filter(|f| host_ranges.iter().any(|r| f >= &r.start && f < &r.end)),
+            );
             holes.sort_unstable();
             holes.dedup();
             offlined += holes.len() as u64;
@@ -229,8 +232,7 @@ mod tests {
         // by both.
         let info = p.topo.node(host).unwrap();
         let total = info.total_frames();
-        let reserved =
-            sp.guard_frames.len() as u64 + (sp.ept_frames.end - sp.ept_frames.start);
+        let reserved = sp.guard_frames.len() as u64 + (sp.ept_frames.end - sp.ept_frames.start);
         assert_eq!(p.topo.free_frames(host).unwrap(), total - reserved);
         assert!(p.offlined_frames >= reserved);
     }

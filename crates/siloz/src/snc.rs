@@ -55,13 +55,13 @@ pub fn apply_snc(config: &SilozConfig, ways: u16) -> Result<(SilozConfig, SncMap
     if ways == 0 {
         return Err(SilozError::BadConfig("SNC ways must be >= 1".into()));
     }
-    if config.geometry.channels_per_socket % ways != 0 {
+    if !config.geometry.channels_per_socket.is_multiple_of(ways) {
         return Err(SilozError::BadConfig(format!(
             "{} channels per socket not divisible by SNC-{ways}",
             config.geometry.channels_per_socket
         )));
     }
-    if config.cores_per_socket % ways as u32 != 0 {
+    if !config.cores_per_socket.is_multiple_of(ways as u32) {
         return Err(SilozError::BadConfig(format!(
             "{} cores per socket not divisible by SNC-{ways}",
             config.cores_per_socket
@@ -74,7 +74,10 @@ pub fn apply_snc(config: &SilozConfig, ways: u16) -> Result<(SilozConfig, SncMap
     // The mapping jump must still tile the (smaller) cluster address space
     // and its blocks; shrink it proportionally.
     clustered.decoder.jump_bytes = config.decoder.jump_bytes / ways as u64;
-    clustered.geometry.validate().map_err(SilozError::BadConfig)?;
+    clustered
+        .geometry
+        .validate()
+        .map_err(SilozError::BadConfig)?;
     let map = SncMap {
         ways,
         physical_sockets: config.geometry.sockets,
@@ -121,7 +124,10 @@ mod tests {
     #[test]
     fn snc_rejects_indivisible_configs() {
         assert!(apply_snc(&SilozConfig::evaluation(), 0).is_err());
-        assert!(apply_snc(&SilozConfig::evaluation(), 4).is_err(), "6 channels / 4");
+        assert!(
+            apply_snc(&SilozConfig::evaluation(), 4).is_err(),
+            "6 channels / 4"
+        );
         // SNC-3 divides 6 channels but the jump must stay block-aligned.
         let r = apply_snc(&SilozConfig::evaluation(), 3);
         if let Ok((cfg, _)) = r {
@@ -134,10 +140,9 @@ mod tests {
     fn snc_preserves_containment_boundaries() {
         // Groups under SNC still partition rows exactly.
         let (snc, _) = apply_snc(&SilozConfig::mini(), 2).unwrap();
-        let decoder =
-            dram_addr::SystemAddressDecoder::new(snc.geometry, snc.decoder).unwrap();
-        let map = crate::group::SubarrayGroupMap::compute(&decoder, snc.presumed_subarray_rows)
-            .unwrap();
+        let decoder = dram_addr::SystemAddressDecoder::new(snc.geometry, snc.decoder).unwrap();
+        let map =
+            crate::group::SubarrayGroupMap::compute(&decoder, snc.presumed_subarray_rows).unwrap();
         let total: u64 = map.groups().iter().map(|gr| gr.bytes()).sum();
         assert_eq!(total, decoder.capacity());
     }

@@ -113,8 +113,7 @@ impl DmaRateLimiter {
     pub fn admit(&mut self, bytes: u64, now_ns: u64) -> bool {
         let dt = now_ns.saturating_sub(self.last_ns) as f64 / 1e9;
         self.last_ns = now_ns;
-        self.tokens = (self.tokens + dt * self.bytes_per_sec as f64)
-            .min(self.bytes_per_sec as f64);
+        self.tokens = (self.tokens + dt * self.bytes_per_sec as f64).min(self.bytes_per_sec as f64);
         if self.tokens >= bytes as f64 {
             self.tokens -= bytes as f64;
             true
@@ -200,7 +199,9 @@ impl VirtioBlk {
         idx: u16,
     ) -> Result<Descriptor, SilozError> {
         if idx >= self.queue.queue_size {
-            return Err(SilozError::BadConfig(format!("descriptor index {idx} out of range")));
+            return Err(SilozError::BadConfig(format!(
+                "descriptor index {idx} out of range"
+            )));
         }
         let base = self.queue.desc_gpa + idx as u64 * DESC_BYTES;
         Ok(Descriptor {
@@ -220,8 +221,7 @@ impl VirtioBlk {
         let mut completed = 0u32;
         while self.last_avail_idx != avail_idx {
             let slot = self.last_avail_idx % self.queue.queue_size;
-            let head =
-                Self::read_u16(hv, vm, self.queue.avail_gpa + 4 + slot as u64 * 2)?;
+            let head = Self::read_u16(hv, vm, self.queue.avail_gpa + 4 + slot as u64 * 2)?;
             match self.process_one(hv, vm, head)? {
                 None => {
                     // Throttled: retry this request on the next pass.
@@ -250,11 +250,15 @@ impl VirtioBlk {
         let req_type = u32::from_le_bytes(hdr[0..4].try_into().expect("4"));
         let sector = u64::from_le_bytes(hdr[8..16].try_into().expect("8"));
         if hdr_desc.flags & VIRTQ_DESC_F_NEXT == 0 {
-            return Err(SilozError::BadConfig("header without data descriptor".into()));
+            return Err(SilozError::BadConfig(
+                "header without data descriptor".into(),
+            ));
         }
         let data_desc = self.read_desc(hv, vm, hdr_desc.next)?;
         if data_desc.flags & VIRTQ_DESC_F_NEXT == 0 {
-            return Err(SilozError::BadConfig("data without status descriptor".into()));
+            return Err(SilozError::BadConfig(
+                "data without status descriptor".into(),
+            ));
         }
         let status_desc = self.read_desc(hv, vm, data_desc.next)?;
 
@@ -451,9 +455,19 @@ mod tests {
         let (mut hv, vm, q) = setup();
         let mut blk = VirtioBlk::new(q, 128);
         // Guest writes a sector.
-        hv.guest_write(vm, 0x20_0000, b"sector payload 42!").unwrap();
+        hv.guest_write(vm, 0x20_0000, b"sector payload 42!")
+            .unwrap();
         driver::submit_request(
-            &mut hv, vm, &q, 0, VIRTIO_BLK_T_OUT, 7, 0x21_0000, 0x20_0000, 18, 0x22_0000,
+            &mut hv,
+            vm,
+            &q,
+            0,
+            VIRTIO_BLK_T_OUT,
+            7,
+            0x21_0000,
+            0x20_0000,
+            18,
+            0x22_0000,
         )
         .unwrap();
         assert_eq!(blk.process_queue(&mut hv, vm).unwrap(), 1);
@@ -463,7 +477,16 @@ mod tests {
 
         // Guest reads it back into a different buffer.
         driver::submit_request(
-            &mut hv, vm, &q, 3, VIRTIO_BLK_T_IN, 7, 0x21_0000, 0x30_0000, 18, 0x22_0000,
+            &mut hv,
+            vm,
+            &q,
+            3,
+            VIRTIO_BLK_T_IN,
+            7,
+            0x21_0000,
+            0x30_0000,
+            18,
+            0x22_0000,
         )
         .unwrap();
         assert_eq!(blk.process_queue(&mut hv, vm).unwrap(), 1);
@@ -479,7 +502,16 @@ mod tests {
         let (mut hv, vm, q) = setup();
         let mut blk = VirtioBlk::new(q, 4);
         driver::submit_request(
-            &mut hv, vm, &q, 0, VIRTIO_BLK_T_OUT, 100, 0x21_0000, 0x20_0000, 512, 0x22_0000,
+            &mut hv,
+            vm,
+            &q,
+            0,
+            VIRTIO_BLK_T_OUT,
+            100,
+            0x21_0000,
+            0x20_0000,
+            512,
+            0x22_0000,
         )
         .unwrap();
         blk.process_queue(&mut hv, vm).unwrap();
@@ -554,7 +586,8 @@ mod tests {
         .unwrap();
         let (b, _) = hv.guest_read(vm, q.avail_gpa + 2, 2).unwrap();
         let idx = u16::from_le_bytes([b[0], b[1]]);
-        hv.guest_write(vm, q.avail_gpa + 4, &0u16.to_le_bytes()).unwrap();
+        hv.guest_write(vm, q.avail_gpa + 4, &0u16.to_le_bytes())
+            .unwrap();
         hv.guest_write(vm, q.avail_gpa + 2, &idx.wrapping_add(1).to_le_bytes())
             .unwrap();
         assert!(blk.process_queue(&mut hv, vm).is_err());

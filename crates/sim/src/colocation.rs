@@ -9,7 +9,8 @@
 //! neither adds interference nor (by design, §8.4) removes it; bank/channel
 //! partitioning is future work.
 
-use crate::run::SimConfig;
+use crate::engine::run_cells;
+use crate::run::{HpaMap, SimConfig};
 use dram::{DimmProfile, DramSystemBuilder};
 use memctrl::{MemOp, MemoryController};
 use rand::rngs::StdRng;
@@ -47,22 +48,22 @@ fn tenant_trace(
     thread_base: u16,
     seed: u64,
 ) -> Result<Vec<MemOp>, SilozError> {
-    let blocks = hv.vm_unmediated_backing(vm)?;
-    let block_bytes = blocks[0].bytes();
-    let ram: u64 = blocks.iter().map(|b| b.bytes()).sum();
+    let hpa_map = HpaMap::new(hv.vm_unmediated_backing(vm)?);
     let mut rng = StdRng::seed_from_u64(seed);
     let guest_ops = workload.generate(ops, &mut rng);
+    let threads = threads.max(1);
     let mut thread = 0u16;
     Ok(guest_ops
         .iter()
         .map(|op| {
             if !op.dependent {
-                thread = (thread + 1) % threads.max(1);
+                thread += 1;
+                if thread == threads {
+                    thread = 0;
+                }
             }
-            let guest = op.offset % ram;
-            let idx = (guest / block_bytes) as usize;
             MemOp {
-                phys: blocks[idx].hpa() + guest % block_bytes,
+                phys: hpa_map.to_hpa(op.offset),
                 write: op.write,
                 gap_ps: op.gap_ps,
                 dependent: op.dependent,
@@ -96,8 +97,15 @@ pub fn run_colocation(
         let trace_v = tenant_trace(&hv, vm_v, victim, sim.ops, threads, 0, seed)?;
         let merged: Vec<MemOp> = if with_aggressor {
             let vm_a = hv.create_vm(VmSpec::new("aggressor", sim.vcpus, sim.vm_memory))?;
-            let trace_a =
-                tenant_trace(&hv, vm_a, aggressor, sim.ops, threads, threads, seed ^ 0xa99)?;
+            let trace_a = tenant_trace(
+                &hv,
+                vm_a,
+                aggressor,
+                sim.ops,
+                threads,
+                threads,
+                seed ^ 0xa99,
+            )?;
             // Interleave the two tenants' streams.
             let mut merged = Vec::with_capacity(trace_v.len() + trace_a.len());
             for (a, b) in trace_v.iter().zip(&trace_a) {
@@ -118,6 +126,39 @@ pub fn run_colocation(
         solo_latency_ns: solo,
         colocated_latency_ns: colocated,
     })
+}
+
+/// Measures colocation under each hypervisor kind concurrently — one engine
+/// cell per kind, fanned out over `threads` workers.
+///
+/// [`run_colocation`] deliberately reuses its workload *instances* between
+/// the solo and colocated measurements, so parallelism lives at the
+/// hypervisor-kind level: each cell builds fresh generators through the
+/// factories, exactly as a serial loop constructing them per iteration
+/// would, and results come back in `kinds` order regardless of scheduling.
+pub fn run_colocation_suite<V, A>(
+    config: &SilozConfig,
+    kinds: &[HypervisorKind],
+    victim: V,
+    aggressor: A,
+    sim: &SimConfig,
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<(HypervisorKind, ColocationResult)>, SilozError>
+where
+    V: Fn() -> Box<dyn WorkloadGen> + Sync,
+    A: Fn() -> Box<dyn WorkloadGen> + Sync,
+{
+    let results = run_cells(kinds.len(), threads, |idx| {
+        let mut v = victim();
+        let mut a = aggressor();
+        run_colocation(config, kinds[idx], v.as_mut(), a.as_mut(), sim, seed)
+    });
+    kinds
+        .iter()
+        .zip(results)
+        .map(|(&kind, r)| r.map(|res| (kind, res)))
+        .collect()
 }
 
 #[cfg(test)]

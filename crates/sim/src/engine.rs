@@ -1,0 +1,99 @@
+//! Deterministic parallel fan-out for experiment cells.
+//!
+//! Experiment drivers decompose their work into independent *cells* — one
+//! (configuration, seed, workload) measurement each — and fan them out over
+//! a scoped thread pool. Results are collected keyed by cell index and
+//! returned in index order, so output is bit-identical to a serial loop
+//! regardless of thread count or scheduling: each cell builds its own
+//! hypervisor, workload generators, and RNG from the cell index alone and
+//! shares no mutable state with its neighbors.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count used by the figure drivers: the `SILOZ_THREADS` environment
+/// variable if set (minimum 1), else the machine's available parallelism.
+#[must_use]
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("SILOZ_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `cell(0..n)` across `threads` workers and returns the results in
+/// index order.
+///
+/// `cell` must be a pure function of its index (plus shared immutable
+/// captures) for the parallel result to equal the serial one; every driver
+/// in this crate satisfies that by constructing fresh per-cell state. With
+/// `threads <= 1` the cells run on the calling thread in index order, which
+/// doubles as the serial reference for determinism tests.
+pub fn run_cells<T, F>(n: usize, threads: usize, cell: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        return (0..n).map(cell).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    local.push((idx, cell(idx)));
+                }
+                if !local.is_empty() {
+                    collected
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .extend(local);
+                }
+            });
+        }
+    });
+    let mut cells = collected
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    cells.sort_unstable_by_key(|&(idx, _)| idx);
+    cells.into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let out = run_cells(64, 8, |i| i * i);
+        assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        assert_eq!(run_cells(33, 1, f), run_cells(33, 5, f));
+    }
+
+    #[test]
+    fn zero_cells_is_empty() {
+        assert_eq!(run_cells(0, 4, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn more_threads_than_cells_is_fine() {
+        assert_eq!(run_cells(2, 16, |i| i + 1), vec![1, 2]);
+    }
+}

@@ -1,5 +1,11 @@
 //! Drivers regenerating the paper's performance figures (Figs. 4-7).
+//!
+//! Measurements fan out over the parallel [`engine`](crate::engine): each
+//! (seed, workload, reference-or-candidate) cell is an independent
+//! simulation, and results are aggregated keyed by cell index so the figure
+//! output is bit-identical to the serial loop for any thread count.
 
+use crate::engine::{default_threads, run_cells};
 use crate::run::{run_workload, SimConfig};
 use crate::stats::{geomean, overhead_pct_higher_better, overhead_pct_lower_better, Summary};
 use siloz::{HypervisorKind, SilozConfig, SilozError};
@@ -7,7 +13,7 @@ use workloads::{exec_time_suite, throughput_suite, Metric, WorkloadGen};
 
 /// One figure row: a workload measured under a reference and a candidate
 /// configuration, with the paired per-seed overhead distribution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Comparison {
     /// Workload label (matches the paper's x-axis).
     pub workload: String,
@@ -45,37 +51,50 @@ fn compare_suite(
     reference: (&SilozConfig, HypervisorKind),
     candidate: (&SilozConfig, HypervisorKind),
     sim: &SimConfig,
+    threads: usize,
 ) -> Result<Vec<Comparison>, SilozError> {
     let names: Vec<(String, Metric)> = suite(sim.working_set)
         .iter()
         .map(|w| (w.name(), w.metric()))
         .collect();
     let n = names.len();
-    let mut ref_samples: Vec<Vec<f64>> = vec![Vec::new(); n];
-    let mut cand_samples: Vec<Vec<f64>> = vec![Vec::new(); n];
-    for seed in 0..sim.repeats as u64 {
-        // Fresh workload instances per run: generators are stateful.
-        let mut ref_suite = suite(sim.working_set);
-        let mut cand_suite = suite(sim.working_set);
-        for i in 0..n {
-            ref_samples[i].push(run_workload(
-                reference.0,
-                reference.1,
-                ref_suite[i].as_mut(),
-                sim,
-                seed,
-            )?);
-            cand_samples[i].push(run_workload(
+    // One cell per (seed, workload, reference-or-candidate) measurement,
+    // seed-major so cell index order equals the serial loop's execution
+    // order. Each cell builds fresh workload instances (generators are
+    // stateful) and shares nothing mutable, so results are reproduced
+    // bit-identically for any thread count.
+    let cells = sim.repeats as usize * n * 2;
+    let results = run_cells(cells, threads, |idx| {
+        let seed = (idx / (n * 2)) as u64;
+        let i = (idx / 2) % n;
+        let candidate_run = idx % 2 == 1;
+        let mut wl_suite = suite(sim.working_set);
+        let (cfg, kind, run_seed) = if candidate_run {
+            (
                 candidate.0,
                 candidate.1,
-                cand_suite[i].as_mut(),
-                sim,
                 // Different noise stream for the candidate run — keyed by
                 // the candidate configuration too, so distinct sensitivity
                 // variants get independent nuisance factors, as real
                 // measurements would.
                 seed ^ 0x5a5a_0000 ^ (candidate.0.presumed_subarray_rows as u64) << 32,
-            )?);
+            )
+        } else {
+            (reference.0, reference.1, seed)
+        };
+        run_workload(cfg, kind, wl_suite[i].as_mut(), sim, run_seed)
+    });
+    let mut ref_samples: Vec<Vec<f64>> = vec![Vec::new(); n];
+    let mut cand_samples: Vec<Vec<f64>> = vec![Vec::new(); n];
+    // Surface errors in cell-index (= serial execution) order, so the first
+    // error reported matches what the serial loop would have returned.
+    for (idx, result) in results.into_iter().enumerate() {
+        let i = (idx / 2) % n;
+        let sample = result?;
+        if idx % 2 == 1 {
+            cand_samples[i].push(sample);
+        } else {
+            ref_samples[i].push(sample);
         }
     }
     let overhead = |metric: Metric, r: f64, c: f64| match metric {
@@ -123,21 +142,41 @@ fn compare_suite(
 
 /// Fig. 4: baseline-normalized execution time for Siloz.
 pub fn figure4(config: &SilozConfig, sim: &SimConfig) -> Result<Vec<Comparison>, SilozError> {
+    figure4_with_threads(config, sim, default_threads())
+}
+
+/// [`figure4`] with an explicit worker count (1 = serial reference).
+pub fn figure4_with_threads(
+    config: &SilozConfig,
+    sim: &SimConfig,
+    threads: usize,
+) -> Result<Vec<Comparison>, SilozError> {
     compare_suite(
         exec_time_suite,
         (config, HypervisorKind::Baseline),
         (config, HypervisorKind::Siloz),
         sim,
+        threads,
     )
 }
 
 /// Fig. 5: baseline-normalized throughput for Siloz.
 pub fn figure5(config: &SilozConfig, sim: &SimConfig) -> Result<Vec<Comparison>, SilozError> {
+    figure5_with_threads(config, sim, default_threads())
+}
+
+/// [`figure5`] with an explicit worker count (1 = serial reference).
+pub fn figure5_with_threads(
+    config: &SilozConfig,
+    sim: &SimConfig,
+    threads: usize,
+) -> Result<Vec<Comparison>, SilozError> {
     compare_suite(
         throughput_suite,
         (config, HypervisorKind::Baseline),
         (config, HypervisorKind::Siloz),
         sim,
+        threads,
     )
 }
 
@@ -150,6 +189,7 @@ fn sensitivity(
     sim: &SimConfig,
     sizes: &[u32],
     reference_size: u32,
+    threads: usize,
 ) -> Result<SensitivityResult, SilozError> {
     let reference_cfg = config.clone().with_presumed_subarray_rows(reference_size);
     let mut out = Vec::new();
@@ -160,6 +200,7 @@ fn sensitivity(
             (&reference_cfg, HypervisorKind::Siloz),
             (&cand_cfg, HypervisorKind::Siloz),
             sim,
+            threads,
         )?;
         out.push((format!("Siloz-{size}"), rows));
     }
@@ -168,14 +209,46 @@ fn sensitivity(
 
 /// Fig. 6: Siloz-1024-normalized execution time for Siloz-512/2048.
 pub fn figure6(config: &SilozConfig, sim: &SimConfig) -> Result<SensitivityResult, SilozError> {
+    figure6_with_threads(config, sim, default_threads())
+}
+
+/// [`figure6`] with an explicit worker count (1 = serial reference).
+pub fn figure6_with_threads(
+    config: &SilozConfig,
+    sim: &SimConfig,
+    threads: usize,
+) -> Result<SensitivityResult, SilozError> {
     let (small, reference, large) = sensitivity_sizes(config);
-    sensitivity(exec_time_suite, config, sim, &[small, large], reference)
+    sensitivity(
+        exec_time_suite,
+        config,
+        sim,
+        &[small, large],
+        reference,
+        threads,
+    )
 }
 
 /// Fig. 7: Siloz-1024-normalized throughput for Siloz-512/2048.
 pub fn figure7(config: &SilozConfig, sim: &SimConfig) -> Result<SensitivityResult, SilozError> {
+    figure7_with_threads(config, sim, default_threads())
+}
+
+/// [`figure7`] with an explicit worker count (1 = serial reference).
+pub fn figure7_with_threads(
+    config: &SilozConfig,
+    sim: &SimConfig,
+    threads: usize,
+) -> Result<SensitivityResult, SilozError> {
     let (small, reference, large) = sensitivity_sizes(config);
-    sensitivity(throughput_suite, config, sim, &[small, large], reference)
+    sensitivity(
+        throughput_suite,
+        config,
+        sim,
+        &[small, large],
+        reference,
+        threads,
+    )
 }
 
 /// The (half, nominal, double) presumed subarray sizes for a config —
@@ -218,6 +291,18 @@ mod tests {
         }
         // The headline claim at mini scale: geomean within ±2%.
         assert!(rows.last().unwrap().overhead_pct().abs() < 2.0);
+    }
+
+    #[test]
+    fn parallel_figure_output_is_bit_identical_to_serial() {
+        // The engine's core guarantee: fanning cells out over threads
+        // reproduces the serial figure byte for byte, including noise
+        // streams and summary statistics.
+        let config = SilozConfig::mini();
+        let sim = SimConfig::quick();
+        let serial = figure4_with_threads(&config, &sim, 1).unwrap();
+        let parallel = figure4_with_threads(&config, &sim, 4).unwrap();
+        assert_eq!(serial, parallel);
     }
 
     #[test]

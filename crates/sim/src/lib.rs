@@ -16,12 +16,17 @@
 //!   Siloz-1024 / Siloz-2048.
 
 pub mod colocation;
+pub mod engine;
 pub mod experiments;
 pub mod noise;
 pub mod run;
 pub mod stats;
 
-pub use colocation::{run_colocation, ColocationResult};
-pub use experiments::{figure4, figure5, figure6, figure7, Comparison};
+pub use colocation::{run_colocation, run_colocation_suite, ColocationResult};
+pub use engine::{default_threads, run_cells};
+pub use experiments::{
+    figure4, figure4_with_threads, figure5, figure5_with_threads, figure6, figure6_with_threads,
+    figure7, figure7_with_threads, Comparison,
+};
 pub use run::{run_workload, SimConfig};
 pub use stats::Summary;

@@ -5,8 +5,53 @@ use dram::{DimmProfile, DramSystemBuilder};
 use memctrl::{MemOp, MemoryController};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use siloz::{Hypervisor, HypervisorKind, SilozConfig, SilozError, VmSpec};
+use siloz::{BackingBlock, Hypervisor, HypervisorKind, SilozConfig, SilozError, VmSpec};
 use workloads::{Metric, WorkloadGen};
+
+/// Precomputed guest-offset → host-physical translation over a VM's
+/// unmediated backing blocks.
+///
+/// When total RAM and the block size are both powers of two — the common
+/// case for every geometry in this repo — the per-op wrap/index/offset
+/// chain reduces to one mask, one shift, and one mask instead of three
+/// 64-bit divisions.
+pub(crate) struct HpaMap {
+    blocks: Vec<BackingBlock>,
+    ram_bytes: u64,
+    block_bytes: u64,
+    /// `(ram_mask, blk_shift, blk_mask)` when both sizes are powers of two.
+    pow2: Option<(u64, u32, u64)>,
+}
+
+impl HpaMap {
+    pub(crate) fn new(blocks: Vec<BackingBlock>) -> Self {
+        assert!(!blocks.is_empty());
+        let block_bytes = blocks[0].bytes();
+        let ram_bytes: u64 = blocks.iter().map(|b| b.bytes()).sum();
+        let pow2 = (ram_bytes.is_power_of_two() && block_bytes.is_power_of_two())
+            .then(|| (ram_bytes - 1, block_bytes.trailing_zeros(), block_bytes - 1));
+        Self {
+            blocks,
+            ram_bytes,
+            block_bytes,
+            pow2,
+        }
+    }
+
+    /// Translates a guest offset (wrapped into RAM) to a host physical
+    /// address.
+    #[inline]
+    pub(crate) fn to_hpa(&self, guest: u64) -> u64 {
+        if let Some((ram_mask, blk_shift, blk_mask)) = self.pow2 {
+            let guest = guest & ram_mask;
+            self.blocks[(guest >> blk_shift) as usize].hpa() + (guest & blk_mask)
+        } else {
+            let guest = guest % self.ram_bytes;
+            let idx = (guest / self.block_bytes) as usize;
+            self.blocks[idx].hpa() + guest % self.block_bytes
+        }
+    }
+}
 
 /// Simulation parameters shared across experiment runs.
 #[derive(Debug, Clone, Copy)]
@@ -63,24 +108,11 @@ pub fn run_workload(
     let dram = DramSystemBuilder::new(config.geometry)
         .profiles(vec![DimmProfile::invulnerable()])
         .build();
-    let mut hv = Hypervisor::boot_with(
-        config.clone(),
-        kind,
-        dram,
-        dram_addr::RepairMap::new(),
-    )?;
+    let mut hv = Hypervisor::boot_with(config.clone(), kind, dram, dram_addr::RepairMap::new())?;
     let vm = hv.create_vm(VmSpec::new("perf-vm", sim.vcpus, sim.vm_memory))?;
 
     // Guest-offset -> HPA translation table from the VM's actual backing.
-    let blocks = hv.vm_unmediated_backing(vm)?;
-    assert!(!blocks.is_empty());
-    let block_bytes = blocks[0].bytes();
-    let ram_bytes: u64 = blocks.iter().map(|b| b.bytes()).sum();
-    let to_hpa = |guest: u64| -> u64 {
-        let guest = guest % ram_bytes;
-        let idx = (guest / block_bytes) as usize;
-        blocks[idx].hpa() + guest % block_bytes
-    };
+    let hpa_map = HpaMap::new(hv.vm_unmediated_backing(vm)?);
 
     let mut rng = StdRng::seed_from_u64(seed);
     let guest_ops = workload.generate(sim.ops, &mut rng);
@@ -93,10 +125,13 @@ pub fn run_workload(
         .iter()
         .map(|op| {
             if !op.dependent {
-                thread = (thread + 1) % threads;
+                thread += 1;
+                if thread == threads {
+                    thread = 0;
+                }
             }
             MemOp {
-                phys: to_hpa(op.offset),
+                phys: hpa_map.to_hpa(op.offset),
                 write: op.write,
                 gap_ps: op.gap_ps,
                 dependent: op.dependent,
@@ -120,6 +155,51 @@ mod tests {
     use super::*;
     use workloads::mlc::{Mlc, MlcKind};
     use workloads::ycsb::{Ycsb, YcsbKind};
+
+    fn block(gpa: u64, frame: u64, order: u8) -> BackingBlock {
+        BackingBlock {
+            gpa,
+            frame,
+            order,
+            node: numa::NodeId(0),
+        }
+    }
+
+    #[test]
+    fn hpa_map_fast_path_matches_division_chain() {
+        // 4 × 2 MiB blocks: RAM and block size both powers of two, so the
+        // mask/shift fast path is taken; check it against the plain
+        // modulo/divide chain it replaces.
+        let blocks: Vec<BackingBlock> = (0..4)
+            .map(|i| block(i << 21, 0x4000 + i * 512, 9))
+            .collect();
+        let map = HpaMap::new(blocks.clone());
+        assert!(map.pow2.is_some());
+        let ram: u64 = blocks.iter().map(|b| b.bytes()).sum();
+        let bb = blocks[0].bytes();
+        for guest in (0..4 * ram).step_by(4097) {
+            let g = guest % ram;
+            let expect = blocks[(g / bb) as usize].hpa() + g % bb;
+            assert_eq!(map.to_hpa(guest), expect, "guest {guest:#x}");
+        }
+    }
+
+    #[test]
+    fn hpa_map_non_pow2_ram_uses_division_chain() {
+        // 3 blocks: RAM is 6 MiB (not a power of two) — generic path.
+        let blocks: Vec<BackingBlock> = (0..3)
+            .map(|i| block(i << 21, 0x8000 + i * 512, 9))
+            .collect();
+        let map = HpaMap::new(blocks.clone());
+        assert!(map.pow2.is_none());
+        let ram: u64 = blocks.iter().map(|b| b.bytes()).sum();
+        let bb = blocks[0].bytes();
+        for guest in (0..4 * ram).step_by(8191) {
+            let g = guest % ram;
+            let expect = blocks[(g / bb) as usize].hpa() + g % bb;
+            assert_eq!(map.to_hpa(guest), expect, "guest {guest:#x}");
+        }
+    }
 
     #[test]
     fn exec_time_sample_is_positive_and_repeatable() {
@@ -172,6 +252,9 @@ mod tests {
         let mut w2 = Mlc::new(MlcKind::Reads, sim.working_set);
         let sz = run_workload(&config, HypervisorKind::Siloz, &mut w2, &sim, 3).unwrap();
         let diff_pct = ((sz / base) - 1.0).abs() * 100.0;
-        assert!(diff_pct < 3.0, "siloz vs baseline bandwidth differs {diff_pct:.2}%");
+        assert!(
+            diff_pct < 3.0,
+            "siloz vs baseline bandwidth differs {diff_pct:.2}%"
+        );
     }
 }

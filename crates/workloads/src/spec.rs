@@ -61,8 +61,7 @@ impl SpecSuite {
             Kernel::PointerChase => {
                 // Dependent loads with data-determined (random) strides.
                 for _ in 0..n {
-                    let next = (self.chase_at
-                        ^ (self.chase_at >> 7).wrapping_mul(0x9e37_79b9))
+                    let next = (self.chase_at ^ (self.chase_at >> 7).wrapping_mul(0x9e37_79b9))
                         .wrapping_add(rng.gen_range(0..4096));
                     self.chase_at = (next * 64) % ws;
                     out.push(GuestOp::read(self.chase_at).chained().with_gap_ps(600));
@@ -153,7 +152,10 @@ mod tests {
         let ops = wl.generate(40_000, &mut rng);
         assert_eq!(ops.len(), 40_000);
         let dependent = ops.iter().filter(|o| o.dependent).count();
-        assert!(dependent > 1_000, "pointer-chase share present: {dependent}");
+        assert!(
+            dependent > 1_000,
+            "pointer-chase share present: {dependent}"
+        );
         let writes = ops.iter().filter(|o| o.write).count();
         assert!(writes > 1_000, "stencil/mixed writes present: {writes}");
         assert!(ops.iter().all(|o| o.offset < 32 << 20));

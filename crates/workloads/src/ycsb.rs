@@ -187,7 +187,10 @@ mod tests {
     fn workload_a_writes_more_than_b() {
         let (wa, _) = mix(YcsbKind::A);
         let (wb, _) = mix(YcsbKind::B);
-        assert!(wa > wb * 3, "A ({wa}) must be far more write-heavy than B ({wb})");
+        assert!(
+            wa > wb * 3,
+            "A ({wa}) must be far more write-heavy than B ({wb})"
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@ fn main() {
     println!(
         "guest-reserved logical nodes: {} ({} GiB sellable per socket)\n",
         hv.guest_nodes().len(),
-        (config.groups_per_socket() - 1) as u64 * config.subarray_group_bytes() >> 30
+        ((config.groups_per_socket() - 1) as u64 * config.subarray_group_bytes()) >> 30
     );
 
     // A mixed fleet: large VMs pinned per socket, small VMs anywhere.
@@ -80,9 +80,14 @@ fn main() {
             .map(|&vm| hv.vm_nodes(vm).unwrap().len())
             .sum::<usize>();
     hv.destroy_vm(fleet[0]).expect("destroy db-primary");
-    println!("\ndestroyed db-primary; its 32 groups are reusable (free pool grew from {before} nodes)");
+    println!(
+        "\ndestroyed db-primary; its 32 groups are reusable (free pool grew from {before} nodes)"
+    );
     let again = hv
         .create_vm(VmSpec::new("db-primary-v2", 8, 48u64 << 30).on_socket(0))
         .expect("re-provision");
-    println!("re-provisioned db-primary-v2 -> {} groups", hv.vm_nodes(again).unwrap().len());
+    println!(
+        "re-provisioned db-primary-v2 -> {} groups",
+        hv.vm_nodes(again).unwrap().len()
+    );
 }

@@ -39,9 +39,19 @@ fn main() {
     println!("1) Unprotected EPT: a single bit flip silently redirects the VM\n");
     let (mut mem, mut alloc) = (Mem(HashMap::new()), Bump(1 << 30));
     let mut ept = Ept::new(&mut mem, &mut alloc, IntegrityMode::None, 7).unwrap();
-    ept.map(&mut mem, &mut alloc, 0x1000, 0xAA000, PageSize::Size4K, EptPerms::RWX)
-        .unwrap();
-    println!("   before: GPA 0x1000 -> HPA {:#x}", ept.translate(&mut mem, 0x1000).unwrap().hpa);
+    ept.map(
+        &mut mem,
+        &mut alloc,
+        0x1000,
+        0xAA000,
+        PageSize::Size4K,
+        EptPerms::RWX,
+    )
+    .unwrap();
+    println!(
+        "   before: GPA 0x1000 -> HPA {:#x}",
+        ept.translate(&mut mem, 0x1000).unwrap().hpa
+    );
     flip_leaf_bit(&mut mem, &ept, 0x1000, 20);
     let redirected = ept.translate(&mut mem, 0x1000).unwrap().hpa;
     println!("   after a Rowhammer flip in the PFN: GPA 0x1000 -> HPA {redirected:#x}");
@@ -50,8 +60,15 @@ fn main() {
     println!("2) Secure EPT (TDX/SNP-style): the same flip is detected on use\n");
     let (mut mem, mut alloc) = (Mem(HashMap::new()), Bump(1 << 30));
     let mut ept = Ept::new(&mut mem, &mut alloc, IntegrityMode::Checked, 7).unwrap();
-    ept.map(&mut mem, &mut alloc, 0x1000, 0xAA000, PageSize::Size4K, EptPerms::RWX)
-        .unwrap();
+    ept.map(
+        &mut mem,
+        &mut alloc,
+        0x1000,
+        0xAA000,
+        PageSize::Size4K,
+        EptPerms::RWX,
+    )
+    .unwrap();
     flip_leaf_bit(&mut mem, &ept, 0x1000, 20);
     match ept.translate(&mut mem, 0x1000) {
         Err(EptError::IntegrityViolation { level, .. }) => {
@@ -74,14 +91,19 @@ fn main() {
     // non-reserved rows) at full strength, TRR disabled for worst case.
     let decoder = hv.decoder().clone();
     let g = *decoder.geometry();
-    let mut dram = siloz_repro::dram::DramSystemBuilder::new(g).trr(0, 0).build();
+    let mut dram = siloz_repro::dram::DramSystemBuilder::new(g)
+        .trr(0, 0)
+        .build();
     let first_free = sp.block_rows.end;
     for _ in 0..300_000 {
         dram.activate_row(BankId(0), first_free, 0);
         dram.activate_row(BankId(0), first_free + 2, 0);
         dram.advance_ns(94);
     }
-    let ept_flips = dram.flip_log().in_row_range(BankId(0), sp.ept_row, sp.ept_row + 1).count();
+    let ept_flips = dram
+        .flip_log()
+        .in_row_range(BankId(0), sp.ept_row, sp.ept_row + 1)
+        .count();
     let nearby_flips = dram.flip_log().len();
     println!(
         "   hammered rows {} and {} for 600k ACTs: {} flips nearby, {} in the EPT row",

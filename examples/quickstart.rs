@@ -41,7 +41,10 @@ fn main() {
     let (read_back, intact) = hv.guest_read(vm, 0x10_0000, message.len()).expect("read");
     assert!(intact);
     assert_eq!(&read_back, message);
-    println!("\nguest memory roundtrip OK: {:?}", String::from_utf8_lossy(&read_back));
+    println!(
+        "\nguest memory roundtrip OK: {:?}",
+        String::from_utf8_lossy(&read_back)
+    );
 
     // A second tenant lands in disjoint groups — that disjointness is the
     // whole defense.

@@ -5,7 +5,9 @@
 //!
 //! Run with: `cargo run --example virtio_io`
 
-use siloz_repro::siloz::virtio::{driver, DmaRateLimiter, VirtQueue, VirtioBlk, VIRTIO_BLK_T_IN, VIRTIO_BLK_T_OUT};
+use siloz_repro::siloz::virtio::{
+    driver, DmaRateLimiter, VirtQueue, VirtioBlk, VIRTIO_BLK_T_IN, VIRTIO_BLK_T_OUT,
+};
 use siloz_repro::siloz::{Hypervisor, HypervisorKind, SilozConfig, VmSpec};
 
 fn main() {
@@ -27,15 +29,22 @@ fn main() {
 
     // A 64 MiB disk behind a 4 MiB/s mediated-DMA rate limiter (§5.1: the
     // host can rate-limit exit-induced memory accesses).
-    let mut blk =
-        VirtioBlk::new(q, 131_072).with_limiter(DmaRateLimiter::new(4 << 20));
+    let mut blk = VirtioBlk::new(q, 131_072).with_limiter(DmaRateLimiter::new(4 << 20));
 
     // Guest writes a log record to sector 9.
     let record = b"siloz demo: all my DMA is chaperoned";
     hv.guest_write(vm, 0x20_0000, record).unwrap();
     driver::submit_request(
-        &mut hv, vm, &q, 0, VIRTIO_BLK_T_OUT, 9, 0x21_0000, 0x20_0000,
-        record.len() as u32, 0x22_0000,
+        &mut hv,
+        vm,
+        &q,
+        0,
+        VIRTIO_BLK_T_OUT,
+        9,
+        0x21_0000,
+        0x20_0000,
+        record.len() as u32,
+        0x22_0000,
     )
     .unwrap();
     hv.dram_mut().advance_ns(50_000_000); // let the token bucket fill
@@ -44,8 +53,16 @@ fn main() {
 
     // Guest reads it back into a different buffer.
     driver::submit_request(
-        &mut hv, vm, &q, 3, VIRTIO_BLK_T_IN, 9, 0x21_0000, 0x30_0000,
-        record.len() as u32, 0x22_0000,
+        &mut hv,
+        vm,
+        &q,
+        3,
+        VIRTIO_BLK_T_IN,
+        9,
+        0x21_0000,
+        0x30_0000,
+        record.len() as u32,
+        0x22_0000,
     )
     .unwrap();
     hv.dram_mut().advance_ns(50_000_000);

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Runs the performance suite: builds release, runs the perfsuite binary
+# (decode TLB vs raw decode, flat vs hashed controller, parallel vs serial
+# figure engine), and leaves the measurements in BENCH_perfsuite.json at
+# the repo root. Criterion microbenches can be run separately with
+# `cargo bench --workspace`.
+#
+# Usage: scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p bench --bin perfsuite
+./target/release/perfsuite
+
+echo
+echo "results: $(pwd)/BENCH_perfsuite.json"

@@ -84,16 +84,28 @@ impl Console {
 
     fn topology(&self) {
         let topo = self.hv.topology();
-        println!("{} NUMA nodes ({:?} hypervisor):", topo.len(), self.hv.kind());
+        println!(
+            "{} NUMA nodes ({:?} hypervisor):",
+            topo.len(),
+            self.hv.kind()
+        );
         for info in topo.nodes() {
             let free = topo.free_frames(info.id).unwrap_or(0) * 4096;
             println!(
                 "  node {:>3}: socket {} {:>11} {:>8} MiB free {:>6}",
                 info.id.0,
                 info.socket,
-                if info.is_memory_only() { "memory-only" } else { "cpu+memory" },
+                if info.is_memory_only() {
+                    "memory-only"
+                } else {
+                    "cpu+memory"
+                },
                 free >> 20,
-                if self.hv.host_nodes().contains(&info.id) { "[host]" } else { "" },
+                if self.hv.host_nodes().contains(&info.id) {
+                    "[host]"
+                } else {
+                    ""
+                },
             );
         }
     }
@@ -211,17 +223,18 @@ impl Console {
     }
 
     fn read(&mut self, name: &str, gpa: &str, len: &str) {
-        let (Some(&vm), Some(gpa), Ok(len)) =
-            (self.vms.get(name), Self::parse_gpa(gpa), len.parse::<usize>())
-        else {
+        let (Some(&vm), Some(gpa), Ok(len)) = (
+            self.vms.get(name),
+            Self::parse_gpa(gpa),
+            len.parse::<usize>(),
+        ) else {
             println!("?unknown vm, bad gpa, or bad len");
             return;
         };
         match self.hv.guest_read(vm, gpa, len.min(256)) {
-            Ok((bytes, intact)) => println!(
-                "{:?} (intact: {intact})",
-                String::from_utf8_lossy(&bytes)
-            ),
+            Ok((bytes, intact)) => {
+                println!("{:?} (intact: {intact})", String::from_utf8_lossy(&bytes))
+            }
             Err(e) => println!("?read failed: {e}"),
         }
     }
@@ -254,7 +267,11 @@ impl Console {
                     "audited {} nodes, {} VMs: {}",
                     report.nodes_checked,
                     report.vms_checked,
-                    if report.is_healthy() { "HEALTHY" } else { "VIOLATIONS FOUND" }
+                    if report.is_healthy() {
+                        "HEALTHY"
+                    } else {
+                        "VIOLATIONS FOUND"
+                    }
                 );
                 for v in &report.violations {
                     println!("  !! {v:?}");

@@ -51,7 +51,10 @@ fn siloz_vm_traffic_reaches_every_bank_of_the_socket() {
         (siloz_cv - base_cv).abs() < 0.05,
         "bank-load CV diverged: siloz {siloz_cv:.4} vs baseline {base_cv:.4}"
     );
-    assert!(siloz_cv < 0.2, "streaming load must be near-even: {siloz_cv:.4}");
+    assert!(
+        siloz_cv < 0.2,
+        "streaming load must be near-even: {siloz_cv:.4}"
+    );
 }
 
 #[test]

@@ -19,8 +19,8 @@ fn blind_attacker_recovers_banks_flips_bits_and_stays_contained() {
     let backing = hv.vm_unmediated_backing(attacker).unwrap();
     let base = backing[0].hpa();
     let rg = hv.decoder().geometry().row_group_bytes(); // unknown to the
-    // attacker; it would sweep strides — we use the right one to keep the
-    // test fast, which only shortens its search.
+                                                        // attacker; it would sweep strides — we use the right one to keep the
+                                                        // test fast, which only shortens its search.
     let candidates: Vec<u64> = (0..48u64).map(|i| base + i * rg).collect();
 
     let mut probe_ctrl = MemoryController::new(hv.decoder().clone()).without_physics();

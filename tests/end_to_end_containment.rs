@@ -90,7 +90,12 @@ fn repairs_and_transforms_do_not_break_containment() {
     let mut config = SilozConfig::mini();
     config.internal_map = InternalMapConfig::all();
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-    let repairs = RepairMap::generate(&config.geometry, 0.0001, RepairKind::InterSubarray, &mut rng);
+    let repairs = RepairMap::generate(
+        &config.geometry,
+        0.0001,
+        RepairKind::InterSubarray,
+        &mut rng,
+    );
     let dram = DramSystemBuilder::new(config.geometry)
         .internal_map(config.internal_map)
         .repairs(repairs.clone())

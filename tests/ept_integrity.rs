@@ -155,7 +155,10 @@ fn copy_on_flip_migrates_attacked_pages_but_depends_on_corrected_errors() {
     assert!(!hv.dram().flip_log().is_empty());
 
     let report = copy_on_flip_respond(&mut hv, vm, 64).unwrap();
-    assert!(report.corrected_errors > 0, "scrub must report corrected errors");
+    assert!(
+        report.corrected_errors > 0,
+        "scrub must report corrected errors"
+    );
     assert!(report.migrated_blocks > 0, "attacked blocks must migrate");
 
     // Migrated blocks moved; translations still work and point at the new

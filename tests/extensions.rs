@@ -2,9 +2,7 @@
 //! geometries, IOMMU passthrough, and the §9 intra-VM trade-off.
 
 use siloz_repro::dram_addr::{ddr5_geometry, InternalMapConfig};
-use siloz_repro::siloz::{
-    apply_snc, Hypervisor, HypervisorKind, IommuDomain, SilozConfig, VmSpec,
-};
+use siloz_repro::siloz::{apply_snc, Hypervisor, HypervisorKind, IommuDomain, SilozConfig, VmSpec};
 
 #[test]
 fn snc2_provisions_at_half_granularity() {
@@ -33,7 +31,11 @@ fn ddr5_geometry_boots_with_larger_groups_and_no_artificial_groups() {
     config.decoder.jump_bytes = 1536 << 20;
     let hv = Hypervisor::boot(config.clone(), HypervisorKind::Siloz).unwrap();
     assert_eq!(config.subarray_group_bytes(), 3 << 30, "3 GiB groups");
-    assert_eq!(hv.guest_nodes().len(), 2 * (128 - 1), "128 groups of 3 GiB per 384 GiB socket");
+    assert_eq!(
+        hv.guest_nodes().len(),
+        2 * (128 - 1),
+        "128 groups of 3 GiB per 384 GiB socket"
+    );
 }
 
 #[test]
@@ -67,7 +69,9 @@ fn intra_vm_hammering_remains_possible_by_design() {
     use rand::SeedableRng;
     use siloz_repro::hammer::{hammer_vm, FuzzConfig};
     let mut hv = Hypervisor::boot(SilozConfig::mini(), HypervisorKind::Siloz).unwrap();
-    let vm = hv.create_vm(VmSpec::new("self-harm", 1, 256 << 20)).unwrap();
+    let vm = hv
+        .create_vm(VmSpec::new("self-harm", 1, 256 << 20))
+        .unwrap();
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let report = hammer_vm(
         &mut hv,
@@ -81,7 +85,10 @@ fn intra_vm_hammering_remains_possible_by_design() {
         &mut rng,
     )
     .unwrap();
-    assert!(report.flips_in_domain > 0, "intra-VM flips are not prevented");
+    assert!(
+        report.flips_in_domain > 0,
+        "intra-VM flips are not prevented"
+    );
     assert!(report.escapes.is_empty(), "inter-VM flips are");
 }
 

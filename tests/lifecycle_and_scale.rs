@@ -78,7 +78,10 @@ fn one_gib_pages_respect_three_gib_sets() {
     for block in hv.vm_unmediated_backing(vm).unwrap() {
         assert_eq!(block.bytes(), 1 << 30);
         let first = hv.groups().group_of_phys(block.hpa()).unwrap();
-        let last = hv.groups().group_of_phys(block.hpa() + block.bytes() - 1).unwrap();
+        let last = hv
+            .groups()
+            .group_of_phys(block.hpa() + block.bytes() - 1)
+            .unwrap();
         assert_eq!(
             hv.groups().gig_set_of(first),
             hv.groups().gig_set_of(last),

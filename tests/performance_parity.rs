@@ -2,8 +2,8 @@
 //! Siloz within a small margin of baseline, no subarray-size trend, and
 //! bank-level parallelism preserved.
 
-use siloz_repro::sim::{figure4, figure5, figure6, figure7, SimConfig};
 use siloz_repro::siloz::SilozConfig;
+use siloz_repro::sim::{figure4, figure5, figure6, figure7, SimConfig};
 
 fn quick_sim() -> SimConfig {
     SimConfig {
@@ -53,7 +53,10 @@ fn figure5_throughput_parity() {
 fn figures6_and_7_show_no_subarray_size_trend() {
     let config = SilozConfig::mini();
     let sim = quick_sim();
-    for results in [figure6(&config, &sim).unwrap(), figure7(&config, &sim).unwrap()] {
+    for results in [
+        figure6(&config, &sim).unwrap(),
+        figure7(&config, &sim).unwrap(),
+    ] {
         assert_eq!(results.len(), 2, "half-size and double-size variants");
         let mut geomeans = Vec::new();
         for (variant, rows) in &results {

@@ -1,0 +1,649 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! the slice of proptest it uses: the [`proptest!`] macro (with
+//! `#![proptest_config]` and both `name in strategy` and `name: Type`
+//! argument forms), integer-range / tuple / `prop::collection` strategies,
+//! [`Strategy::prop_map`], [`any`], `prop::sample::Index`, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Unlike real proptest there is no shrinking and no failure persistence:
+//! each case samples its inputs from a deterministic per-test stream and
+//! assertion failures panic with the sampled values' debug representation
+//! embedded in the panic message where the test used the `prop_assert`
+//! forms. This keeps the property suites meaningful (they still explore the
+//! input space and fail loudly) without any external dependency.
+
+use std::fmt::Debug;
+
+/// Deterministic sample stream for one test case (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a stream from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                (*self.start() as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Constant strategy, mirroring `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for the type.
+    type Strategy: Strategy<Value = Self>;
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A` (e.g. `any::<bool>()`).
+#[must_use]
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Strategy producing uniformly random values of a primitive type.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyPrim<T>(core::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_prim {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrim<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrim<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrim(core::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_prim!(u8, u16, u32, u64, usize);
+
+impl Strategy for AnyPrim<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrim<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrim(core::marker::PhantomData)
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+
+    /// Acceptable size arguments for collection strategies.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            Self {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            assert!(self.lo < self.hi_exclusive, "empty size range");
+            self.lo + (rng.next_u64() as usize) % (self.hi_exclusive - self.lo)
+        }
+    }
+
+    /// Strategy generating `Vec`s of `element` with a length from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy generating `BTreeSet`s of `element` with up to a sampled
+    /// target size (smaller when duplicates collide, as in real proptest).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            // Bounded attempts: duplicates may keep the set under target.
+            for _ in 0..target.saturating_mul(4) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.sample(rng));
+            }
+            out
+        }
+    }
+}
+
+/// Sampling helpers (`prop::sample`).
+pub mod sample {
+    use super::{Arbitrary, Strategy, TestRng};
+
+    /// An index into a collection of as-yet-unknown size.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Projects the index into `[0, len)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `len` is zero.
+        #[must_use]
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    /// Strategy producing random [`Index`]es.
+    #[derive(Debug, Clone, Copy)]
+    pub struct IndexStrategy;
+
+    impl Strategy for IndexStrategy {
+        type Value = Index;
+        fn sample(&self, rng: &mut TestRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for Index {
+        type Strategy = IndexStrategy;
+        fn arbitrary() -> Self::Strategy {
+            IndexStrategy
+        }
+    }
+}
+
+/// Test-runner configuration and case rejection.
+pub mod test_runner {
+    /// Per-proptest-block configuration.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` accepted cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// Why a case did not complete: rejected by `prop_assume!`, or an
+    /// explicit failure raised with [`TestCaseError::fail`].
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case's inputs do not satisfy a `prop_assume!` precondition.
+        Reject,
+        /// The property explicitly failed with a message.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// An explicit failure carrying `reason`.
+        #[must_use]
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// An explicit rejection carrying `reason` (ignored by the stub).
+        #[must_use]
+        pub fn reject(_reason: impl Into<String>) -> Self {
+            TestCaseError::Reject
+        }
+    }
+}
+
+pub use test_runner::{ProptestConfig, TestCaseError};
+
+/// Hashes a test's name into a distinct base seed.
+#[must_use]
+pub fn seed_of(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+thread_local! {
+    static TRACE: std::cell::RefCell<String> = const { std::cell::RefCell::new(String::new()) };
+}
+
+/// Clears the sampled-input trace for a fresh case.
+pub fn reset_trace() {
+    TRACE.with(|t| t.borrow_mut().clear());
+}
+
+/// Records one sampled binding for failure messages.
+pub fn record_binding<T: Debug>(name: &str, value: &T) {
+    TRACE.with(|t| {
+        use std::fmt::Write;
+        let _ = writeln!(t.borrow_mut(), "  {name} = {value:?}");
+    });
+}
+
+/// The sampled inputs of the current case (for assertion messages).
+#[must_use]
+pub fn current_trace() -> String {
+    TRACE.with(|t| t.borrow().clone())
+}
+
+/// Binds proptest-style argument lists: `name in strategy` samples the
+/// strategy; `name: Type` samples `any::<Type>()`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __pt_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $name:ident in $strat:expr) => {
+        let $name = $crate::Strategy::sample(&($strat), &mut $rng);
+        $crate::record_binding(stringify!($name), &$name);
+    };
+    ($rng:ident; $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::sample(&($strat), &mut $rng);
+        $crate::record_binding(stringify!($name), &$name);
+        $crate::__pt_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $name:ident : $ty:ty) => {
+        let $name = $crate::Strategy::sample(&$crate::any::<$ty>(), &mut $rng);
+        $crate::record_binding(stringify!($name), &$name);
+    };
+    ($rng:ident; $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name = $crate::Strategy::sample(&$crate::any::<$ty>(), &mut $rng);
+        $crate::record_binding(stringify!($name), &$name);
+        $crate::__pt_bind!($rng; $($rest)*);
+    };
+}
+
+/// Expands the test functions of a `proptest!` block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __pt_fns {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let base = $crate::seed_of(stringify!($name));
+            let mut accepted = 0u32;
+            let mut attempt = 0u64;
+            let max_attempts = (config.cases as u64).saturating_mul(20).max(64);
+            while accepted < config.cases && attempt < max_attempts {
+                attempt += 1;
+                let mut __pt_rng = $crate::TestRng::new(
+                    base ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                );
+                $crate::reset_trace();
+                #[allow(clippy::redundant_closure_call)]
+                let outcome: Result<(), $crate::test_runner::TestCaseError> = (|| {
+                    $crate::__pt_bind!(__pt_rng; $($args)*);
+                    { $body }
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => accepted += 1,
+                    Err($crate::test_runner::TestCaseError::Reject) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(reason)) => panic!(
+                        "property {} failed: {reason}\nwith inputs:\n{}",
+                        stringify!($name),
+                        $crate::current_trace()
+                    ),
+                }
+            }
+            assert!(
+                accepted > 0,
+                "proptest {}: every case rejected by prop_assume!",
+                stringify!($name)
+            );
+        }
+    )*};
+}
+
+/// Declares randomized property tests.
+///
+/// Supports an optional leading `#![proptest_config(expr)]`, doc comments
+/// and attributes on each property, and argument lists mixing
+/// `name in strategy` with `name: Type` forms.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__pt_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__pt_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property, reporting the sampled inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property failed with inputs:\n{}", $crate::current_trace());
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!(
+            $cond,
+            "{}\nwith inputs:\n{}",
+            format!($($fmt)*),
+            $crate::current_trace()
+        );
+    };
+}
+
+/// Asserts equality inside a property, reporting the sampled inputs.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        {
+            let (lhs, rhs) = (&$a, &$b);
+            assert!(
+                lhs == rhs,
+                "assertion `left == right` failed\n  left: {:?}\n right: {:?}\nwith inputs:\n{}",
+                lhs, rhs, $crate::current_trace()
+            );
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        {
+            let (lhs, rhs) = (&$a, &$b);
+            assert!(
+                lhs == rhs,
+                "{}\n  left: {:?}\n right: {:?}\nwith inputs:\n{}",
+                format!($($fmt)*), lhs, rhs, $crate::current_trace()
+            );
+        }
+    };
+}
+
+/// Asserts inequality inside a property, reporting the sampled inputs.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        {
+            let (lhs, rhs) = (&$a, &$b);
+            assert!(
+                lhs != rhs,
+                "assertion `left != right` failed\n  both: {:?}\nwith inputs:\n{}",
+                lhs, $crate::current_trace()
+            );
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        {
+            let (lhs, rhs) = (&$a, &$b);
+            assert!(
+                lhs != rhs,
+                "{}\n  both: {:?}\nwith inputs:\n{}",
+                format!($($fmt)*), lhs, $crate::current_trace()
+            );
+        }
+    };
+}
+
+/// Rejects the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The prelude: `use proptest::prelude::*;`.
+pub mod prelude {
+    /// Alias of the crate root, so `prop::collection::vec(...)` works.
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies stay in bounds.
+        #[allow(clippy::manual_range_contains)]
+        fn ranges_in_bounds(a in 10u64..20, b in 1u32..=4, c in 3usize..9) {
+            prop_assert!(a >= 10 && a < 20);
+            prop_assert!(b >= 1 && b <= 4);
+            prop_assert!(c >= 3 && c < 9, "c = {}", c);
+        }
+
+        fn assume_filters(a in 0u32..10, b in 0u32..10) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+
+        fn collections_and_any(
+            v in prop::collection::vec((0u8..6, any::<bool>()), 1..20),
+            s in prop::collection::btree_set(0u64..512, 0..40),
+            flag: bool,
+            idx in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(s.len() < 40);
+            let _covered: bool = flag;
+            prop_assert!(idx.index(7) < 7);
+        }
+
+        fn prop_map_applies(op in (0u64..100, any::<bool>()).prop_map(|(x, w)| (x * 2, w))) {
+            prop_assert_eq!(op.0 % 2, 0);
+        }
+    }
+
+    #[test]
+    fn strategy_impl_trait_composes() {
+        fn arb_even() -> impl Strategy<Value = u64> {
+            (0u64..50).prop_map(|x| x * 2)
+        }
+        let mut rng = crate::TestRng::new(5);
+        for _ in 0..100 {
+            assert_eq!(arb_even().sample(&mut rng) % 2, 0);
+        }
+    }
+}
