@@ -9,9 +9,10 @@
 //!
 //! Usage: `cargo run --release -p bench --bin colocation [--quick]`
 
-use bench::Scale;
+use bench::{emit_telemetry, Scale};
 use siloz::HypervisorKind;
-use sim::run_colocation_suite;
+use sim::run_colocation_suite_observed;
+use telemetry::Registry;
 use workloads::mlc::{Mlc, MlcKind};
 use workloads::ycsb::{Ycsb, YcsbKind};
 
@@ -27,7 +28,8 @@ fn main() {
     );
     // Both hypervisor kinds run concurrently; each cell builds its own
     // fresh workload generators, so output matches the old serial loop.
-    let results = run_colocation_suite(
+    let reg = Registry::new();
+    let results = run_colocation_suite_observed(
         &config,
         &[HypervisorKind::Baseline, HypervisorKind::Siloz],
         || Box::new(Ycsb::new(YcsbKind::C, sim_cfg.working_set)) as Box<dyn workloads::WorkloadGen>,
@@ -38,6 +40,7 @@ fn main() {
         &sim_cfg,
         7,
         sim::default_threads(),
+        &reg,
     )
     .expect("colocation run");
     for (kind, r) in results {
@@ -55,4 +58,5 @@ fn main() {
          bank/rank/channel\nisolation domains (§8.4) would trade bandwidth for \
          performance isolation."
     );
+    emit_telemetry("colocation", &reg);
 }

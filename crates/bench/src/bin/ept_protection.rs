@@ -9,12 +9,13 @@
 //!
 //! Usage: `cargo run --release -p bench --bin ept_protection [--quick]`
 
-use bench::Scale;
+use bench::{emit_telemetry, Scale};
 use dram::DramSystemBuilder;
 use dram_addr::{BankId, SystemAddressDecoder};
 use hammer::{Blacksmith, FuzzConfig};
 use rand::SeedableRng;
 use siloz::ept_guard::EptGuardPlan;
+use telemetry::Registry;
 
 fn main() {
     let scale = Scale::from_args();
@@ -92,4 +93,15 @@ fn main() {
     } else {
         println!("RESULT: UNEXPECTED — protected row flipped or control stayed clean.");
     }
+    let reg = Registry::new();
+    dram.export_telemetry(&reg.child("dram"));
+    let guard = reg.child("ept_guard");
+    guard
+        .counter("protected_row_flips")
+        .add(protected_flips as u64);
+    guard.counter("control_row_flips").add(control_flips as u64);
+    guard
+        .counter("control_region_flips")
+        .add(control_region_flips as u64);
+    emit_telemetry("ept_protection", &reg);
 }

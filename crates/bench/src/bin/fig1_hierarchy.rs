@@ -4,8 +4,10 @@
 //!
 //! Usage: `cargo run --release -p bench --bin fig1_hierarchy`
 
+use bench::emit_telemetry;
 use dram::DramSystemBuilder;
 use dram_addr::{mini_geometry, BankId};
+use telemetry::Registry;
 
 fn main() {
     let g = mini_geometry();
@@ -52,4 +54,7 @@ fn main() {
             v
         }
     );
+    let reg = Registry::new();
+    dram.export_telemetry(&reg.child("dram"));
+    emit_telemetry("fig1_hierarchy", &reg);
 }

@@ -5,9 +5,10 @@
 //!
 //! Usage: `cargo run -p bench --bin fig2_layout [--quick]`
 
-use bench::Scale;
+use bench::{emit_telemetry, Scale};
 use dram_addr::SystemAddressDecoder;
 use siloz::SubarrayGroupMap;
+use telemetry::Registry;
 
 fn main() {
     let scale = Scale::from_args();
@@ -37,10 +38,13 @@ fn main() {
         .chain((0..4).map(|i| decoder.config().jump_bytes / 2 + i * block))
         .chain((0..4).map(|i| decoder.config().jump_bytes + i * block))
         .collect();
+    let reg = Registry::new();
+    let layout = reg.child("layout");
     for phys in samples {
         if phys >= decoder.socket_bytes() {
             continue;
         }
+        layout.counter("samples_decoded").inc();
         let (_, row) = decoder.row_group_of(phys).expect("in range");
         let group = map.group_of_phys(phys).expect("in range");
         let half = decoder.config().jump_bytes / 2;
@@ -73,5 +77,10 @@ fn main() {
             info.bytes() as f64 / (1u64 << 30) as f64,
             info.frames.len() == 1
         );
+        layout.counter("groups_listed").inc();
     }
+    layout
+        .gauge("groups_per_socket")
+        .add(i64::from(config.groups_per_socket()));
+    emit_telemetry("fig2_layout", &reg);
 }

@@ -9,10 +9,11 @@
 //!
 //! Usage: `cargo run --release -p bench --bin fragmentation [--quick]`
 
-use bench::Scale;
+use bench::{emit_telemetry, Scale};
 use rand::Rng;
 use rand::SeedableRng;
 use siloz::{apply_snc, SilozConfig};
+use telemetry::Registry;
 
 /// A cloud-ish VM size mix (GiB, probability weight).
 const MIX: [(f64, u32); 7] = [
@@ -91,4 +92,14 @@ fn main() {
          lever for finer-grained provisioning. (A 4 KiB-page baseline wastes ~0%,\n\
          but offers no isolation.)"
     );
+    let reg = Registry::new();
+    let frag = reg.child("fragmentation");
+    frag.counter("vms_sampled").add(n as u64);
+    frag.counter("configs_evaluated").add(rows.len() as u64 + 1);
+    frag.counter("requested_bytes").add(
+        vms.iter()
+            .map(|&gib| (gib * (1u64 << 30) as f64) as u64)
+            .sum(),
+    );
+    emit_telemetry("fragmentation", &reg);
 }

@@ -4,10 +4,11 @@
 //!
 //! Usage: `cargo run -p bench --bin guard_overhead [--quick]`
 
-use bench::Scale;
+use bench::{emit_telemetry, Scale};
 use dram_addr::SystemAddressDecoder;
 use siloz::defenses::{guard_row_overhead, guard_rows_needed};
 use siloz::ept_guard::EptGuardPlan;
+use telemetry::Registry;
 
 fn main() {
     let scale = Scale::from_args();
@@ -54,4 +55,14 @@ fn main() {
         98.5,
         plan.reserved_fraction(g) * 100.0
     );
+    let reg = Registry::new();
+    let guard = reg.child("ept_guard");
+    guard.counter("reserved_rows_per_bank").add(u64::from(b));
+    guard
+        .counter("sockets_planned")
+        .add(plan.sockets.len() as u64);
+    guard
+        .counter("guard_frames_per_socket")
+        .add(plan.sockets[0].guard_frames.len() as u64);
+    emit_telemetry("guard_overhead", &reg);
 }

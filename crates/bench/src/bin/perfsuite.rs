@@ -21,11 +21,13 @@ use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
+use bench::emit_telemetry;
 use dram::DramSystem;
 use dram_addr::{mini_decoder, skylake_decoder, DecodeTlb};
 use memctrl::{HashedController, MemOp, MemoryController};
 use siloz::SilozConfig;
 use sim::SimConfig;
+use telemetry::Registry;
 
 /// One head-to-head measurement.
 struct Measure {
@@ -58,7 +60,7 @@ fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
 
 /// Decode throughput: a 4 KiB-stride scan over 256 MiB, repeated so the
 /// TLB's stripe slots stay hot — the access pattern every trace replay has.
-fn bench_decode() -> Measure {
+fn bench_decode(reg: &Registry) -> Measure {
     let dec = skylake_decoder();
     let mut tlb = DecodeTlb::new(skylake_decoder());
     let span = 256u64 << 20;
@@ -82,6 +84,7 @@ fn bench_decode() -> Measure {
         }
         acc
     });
+    tlb.export_telemetry(&reg.child("decode_tlb"));
     Measure {
         name: "decode_4k_stride",
         baseline: "SystemAddressDecoder::decode",
@@ -114,22 +117,24 @@ fn mixed_trace(n: u64) -> Vec<MemOp> {
 
 /// Trace replay: flat-array controller vs the retained hash-map baseline,
 /// asserting both produce the identical `TraceResult`.
-fn bench_controller() -> Measure {
+fn bench_controller(reg: &Registry) -> Measure {
     let n = 200_000u64;
     let ops = mixed_trace(n);
     let flat_res = {
         let dec = mini_decoder();
         let mut dram = DramSystem::new(*dec.geometry());
-        MemoryController::new(dec)
-            .without_physics()
-            .run_trace(&mut dram, ops.clone())
+        let mut ctrl = MemoryController::new(dec).without_physics();
+        let res = ctrl.run_trace(&mut dram, ops.clone());
+        ctrl.export_telemetry(&reg.child("ctrl_flat"));
+        res
     };
     let hashed_res = {
         let dec = mini_decoder();
         let mut dram = DramSystem::new(*dec.geometry());
-        HashedController::new(dec)
-            .without_physics()
-            .run_trace(&mut dram, ops.clone())
+        let mut ctrl = HashedController::new(dec).without_physics();
+        let res = ctrl.run_trace(&mut dram, ops.clone());
+        ctrl.export_telemetry(&reg.child("ctrl_hashed"));
+        res
     };
     assert_eq!(flat_res, hashed_res, "flat and hashed controllers diverged");
 
@@ -156,10 +161,11 @@ fn bench_controller() -> Measure {
 
 /// Figure-4 regeneration: serial vs parallel engine, outputs asserted
 /// bit-identical. Per-cell cost dominates, so ns are reported per run.
-fn bench_figure4(threads: usize) -> Measure {
+fn bench_figure4(threads: usize, reg: &Registry) -> Measure {
     let config = SilozConfig::mini();
     let sim = SimConfig::quick();
-    let serial_rows = sim::figure4_with_threads(&config, &sim, 1).expect("serial figure 4");
+    let fig_reg = reg.child("figure4");
+    let serial_rows = sim::figure4_observed(&config, &sim, 1, &fig_reg).expect("serial figure 4");
     let parallel_rows =
         sim::figure4_with_threads(&config, &sim, threads).expect("parallel figure 4");
     assert_eq!(
@@ -182,11 +188,65 @@ fn bench_figure4(threads: usize) -> Measure {
     }
 }
 
+/// Extracts `"optimized_ns_per_op": <f64>` for the result named `name`
+/// from a `BENCH_perfsuite.json` document, without a JSON parser.
+fn baseline_ns_per_op(json: &str, name: &str) -> Option<f64> {
+    let at = json.find(&format!("\"name\": \"{name}\""))?;
+    let rest = &json[at..];
+    let key = "\"optimized_ns_per_op\": ";
+    let v = &rest[rest.find(key)? + key.len()..];
+    let end = v.find([',', '}'])?;
+    v[..end].trim().parse().ok()
+}
+
+/// Compares fresh measurements against a prior `BENCH_perfsuite.json`
+/// (path in `SILOZ_BENCH_BASELINE`); regressions beyond
+/// `SILOZ_BENCH_TOLERANCE` percent (default 5) fail the run. Speedups and
+/// missing baseline entries pass. Returns the number of regressions.
+fn gate_against_baseline(measures: &[Measure]) -> usize {
+    let Ok(path) = std::env::var("SILOZ_BENCH_BASELINE") else {
+        return 0;
+    };
+    let Ok(json) = std::fs::read_to_string(&path) else {
+        eprintln!("gate: baseline {path} unreadable, skipping");
+        return 0;
+    };
+    let tolerance_pct: f64 = std::env::var("SILOZ_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5.0);
+    println!("\ngate: comparing against {path} (tolerance {tolerance_pct}%)");
+    let mut regressions = 0;
+    for m in measures {
+        let Some(old) = baseline_ns_per_op(&json, m.name) else {
+            println!("  {:<22} no baseline entry, skipped", m.name);
+            continue;
+        };
+        let delta_pct = (m.optimized_ns / old - 1.0) * 100.0;
+        let verdict = if delta_pct > tolerance_pct {
+            regressions += 1;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:<22} {:>12.1} -> {:>12.1} ns/op ({:+.1}%) {}",
+            m.name, old, m.optimized_ns, delta_pct, verdict
+        );
+    }
+    regressions
+}
+
 fn main() {
     let threads = sim::default_threads();
     println!("perfsuite: {threads} worker thread(s) available\n");
 
-    let measures = [bench_decode(), bench_controller(), bench_figure4(threads)];
+    let reg = Registry::new();
+    let measures = [
+        bench_decode(&reg),
+        bench_controller(&reg),
+        bench_figure4(threads, &reg),
+    ];
 
     println!(
         "{:<22} {:>16} {:>16} {:>9}",
@@ -223,4 +283,14 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_perfsuite.json", &json).expect("write BENCH_perfsuite.json");
     println!("\nwrote BENCH_perfsuite.json");
+
+    let regressions = gate_against_baseline(&measures);
+    reg.child("gate")
+        .counter("regressions")
+        .add(regressions as u64);
+    emit_telemetry("perfsuite", &reg);
+    if regressions > 0 {
+        eprintln!("perfsuite: {regressions} benchmark(s) regressed beyond tolerance");
+        std::process::exit(1);
+    }
 }

@@ -7,11 +7,12 @@
 //!
 //! Usage: `cargo run --release -p bench --bin rowpress_sweep [--quick]`
 
-use bench::Scale;
+use bench::{emit_telemetry, Scale};
 use dram::DramSystemBuilder;
 use dram_addr::BankId;
 use hammer::pattern::HammerPattern;
 use hammer::{Blacksmith, FuzzConfig};
+use telemetry::Registry;
 
 fn main() {
     let scale = Scale::from_args();
@@ -28,6 +29,10 @@ fn main() {
         "tAggOn (ns)", "flips", "all in same subarray?"
     );
     let sub = g.rows_per_subarray;
+    let reg = Registry::new();
+    // All sweep points export into the same `dram` child; totals are
+    // additive over the sweep.
+    let dram_reg = reg.child("dram");
     for extra_open_ns in [0u64, 500, 1_000, 2_000, 4_000, 8_000] {
         let mut dram = DramSystemBuilder::new(g).trr(0, 0).build();
         let fuzzer = Blacksmith::new(FuzzConfig {
@@ -52,10 +57,12 @@ fn main() {
             flips,
             if contained { "yes" } else { "NO (bug!)" }
         );
+        dram.export_telemetry(&dram_reg);
     }
     println!(
         "\nShape: flips grow with tAggOn at constant ACT count (RowPress), and every \
          flip stays\nwithin the aggressors' subarray — which is why Siloz treats RowPress \
          identically to\nRowhammer (§2.5): subarray groups contain both."
     );
+    emit_telemetry("rowpress_sweep", &reg);
 }

@@ -5,12 +5,13 @@
 //!
 //! Usage: `cargo run --release -p bench --bin soak [--quick]`
 
-use bench::Scale;
+use bench::{emit_telemetry, Scale};
 use dram::{DimmProfile, DramSystemBuilder};
 use dram_addr::{BankId, RepairMap};
 use hammer::{Blacksmith, FuzzConfig};
 use rand::SeedableRng;
 use siloz::{Hypervisor, HypervisorKind, VmSpec};
+use telemetry::Registry;
 
 fn main() {
     let scale = Scale::from_args();
@@ -84,4 +85,8 @@ fn main() {
         hv.dram().flip_log().len(),
         hv.dram().scrub_history().corrected.len()
     );
+    let reg = Registry::new();
+    hv.dram().export_telemetry(&reg.child("dram"));
+    hv.export_telemetry(&reg.child("hv"));
+    emit_telemetry("soak", &reg);
 }

@@ -5,8 +5,10 @@
 //!
 //! Usage: `cargo run -p bench --bin softtrr_deadlines [--quick]`
 
+use bench::emit_telemetry;
 use rand::SeedableRng;
 use siloz::defenses::{simulate_soft_refresh, SchedulerModel};
+use telemetry::Registry;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -52,4 +54,13 @@ fn main() {
 
     println!("\nConclusion (§8.3): software refresh cannot guarantee 1 ms periods on a");
     println!("generic production kernel; Siloz therefore protects EPTs with guard rows.");
+    let reg = Registry::new();
+    let soft = reg.child("soft_refresh");
+    soft.counter("ticks_simulated").add(generic.ticks + t.ticks);
+    soft.counter("missed_deadlines_generic")
+        .add(generic.missed_deadlines);
+    soft.counter("gross_misses_generic")
+        .add(generic.gross_misses);
+    soft.counter("gross_misses_dynticks").add(t.gross_misses);
+    emit_telemetry("softtrr_deadlines", &reg);
 }

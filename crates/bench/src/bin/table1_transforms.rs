@@ -3,8 +3,10 @@
 //!
 //! Usage: `cargo run -p bench --bin table1_transforms`
 
+use bench::emit_telemetry;
 use dram_addr::transform::{internal_row, preserves_subarray_grouping};
 use dram_addr::{InternalMapConfig, RankSide};
+use telemetry::Registry;
 
 fn main() {
     let cfg = InternalMapConfig {
@@ -50,12 +52,21 @@ fn main() {
     }
 
     println!("\nIsolation consequences (§6):");
+    let reg = Registry::new();
+    let transforms = reg.child("transforms");
     for rows in [512u32, 1024, 2048, 768, 1536] {
         let ok = (0..2).all(|rank| {
             RankSide::BOTH
                 .iter()
                 .all(|&side| preserves_subarray_grouping(rows, rank, side, cfg, 1 << 17))
         });
+        transforms
+            .counter(if ok {
+                "sizes_preserved"
+            } else {
+                "sizes_violated"
+            })
+            .inc();
         println!(
             "  {rows:>5}-row subarrays: grouping {}",
             if ok {
@@ -65,4 +76,6 @@ fn main() {
             }
         );
     }
+    transforms.counter("variants_rendered").add(4);
+    emit_telemetry("table1_transforms", &reg);
 }

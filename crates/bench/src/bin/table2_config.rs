@@ -2,7 +2,8 @@
 //!
 //! Usage: `cargo run -p bench --bin table2_config [--quick]`
 
-use bench::Scale;
+use bench::{emit_telemetry, Scale};
+use telemetry::Registry;
 
 fn main() {
     let scale = Scale::from_args();
@@ -15,4 +16,13 @@ fn main() {
         config.groups_per_socket(),
         config.groups_per_socket() as u64 * config.geometry.sockets as u64,
     );
+    let reg = Registry::new();
+    let cfg = reg.child("config");
+    cfg.gauge("groups_per_socket")
+        .add(i64::from(config.groups_per_socket()));
+    cfg.gauge("logical_nodes")
+        .add(i64::from(config.groups_per_socket()) * i64::from(config.geometry.sockets));
+    cfg.gauge("subarray_group_bytes")
+        .add(config.subarray_group_bytes() as i64);
+    emit_telemetry("table2_config", &reg);
 }

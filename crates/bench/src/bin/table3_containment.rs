@@ -8,12 +8,13 @@
 //!
 //! Usage: `cargo run --release -p bench --bin table3_containment [--quick]`
 
-use bench::Scale;
+use bench::{emit_telemetry, Scale};
 use dram::{DimmProfile, DramSystemBuilder};
 use dram_addr::{BankId, RepairMap};
 use hammer::{Blacksmith, FuzzConfig};
 use rand::SeedableRng;
 use siloz::{Hypervisor, HypervisorKind, SilozConfig, VmSpec};
+use telemetry::Registry;
 
 fn fuzz_cfg(scale: Scale) -> FuzzConfig {
     match scale {
@@ -85,6 +86,7 @@ fn main() {
     println!(
         "Table 3: bit-flip containment per DIMM (Blacksmith pinned to a Siloz subarray group)"
     );
+    let reg = Registry::new();
     let mut hv = boot(config.clone(), HypervisorKind::Siloz);
     let attacker = hv.create_vm(VmSpec::new("attacker", 2, vm_mem)).unwrap();
     let _victim = hv.create_vm(VmSpec::new("victim", 2, vm_mem)).unwrap();
@@ -131,6 +133,9 @@ fn main() {
             "all flips contained to the hammering domain's subarray groups"
         }
     );
+    hv.dram()
+        .export_telemetry(&reg.child("siloz").child("dram"));
+    hv.export_telemetry(&reg.child("siloz").child("hv"));
 
     println!(
         "\n-- Baseline comparison (same campaign + boundary targeting, unmodified allocation) --"
@@ -184,6 +189,10 @@ fn main() {
             escapes[0].media_row, escapes[0].bank
         );
     }
+    hv.dram()
+        .export_telemetry(&reg.child("baseline").child("dram"));
+    hv.export_telemetry(&reg.child("baseline").child("hv"));
+    emit_telemetry("table3_containment", &reg);
 }
 
 fn boot(config: SilozConfig, kind: HypervisorKind) -> Hypervisor {

@@ -82,6 +82,20 @@ pub fn print_comparison_table(title: &str, unit: &str, rows: &[Comparison]) {
     }
 }
 
+/// Snapshots `reg` and writes it to `TELEMETRY_{label}.json` (in
+/// `SILOZ_TELEMETRY_DIR`, or the working directory), printing the path.
+///
+/// Every figure/table binary calls this last, so each run leaves a
+/// machine-readable record of what the stack actually did next to its
+/// human-readable output. A write failure is reported but not fatal — the
+/// experiment output itself is already on stdout.
+pub fn emit_telemetry(label: &str, reg: &telemetry::Registry) {
+    match telemetry::write_snapshot(label, &reg.snapshot()) {
+        Ok(path) => println!("\ntelemetry: wrote {}", path.display()),
+        Err(e) => eprintln!("\ntelemetry: could not write TELEMETRY_{label}.json: {e}"),
+    }
+}
+
 /// Renders a crude horizontal bar for a percentage (paper-figure flavour).
 #[must_use]
 pub fn bar(pct: f64, scale: f64) -> String {

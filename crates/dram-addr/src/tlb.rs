@@ -55,6 +55,9 @@ pub struct DecodeTlb {
     bank_media: Vec<MediaAddress>,
     hits: u64,
     misses: u64,
+    /// Misses that evicted a live (different-stripe) entry, as opposed to
+    /// filling an empty slot: the direct-mapped conflict rate.
+    aliases: u64,
     // Copies of the inner decoder's derived constants for the hot path.
     row_group_bytes: u64,
     banks_per_socket: u64,
@@ -89,6 +92,7 @@ impl DecodeTlb {
             bank_media,
             hits: 0,
             misses: 0,
+            aliases: 0,
             row_group_bytes: g.row_group_bytes(),
             banks_per_socket: g.banks_per_socket() as u64,
             socket_bytes: decoder.socket_bytes(),
@@ -113,6 +117,19 @@ impl DecodeTlb {
     #[must_use]
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Misses that displaced a live entry (direct-mapped slot conflicts).
+    #[must_use]
+    pub fn aliases(&self) -> u64 {
+        self.aliases
+    }
+
+    /// Adds this TLB's counters into `reg` (`hits`/`misses`/`aliases`).
+    pub fn export_telemetry(&self, reg: &telemetry::Registry) {
+        reg.counter("hits").add(self.hits);
+        reg.counter("misses").add(self.misses);
+        reg.counter("aliases").add(self.aliases);
     }
 
     /// Empties the cache (counters are kept).
@@ -144,6 +161,9 @@ impl DecodeTlb {
             self.rows[slot_idx]
         } else {
             self.misses += 1;
+            if self.tags[slot_idx] != EMPTY {
+                self.aliases += 1;
+            }
             // `row_group_of` runs the same row derivation `decode` does.
             let (_, row) = self.inner.row_group_of(phys)?;
             self.tags[slot_idx] = stripe;
@@ -191,6 +211,8 @@ mod tests {
         }
         assert!(tlb.hits() > 0, "dense scan must hit");
         assert!(tlb.misses() > 0);
+        assert!(tlb.aliases() > 0, "large strides must evict live slots");
+        assert!(tlb.aliases() < tlb.misses(), "cold fills are not aliases");
     }
 
     #[test]

@@ -18,6 +18,9 @@ pub struct DramStats {
     pub acts: u64,
     /// Distributed REF steps executed.
     pub ref_steps: u64,
+    /// Suspected-aggressor rows served by TRR (neighbor refreshes issued
+    /// from the tracker, summed over both rank sides).
+    pub trr_triggers: u64,
     /// Words corrected by ECC during reads.
     pub corrected_words: u64,
     /// Uncorrectable (2-bit) words encountered during reads.
@@ -300,6 +303,38 @@ impl DramSystem {
         &self.scrub_history
     }
 
+    /// Adds this device's event totals into `reg`: activation/refresh/TRR
+    /// counts, ECC outcomes, patrol-scrub results, and the distribution of
+    /// active flips per subarray group (the containment quantity Table 3
+    /// keys on).
+    pub fn export_telemetry(&self, reg: &telemetry::Registry) {
+        reg.counter("acts").add(self.stats.acts);
+        reg.counter("ref_steps").add(self.stats.ref_steps);
+        reg.counter("trr_triggers").add(self.stats.trr_triggers);
+        reg.counter("ecc_corrected_words")
+            .add(self.stats.corrected_words);
+        reg.counter("ecc_uncorrectable_words")
+            .add(self.stats.uncorrectable_words);
+        reg.counter("ecc_silent_words").add(self.stats.silent_words);
+        reg.counter("scrub_corrected")
+            .add(self.scrub_history.corrected.len() as u64);
+        reg.counter("scrub_uncorrectable")
+            .add(self.scrub_history.uncorrectable.len() as u64);
+        reg.counter("flips_active").add(self.flip_log.len() as u64);
+        let mut per_group: HashMap<(BankId, u32), u64> = HashMap::new();
+        for f in self.flip_log.all() {
+            *per_group
+                .entry((f.bank, self.geometry.subarray_of_row(f.media_row)))
+                .or_default() += 1;
+        }
+        reg.counter("subarray_groups_with_flips")
+            .add(per_group.len() as u64);
+        let per_group_histo = reg.histo("flips_per_subarray_group");
+        for &n in per_group.values() {
+            per_group_histo.observe(n);
+        }
+    }
+
     /// Executes one distributed REF step across all active banks.
     fn refresh_step(&mut self) {
         self.stats.ref_steps += 1;
@@ -314,6 +349,7 @@ impl DramSystem {
             // TRR: serve suspected aggressors by refreshing their neighbors.
             for side in 0..2u8 {
                 let served = bank.trr[side as usize].on_refresh();
+                self.stats.trr_triggers += served.len() as u64;
                 for agg in served {
                     for d in 1..=2u32 {
                         if agg >= d {

@@ -2,6 +2,7 @@
 
 use crate::entry::{EptEntry, EptPerms, IntegrityMode, PageSize};
 use crate::{LEVELS, LEVEL_BITS, TABLE_BYTES};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Backing physical memory for EPT table pages.
 ///
@@ -117,6 +118,11 @@ pub struct Ept {
     /// these stay inside the protected EPT row group.
     table_pages: Vec<u64>,
     mapped_leaves: u64,
+    /// Translation walks performed (atomic: `translate` takes `&self`).
+    walks: AtomicU64,
+    /// Walks or updates refused because an entry failed its integrity
+    /// check — each one is a contained §5.4 corruption.
+    integrity_denials: AtomicU64,
 }
 
 impl Ept {
@@ -138,6 +144,8 @@ impl Ept {
             salt,
             table_pages: vec![root],
             mapped_leaves: 0,
+            walks: AtomicU64::new(0),
+            integrity_denials: AtomicU64::new(0),
         })
     }
 
@@ -163,6 +171,29 @@ impl Ept {
     #[must_use]
     pub fn integrity_mode(&self) -> IntegrityMode {
         self.mode
+    }
+
+    /// Translation walks performed so far.
+    #[must_use]
+    pub fn walks(&self) -> u64 {
+        self.walks.load(Ordering::Relaxed)
+    }
+
+    /// Operations refused on an entry integrity failure so far.
+    #[must_use]
+    pub fn integrity_denials(&self) -> u64 {
+        self.integrity_denials.load(Ordering::Relaxed)
+    }
+
+    /// Adds this table's totals into `reg`: walk and integrity-denial
+    /// counts, table-page footprint, and installed leaf mappings.
+    pub fn export_telemetry(&self, reg: &telemetry::Registry) {
+        reg.counter("walks").add(self.walks());
+        reg.counter("integrity_denials")
+            .add(self.integrity_denials());
+        reg.counter("table_pages")
+            .add(self.table_pages.len() as u64);
+        reg.counter("mapped_leaves").add(self.mapped_leaves);
     }
 
     /// Index of `gpa` within the table at 1-based `level`.
@@ -194,6 +225,7 @@ impl Ept {
                     return Err(EptError::AlreadyMapped { gpa });
                 }
                 if !entry.integrity_ok(self.mode, self.salt) {
+                    self.integrity_denials.fetch_add(1, Ordering::Relaxed);
                     return Err(EptError::IntegrityViolation { level, entry_addr });
                 }
                 table = entry.hpa();
@@ -226,6 +258,7 @@ impl Ept {
 
     /// Translates a GPA, verifying integrity at every level.
     pub fn translate(&self, mem: &mut dyn PhysMem, gpa: u64) -> Result<Translation, EptError> {
+        self.walks.fetch_add(1, Ordering::Relaxed);
         let mut table = self.root;
         let mut level = LEVELS;
         loop {
@@ -235,6 +268,7 @@ impl Ept {
                 return Err(EptError::NotMapped { gpa });
             }
             if !entry.integrity_ok(self.mode, self.salt) {
+                self.integrity_denials.fetch_add(1, Ordering::Relaxed);
                 return Err(EptError::IntegrityViolation { level, entry_addr });
             }
             if entry.is_leaf() {
@@ -271,6 +305,7 @@ impl Ept {
                 return Err(EptError::NotMapped { gpa });
             }
             if !entry.integrity_ok(self.mode, self.salt) {
+                self.integrity_denials.fetch_add(1, Ordering::Relaxed);
                 return Err(EptError::IntegrityViolation { level, entry_addr });
             }
             if entry.is_leaf() {

@@ -43,6 +43,11 @@ pub struct HashedController {
     /// FR-FCFS lookahead window for [`Self::run_trace`].
     pub window: usize,
     dram_sync_counter: u32,
+    /// Pending-window occupancy at each FR-FCFS pick, observed at the same
+    /// loop position as the flat controller so telemetry is comparable.
+    queue_depth: telemetry::HistoSnapshot,
+    /// Per-access latency distribution, nanoseconds.
+    latency_ns: telemetry::HistoSnapshot,
 }
 
 impl HashedController {
@@ -73,6 +78,8 @@ impl HashedController {
             policy: PagePolicy::Open,
             window: 16,
             dram_sync_counter: 0,
+            queue_depth: telemetry::HistoSnapshot::default(),
+            latency_ns: telemetry::HistoSnapshot::default(),
         }
     }
 
@@ -106,6 +113,22 @@ impl HashedController {
     #[must_use]
     pub fn banks_touched(&self) -> usize {
         self.bank_touches.len()
+    }
+
+    /// Adds this controller's totals into `reg`. Metric-for-metric
+    /// comparable with [`crate::MemoryController::export_telemetry`],
+    /// except there is no `tlb` child (this implementation decodes
+    /// uncached); the equivalence test compares the shared metrics.
+    pub fn export_telemetry(&self, reg: &telemetry::Registry) {
+        self.stats.export_telemetry(reg);
+        reg.histo("queue_depth").merge_from(&self.queue_depth);
+        reg.histo("latency_ns").merge_from(&self.latency_ns);
+        reg.counter("banks_touched")
+            .add(self.bank_touches.len() as u64);
+        let per_bank = reg.histo("accesses_per_bank");
+        for &n in self.bank_touches.values() {
+            per_bank.observe(n);
+        }
     }
 
     /// Serves one access arriving at `arrival_ps`.
@@ -165,6 +188,7 @@ impl HashedController {
         }
         let latency = done - arrival_ps;
         self.stats.record(kind, !write, latency, done);
+        self.latency_ns.observe(latency / 1000);
         *self.bank_touches.entry(bank_id).or_insert(0) += 1;
         if self.drive_physics && kind != AccessKind::RowHit {
             dram.activate(&media, 0);
@@ -226,6 +250,7 @@ impl HashedController {
                 pending.push_back((op, issue));
             }
             let Some(_) = pending.front() else { break };
+            self.queue_depth.observe(pending.len() as u64);
             let choice = if bypassed >= self.window as u32 {
                 0
             } else {

@@ -231,6 +231,11 @@ pub struct MemoryController {
     /// FR-FCFS lookahead window for [`Self::run_trace`].
     pub window: usize,
     dram_sync_counter: u32,
+    /// Pending-window occupancy at each FR-FCFS pick (single-owner local
+    /// accumulator; merged into a registry at export time).
+    queue_depth: telemetry::HistoSnapshot,
+    /// Per-access latency distribution, nanoseconds.
+    latency_ns: telemetry::HistoSnapshot,
 }
 
 impl MemoryController {
@@ -263,6 +268,8 @@ impl MemoryController {
             policy: PagePolicy::Open,
             window: 16,
             dram_sync_counter: 0,
+            queue_depth: telemetry::HistoSnapshot::default(),
+            latency_ns: telemetry::HistoSnapshot::default(),
             tlb: DecodeTlb::new(decoder),
         }
     }
@@ -340,6 +347,21 @@ impl MemoryController {
         var.sqrt() / mean
     }
 
+    /// Adds this controller's totals into `reg`: the [`CtrlStats`] split,
+    /// queue-depth and latency distributions, per-bank utilization, and a
+    /// `tlb` child with the decode cache's hit/miss/alias counts.
+    pub fn export_telemetry(&self, reg: &telemetry::Registry) {
+        self.stats.export_telemetry(reg);
+        reg.histo("queue_depth").merge_from(&self.queue_depth);
+        reg.histo("latency_ns").merge_from(&self.latency_ns);
+        reg.counter("banks_touched").add(self.touched.len() as u64);
+        let per_bank = reg.histo("accesses_per_bank");
+        for &ord in &self.touched {
+            per_bank.observe(self.bank_touches[ord as usize]);
+        }
+        self.tlb.export_telemetry(&reg.child("tlb"));
+    }
+
     /// Serves one access arriving at `arrival_ps`.
     pub fn access_at(
         &mut self,
@@ -408,6 +430,7 @@ impl MemoryController {
         }
         let latency = done - arrival_ps;
         self.stats.record(kind, !write, latency, done);
+        self.latency_ns.observe(latency / 1000);
         if self.bank_touches[ord] == 0 {
             self.touched.push(bank_id.0);
         }
@@ -483,6 +506,7 @@ impl MemoryController {
             if pending.is_empty() {
                 break;
             }
+            self.queue_depth.observe(pending.len() as u64);
             // FR-FCFS: pick the oldest row-hit if any, else the oldest op.
             // Cap how often the oldest op may be bypassed — real
             // controllers bound reordering to prevent starvation.
@@ -789,6 +813,77 @@ mod tests {
         assert_eq!(flat_res, hashed_res);
         assert_eq!(flat.banks_touched(), hashed.banks_touched());
         assert_eq!(d1.stats().acts, d2.stats().acts);
+
+        // The implementations must agree on telemetry too — row hit/conflict
+        // counters, queue-depth and latency distributions, per-bank
+        // utilization — not only on TraceResult. The flat controller
+        // additionally exports a `tlb` child (the hashed one decodes
+        // uncached), so compare the shared top-level metrics.
+        let flat_reg = telemetry::Registry::new();
+        flat.export_telemetry(&flat_reg);
+        let hashed_reg = telemetry::Registry::new();
+        hashed.export_telemetry(&hashed_reg);
+        assert_eq!(
+            flat_reg.snapshot().metrics,
+            hashed_reg.snapshot().metrics,
+            "flat and hashed controllers must emit identical telemetry"
+        );
+    }
+
+    #[test]
+    fn empty_trace_yields_zero_rates_not_nan() {
+        let (mut ctrl, mut dram) = setup();
+        let res = ctrl.run_trace(&mut dram, std::iter::empty());
+        assert_eq!(res.stats.accesses, 0);
+        assert_eq!(res.elapsed_ps, 0);
+        assert_eq!(res.stats.hit_rate(), 0.0);
+        assert_eq!(res.stats.mean_latency_ns(), 0.0);
+        assert_eq!(res.stats.bandwidth_gib_s(), 0.0);
+        assert_eq!(res.bandwidth_gib_s(), 0.0);
+        assert_eq!(res.mean_latency_ns_of([0]), 0.0);
+    }
+
+    #[test]
+    fn telemetry_export_matches_stats() {
+        let (mut ctrl, mut dram) = setup();
+        let ops: Vec<MemOp> = (0..2048u64).map(|i| MemOp::read(i * 64)).collect();
+        let res = ctrl.run_trace(&mut dram, ops);
+        let reg = telemetry::Registry::new();
+        ctrl.export_telemetry(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.metrics["accesses"],
+            telemetry::MetricValue::Counter {
+                value: res.stats.accesses,
+                volatile: false
+            }
+        );
+        assert_eq!(
+            snap.metrics["row_hits"],
+            telemetry::MetricValue::Counter {
+                value: res.stats.row_hits,
+                volatile: false
+            }
+        );
+        // One queue-depth observation per FR-FCFS pick, one latency sample
+        // per served access.
+        let telemetry::MetricValue::Histo { value: qd, .. } = &snap.metrics["queue_depth"] else {
+            panic!("queue_depth must be a histogram");
+        };
+        assert_eq!(qd.count, 2048);
+        let telemetry::MetricValue::Histo { value: lat, .. } = &snap.metrics["latency_ns"] else {
+            panic!("latency_ns must be a histogram");
+        };
+        assert_eq!(lat.count, res.stats.accesses);
+        // The decode cache reports through a child registry.
+        let tlb = &snap.children["tlb"];
+        let telemetry::MetricValue::Counter { value: hits, .. } = tlb.metrics["hits"] else {
+            panic!("tlb hits must be a counter");
+        };
+        let telemetry::MetricValue::Counter { value: misses, .. } = tlb.metrics["misses"] else {
+            panic!("tlb misses must be a counter");
+        };
+        assert_eq!(hits + misses, 2048);
     }
 
     #[test]

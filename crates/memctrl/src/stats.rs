@@ -58,6 +58,20 @@ impl CtrlStats {
         self.row_hits as f64 / self.accesses as f64
     }
 
+    /// Adds these totals into `reg` (`accesses`, hit/miss/conflict split,
+    /// read count, latency sum, bytes). Both controller implementations
+    /// export through this, so their telemetry is comparable field by
+    /// field.
+    pub fn export_telemetry(&self, reg: &telemetry::Registry) {
+        reg.counter("accesses").add(self.accesses);
+        reg.counter("row_hits").add(self.row_hits);
+        reg.counter("row_misses").add(self.row_misses);
+        reg.counter("row_conflicts").add(self.row_conflicts);
+        reg.counter("reads").add(self.reads);
+        reg.counter("latency_ps_total").add(self.total_latency_ps);
+        reg.counter("bytes").add(self.bytes);
+    }
+
     /// Achieved bandwidth in GiB/s over the elapsed controller clock.
     #[must_use]
     pub fn bandwidth_gib_s(&self) -> f64 {

@@ -141,6 +141,8 @@ pub struct EptFrameAlloc {
     frames: Range<u64>,
     next: u64,
     freed: Vec<u64>,
+    allocs: u64,
+    denials: u64,
 }
 
 impl EptFrameAlloc {
@@ -151,7 +153,29 @@ impl EptFrameAlloc {
             frames: plan.ept_frames.clone(),
             next: plan.ept_frames.start,
             freed: Vec::new(),
+            allocs: 0,
+            denials: 0,
         }
+    }
+
+    /// Table pages handed out so far (including recycled frames).
+    #[must_use]
+    pub fn allocs(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Allocation requests refused because the EPT row group was full.
+    #[must_use]
+    pub fn denials(&self) -> u64 {
+        self.denials
+    }
+
+    /// Adds this pool's totals into `reg`: allocations, pool-exhaustion
+    /// denials, and remaining capacity.
+    pub fn export_telemetry(&self, reg: &telemetry::Registry) {
+        reg.counter("frame_allocs").add(self.allocs);
+        reg.counter("frame_denials").add(self.denials);
+        reg.gauge("frames_remaining").add(self.remaining() as i64);
     }
 
     /// Remaining EPT table pages available.
@@ -177,13 +201,16 @@ impl EptFrameAlloc {
 impl EptAllocator for EptFrameAlloc {
     fn alloc_table_page(&mut self) -> Result<u64, EptError> {
         if let Some(frame) = self.freed.pop() {
+            self.allocs += 1;
             return Ok(frame * FRAME_BYTES);
         }
         if self.next >= self.frames.end {
+            self.denials += 1;
             return Err(EptError::OutOfMemory);
         }
         let frame = self.next;
         self.next += 1;
+        self.allocs += 1;
         Ok(frame * FRAME_BYTES)
     }
 }
@@ -269,6 +296,8 @@ mod tests {
             alloc.alloc_table_page().unwrap();
         }
         assert_eq!(alloc.alloc_table_page(), Err(EptError::OutOfMemory));
+        assert_eq!(alloc.allocs(), total);
+        assert_eq!(alloc.denials(), 1);
     }
 
     #[test]

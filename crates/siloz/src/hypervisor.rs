@@ -41,6 +41,23 @@ pub enum HypervisorKind {
     Siloz,
 }
 
+/// Lifecycle event totals, exported via [`Hypervisor::export_telemetry`].
+///
+/// EPT counters of destroyed VMs are folded into the `*_retired` fields so
+/// the exported `ept` child reflects all work ever done, not just live VMs.
+#[derive(Debug, Default, Clone, Copy)]
+struct HvEvents {
+    vms_created: u64,
+    create_denials: u64,
+    vms_destroyed: u64,
+    expansions: u64,
+    migrations: u64,
+    ept_walks_retired: u64,
+    ept_denials_retired: u64,
+    ept_table_pages_retired: u64,
+    ept_leaves_retired: u64,
+}
+
 /// A created VM's state.
 struct Vm {
     spec: VmSpec,
@@ -123,6 +140,7 @@ pub struct Hypervisor {
     vms: HashMap<u32, Vm>,
     next_vm: u32,
     ept_salt: u64,
+    events: HvEvents,
 }
 
 impl Hypervisor {
@@ -174,6 +192,7 @@ impl Hypervisor {
                     vms: HashMap::new(),
                     next_vm: 0,
                     ept_salt: 0x5110_2bad_c0de,
+                    events: HvEvents::default(),
                 })
             }
             HypervisorKind::Baseline => {
@@ -219,6 +238,7 @@ impl Hypervisor {
                     vms: HashMap::new(),
                     next_vm: 0,
                     ept_salt: 0x5110_2bad_c0de,
+                    events: HvEvents::default(),
                 })
             }
         }
@@ -306,6 +326,15 @@ impl Hypervisor {
     /// Creates a VM per `spec` (§5.3's lifecycle: control group, UNMEDIATED
     /// allocations from guest-reserved nodes, EPT construction).
     pub fn create_vm(&mut self, spec: VmSpec) -> Result<VmHandle, SilozError> {
+        let result = self.create_vm_inner(spec);
+        match &result {
+            Ok(_) => self.events.vms_created += 1,
+            Err(_) => self.events.create_denials += 1,
+        }
+        result
+    }
+
+    fn create_vm_inner(&mut self, spec: VmSpec) -> Result<VmHandle, SilozError> {
         if !spec.kvm_privileged {
             return Err(SilozError::NotPermitted(format!(
                 "process for '{}' lacks KVM privileges (§5.3)",
@@ -759,6 +788,7 @@ impl Hypervisor {
             bytes: extra,
             backing,
         });
+        self.events.expansions += 1;
         Ok(())
     }
 
@@ -798,6 +828,11 @@ impl Hypervisor {
             }
         }
         self.cgroups.destroy(&vm.spec.name);
+        self.events.vms_destroyed += 1;
+        self.events.ept_walks_retired += vm.ept.walks();
+        self.events.ept_denials_retired += vm.ept.integrity_denials();
+        self.events.ept_table_pages_retired += vm.ept.table_pages().len() as u64;
+        self.events.ept_leaves_retired += vm.ept.mapped_leaves();
         Ok(())
     }
 
@@ -838,6 +873,44 @@ impl Hypervisor {
     /// HPAs of a VM's EPT table pages.
     pub fn vm_ept_pages(&self, handle: VmHandle) -> Result<&[u64], SilozError> {
         Ok(self.vm(handle)?.ept.table_pages())
+    }
+
+    /// Adds this hypervisor's lifecycle totals into `reg`, with two child
+    /// registries: `ept` (walks, integrity denials, table-page footprint,
+    /// leaves — summed over live VMs plus everything already destroyed) and
+    /// `ept_guard` (GFP_EPT pool allocations/denials/occupancy, summed over
+    /// sockets). The DRAM device is exported separately by callers holding
+    /// the experiment's registry, to keep device and hypervisor totals in
+    /// distinct subtrees.
+    pub fn export_telemetry(&self, reg: &telemetry::Registry) {
+        reg.counter("vms_created").add(self.events.vms_created);
+        reg.counter("vm_create_denials")
+            .add(self.events.create_denials);
+        reg.counter("vms_destroyed").add(self.events.vms_destroyed);
+        reg.counter("vm_expansions").add(self.events.expansions);
+        reg.counter("block_migrations").add(self.events.migrations);
+        reg.gauge("vms_live").add(self.vms.len() as i64);
+
+        let mut walks = self.events.ept_walks_retired;
+        let mut denials = self.events.ept_denials_retired;
+        let mut table_pages = self.events.ept_table_pages_retired;
+        let mut leaves = self.events.ept_leaves_retired;
+        for vm in self.vms.values() {
+            walks += vm.ept.walks();
+            denials += vm.ept.integrity_denials();
+            table_pages += vm.ept.table_pages().len() as u64;
+            leaves += vm.ept.mapped_leaves();
+        }
+        let ept_reg = reg.child("ept");
+        ept_reg.counter("walks").add(walks);
+        ept_reg.counter("integrity_denials").add(denials);
+        ept_reg.counter("table_pages").add(table_pages);
+        ept_reg.counter("mapped_leaves").add(leaves);
+
+        let guard = reg.child("ept_guard");
+        for alloc in self.ept_allocs.values() {
+            alloc.export_telemetry(&guard);
+        }
     }
 
     /// Translates a guest physical address through the VM's EPT, walking the
@@ -1074,6 +1147,7 @@ impl Hypervisor {
             vm.regions[region_idx].backing[block_idx] = new;
         }
         self.topo.free(old.node, old.frame, old.order)?;
+        self.events.migrations += 1;
         Ok(())
     }
 

@@ -9,13 +9,14 @@
 //! neither adds interference nor (by design, §8.4) removes it; bank/channel
 //! partitioning is future work.
 
-use crate::engine::run_cells;
+use crate::engine::run_cells_observed;
 use crate::run::{HpaMap, SimConfig};
 use dram::{DimmProfile, DramSystemBuilder};
 use memctrl::{MemOp, MemoryController};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use siloz::{Hypervisor, HypervisorKind, SilozConfig, SilozError, VmSpec};
+use telemetry::Registry;
 use workloads::WorkloadGen;
 
 /// Result of one colocation measurement.
@@ -83,6 +84,23 @@ pub fn run_colocation(
     sim: &SimConfig,
     seed: u64,
 ) -> Result<ColocationResult, SilozError> {
+    run_colocation_observed(config, kind, victim, aggressor, sim, seed, &Registry::new())
+}
+
+/// [`run_colocation`] that also exports stack-wide telemetry into `reg`.
+///
+/// Both the solo and the colocated measurement export into the same
+/// children (`ctrl`, `dram`, `hv`); totals are additive over the two
+/// replays, so the snapshot is deterministic for a given configuration.
+pub fn run_colocation_observed(
+    config: &SilozConfig,
+    kind: HypervisorKind,
+    victim: &mut dyn WorkloadGen,
+    aggressor: &mut dyn WorkloadGen,
+    sim: &SimConfig,
+    seed: u64,
+    reg: &Registry,
+) -> Result<ColocationResult, SilozError> {
     let threads = sim.vcpus.clamp(1, 8) as u16;
     let measure = |with_aggressor: bool,
                    victim: &mut dyn WorkloadGen,
@@ -118,6 +136,9 @@ pub fn run_colocation(
         };
         let mut ctrl = MemoryController::new(hv.decoder().clone()).without_physics();
         let result = ctrl.run_trace(hv.dram_mut(), merged);
+        ctrl.export_telemetry(&reg.child("ctrl"));
+        hv.dram().export_telemetry(&reg.child("dram"));
+        hv.export_telemetry(&reg.child("hv"));
         Ok(result.mean_latency_ns_of(0..threads))
     };
     let solo = measure(false, victim, aggressor)?;
@@ -149,10 +170,53 @@ where
     V: Fn() -> Box<dyn WorkloadGen> + Sync,
     A: Fn() -> Box<dyn WorkloadGen> + Sync,
 {
-    let results = run_cells(kinds.len(), threads, |idx| {
+    run_colocation_suite_observed(
+        config,
+        kinds,
+        victim,
+        aggressor,
+        sim,
+        seed,
+        threads,
+        &Registry::new(),
+    )
+}
+
+/// [`run_colocation_suite`] that also records telemetry into `reg`: engine
+/// scheduling metrics at `engine`, and each hypervisor kind's stack totals
+/// under a per-kind child (`baseline` / `siloz`).
+#[allow(clippy::too_many_arguments)]
+pub fn run_colocation_suite_observed<V, A>(
+    config: &SilozConfig,
+    kinds: &[HypervisorKind],
+    victim: V,
+    aggressor: A,
+    sim: &SimConfig,
+    seed: u64,
+    threads: usize,
+    reg: &Registry,
+) -> Result<Vec<(HypervisorKind, ColocationResult)>, SilozError>
+where
+    V: Fn() -> Box<dyn WorkloadGen> + Sync,
+    A: Fn() -> Box<dyn WorkloadGen> + Sync,
+{
+    let engine_reg = reg.child("engine");
+    let results = run_cells_observed(kinds.len(), threads, &engine_reg, |idx| {
         let mut v = victim();
         let mut a = aggressor();
-        run_colocation(config, kinds[idx], v.as_mut(), a.as_mut(), sim, seed)
+        let kind_reg = reg.child(match kinds[idx] {
+            HypervisorKind::Baseline => "baseline",
+            HypervisorKind::Siloz => "siloz",
+        });
+        run_colocation_observed(
+            config,
+            kinds[idx],
+            v.as_mut(),
+            a.as_mut(),
+            sim,
+            seed,
+            &kind_reg,
+        )
     });
     kinds
         .iter()

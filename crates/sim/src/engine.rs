@@ -10,6 +10,8 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+use telemetry::Registry;
 
 /// Worker count used by the figure drivers: the `SILOZ_THREADS` environment
 /// variable if set (minimum 1), else the machine's available parallelism.
@@ -38,9 +40,38 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_cells_observed(n, threads, &Registry::new(), cell)
+}
+
+/// [`run_cells`] that also records engine telemetry into `reg`.
+///
+/// Deterministic metrics (`cells_run`) merge by addition and are identical
+/// for any thread count; scheduling-dependent metrics — per-cell wall time
+/// (`cell_wall_ns`), cross-worker steals (`steals`, cells a worker claimed
+/// beyond an even `n / threads` share), and `workers` — are registered
+/// *volatile*, so [`telemetry::Snapshot::deterministic`] strips them and
+/// the determinism battery passes regardless of machine or thread count.
+pub fn run_cells_observed<T, F>(n: usize, threads: usize, reg: &Registry, cell: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let threads = threads.clamp(1, n.max(1));
+    let cells_run = reg.counter("cells_run");
+    let wall = reg.histo_volatile("cell_wall_ns");
+    let steals = reg.counter_volatile("steals");
+    reg.gauge_volatile("workers").add(threads as i64);
+    let fair_share = n / threads;
     if threads == 1 {
-        return (0..n).map(cell).collect();
+        return (0..n)
+            .map(|idx| {
+                let t0 = Instant::now();
+                let out = cell(idx);
+                wall.observe(t0.elapsed().as_nanos() as u64);
+                cells_run.inc();
+                out
+            })
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
@@ -53,7 +84,13 @@ where
                     if idx >= n {
                         break;
                     }
+                    let t0 = Instant::now();
                     local.push((idx, cell(idx)));
+                    wall.observe(t0.elapsed().as_nanos() as u64);
+                    cells_run.inc();
+                }
+                if local.len() > fair_share {
+                    steals.add((local.len() - fair_share) as u64);
                 }
                 if !local.is_empty() {
                     collected
@@ -95,5 +132,27 @@ mod tests {
     #[test]
     fn more_threads_than_cells_is_fine() {
         assert_eq!(run_cells(2, 16, |i| i + 1), vec![1, 2]);
+    }
+
+    #[test]
+    fn observed_runs_count_cells_and_mark_timing_volatile() {
+        for threads in [1, 3] {
+            let reg = Registry::new();
+            let out = run_cells_observed(10, threads, &reg, |i| i);
+            assert_eq!(out.len(), 10);
+            let snap = reg.snapshot();
+            assert_eq!(
+                snap.metrics["cells_run"],
+                telemetry::MetricValue::Counter {
+                    value: 10,
+                    volatile: false
+                }
+            );
+            let det = snap.deterministic();
+            assert!(det.metrics.contains_key("cells_run"));
+            assert!(!det.metrics.contains_key("cell_wall_ns"));
+            assert!(!det.metrics.contains_key("steals"));
+            assert!(!det.metrics.contains_key("workers"));
+        }
     }
 }

@@ -5,10 +5,11 @@
 //! simulation, and results are aggregated keyed by cell index so the figure
 //! output is bit-identical to the serial loop for any thread count.
 
-use crate::engine::{default_threads, run_cells};
-use crate::run::{run_workload, SimConfig};
+use crate::engine::{default_threads, run_cells_observed};
+use crate::run::{run_workload_observed, SimConfig};
 use crate::stats::{geomean, overhead_pct_higher_better, overhead_pct_lower_better, Summary};
 use siloz::{HypervisorKind, SilozConfig, SilozError};
+use telemetry::Registry;
 use workloads::{exec_time_suite, throughput_suite, Metric, WorkloadGen};
 
 /// One figure row: a workload measured under a reference and a candidate
@@ -52,6 +53,7 @@ fn compare_suite(
     candidate: (&SilozConfig, HypervisorKind),
     sim: &SimConfig,
     threads: usize,
+    reg: &Registry,
 ) -> Result<Vec<Comparison>, SilozError> {
     let names: Vec<(String, Metric)> = suite(sim.working_set)
         .iter()
@@ -64,7 +66,8 @@ fn compare_suite(
     // stateful) and shares nothing mutable, so results are reproduced
     // bit-identically for any thread count.
     let cells = sim.repeats as usize * n * 2;
-    let results = run_cells(cells, threads, |idx| {
+    let engine_reg = reg.child("engine");
+    let results = run_cells_observed(cells, threads, &engine_reg, |idx| {
         let seed = (idx / (n * 2)) as u64;
         let i = (idx / 2) % n;
         let candidate_run = idx % 2 == 1;
@@ -82,7 +85,7 @@ fn compare_suite(
         } else {
             (reference.0, reference.1, seed)
         };
-        run_workload(cfg, kind, wl_suite[i].as_mut(), sim, run_seed)
+        run_workload_observed(cfg, kind, wl_suite[i].as_mut(), sim, run_seed, reg)
     });
     let mut ref_samples: Vec<Vec<f64>> = vec![Vec::new(); n];
     let mut cand_samples: Vec<Vec<f64>> = vec![Vec::new(); n];
@@ -151,12 +154,23 @@ pub fn figure4_with_threads(
     sim: &SimConfig,
     threads: usize,
 ) -> Result<Vec<Comparison>, SilozError> {
+    figure4_observed(config, sim, threads, &Registry::new())
+}
+
+/// [`figure4_with_threads`] that also records run telemetry into `reg`.
+pub fn figure4_observed(
+    config: &SilozConfig,
+    sim: &SimConfig,
+    threads: usize,
+    reg: &Registry,
+) -> Result<Vec<Comparison>, SilozError> {
     compare_suite(
         exec_time_suite,
         (config, HypervisorKind::Baseline),
         (config, HypervisorKind::Siloz),
         sim,
         threads,
+        reg,
     )
 }
 
@@ -171,12 +185,23 @@ pub fn figure5_with_threads(
     sim: &SimConfig,
     threads: usize,
 ) -> Result<Vec<Comparison>, SilozError> {
+    figure5_observed(config, sim, threads, &Registry::new())
+}
+
+/// [`figure5_with_threads`] that also records run telemetry into `reg`.
+pub fn figure5_observed(
+    config: &SilozConfig,
+    sim: &SimConfig,
+    threads: usize,
+    reg: &Registry,
+) -> Result<Vec<Comparison>, SilozError> {
     compare_suite(
         throughput_suite,
         (config, HypervisorKind::Baseline),
         (config, HypervisorKind::Siloz),
         sim,
         threads,
+        reg,
     )
 }
 
@@ -190,6 +215,7 @@ fn sensitivity(
     sizes: &[u32],
     reference_size: u32,
     threads: usize,
+    reg: &Registry,
 ) -> Result<SensitivityResult, SilozError> {
     let reference_cfg = config.clone().with_presumed_subarray_rows(reference_size);
     let mut out = Vec::new();
@@ -201,6 +227,7 @@ fn sensitivity(
             (&cand_cfg, HypervisorKind::Siloz),
             sim,
             threads,
+            &reg.child(&format!("siloz_{size}")),
         )?;
         out.push((format!("Siloz-{size}"), rows));
     }
@@ -218,6 +245,17 @@ pub fn figure6_with_threads(
     sim: &SimConfig,
     threads: usize,
 ) -> Result<SensitivityResult, SilozError> {
+    figure6_observed(config, sim, threads, &Registry::new())
+}
+
+/// [`figure6_with_threads`] that also records run telemetry into `reg`,
+/// one child per sensitivity variant.
+pub fn figure6_observed(
+    config: &SilozConfig,
+    sim: &SimConfig,
+    threads: usize,
+    reg: &Registry,
+) -> Result<SensitivityResult, SilozError> {
     let (small, reference, large) = sensitivity_sizes(config);
     sensitivity(
         exec_time_suite,
@@ -226,6 +264,7 @@ pub fn figure6_with_threads(
         &[small, large],
         reference,
         threads,
+        reg,
     )
 }
 
@@ -240,6 +279,17 @@ pub fn figure7_with_threads(
     sim: &SimConfig,
     threads: usize,
 ) -> Result<SensitivityResult, SilozError> {
+    figure7_observed(config, sim, threads, &Registry::new())
+}
+
+/// [`figure7_with_threads`] that also records run telemetry into `reg`,
+/// one child per sensitivity variant.
+pub fn figure7_observed(
+    config: &SilozConfig,
+    sim: &SimConfig,
+    threads: usize,
+    reg: &Registry,
+) -> Result<SensitivityResult, SilozError> {
     let (small, reference, large) = sensitivity_sizes(config);
     sensitivity(
         throughput_suite,
@@ -248,6 +298,7 @@ pub fn figure7_with_threads(
         &[small, large],
         reference,
         threads,
+        reg,
     )
 }
 

@@ -22,11 +22,15 @@ pub mod noise;
 pub mod run;
 pub mod stats;
 
-pub use colocation::{run_colocation, run_colocation_suite, ColocationResult};
-pub use engine::{default_threads, run_cells};
-pub use experiments::{
-    figure4, figure4_with_threads, figure5, figure5_with_threads, figure6, figure6_with_threads,
-    figure7, figure7_with_threads, Comparison,
+pub use colocation::{
+    run_colocation, run_colocation_observed, run_colocation_suite, run_colocation_suite_observed,
+    ColocationResult,
 };
-pub use run::{run_workload, SimConfig};
+pub use engine::{default_threads, run_cells, run_cells_observed};
+pub use experiments::{
+    figure4, figure4_observed, figure4_with_threads, figure5, figure5_observed,
+    figure5_with_threads, figure6, figure6_observed, figure6_with_threads, figure7,
+    figure7_observed, figure7_with_threads, Comparison,
+};
+pub use run::{run_workload, run_workload_observed, SimConfig};
 pub use stats::Summary;

@@ -6,6 +6,7 @@ use memctrl::{MemOp, MemoryController};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use siloz::{BackingBlock, Hypervisor, HypervisorKind, SilozConfig, SilozError, VmSpec};
+use telemetry::Registry;
 use workloads::{Metric, WorkloadGen};
 
 /// Precomputed guest-offset → host-physical translation over a VM's
@@ -103,6 +104,24 @@ pub fn run_workload(
     sim: &SimConfig,
     seed: u64,
 ) -> Result<f64, SilozError> {
+    run_workload_observed(config, kind, workload, sim, seed, &Registry::new())
+}
+
+/// [`run_workload`] that also exports stack-wide telemetry into `reg`.
+///
+/// After the trace replay, the memory controller's totals land in the
+/// `ctrl` child, the device model's in `dram`, and the hypervisor's VM /
+/// EPT accounting in `hv`. All exported metrics merge by addition, so many
+/// concurrent runs can share one registry and the merged snapshot is
+/// independent of scheduling order.
+pub fn run_workload_observed(
+    config: &SilozConfig,
+    kind: HypervisorKind,
+    workload: &mut dyn WorkloadGen,
+    sim: &SimConfig,
+    seed: u64,
+    reg: &Registry,
+) -> Result<f64, SilozError> {
     // Performance runs use an invulnerable DIMM (disturbance bookkeeping
     // off) — allocation policy is what is being measured.
     let dram = DramSystemBuilder::new(config.geometry)
@@ -143,6 +162,9 @@ pub fn run_workload(
     let decoder = hv.decoder().clone();
     let mut ctrl = MemoryController::new(decoder).without_physics();
     let result = ctrl.run_trace(hv.dram_mut(), trace);
+    ctrl.export_telemetry(&reg.child("ctrl"));
+    hv.dram().export_telemetry(&reg.child("dram"));
+    hv.export_telemetry(&reg.child("hv"));
     let raw = match workload.metric() {
         Metric::ExecTime => result.elapsed_ms(),
         Metric::Throughput => result.bandwidth_gib_s(),

@@ -1,0 +1,118 @@
+//! Property tests over the metric algebra: histogram merging must be a
+//! commutative monoid (that is what makes multi-threaded export
+//! deterministic), and atomic counters must never lose concurrent
+//! increments.
+
+use proptest::prelude::*;
+use telemetry::{Counter, Histo, HistoSnapshot, Registry};
+
+/// Builds a snapshot by observing each value once.
+fn histo_of(values: &[u64]) -> HistoSnapshot {
+    let h = Histo::default();
+    for &v in values {
+        h.observe(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging is commutative: A + B == B + A.
+    #[test]
+    fn histo_merge_commutes(
+        a in prop::collection::vec(any::<u64>(), 0..40),
+        b in prop::collection::vec(any::<u64>(), 0..40),
+    ) {
+        let (ha, hb) = (histo_of(&a), histo_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Merging is associative: (A + B) + C == A + (B + C).
+    #[test]
+    fn histo_merge_associates(
+        a in prop::collection::vec(any::<u64>(), 0..30),
+        b in prop::collection::vec(any::<u64>(), 0..30),
+        c in prop::collection::vec(any::<u64>(), 0..30),
+    ) {
+        let (ha, hb, hc) = (histo_of(&a), histo_of(&b), histo_of(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merge equals observing the concatenation — the identity the shared
+    /// registry relies on when many cells export into one histogram.
+    #[test]
+    fn histo_merge_equals_concatenation(
+        a in prop::collection::vec(any::<u64>(), 0..40),
+        b in prop::collection::vec(any::<u64>(), 0..40),
+    ) {
+        let mut merged = histo_of(&a);
+        merged.merge(&histo_of(&b));
+        let concat: Vec<u64> = a.iter().chain(&b).copied().collect();
+        prop_assert_eq!(merged, histo_of(&concat));
+    }
+
+    /// Concurrent increments from several threads are never lost, and
+    /// mid-flight snapshots are monotone and bounded by the final total.
+    #[test]
+    fn concurrent_counter_increments_are_never_lost(
+        threads in 2usize..6,
+        per_thread in 1u64..400,
+    ) {
+        let counter = Counter::default();
+        let observed = std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    for _ in 0..per_thread {
+                        counter.inc();
+                    }
+                });
+            }
+            // Sample while writers run: each sample must be monotone and
+            // never exceed the eventual total.
+            let mut last = 0;
+            let mut samples = Vec::new();
+            for _ in 0..50 {
+                let v = counter.get();
+                samples.push(v);
+                prop_assert!(v >= last, "snapshot went backwards");
+                last = v;
+            }
+            Ok(samples)
+        })?;
+        let total = threads as u64 * per_thread;
+        prop_assert_eq!(counter.get(), total);
+        prop_assert!(observed.iter().all(|&v| v <= total));
+    }
+
+    /// The same holds through registry handles: two threads sharing a
+    /// counter by name add up exactly.
+    #[test]
+    fn registry_counter_is_exact_under_sharing(
+        x in 1u64..500,
+        y in 1u64..500,
+    ) {
+        let reg = Registry::new();
+        std::thread::scope(|s| {
+            let reg = &reg;
+            s.spawn(move || reg.counter("n").add(x));
+            s.spawn(move || reg.counter("n").add(y));
+        });
+        let snap = reg.snapshot();
+        prop_assert_eq!(
+            snap.metrics["n"].clone(),
+            telemetry::MetricValue::Counter { value: x + y, volatile: false }
+        );
+    }
+}

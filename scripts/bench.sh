@@ -1,16 +1,31 @@
 #!/usr/bin/env bash
 # Runs the performance suite: builds release, runs the perfsuite binary
 # (decode TLB vs raw decode, flat vs hashed controller, parallel vs serial
-# figure engine), and leaves the measurements in BENCH_perfsuite.json at
-# the repo root. Criterion microbenches can be run separately with
+# figure engine), and leaves the measurements in BENCH_perfsuite.json plus
+# a telemetry snapshot in TELEMETRY_perfsuite.json at the repo root.
+# Criterion microbenches can be run separately with
 # `cargo bench --workspace`.
+#
+# If a BENCH_perfsuite.json from a previous run exists, it becomes the
+# regression baseline: the perfsuite exits non-zero when any measure is
+# more than SILOZ_BENCH_TOLERANCE percent slower (default 5%).
 #
 # Usage: scripts/bench.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release -p bench --bin perfsuite
+
+# Snapshot the previous results (if any) and gate the new run against them.
+if [[ -f BENCH_perfsuite.json ]]; then
+  cp BENCH_perfsuite.json BENCH_perfsuite.baseline.json
+  export SILOZ_BENCH_BASELINE="$(pwd)/BENCH_perfsuite.baseline.json"
+  export SILOZ_BENCH_TOLERANCE="${SILOZ_BENCH_TOLERANCE:-5}"
+  echo "gating against baseline: $SILOZ_BENCH_BASELINE (tolerance ${SILOZ_BENCH_TOLERANCE}%)"
+fi
+
 ./target/release/perfsuite
 
 echo
-echo "results: $(pwd)/BENCH_perfsuite.json"
+echo "results:   $(pwd)/BENCH_perfsuite.json"
+echo "telemetry: $(pwd)/TELEMETRY_perfsuite.json"

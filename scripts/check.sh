@@ -14,4 +14,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== telemetry unit + property tests =="
+cargo test -p telemetry -q
+
+echo "== telemetry snapshot schema (golden fixture) =="
+cargo test --test telemetry_schema -q
+
 echo "all checks passed"

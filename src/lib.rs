@@ -4,7 +4,7 @@
 //! a single dependency. See the individual crates for full documentation:
 //! [`siloz`] (the hypervisor, i.e. the paper's contribution), [`dram`],
 //! [`dram_addr`], [`memctrl`], [`numa`], [`ept`], [`hammer`], [`workloads`],
-//! and [`sim`].
+//! [`sim`], and [`telemetry`].
 
 pub use dram;
 pub use dram_addr;
@@ -14,4 +14,5 @@ pub use memctrl;
 pub use numa;
 pub use siloz;
 pub use sim;
+pub use telemetry;
 pub use workloads;

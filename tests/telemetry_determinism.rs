@@ -1,0 +1,130 @@
+//! The determinism battery: telemetry from the full stack is bit-identical
+//! for any worker-thread count.
+//!
+//! Experiment cells fan out over `SILOZ_THREADS` workers, all exporting
+//! into one shared registry. Every deterministic metric merges by addition
+//! (commutative + associative), so the deterministic view of the merged
+//! snapshot — [`telemetry::Snapshot::deterministic`], which strips
+//! wall-clock and scheduling metrics — must not depend on how cells were
+//! scheduled. These tests pin that guarantee at 1, 2, and 7 workers, the
+//! same counts the paper-figure binaries see via `SILOZ_THREADS`.
+
+use siloz_repro::siloz::{HypervisorKind, SilozConfig};
+use siloz_repro::sim::{figure4_observed, run_colocation_suite_observed, SimConfig};
+use siloz_repro::telemetry::{MetricValue, Registry};
+use siloz_repro::workloads::mlc::{Mlc, MlcKind};
+use siloz_repro::workloads::ycsb::{Ycsb, YcsbKind};
+use siloz_repro::workloads::WorkloadGen;
+
+fn tiny_sim() -> SimConfig {
+    SimConfig {
+        ops: 6_000,
+        repeats: 2,
+        vm_memory: 128 << 20,
+        vcpus: 2,
+        working_set: 8 << 20,
+    }
+}
+
+/// One colocation-suite run at `threads`, returning the deterministic
+/// snapshot JSON plus the experiment results for cross-checking.
+fn colocation_snapshot(threads: usize) -> (String, String) {
+    let config = SilozConfig::mini();
+    let sim = tiny_sim();
+    let reg = Registry::new();
+    let results = run_colocation_suite_observed(
+        &config,
+        &[HypervisorKind::Baseline, HypervisorKind::Siloz],
+        || Box::new(Ycsb::new(YcsbKind::C, 8 << 20)) as Box<dyn WorkloadGen>,
+        || Box::new(Mlc::new(MlcKind::Reads, 8 << 20)) as Box<dyn WorkloadGen>,
+        &sim,
+        11,
+        threads,
+        &reg,
+    )
+    .expect("colocation suite");
+    let json = reg.snapshot().deterministic().to_json();
+    (json, format!("{results:?}"))
+}
+
+#[test]
+fn colocation_suite_telemetry_is_thread_count_invariant() {
+    let (ref_json, ref_results) = colocation_snapshot(1);
+    assert!(
+        ref_json.contains("row_hits"),
+        "controller metrics missing from snapshot"
+    );
+    for threads in [2, 7] {
+        let (json, results) = colocation_snapshot(threads);
+        assert_eq!(
+            ref_results, results,
+            "experiment output diverged at {threads} threads"
+        );
+        assert_eq!(
+            ref_json, json,
+            "deterministic telemetry diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn figure4_telemetry_is_thread_count_invariant() {
+    let config = SilozConfig::mini();
+    let sim = tiny_sim();
+    let run = |threads: usize| {
+        let reg = Registry::new();
+        let rows = figure4_observed(&config, &sim, threads, &reg).expect("figure 4");
+        (reg.snapshot(), rows)
+    };
+    let (serial_snap, serial_rows) = run(1);
+    for threads in [2, 7] {
+        let (snap, rows) = run(threads);
+        assert_eq!(
+            serial_rows, rows,
+            "figure rows diverged at {threads} threads"
+        );
+        assert_eq!(
+            serial_snap.deterministic().to_json(),
+            snap.deterministic().to_json(),
+            "deterministic telemetry diverged at {threads} threads"
+        );
+    }
+    // The raw snapshot, by contrast, legitimately carries scheduling
+    // metrics: the engine group must have recorded per-cell wall time.
+    let engine = &serial_snap.children["engine"];
+    assert!(engine.metrics["cell_wall_ns"].is_volatile());
+    assert!(!engine.metrics["cells_run"].is_volatile());
+}
+
+#[test]
+fn deterministic_snapshot_counts_real_work() {
+    // Beyond invariance, the numbers must be the *right* ones: one cell per
+    // (seed, workload, side), every trace op accounted for in the
+    // controller child.
+    let config = SilozConfig::mini();
+    let sim = tiny_sim();
+    let reg = Registry::new();
+    figure4_observed(&config, &sim, 3, &reg).expect("figure 4");
+    let snap = reg.snapshot();
+    let n_workloads = 9;
+    let cells = sim.repeats as u64 * n_workloads * 2;
+    let MetricValue::Counter {
+        value: cells_run, ..
+    } = snap.children["engine"].metrics["cells_run"]
+    else {
+        panic!("cells_run missing");
+    };
+    assert_eq!(cells_run, cells);
+    let MetricValue::Counter {
+        value: accesses, ..
+    } = snap.children["ctrl"].metrics["accesses"]
+    else {
+        panic!("ctrl accesses missing");
+    };
+    assert_eq!(accesses, cells * sim.ops as u64);
+    // Each cell boots one hypervisor and creates one VM.
+    let MetricValue::Counter { value: vms, .. } = snap.children["hv"].metrics["vms_created"] else {
+        panic!("vms_created missing");
+    };
+    assert_eq!(vms, cells);
+}

@@ -1,0 +1,82 @@
+//! Golden-snapshot regression test: the `TELEMETRY_*.json` document format
+//! is pinned byte-for-byte against a checked-in fixture.
+//!
+//! Downstream tooling (`scripts/bench.sh` archiving, dashboards, diffing
+//! runs) parses these files; any format change must be deliberate. If you
+//! intentionally evolve the schema, bump `telemetry::SCHEMA_VERSION`,
+//! regenerate the fixture with the `print-actual` hint in the failure
+//! message, and note the change in `DESIGN.md`.
+
+use siloz_repro::telemetry::{encode, Registry};
+
+/// Builds the reference registry exercising every metric type, both
+/// volatility flags, nesting, empty children, and histogram edge cases
+/// (zero values, powers of two, large magnitudes).
+fn golden_registry() -> Registry {
+    let reg = Registry::new();
+    reg.counter("accesses").add(1_000_000);
+    reg.counter_volatile("steals").add(3);
+    reg.gauge("frames_remaining").add(-42);
+    reg.gauge_volatile("workers").add(7);
+    let h = reg.histo("latency_ns");
+    for v in [0, 1, 2, 3, 4, 1023, 1024, u64::MAX] {
+        h.observe(v);
+    }
+    reg.histo_volatile("wall_ns").observe(5_000);
+    let ctrl = reg.child("ctrl");
+    ctrl.counter("row_hits").add(900);
+    ctrl.child("tlb").counter("hits").add(850);
+    // An empty child must render as empty maps, not be dropped.
+    let _ = reg.child("empty");
+    reg
+}
+
+#[test]
+fn snapshot_json_matches_golden_fixture() {
+    let actual = encode::snapshot_file("golden", &golden_registry().snapshot());
+    let expected = include_str!("fixtures/telemetry_golden.json");
+    assert_eq!(
+        actual, expected,
+        "TELEMETRY JSON schema drifted from tests/fixtures/telemetry_golden.json.\n\
+         If intentional: bump telemetry::SCHEMA_VERSION, update the fixture to the\n\
+         actual text below, and document the change.\n--- actual ---\n{actual}"
+    );
+}
+
+#[test]
+fn prometheus_text_shape_is_stable() {
+    // The Prometheus encoding is looser (line-oriented), so pin the
+    // structural invariants rather than every byte: TYPE headers, flattened
+    // metric paths, and cumulative +Inf buckets.
+    let text = golden_registry().snapshot().to_prometheus();
+    assert!(text.contains("# TYPE siloz_accesses counter"));
+    assert!(text.contains("# TYPE siloz_frames_remaining gauge"));
+    assert!(text.contains("# TYPE siloz_latency_ns histogram"));
+    assert!(text.contains("siloz_ctrl_tlb_hits 850"));
+    assert!(text.contains("siloz_latency_ns_bucket{le=\"+Inf\"} 8"));
+    assert!(text.contains("siloz_latency_ns_count 8"));
+}
+
+#[test]
+fn merged_golden_snapshot_doubles_every_metric() {
+    // Merging a snapshot with itself must double counters, gauges, and
+    // every histogram bucket — the additive algebra the determinism battery
+    // depends on, checked against the same reference tree the fixture pins.
+    let snap = golden_registry().snapshot();
+    let mut doubled = snap.clone();
+    doubled.merge(&snap);
+    let other = golden_registry();
+    other.counter("accesses").add(1_000_000);
+    other.counter_volatile("steals").add(3);
+    other.gauge("frames_remaining").add(-42);
+    other.gauge_volatile("workers").add(7);
+    let h = other.histo("latency_ns");
+    for v in [0, 1, 2, 3, 4, 1023, 1024, u64::MAX] {
+        h.observe(v);
+    }
+    other.histo_volatile("wall_ns").observe(5_000);
+    let ctrl = other.child("ctrl");
+    ctrl.counter("row_hits").add(900);
+    ctrl.child("tlb").counter("hits").add(850);
+    assert_eq!(doubled, other.snapshot());
+}
