@@ -1,0 +1,43 @@
+//! `siloz-lint`: lints every first-party source file in the workspace
+//! against the invariant rules (see `analysis::lint`). Exits non-zero on
+//! any violation; run from the repository root (as `scripts/check.sh`
+//! does).
+
+use analysis::lint::{by_rule, lint_workspace, ALL_RULES};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = Path::new(".");
+    if !root.join("Cargo.toml").exists() {
+        eprintln!("siloz-lint: run from the repository root (no ./Cargo.toml here)");
+        return ExitCode::FAILURE;
+    }
+    let report = match lint_workspace(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("siloz-lint: workspace walk failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for v in &report.violations {
+        println!("{v}");
+    }
+    let counts = by_rule(&report.violations);
+    let summary: Vec<String> = ALL_RULES
+        .iter()
+        .map(|r| format!("{r}={}", counts.get(r).copied().unwrap_or(0)))
+        .collect();
+    println!(
+        "siloz-lint: {} files, {} waivers honored, {} violation(s) [{}]",
+        report.files,
+        report.waivers_used,
+        report.violations.len(),
+        summary.join(" ")
+    );
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

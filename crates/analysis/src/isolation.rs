@@ -1,0 +1,412 @@
+//! `isolation-verify`: static proof of decoder bijectivity and
+//! isolation-domain containment.
+//!
+//! Siloz's security argument (§6 of the paper) has a purely structural
+//! precondition: the physical-to-media mapping must be a bijection, and
+//! every page the hypervisor hands out must sit inside a single subarray
+//! group for *every* presumed subarray size an operator may boot with
+//! (§5.3). The simulator's unit tests sample this; this pass **proves** it
+//! by exhaustion for every supported configuration
+//! ([`dram_addr::supported_configs`]), in four steps per config:
+//!
+//! - **P1 — stripe bijection.** Every `row_group_bytes` stripe of the
+//!   physical space maps to a distinct `(socket, row)` and
+//!   `phys_range_of_row_group` maps it back; stripe count equals
+//!   `sockets × rows_per_bank`, so the map is a bijection at stripe
+//!   granularity.
+//! - **P2 — bank-hash permutation.** For every row, `bank_of_line` over
+//!   all line slots is a permutation of the socket's banks and
+//!   `line_slot_of_bank` is its inverse — so within a stripe the mapping
+//!   is bijective down to cache-line granularity.
+//! - **P3 — boundary roundtrips.** `encode(decode(p)) == p` at every
+//!   stripe's first/second/middle/last byte, plus explicit out-of-range
+//!   rejection at the capacity edge.
+//! - **P4 — containment.** For every supported presumed subarray size:
+//!   the subarray-group map partitions the machine exactly (group count,
+//!   per-group row count and byte size, byte-exact cover), and every
+//!   2 MiB-aligned page's row groups land in a single group (4 KiB pages
+//!   are contained a fortiori since `PAGE_4K` divides `row_group_bytes`).
+
+use crate::report::Json;
+use dram_addr::{supported_configs, AddrError, SupportedConfig, PAGE_2M, PAGE_4K};
+use siloz::group::SubarrayGroupMap;
+
+/// Containment proof results for one presumed subarray size.
+#[derive(Debug)]
+pub struct PresumedProof {
+    /// Presumed rows per subarray (§5.3 boot parameter).
+    pub presumed_rows: u32,
+    /// Isolation domains the machine partitions into.
+    pub groups: u32,
+    /// 2 MiB pages whose single-domain containment was verified.
+    pub pages_2m: u64,
+}
+
+/// Proof results for one supported configuration.
+#[derive(Debug)]
+pub struct ConfigProof {
+    /// Configuration name (`skylake`, `ddr5`, `mini`).
+    pub name: &'static str,
+    /// Installed capacity in bytes.
+    pub capacity_bytes: u64,
+    /// P1: stripes proven to biject onto `(socket, row)`.
+    pub stripes: u64,
+    /// P2: `(row, slot)` permutation/inverse checks performed.
+    pub perm_ops: u64,
+    /// P3: decode/encode roundtrips performed.
+    pub roundtrips: u64,
+    /// P4: per-presumed-size containment proofs.
+    pub presumed: Vec<PresumedProof>,
+    /// First failure, if the proof did not go through.
+    pub failure: Option<String>,
+}
+
+impl ConfigProof {
+    /// Whether every step of the proof succeeded.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// Runs the full proof for every supported configuration.
+#[must_use]
+pub fn verify_all() -> Vec<ConfigProof> {
+    supported_configs().iter().map(verify_config).collect()
+}
+
+/// One proof step: checks an invariant of `SupportedConfig`, recording its
+/// work tally into the proof.
+type ProofStep<'a> = &'a dyn Fn(&SupportedConfig, &mut ConfigProof) -> Result<(), String>;
+
+/// Runs the four proof steps for one configuration.
+#[must_use]
+pub fn verify_config(cfg: &SupportedConfig) -> ConfigProof {
+    let mut proof = ConfigProof {
+        name: cfg.name,
+        capacity_bytes: cfg.decoder.capacity(),
+        stripes: 0,
+        perm_ops: 0,
+        roundtrips: 0,
+        presumed: Vec::new(),
+        failure: None,
+    };
+    let steps: [ProofStep; 4] = [
+        &stripe_bijection,
+        &bank_permutation,
+        &boundary_roundtrips,
+        &containment,
+    ];
+    for step in steps {
+        if let Err(e) = step(cfg, &mut proof) {
+            proof.failure = Some(e);
+            break;
+        }
+    }
+    proof
+}
+
+fn err(e: AddrError) -> String {
+    e.to_string()
+}
+
+/// P1: every stripe maps to a distinct `(socket, row)` and back.
+fn stripe_bijection(cfg: &SupportedConfig, proof: &mut ConfigProof) -> Result<(), String> {
+    let dec = &cfg.decoder;
+    let g = dec.geometry();
+    let rgb = g.row_group_bytes();
+    let stripes = dec.capacity() / rgb;
+    let domain = u64::from(g.sockets) * u64::from(g.rows_per_bank);
+    if stripes != domain {
+        return Err(format!(
+            "{}: {stripes} stripes but {domain} (socket, row) pairs — cannot biject",
+            cfg.name
+        ));
+    }
+    let mut seen = vec![false; stripes as usize];
+    for s in 0..stripes {
+        let phys = s * rgb;
+        let (socket, row) = dec.row_group_of(phys).map_err(err)?;
+        let idx = (u64::from(socket) * u64::from(g.rows_per_bank) + u64::from(row)) as usize;
+        if std::mem::replace(&mut seen[idx], true) {
+            return Err(format!(
+                "{}: stripe {s} maps to (socket {socket}, row {row}) already claimed",
+                cfg.name
+            ));
+        }
+        let range = dec.phys_range_of_row_group(socket, row).map_err(err)?;
+        if range.start != phys || range.end != phys + rgb {
+            return Err(format!(
+                "{}: inverse of (socket {socket}, row {row}) is {range:?}, want start {phys:#x}",
+                cfg.name
+            ));
+        }
+    }
+    // `seen` is all-true by counting: stripes distinct insertions into a
+    // domain of equal size.
+    proof.stripes = stripes;
+    Ok(())
+}
+
+/// P2: per row, `bank_of_line` is a permutation with `line_slot_of_bank`
+/// as its inverse.
+fn bank_permutation(cfg: &SupportedConfig, proof: &mut ConfigProof) -> Result<(), String> {
+    let dec = &cfg.decoder;
+    let g = dec.geometry();
+    let banks = g.banks_per_socket();
+    let hash = dec.config().bank_hash;
+    let mut seen = vec![u32::MAX; banks as usize];
+    for row in 0..g.rows_per_bank {
+        for slot in 0..banks {
+            let bank = hash.bank_of_line(u64::from(slot), row, g);
+            if bank >= banks {
+                return Err(format!(
+                    "{}: row {row} slot {slot} hashes to bank {bank} >= {banks}",
+                    cfg.name
+                ));
+            }
+            if seen[bank as usize] == row {
+                return Err(format!(
+                    "{}: row {row} maps two slots to bank {bank} — not a permutation",
+                    cfg.name
+                ));
+            }
+            seen[bank as usize] = row;
+            let back = hash.line_slot_of_bank(bank, row, g);
+            if back != slot {
+                return Err(format!(
+                    "{}: row {row}: slot {slot} -> bank {bank} -> slot {back}",
+                    cfg.name
+                ));
+            }
+        }
+        proof.perm_ops += u64::from(banks);
+    }
+    Ok(())
+}
+
+/// P3: decode/encode roundtrips at every stripe's edges, and rejection at
+/// the capacity boundary.
+fn boundary_roundtrips(cfg: &SupportedConfig, proof: &mut ConfigProof) -> Result<(), String> {
+    let dec = &cfg.decoder;
+    let rgb = dec.geometry().row_group_bytes();
+    let cap = dec.capacity();
+    for base in (0..cap).step_by(rgb as usize) {
+        for phys in [base, base + 63, base + rgb / 2, base + rgb - 1] {
+            let media = dec.decode(phys).map_err(err)?;
+            let back = dec.encode(&media).map_err(err)?;
+            if back != phys {
+                return Err(format!(
+                    "{}: encode(decode({phys:#x})) == {back:#x}",
+                    cfg.name
+                ));
+            }
+            proof.roundtrips += 1;
+        }
+    }
+    for bad in [cap, cap + 1, u64::MAX] {
+        if dec.decode(bad).is_ok() {
+            return Err(format!(
+                "{}: decode accepted out-of-range address {bad:#x}",
+                cfg.name
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// P4: for every supported presumed subarray size, the group map is an
+/// exact partition and every 2 MiB page is contained in one group.
+fn containment(cfg: &SupportedConfig, proof: &mut ConfigProof) -> Result<(), String> {
+    let dec = &cfg.decoder;
+    let g = dec.geometry();
+    let rgb = g.row_group_bytes();
+    if !rgb.is_multiple_of(PAGE_4K) || PAGE_4K > rgb {
+        return Err(format!(
+            "{}: PAGE_4K does not divide row_group_bytes {rgb} — 4 KiB containment unproven",
+            cfg.name
+        ));
+    }
+    for &presumed in &cfg.presumed_rows {
+        let map = SubarrayGroupMap::compute(dec, presumed)
+            .map_err(|e| format!("{}: presumed {presumed}: {e}", cfg.name))?;
+        let want_groups = u64::from(g.sockets) * u64::from(g.rows_per_bank / presumed);
+        if map.groups().len() as u64 != want_groups {
+            return Err(format!(
+                "{}: presumed {presumed}: {} groups, want {want_groups}",
+                cfg.name,
+                map.groups().len()
+            ));
+        }
+        let mut total_bytes = 0u64;
+        for info in map.groups() {
+            let rows = info.rows.end - info.rows.start;
+            if rows != presumed {
+                return Err(format!(
+                    "{}: presumed {presumed}: group {} spans {rows} rows",
+                    cfg.name, info.id.0
+                ));
+            }
+            if info.bytes() != u64::from(presumed) * rgb {
+                return Err(format!(
+                    "{}: presumed {presumed}: group {} holds {} bytes, want {}",
+                    cfg.name,
+                    info.id.0,
+                    info.bytes(),
+                    u64::from(presumed) * rgb
+                ));
+            }
+            total_bytes += info.bytes();
+            // Spot-verify frame membership agreement at every extent edge.
+            for r in &info.frames {
+                for frame in [r.start, r.end - 1] {
+                    let via_map = map
+                        .group_of_frame(frame)
+                        .map_err(|e| format!("{}: frame {frame}: {e}", cfg.name))?;
+                    if via_map != info.id || !info.contains_frame(frame) {
+                        return Err(format!(
+                            "{}: presumed {presumed}: frame {frame} membership disagrees",
+                            cfg.name
+                        ));
+                    }
+                }
+            }
+        }
+        if total_bytes != dec.capacity() {
+            return Err(format!(
+                "{}: presumed {presumed}: groups cover {total_bytes} bytes of {} — not a partition",
+                cfg.name,
+                dec.capacity()
+            ));
+        }
+        let pages_2m = two_mib_containment(cfg, &map, presumed)?;
+        proof.presumed.push(PresumedProof {
+            presumed_rows: presumed,
+            groups: want_groups as u32,
+            pages_2m,
+        });
+    }
+    Ok(())
+}
+
+/// Every 2 MiB-aligned page (per socket, so ranges never span sockets)
+/// must touch row groups of exactly one isolation domain.
+fn two_mib_containment(
+    cfg: &SupportedConfig,
+    map: &SubarrayGroupMap,
+    presumed: u32,
+) -> Result<u64, String> {
+    let dec = &cfg.decoder;
+    let g = dec.geometry();
+    let mut pages = 0u64;
+    for socket in 0..g.sockets {
+        let base = dec.socket_base(socket);
+        let end = base + dec.socket_bytes();
+        let mut page = base;
+        while page + PAGE_2M <= end {
+            let (sock, rows) = dec.row_groups_of_range(page, PAGE_2M).map_err(err)?;
+            let first = map
+                .group_of_phys(page)
+                .map_err(|e| format!("{}: page {page:#x}: {e}", cfg.name))?;
+            for &row in &rows {
+                let gid = u64::from(sock) * u64::from(map.groups_per_socket())
+                    + u64::from(row / presumed);
+                if gid != u64::from(first.0) {
+                    return Err(format!(
+                        "{}: presumed {presumed}: 2 MiB page {page:#x} spans groups \
+                         {} and {gid} — containment violated",
+                        cfg.name, first.0
+                    ));
+                }
+            }
+            pages += 1;
+            page += PAGE_2M;
+        }
+    }
+    Ok(pages)
+}
+
+/// Renders the proofs as the `ANALYSIS_isolation.json` document.
+#[must_use]
+pub fn report_json(proofs: &[ConfigProof]) -> String {
+    let configs: Vec<Json> = proofs
+        .iter()
+        .map(|p| {
+            Json::obj(vec![
+                ("name", Json::Str(p.name.into())),
+                ("passed", Json::Bool(p.passed())),
+                ("capacity_bytes", Json::Num(u128::from(p.capacity_bytes))),
+                ("stripes_bijected", Json::Num(u128::from(p.stripes))),
+                ("bank_permutation_ops", Json::Num(u128::from(p.perm_ops))),
+                ("boundary_roundtrips", Json::Num(u128::from(p.roundtrips))),
+                (
+                    "presumed_subarray_sizes",
+                    Json::Arr(
+                        p.presumed
+                            .iter()
+                            .map(|pp| {
+                                Json::obj(vec![
+                                    ("presumed_rows", Json::Num(u128::from(pp.presumed_rows))),
+                                    ("isolation_domains", Json::Num(u128::from(pp.groups))),
+                                    ("pages_2m_contained", Json::Num(u128::from(pp.pages_2m))),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "failure",
+                    p.failure
+                        .as_ref()
+                        .map_or(Json::Str(String::new()), |f| Json::Str(f.clone())),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("schema", Json::Num(1)),
+        ("report", Json::Str("isolation".into())),
+        (
+            "all_passed",
+            Json::Bool(proofs.iter().all(ConfigProof::passed)),
+        ),
+        ("configs", Json::Arr(configs)),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The mini config is small enough to prove exhaustively in debug
+    /// builds; the release-mode gate covers skylake and ddr5.
+    #[test]
+    fn mini_config_proves_end_to_end() {
+        let cfgs = supported_configs();
+        let mini = cfgs.iter().find(|c| c.name == "mini").unwrap();
+        let proof = verify_config(mini);
+        assert!(proof.passed(), "{:?}", proof.failure);
+        assert_eq!(
+            proof.stripes,
+            mini.decoder.capacity() / mini.decoder.geometry().row_group_bytes()
+        );
+        assert!(proof.perm_ops > 0);
+        assert!(proof.roundtrips >= 4 * proof.stripes);
+        assert_eq!(proof.presumed.len(), mini.presumed_rows.len());
+        for pp in &proof.presumed {
+            assert!(pp.groups > 0);
+            assert!(pp.pages_2m > 0, "mini capacity holds 2 MiB pages");
+        }
+    }
+
+    #[test]
+    fn report_lists_every_config_and_overall_verdict() {
+        let cfgs = supported_configs();
+        let mini = cfgs.iter().find(|c| c.name == "mini").unwrap();
+        let text = report_json(&[verify_config(mini)]);
+        assert!(text.contains("\"all_passed\": true"));
+        assert!(text.contains("\"name\": \"mini\""));
+        assert!(text.contains("\"pages_2m_contained\""));
+    }
+}

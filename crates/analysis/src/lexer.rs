@@ -1,0 +1,370 @@
+//! A hand-rolled Rust source scanner.
+//!
+//! The linter needs token-level facts — which identifiers appear where,
+//! which string literals are passed to which calls, what the comments say —
+//! without a full parser and without new dependencies (the vendor set is
+//! frozen). This scanner produces exactly that: an ordered token stream
+//! (identifiers, string literals, numbers, punctuation) with line numbers,
+//! plus the comment text separately so waiver annotations can be read
+//! without comments polluting the token-sequence rules.
+//!
+//! It understands the lexical shapes that would otherwise cause false
+//! matches: line and nested block comments, string escapes, raw strings
+//! with arbitrary `#` fences, byte strings, and the char-literal vs
+//! lifetime ambiguity after `'`.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `pub`, `fn`, ...).
+    Ident,
+    /// A string literal; `text` holds the *content* (fences stripped,
+    /// escapes left as written).
+    Str,
+    /// A numeric literal (value not interpreted).
+    Num,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Identifier name, string content, number text, or the punctuation
+    /// character.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment with the 1-based line it starts on. Text excludes the
+/// `//` / `/* */` fences.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based starting line.
+    pub line: u32,
+    /// Comment body.
+    pub text: String,
+}
+
+/// The scanner's output: the token stream and the comments, both in source
+/// order.
+#[derive(Debug, Default)]
+pub struct Scan {
+    /// Non-comment tokens in order.
+    pub tokens: Vec<Token>,
+    /// Comments in order.
+    pub comments: Vec<Comment>,
+}
+
+/// Scans `source` into tokens and comments. Unterminated constructs are
+/// tolerated (the rest of the file becomes the token/comment body); the
+/// linter runs on code `rustc` already accepted, so this only matters for
+/// robustness on snippets.
+#[must_use]
+pub fn scan(source: &str) -> Scan {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Scan::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Scan,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Scan {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => {
+                    let line = self.line;
+                    self.bump();
+                    let text = self.string_body('"', 0);
+                    self.push(TokenKind::Str, text, line);
+                }
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed_string(),
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                _ => {
+                    let line = self.line;
+                    self.bump();
+                    self.push(TokenKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                text.push_str("/*");
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    /// Reads a (possibly raw) string body after the opening quote has been
+    /// consumed; `hashes` is the raw-string fence width (0 for ordinary
+    /// strings, which also process `\` escapes).
+    fn string_body(&mut self, quote: char, hashes: usize) -> String {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\\' && hashes == 0 {
+                // Keep the escape as written; consume both chars so an
+                // escaped quote does not close the literal.
+                text.push(c);
+                self.bump();
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+                continue;
+            }
+            if c == quote {
+                let closes = (1..=hashes).all(|k| self.peek(k) == Some('#'));
+                if closes {
+                    self.bump();
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            text.push(c);
+            self.bump();
+        }
+        text
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        self.bump(); // the opening '
+                     // `'a` followed by another `'` is the char literal 'a'; otherwise
+                     // an identifier-start char begins a lifetime.
+        let is_lifetime = matches!(self.peek(0), Some(c) if c == '_' || c.is_alphabetic())
+            && self.peek(1) != Some('\'');
+        if is_lifetime {
+            let mut name = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    name.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Punct, name, line);
+            return;
+        }
+        // Char literal: consume up to the closing quote, honoring escapes.
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                self.bump();
+                self.bump();
+                continue;
+            }
+            self.bump();
+            if c == '\'' {
+                break;
+            }
+        }
+        self.push(TokenKind::Punct, "'".into(), line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            // Good enough for lexing past numbers: digits, radix letters,
+            // underscores, exponents, and the dot of float literals.
+            if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                // Do not swallow `..` range punctuation or method calls on
+                // integer literals (`0.max(x)`).
+                if c == '.' && !matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+                    break;
+                }
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Num, text, line);
+    }
+
+    fn ident_or_prefixed_string(&mut self) {
+        let line = self.line;
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Raw / byte string prefixes: r"..", r#".."#, b"..", br#".."#.
+        if matches!(name.as_str(), "r" | "b" | "br") {
+            let mut hashes = 0usize;
+            if name != "b" {
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+            }
+            if self.peek(hashes) == Some('"') {
+                for _ in 0..=hashes {
+                    self.bump();
+                }
+                let raw = name != "b";
+                let text = self.string_body('"', if raw { hashes } else { 0 });
+                self.push(TokenKind::Str, text, line);
+                return;
+            }
+        }
+        self.push(TokenKind::Ident, name, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(s: &str) -> Vec<String> {
+        scan(s)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_do_not_produce_tokens() {
+        let s = scan("// HashMap here\n/* BTreeMap /* nested */ too */ let x = 1;");
+        assert!(!idents("// HashMap\nlet x = 1;").contains(&"HashMap".to_string()));
+        assert_eq!(s.comments.len(), 2);
+        assert!(s.comments[0].text.contains("HashMap"));
+        assert!(s.comments[1].text.contains("nested"));
+        assert!(idents("// HashMap\nlet x = 1;").contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn strings_are_opaque_to_ident_rules() {
+        let ids = idents(r#"let s = "HashMap \" still HashMap"; use x;"#);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(ids.contains(&"use".to_string()));
+        let s = scan(r##"let s = r#"raw "quoted" HashMap"#;"##);
+        let strs: Vec<_> = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("raw \"quoted\" HashMap"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_the_rest_of_the_file() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert_eq!(
+            ids,
+            ["fn", "f", "x", "str", "str", "x"]
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn char_literals_with_escapes() {
+        let ids = idents(r"let c = '\''; let d = 'x'; after");
+        assert!(ids.contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_advance() {
+        let s = scan("a\nbb\n\nccc");
+        let lines: Vec<u32> = s.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn numeric_literals_keep_range_dots() {
+        let toks = scan("0..rows_per_bank");
+        let kinds: Vec<_> = toks.tokens.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::Num,
+                TokenKind::Punct,
+                TokenKind::Punct,
+                TokenKind::Ident
+            ]
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Static-analysis gates for the Siloz reproduction.
+//!
+//! Three passes, all wired into `scripts/check.sh` as hard gates (see
+//! `DESIGN.md` §4d):
+//!
+//! 1. **`siloz-lint`** ([`lint`]) — a source-level workspace linter built
+//!    on a hand-rolled scanner ([`lexer`]); enforces the invariants the
+//!    repo's determinism and performance claims rest on (no maps or
+//!    allocation in hot paths, no nondeterminism sources, atomics confined
+//!    to `crates/telemetry`, `_observed` twins for experiment entries,
+//!    metric names consistent with the golden fixture, `forbid(unsafe_code)`
+//!    in every crate root).
+//! 2. **`isolation-verify`** ([`isolation`]) — a static verifier that
+//!    *proves*, by exhaustion over every supported geometry and presumed
+//!    subarray size, that the address decoder is bijective and that Siloz's
+//!    subarray-group map keeps every 2 MiB page inside a single isolation
+//!    domain (the paper's §6 containment precondition). Writes
+//!    `ANALYSIS_isolation.json`.
+//! 3. **`interleave-check`** ([`interleave`]) — a deterministic-scheduler
+//!    model checker ([`sched`]) that exhaustively explores every thread
+//!    interleaving of the telemetry hot-path RMW sequences (bounded depth)
+//!    and verifies that counts are linearizable and histogram merge is a
+//!    commutative monoid.
+
+#![forbid(unsafe_code)]
+
+pub mod interleave;
+pub mod isolation;
+pub mod lexer;
+pub mod lint;
+pub mod report;
+pub mod sched;

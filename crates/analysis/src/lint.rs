@@ -1,0 +1,644 @@
+//! `siloz-lint`: the workspace invariant linter.
+//!
+//! Each rule guards an invariant this repo's correctness argument leans on
+//! (see `DESIGN.md` §4d for the full table):
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `hot-collections` | hot-path modules use flat, deterministic state — no `HashMap`/`BTreeMap`/`HashSet`/`BTreeSet` |
+//! | `hot-alloc` | hot-path modules allocate only in constructors, never per access |
+//! | `nondeterminism` | no `SystemTime`/`thread_rng`/`RandomState`/`from_entropy` anywhere — all randomness is seeded, all time is simulated or volatile |
+//! | `atomics-confined` | raw atomics live only in `crates/telemetry`; everything else goes through its metric types |
+//! | `observed-twin` | every `pub fn run_*` experiment entry point has a telemetry-recording `*_observed` twin |
+//! | `metric-names` | registry name literals are snake_case, and the golden fixture's names all exist in source |
+//! | `forbid-unsafe` | every crate root carries `#![forbid(unsafe_code)]` |
+//!
+//! Violations can be waived in place with `// lint:allow(<rule>)` (covers
+//! that line and the next) or `// lint:allow-file(<rule>)` (covers the
+//! whole file); the workspace report counts the waivers that actually
+//! suppressed something, so dead waivers are visible.
+
+use crate::lexer::{scan, Scan, Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// Rule: banned collection types in hot-path modules.
+pub const RULE_HOT_COLLECTIONS: &str = "hot-collections";
+/// Rule: allocation outside constructors in hot-path modules.
+pub const RULE_HOT_ALLOC: &str = "hot-alloc";
+/// Rule: banned nondeterminism sources.
+pub const RULE_NONDETERMINISM: &str = "nondeterminism";
+/// Rule: atomics outside `crates/telemetry`.
+pub const RULE_ATOMICS: &str = "atomics-confined";
+/// Rule: `pub fn run_*` without an `_observed` twin.
+pub const RULE_OBSERVED_TWIN: &str = "observed-twin";
+/// Rule: malformed or stale metric-name literals.
+pub const RULE_METRIC_NAMES: &str = "metric-names";
+/// Rule: crate root missing `#![forbid(unsafe_code)]`.
+pub const RULE_FORBID_UNSAFE: &str = "forbid-unsafe";
+
+/// Every rule, for reporting.
+pub const ALL_RULES: [&str; 7] = [
+    RULE_HOT_COLLECTIONS,
+    RULE_HOT_ALLOC,
+    RULE_NONDETERMINISM,
+    RULE_ATOMICS,
+    RULE_OBSERVED_TWIN,
+    RULE_METRIC_NAMES,
+    RULE_FORBID_UNSAFE,
+];
+
+/// Source files whose per-access paths the perfsuite gates; the `hot-*`
+/// rules apply only here.
+const HOT_MODULES: [&str; 3] = [
+    "crates/memctrl/src/controller.rs",
+    "crates/dram/src/bank.rs",
+    "crates/dram-addr/src/tlb.rs",
+];
+
+const HOT_COLLECTION_IDENTS: [&str; 4] = ["HashMap", "BTreeMap", "HashSet", "BTreeSet"];
+const NONDETERMINISM_IDENTS: [&str; 4] =
+    ["SystemTime", "thread_rng", "RandomState", "from_entropy"];
+/// Registry methods whose first argument is a metric/child name literal.
+const REGISTRY_NAME_METHODS: [&str; 7] = [
+    "counter",
+    "gauge",
+    "histo",
+    "counter_volatile",
+    "gauge_volatile",
+    "histo_volatile",
+    "child",
+];
+/// Structural keys of the snapshot JSON schema; everything else in the
+/// golden fixture is a metric or child name.
+const GOLDEN_STRUCTURAL_KEYS: [&str; 11] = [
+    "schema",
+    "suite",
+    "telemetry",
+    "metrics",
+    "children",
+    "type",
+    "value",
+    "count",
+    "sum",
+    "buckets",
+    "volatile",
+];
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: &'static str,
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// How a file is treated by path-scoped rules.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileClass {
+    /// Subject to the `hot-*` rules.
+    pub hot: bool,
+    /// Inside `crates/telemetry/` (exempt from `atomics-confined`).
+    pub telemetry: bool,
+    /// A crate root (`src/lib.rs`), subject to `forbid-unsafe`.
+    pub crate_root: bool,
+}
+
+/// Classifies a repo-relative path (forward slashes).
+#[must_use]
+pub fn classify(path: &str) -> FileClass {
+    FileClass {
+        hot: HOT_MODULES.contains(&path),
+        telemetry: path.starts_with("crates/telemetry/"),
+        crate_root: path == "src/lib.rs"
+            || (path.starts_with("crates/") && path.ends_with("/src/lib.rs")),
+    }
+}
+
+/// Result of linting one file.
+#[derive(Debug, Default)]
+pub struct FileLint {
+    /// Violations that survived waivers.
+    pub violations: Vec<Violation>,
+    /// Metric/child name literals found (for the workspace golden check).
+    pub metric_literals: Vec<String>,
+    /// Number of waiver annotations that suppressed at least one finding.
+    pub waivers_used: usize,
+}
+
+/// Lints one file's source. `file` is the repo-relative path used in
+/// messages and for path-scoped rules when calling [`classify`] yourself.
+#[must_use]
+pub fn lint_source(file: &str, source: &str, class: FileClass) -> FileLint {
+    let scan = scan(source);
+    let test_cutoff = test_cutoff_line(&scan);
+    let waivers = Waivers::collect(&scan);
+    let mut raw: Vec<Violation> = Vec::new();
+
+    ident_rules(file, &scan, class, test_cutoff, &mut raw);
+    if class.hot {
+        hot_alloc_rule(file, &scan, test_cutoff, &mut raw);
+    }
+    observed_twin_rule(file, &scan, test_cutoff, &mut raw);
+    let metric_literals = metric_name_rule(file, &scan, &mut raw);
+    if class.crate_root {
+        forbid_unsafe_rule(file, &scan, &mut raw);
+    }
+
+    let mut used: BTreeSet<(usize, u32)> = BTreeSet::new();
+    let violations = raw
+        .into_iter()
+        .filter(|v| match waivers.covering(v.rule, v.line) {
+            Some(key) => {
+                used.insert(key);
+                false
+            }
+            None => true,
+        })
+        .collect();
+    FileLint {
+        violations,
+        metric_literals,
+        waivers_used: used.len(),
+    }
+}
+
+/// First line belonging to `#[cfg(test)]` code, or `u32::MAX`. The repo
+/// convention keeps test modules at the end of each file, so a line-based
+/// cutoff is exact in practice.
+fn test_cutoff_line(scan: &Scan) -> u32 {
+    let t = &scan.tokens;
+    for i in 0..t.len().saturating_sub(2) {
+        if is_ident(&t[i], "cfg") && is_punct(&t[i + 1], "(") && is_ident(&t[i + 2], "test") {
+            return t[i].line;
+        }
+    }
+    u32::MAX
+}
+
+/// Waiver annotations parsed out of comments.
+struct Waivers {
+    /// `(rule, line)` pairs from `lint:allow(rule)`; cover `line` and
+    /// `line + 1`. The `usize` key half is the annotation's index, so one
+    /// annotation suppressing many findings counts once.
+    line_scoped: Vec<(String, u32)>,
+    file_scoped: Vec<String>,
+}
+
+impl Waivers {
+    fn collect(scan: &Scan) -> Self {
+        let mut line_scoped = Vec::new();
+        let mut file_scoped = Vec::new();
+        for c in &scan.comments {
+            for (marker, file_scope) in [("lint:allow-file(", true), ("lint:allow(", false)] {
+                let mut rest = c.text.as_str();
+                while let Some(at) = rest.find(marker) {
+                    rest = &rest[at + marker.len()..];
+                    if let Some(end) = rest.find(')') {
+                        let rule = rest[..end].trim().to_string();
+                        if file_scope {
+                            file_scoped.push(rule);
+                        } else {
+                            line_scoped.push((rule, c.line));
+                        }
+                    }
+                }
+            }
+        }
+        Self {
+            line_scoped,
+            file_scoped,
+        }
+    }
+
+    /// The waiver covering (`rule`, `line`), identified so usage can be
+    /// counted per annotation. File-scoped waivers use line 0.
+    fn covering(&self, rule: &str, line: u32) -> Option<(usize, u32)> {
+        if let Some(i) = self.file_scoped.iter().position(|r| r == rule) {
+            return Some((i, 0));
+        }
+        self.line_scoped
+            .iter()
+            .position(|(r, l)| r == rule && (line == *l || line == l + 1))
+            .map(|i| (i, self.line_scoped[i].1))
+    }
+}
+
+fn is_ident(t: &Token, s: &str) -> bool {
+    t.kind == TokenKind::Ident && t.text == s
+}
+
+fn is_punct(t: &Token, s: &str) -> bool {
+    t.kind == TokenKind::Punct && t.text == s
+}
+
+/// The single-identifier rules: banned collections (hot files), banned
+/// nondeterminism sources (everywhere), atomics (outside telemetry).
+fn ident_rules(
+    file: &str,
+    scan: &Scan,
+    class: FileClass,
+    test_cutoff: u32,
+    out: &mut Vec<Violation>,
+) {
+    for t in &scan.tokens {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if class.hot && t.line < test_cutoff && HOT_COLLECTION_IDENTS.contains(&t.text.as_str()) {
+            out.push(Violation {
+                rule: RULE_HOT_COLLECTIONS,
+                file: file.into(),
+                line: t.line,
+                message: format!(
+                    "`{}` in a hot-path module; use flat geometry-ordinal arrays or \
+                     `dram::rowmap::RowMap`",
+                    t.text
+                ),
+            });
+        }
+        if NONDETERMINISM_IDENTS.contains(&t.text.as_str()) {
+            out.push(Violation {
+                rule: RULE_NONDETERMINISM,
+                file: file.into(),
+                line: t.line,
+                message: format!(
+                    "`{}` is a nondeterminism source; use seeded RNGs and simulated time",
+                    t.text
+                ),
+            });
+        }
+        if !class.telemetry && t.text.starts_with("Atomic") {
+            out.push(Violation {
+                rule: RULE_ATOMICS,
+                file: file.into(),
+                line: t.line,
+                message: format!(
+                    "`{}` outside crates/telemetry; use telemetry::Counter/Gauge or waive \
+                     with a justification",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Allocation constructs in hot files, allowed only inside constructor-like
+/// functions (`new`, `default`, `with_*`) and test code.
+fn hot_alloc_rule(file: &str, scan: &Scan, test_cutoff: u32, out: &mut Vec<Violation>) {
+    let t = &scan.tokens;
+    let mut current_fn = String::new();
+    for i in 0..t.len() {
+        if is_ident(&t[i], "fn") {
+            if let Some(name) = t.get(i + 1).filter(|n| n.kind == TokenKind::Ident) {
+                current_fn = name.text.clone();
+            }
+        }
+        if t[i].line >= test_cutoff || is_constructor(&current_fn) {
+            continue;
+        }
+        let construct = if is_ident(&t[i], "vec") && t.get(i + 1).is_some_and(|n| is_punct(n, "!"))
+        {
+            Some("vec!")
+        } else if is_ident(&t[i], "format") && t.get(i + 1).is_some_and(|n| is_punct(n, "!")) {
+            Some("format!")
+        } else if is_ident(&t[i], "Box")
+            && t.get(i + 1).is_some_and(|n| is_punct(n, ":"))
+            && t.get(i + 3).is_some_and(|n| is_ident(n, "new"))
+        {
+            Some("Box::new")
+        } else if t[i].kind == TokenKind::Ident
+            && matches!(t[i].text.as_str(), "to_owned" | "to_string" | "to_vec")
+        {
+            Some("owned-copy method")
+        } else {
+            None
+        };
+        if let Some(what) = construct {
+            out.push(Violation {
+                rule: RULE_HOT_ALLOC,
+                file: file.into(),
+                line: t[i].line,
+                message: format!(
+                    "{what} in hot-path fn `{current_fn}`; allocate in constructors \
+                     (`new`/`with_*`/`default`), not per access"
+                ),
+            });
+        }
+    }
+}
+
+fn is_constructor(name: &str) -> bool {
+    name == "new" || name == "default" || name.starts_with("with_")
+}
+
+/// `pub fn run_*` free functions must have a `*_observed` twin in the same
+/// file (methods — anything with `self` in the parameter list — are not
+/// experiment entry points).
+fn observed_twin_rule(file: &str, scan: &Scan, test_cutoff: u32, out: &mut Vec<Violation>) {
+    let t = &scan.tokens;
+    let mut fn_names: BTreeSet<&str> = BTreeSet::new();
+    for i in 0..t.len() {
+        if is_ident(&t[i], "fn") {
+            if let Some(n) = t.get(i + 1).filter(|n| n.kind == TokenKind::Ident) {
+                fn_names.insert(n.text.as_str());
+            }
+        }
+    }
+    for i in 0..t.len() {
+        if !is_ident(&t[i], "pub") || t[i].line >= test_cutoff {
+            continue;
+        }
+        // Skip a `pub(crate)` / `pub(super)` visibility qualifier.
+        let mut j = i + 1;
+        if t.get(j).is_some_and(|n| is_punct(n, "(")) {
+            while j < t.len() && !is_punct(&t[j], ")") {
+                j += 1;
+            }
+            j += 1;
+        }
+        if !t.get(j).is_some_and(|n| is_ident(n, "fn")) {
+            continue;
+        }
+        let Some(name_tok) = t.get(j + 1).filter(|n| n.kind == TokenKind::Ident) else {
+            continue;
+        };
+        let name = name_tok.text.as_str();
+        if !name.starts_with("run_") || name.ends_with("_observed") {
+            continue;
+        }
+        if is_method(t, j + 2) {
+            continue;
+        }
+        let twin = format!("{name}_observed");
+        if !fn_names.contains(twin.as_str()) {
+            out.push(Violation {
+                rule: RULE_OBSERVED_TWIN,
+                file: file.into(),
+                line: name_tok.line,
+                message: format!(
+                    "experiment entry `pub fn {name}` has no `{twin}` twin; every \
+                     entry point must be observable"
+                ),
+            });
+        }
+    }
+}
+
+/// Whether the fn whose tokens start at `from` (just past the name) is a
+/// method: scans the parameter list for `self`, skipping the generic
+/// parameter list if present (where `->` inside `Fn()` bounds must not be
+/// mistaken for the closing `>`).
+fn is_method(t: &[Token], mut from: usize) -> bool {
+    if t.get(from).is_some_and(|n| is_punct(n, "<")) {
+        let mut depth = 0i32;
+        while from < t.len() {
+            if is_punct(&t[from], "<") {
+                depth += 1;
+            } else if is_punct(&t[from], "-") && t.get(from + 1).is_some_and(|n| is_punct(n, ">")) {
+                from += 1; // `->` return arrow inside a bound
+            } else if is_punct(&t[from], ">") {
+                depth -= 1;
+                if depth == 0 {
+                    from += 1;
+                    break;
+                }
+            }
+            from += 1;
+        }
+    }
+    if !t.get(from).is_some_and(|n| is_punct(n, "(")) {
+        return false;
+    }
+    let mut depth = 0i32;
+    while from < t.len() {
+        if is_punct(&t[from], "(") {
+            depth += 1;
+        } else if is_punct(&t[from], ")") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if is_ident(&t[from], "self") {
+            return true;
+        }
+        from += 1;
+    }
+    false
+}
+
+/// Metric-name literals passed to registry constructors must be snake_case;
+/// returns all literals found for the workspace-level golden cross-check.
+fn metric_name_rule(file: &str, scan: &Scan, out: &mut Vec<Violation>) -> Vec<String> {
+    let t = &scan.tokens;
+    let mut literals = Vec::new();
+    for i in 0..t.len().saturating_sub(2) {
+        if t[i].kind == TokenKind::Ident
+            && REGISTRY_NAME_METHODS.contains(&t[i].text.as_str())
+            && is_punct(&t[i + 1], "(")
+            && t[i + 2].kind == TokenKind::Str
+        {
+            let name = &t[i + 2].text;
+            literals.push(name.clone());
+            if !is_snake_case(name) {
+                out.push(Violation {
+                    rule: RULE_METRIC_NAMES,
+                    file: file.into(),
+                    line: t[i + 2].line,
+                    message: format!(
+                        "metric/child name {name:?} is not snake_case ([a-z][a-z0-9_]*)"
+                    ),
+                });
+            }
+        }
+    }
+    literals
+}
+
+fn is_snake_case(s: &str) -> bool {
+    let mut chars = s.chars();
+    chars.next().is_some_and(|c| c.is_ascii_lowercase())
+        && chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// Crate roots must carry `#![forbid(unsafe_code)]`.
+fn forbid_unsafe_rule(file: &str, scan: &Scan, out: &mut Vec<Violation>) {
+    let t = &scan.tokens;
+    let want = ["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"];
+    let found = (0..t.len().saturating_sub(want.len() - 1)).any(|i| {
+        want.iter().enumerate().all(|(k, w)| {
+            let tok = &t[i + k];
+            tok.text == *w
+        })
+    });
+    if !found {
+        out.push(Violation {
+            rule: RULE_FORBID_UNSAFE,
+            file: file.into(),
+            line: 1,
+            message: "crate root missing `#![forbid(unsafe_code)]`".into(),
+        });
+    }
+}
+
+/// Result of linting the whole workspace.
+#[derive(Debug, Default)]
+pub struct WorkspaceLint {
+    /// Files scanned.
+    pub files: usize,
+    /// All surviving violations, ordered by file then line.
+    pub violations: Vec<Violation>,
+    /// Waiver annotations that suppressed at least one finding.
+    pub waivers_used: usize,
+}
+
+/// Lints every first-party `.rs` file under `root` (skipping `vendor/`,
+/// `target/`, and VCS metadata) and cross-checks metric names against the
+/// golden fixture.
+///
+/// # Errors
+///
+/// Returns any I/O error from walking or reading the tree.
+pub fn lint_workspace(root: &Path) -> std::io::Result<WorkspaceLint> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut report = WorkspaceLint::default();
+    let mut literals: BTreeSet<String> = BTreeSet::new();
+    for rel in &files {
+        let source = std::fs::read_to_string(root.join(rel))?;
+        let mut lint = lint_source(rel, &source, classify(rel));
+        report.files += 1;
+        report.waivers_used += lint.waivers_used;
+        literals.extend(lint.metric_literals.drain(..));
+        report.violations.append(&mut lint.violations);
+    }
+    golden_fixture_check(root, &literals, &mut report.violations)?;
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(report)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), "vendor" | "target" | ".git") {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Every metric/child name in the golden fixture must still exist as a
+/// literal somewhere in source — otherwise the fixture is stale and the
+/// schema test is pinning names nothing produces.
+fn golden_fixture_check(
+    root: &Path,
+    literals: &BTreeSet<String>,
+    out: &mut Vec<Violation>,
+) -> std::io::Result<()> {
+    let fixture = "tests/fixtures/telemetry_golden.json";
+    let path = root.join(fixture);
+    if !path.exists() {
+        out.push(Violation {
+            rule: RULE_METRIC_NAMES,
+            file: fixture.into(),
+            line: 1,
+            message: "golden telemetry fixture is missing".into(),
+        });
+        return Ok(());
+    }
+    let body = std::fs::read_to_string(path)?;
+    for (name, line) in json_object_keys(&body) {
+        if GOLDEN_STRUCTURAL_KEYS.contains(&name.as_str()) {
+            continue;
+        }
+        if !literals.contains(&name) {
+            out.push(Violation {
+                rule: RULE_METRIC_NAMES,
+                file: fixture.into(),
+                line,
+                message: format!(
+                    "fixture name {name:?} does not appear as a registry name literal \
+                     anywhere in source (stale fixture?)"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Extracts `"key":` object keys (with line numbers) from a JSON document —
+/// enough structure for the fixture cross-check without a JSON dependency.
+fn json_object_keys(body: &str) -> Vec<(String, u32)> {
+    let mut keys = Vec::new();
+    let mut line = 1u32;
+    let chars: Vec<char> = body.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '\n' => line += 1,
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && chars[j] != '"' {
+                    if chars[j] == '\\' {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                let text: String = chars[start..j.min(chars.len())].iter().collect();
+                let mut k = j + 1;
+                while k < chars.len() && chars[k].is_whitespace() && chars[k] != '\n' {
+                    k += 1;
+                }
+                if chars.get(k) == Some(&':') {
+                    keys.push((text, line));
+                }
+                i = j;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    keys
+}
+
+/// Groups violations by rule for summary printing.
+#[must_use]
+pub fn by_rule(violations: &[Violation]) -> BTreeMap<&'static str, usize> {
+    let mut map = BTreeMap::new();
+    for v in violations {
+        *map.entry(v.rule).or_insert(0) += 1;
+    }
+    map
+}

@@ -1,0 +1,131 @@
+//! A minimal JSON builder for analysis reports.
+//!
+//! Mirrors the hand-rolled emission style of `telemetry::encode` (the
+//! vendor set is frozen, so no serde): values are assembled as a tree and
+//! rendered with stable ordering and 2-space indentation, giving
+//! `ANALYSIS_isolation.json` a diff-friendly layout.
+
+/// A JSON value.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// An unsigned integer (all report numerics are counts or byte sizes).
+    Num(u128),
+    /// A boolean.
+    Bool(bool),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved as built.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for object entries.
+    #[must_use]
+    pub fn obj(entries: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Renders the document with a trailing newline.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Num(n) => out.push_str(&n.to_string()),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    pad(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    pad(out, indent + 1);
+                    Json::Str(key.clone()).write(out, indent + 1);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures_stably() {
+        let doc = Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("count", Json::Num(42)),
+            ("name", Json::Str("a \"quoted\"\nline".into())),
+            ("items", Json::Arr(vec![Json::Num(1), Json::Num(2)])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let text = doc.render();
+        assert!(text.starts_with("{\n  \"ok\": true,"));
+        assert!(text.contains("\"a \\\"quoted\\\"\\nline\""));
+        assert!(text.contains("\"empty\": []"));
+        assert!(text.ends_with("}\n"));
+        assert_eq!(doc.render(), text, "rendering is deterministic");
+    }
+}

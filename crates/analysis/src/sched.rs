@@ -1,0 +1,97 @@
+//! Deterministic-scheduler interleaving enumeration.
+//!
+//! A "schedule" for threads with step counts `[n0, n1, ..]` is a sequence
+//! of thread ids in which thread `i` appears exactly `nᵢ` times; replaying
+//! the schedule runs one step of the named thread at each position. Because
+//! every step in the modeled programs is a single atomic RMW (see
+//! `telemetry::hooks`), replaying schedules single-threaded covers exactly
+//! the set of outcomes real concurrent execution can produce under any
+//! scheduling — which makes exhaustive enumeration a *proof* for the
+//! bounded configuration, not a sampling.
+//!
+//! The number of schedules is the multinomial `(Σnᵢ)! / Πnᵢ!`;
+//! [`schedule_count`] computes it exactly (in `u128`) so callers can
+//! cross-check that the enumerator visited every schedule exactly once.
+
+/// Calls `f` with every distinct interleaving of threads whose step counts
+/// are `counts`, in lexicographic thread-id order. Thread ids index into
+/// `counts`; threads with zero steps simply never appear.
+pub fn for_each_interleaving<F: FnMut(&[usize])>(counts: &[usize], mut f: F) {
+    let total: usize = counts.iter().sum();
+    let mut remaining = counts.to_vec();
+    let mut schedule = Vec::with_capacity(total);
+    recurse(&mut remaining, &mut schedule, total, &mut f);
+}
+
+fn recurse<F: FnMut(&[usize])>(
+    remaining: &mut [usize],
+    schedule: &mut Vec<usize>,
+    total: usize,
+    f: &mut F,
+) {
+    if schedule.len() == total {
+        f(schedule);
+        return;
+    }
+    for tid in 0..remaining.len() {
+        if remaining[tid] == 0 {
+            continue;
+        }
+        remaining[tid] -= 1;
+        schedule.push(tid);
+        recurse(remaining, schedule, total, f);
+        schedule.pop();
+        remaining[tid] += 1;
+    }
+}
+
+/// Exact number of distinct interleavings: `(Σnᵢ)! / Πnᵢ!`, computed as a
+/// product of binomial coefficients so intermediate values stay bounded.
+#[must_use]
+pub fn schedule_count(counts: &[usize]) -> u128 {
+    let mut total: u128 = 0;
+    let mut result: u128 = 1;
+    for &n in counts {
+        for k in 1..=n as u128 {
+            total += 1;
+            // Multiply by C(total, k) incrementally: result *= total / k,
+            // with the division exact because result already contains the
+            // preceding k-1 factors of this binomial.
+            result = result * total / k;
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn enumerates_all_distinct_schedules_exactly_once() {
+        for counts in [vec![2, 2], vec![3, 1], vec![1, 1, 1], vec![2, 0, 1]] {
+            let mut seen = BTreeSet::new();
+            let mut visits = 0u128;
+            for_each_interleaving(&counts, |s| {
+                visits += 1;
+                assert!(seen.insert(s.to_vec()), "duplicate schedule {s:?}");
+                for (tid, &n) in counts.iter().enumerate() {
+                    assert_eq!(s.iter().filter(|&&t| t == tid).count(), n);
+                }
+            });
+            assert_eq!(visits, schedule_count(&counts), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn schedule_count_matches_known_multinomials() {
+        assert_eq!(schedule_count(&[4, 4]), 70); // C(8,4)
+        assert_eq!(schedule_count(&[2, 2, 2]), 90); // 6!/(2!2!2!)
+        assert_eq!(schedule_count(&[6, 6]), 924); // C(12,6)
+        assert_eq!(schedule_count(&[3, 3, 3]), 1680); // 9!/(3!3!3!)
+        assert_eq!(schedule_count(&[7, 7]), 3432); // C(14,7)
+        assert_eq!(schedule_count(&[]), 1);
+        assert_eq!(schedule_count(&[5]), 1);
+    }
+}

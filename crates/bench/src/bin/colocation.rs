@@ -11,7 +11,7 @@
 
 use bench::{emit_telemetry, Scale};
 use siloz::HypervisorKind;
-use sim::run_colocation_suite_observed;
+use sim::{run_colocation_suite_observed, SuitePlan};
 use telemetry::Registry;
 use workloads::mlc::{Mlc, MlcKind};
 use workloads::ycsb::{Ycsb, YcsbKind};
@@ -29,17 +29,20 @@ fn main() {
     // Both hypervisor kinds run concurrently; each cell builds its own
     // fresh workload generators, so output matches the old serial loop.
     let reg = Registry::new();
+    let plan = SuitePlan {
+        config: &config,
+        kinds: &[HypervisorKind::Baseline, HypervisorKind::Siloz],
+        sim: &sim_cfg,
+        seed: 7,
+        threads: sim::default_threads(),
+    };
     let results = run_colocation_suite_observed(
-        &config,
-        &[HypervisorKind::Baseline, HypervisorKind::Siloz],
+        &plan,
         || Box::new(Ycsb::new(YcsbKind::C, sim_cfg.working_set)) as Box<dyn workloads::WorkloadGen>,
         || {
             Box::new(Mlc::new(MlcKind::Reads, sim_cfg.working_set))
                 as Box<dyn workloads::WorkloadGen>
         },
-        &sim_cfg,
-        7,
-        sim::default_threads(),
         &reg,
     )
     .expect("colocation run");

@@ -5,6 +5,8 @@
 //! (scaled-down geometry/workloads, for smoke runs) and default to the
 //! evaluation-server configuration.
 
+#![forbid(unsafe_code)]
+
 use siloz::SilozConfig;
 use sim::{Comparison, SimConfig};
 

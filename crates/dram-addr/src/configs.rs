@@ -1,0 +1,118 @@
+//! Enumeration of every decoder configuration the workspace supports.
+//!
+//! Static verification (the `analysis` crate's `isolation-verify` pass)
+//! needs a closed list of "everything this reproduction claims to handle":
+//! each preset decoder together with the presumed-subarray-size boot
+//! parameters (§5.3) that are valid for it. Centralizing the list here —
+//! next to the presets themselves — means a new preset cannot be added
+//! without also entering the verifier's universe.
+
+use crate::decoder::SystemAddressDecoder;
+use crate::skylake::{ddr5_decoder, mini_decoder, skylake_decoder};
+
+/// One supported decoder configuration: a named preset plus every presumed
+/// subarray size (§5.3's boot parameter) the workspace sweeps for it.
+#[derive(Debug, Clone)]
+pub struct SupportedConfig {
+    /// Preset name (`skylake`, `ddr5`, `mini`), used in analysis reports.
+    pub name: &'static str,
+    /// The preset decoder.
+    pub decoder: SystemAddressDecoder,
+    /// Valid presumed subarray sizes, ascending. Every entry satisfies
+    /// [`presumed_rows_supported`].
+    pub presumed_rows: Vec<u32>,
+}
+
+/// Whether `presumed_rows` is a valid §5.3 boot parameter for `decoder`.
+///
+/// The same two alignment rules `siloz`'s group-map computation enforces:
+/// the presumed size must be a whole number of `n`-row-group mapping blocks
+/// (or pages would straddle group boundaries, §4.2) and must divide
+/// `rows_per_bank` (so groups tile each bank exactly).
+#[must_use]
+pub fn presumed_rows_supported(decoder: &SystemAddressDecoder, presumed_rows: u32) -> bool {
+    let g = decoder.geometry();
+    presumed_rows > 0
+        && presumed_rows <= g.rows_per_bank
+        && presumed_rows.is_multiple_of(decoder.config().row_groups_per_block)
+        && g.rows_per_bank.is_multiple_of(presumed_rows)
+}
+
+/// Every decoder configuration the workspace supports, with the subarray
+/// sizes the paper sweeps for each (Fig. 6/7: Siloz-512/1024/2048 on the
+/// server geometries; the mini geometry scales the ladder down around its
+/// native 256-row subarrays).
+///
+/// # Panics
+///
+/// Never panics in practice: every listed size is valid for its preset,
+/// which is asserted here and covered by tests.
+#[must_use]
+pub fn supported_configs() -> Vec<SupportedConfig> {
+    let presets: [(&'static str, SystemAddressDecoder, &[u32]); 3] = [
+        ("skylake", skylake_decoder(), &[512, 1024, 2048]),
+        ("ddr5", ddr5_decoder(), &[512, 1024, 2048]),
+        ("mini", mini_decoder(), &[64, 128, 256, 512]),
+    ];
+    presets
+        .into_iter()
+        .map(|(name, decoder, sizes)| {
+            for &rows in sizes {
+                assert!(
+                    presumed_rows_supported(&decoder, rows),
+                    "{name}: listed presumed size {rows} is not valid for its preset"
+                );
+            }
+            SupportedConfig {
+                name,
+                decoder,
+                presumed_rows: sizes.to_vec(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_size_is_valid_and_ascending() {
+        let configs = supported_configs();
+        assert_eq!(configs.len(), 3);
+        for c in &configs {
+            assert!(!c.presumed_rows.is_empty(), "{}: empty sweep", c.name);
+            assert!(
+                c.presumed_rows.windows(2).all(|w| w[0] < w[1]),
+                "{}: sizes not ascending",
+                c.name
+            );
+            for &rows in &c.presumed_rows {
+                assert!(presumed_rows_supported(&c.decoder, rows));
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let configs = supported_configs();
+        for (i, a) in configs.iter().enumerate() {
+            for b in &configs[i + 1..] {
+                assert_ne!(a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn predicate_rejects_misaligned_sizes() {
+        let dec = skylake_decoder();
+        assert!(!presumed_rows_supported(&dec, 0));
+        // Not a multiple of the 16-row-group block.
+        assert!(!presumed_rows_supported(&dec, 1000));
+        // Multiple of the block but does not divide rows_per_bank.
+        assert!(!presumed_rows_supported(&dec, 131_072 / 2 + 16));
+        // Larger than the bank.
+        assert!(!presumed_rows_supported(&dec, 1 << 30));
+        assert!(presumed_rows_supported(&dec, 1024));
+    }
+}

@@ -22,6 +22,9 @@
 //! The mapping is a bijection between the physical address space and the
 //! media address space, which is asserted by property tests.
 
+#![forbid(unsafe_code)]
+
+pub mod configs;
 pub mod decoder;
 pub mod geometry;
 pub mod interleave;
@@ -31,6 +34,7 @@ pub mod skylake;
 pub mod tlb;
 pub mod transform;
 
+pub use configs::{presumed_rows_supported, supported_configs, SupportedConfig};
 pub use decoder::{AddrError, SystemAddressDecoder};
 pub use geometry::Geometry;
 pub use interleave::BankHash;

@@ -248,6 +248,105 @@ mod tests {
     }
 
     #[test]
+    fn capacity_boundary_is_exact() {
+        // Every address in the last cache line decodes; the first address
+        // past capacity does not — and the error carries both values.
+        let mut tlb = DecodeTlb::new(mini_decoder());
+        let cap = tlb.inner().capacity();
+        let dec = mini_decoder();
+        for phys in [cap - 64, cap - 2, cap - 1] {
+            assert_eq!(tlb.decode(phys).unwrap(), dec.decode(phys).unwrap());
+        }
+        for phys in [cap, cap + 1, u64::MAX] {
+            match tlb.decode(phys) {
+                Err(AddrError::PhysOutOfRange { phys: p, capacity }) => {
+                    assert_eq!(p, phys);
+                    assert_eq!(capacity, cap);
+                }
+                other => panic!("expected out-of-range for {phys:#x}, got {other:?}"),
+            }
+        }
+        // Rejections never touch the cache counters' hit/miss split.
+        let (h, m) = (tlb.hits(), tlb.misses());
+        let _ = tlb.decode(cap);
+        assert_eq!((tlb.hits(), tlb.misses()), (h, m));
+    }
+
+    #[test]
+    fn stripe_crossing_addresses_split_correctly() {
+        // Adjacent bytes on either side of a row-group stripe boundary hit
+        // different cache slots but must both match the uncached decode —
+        // the memoized row changes exactly at the boundary.
+        let mut tlb = DecodeTlb::new(mini_decoder());
+        let dec = mini_decoder();
+        let stripe = dec.geometry().row_group_bytes();
+        for boundary in (1..8).map(|k| k * stripe) {
+            let before = tlb.decode(boundary - 1).unwrap();
+            let after = tlb.decode(boundary).unwrap();
+            assert_eq!(before, dec.decode(boundary - 1).unwrap());
+            assert_eq!(after, dec.decode(boundary).unwrap());
+            assert_ne!(
+                (before.socket, before.row),
+                (after.socket, after.row),
+                "stripe boundary at {boundary:#x} must change the media row"
+            );
+        }
+        // A socket boundary is also a stripe boundary on multi-socket
+        // geometries; cover it with the skylake preset.
+        let mut tlb = DecodeTlb::new(skylake_decoder());
+        let dec = skylake_decoder();
+        let socket_bytes = dec.socket_bytes();
+        let (a, b) = (socket_bytes - 64, socket_bytes);
+        assert_eq!(tlb.decode(a).unwrap(), dec.decode(a).unwrap());
+        assert_eq!(tlb.decode(b).unwrap(), dec.decode(b).unwrap());
+        assert_eq!(
+            tlb.decode(a).unwrap().socket + 1,
+            tlb.decode(b).unwrap().socket
+        );
+    }
+
+    #[test]
+    fn single_slot_tlb_aliases_every_new_stripe_but_stays_exact() {
+        // The degenerate 1-slot cache makes every distinct stripe a
+        // conflict eviction; correctness must not depend on capacity.
+        let mut tlb = DecodeTlb::with_slots(mini_decoder(), 1);
+        let dec = mini_decoder();
+        let stripe = dec.geometry().row_group_bytes();
+        for k in 0..16 {
+            let phys = k * stripe + 128;
+            assert_eq!(tlb.decode(phys).unwrap(), dec.decode(phys).unwrap());
+        }
+        assert_eq!(tlb.misses(), 16);
+        assert_eq!(tlb.aliases(), 15, "all but the cold fill are evictions");
+        // Ping-pong between two stripes: every access misses.
+        for _ in 0..4 {
+            let _ = tlb.decode(0);
+            let _ = tlb.decode(stripe);
+        }
+        assert_eq!(tlb.hits(), 0);
+    }
+
+    #[test]
+    fn flush_is_the_invalidation_point_for_repair_changes() {
+        // Row repairs ([`crate::RepairMap`]) remap *internal* row addresses
+        // inside the DIMM; the system-level decode this TLB memoizes is
+        // deliberately upstream of them, so its output must be identical
+        // under any repair map — callers that swap repairs only need
+        // `flush()` to drop stale working-set state, never a rebuild.
+        let dec = mini_decoder();
+        let mut tlb = DecodeTlb::new(dec.clone());
+        let probe: Vec<u64> = (0..dec.capacity()).step_by((3 << 20) + 64).collect();
+        let before: Vec<_> = probe.iter().map(|&p| tlb.decode(p).unwrap()).collect();
+        let mut repairs = crate::RepairMap::new();
+        repairs.insert(BankId(0), 7, 9);
+        assert_eq!(repairs.resolve(BankId(0), 7), 9);
+        tlb.flush();
+        let after: Vec<_> = probe.iter().map(|&p| tlb.decode(p).unwrap()).collect();
+        assert_eq!(before, after, "decode is independent of repair state");
+        assert!(tlb.misses() >= 2 * probe.len() as u64 - tlb.aliases());
+    }
+
+    #[test]
     fn repeated_rows_hit() {
         let mut tlb = DecodeTlb::new(mini_decoder());
         let _ = tlb.decode(0);

@@ -2,9 +2,9 @@
 
 use crate::flip::{weak_cells, WeakCell};
 use crate::profile::DimmProfile;
+use crate::rowmap::RowMap;
 use crate::trr::TrrTracker;
 use dram_addr::RankSide;
-use std::collections::HashMap;
 
 /// Side index helper (A = 0, B = 1) used for compact keys.
 #[must_use]
@@ -13,6 +13,13 @@ pub(crate) fn side_idx(side: RankSide) -> u8 {
         RankSide::A => 0,
         RankSide::B => 1,
     }
+}
+
+/// Packs a `(side, internal_row)` victim coordinate into a [`RowMap`] key.
+#[must_use]
+#[inline]
+pub(crate) fn victim_key(side: u8, internal_row: u32) -> u64 {
+    (side as u64) << 32 | internal_row as u64
 }
 
 /// Disturbance state of one victim half-row.
@@ -30,7 +37,7 @@ pub(crate) struct VictimState {
 /// per-side TRR trackers, and the auto-refresh pointer.
 #[derive(Debug)]
 pub struct BankState {
-    pub(crate) victims: HashMap<(u8, u32), VictimState>,
+    pub(crate) victims: RowMap<VictimState>,
     pub(crate) trr: [TrrTracker; 2],
     /// Next internal row the distributed auto-refresh will cover.
     pub(crate) refresh_ptr: u32,
@@ -43,7 +50,7 @@ impl BankState {
     #[must_use]
     pub fn new(trr_capacity: usize, trr_served_per_ref: usize) -> Self {
         Self {
-            victims: HashMap::new(),
+            victims: RowMap::new(),
             trr: [
                 TrrTracker::new(trr_capacity, trr_served_per_ref),
                 TrrTracker::new(trr_capacity, trr_served_per_ref),
@@ -55,6 +62,7 @@ impl BankState {
 
     /// Returns the victim state for `(side, internal_row)`, creating it with
     /// its deterministic weak-cell population on first touch.
+    #[inline]
     pub(crate) fn victim_mut(
         &mut self,
         profile: &DimmProfile,
@@ -64,8 +72,7 @@ impl BankState {
         half_row_bytes: u32,
     ) -> &mut VictimState {
         self.victims
-            .entry((side_idx(side), internal_row))
-            .or_insert_with(|| VictimState {
+            .get_or_insert_with(victim_key(side_idx(side), internal_row), || VictimState {
                 disturb: 0.0,
                 cells: weak_cells(profile, bank, side, internal_row, half_row_bytes),
                 next_cell: 0,
@@ -75,8 +82,9 @@ impl BankState {
     /// Refreshes one half-row: clears its disturbance accumulator and
     /// re-arms its weak cells (charge restored; already-flipped data stays
     /// flipped until rewritten or scrubbed).
+    #[inline]
     pub(crate) fn refresh_half_row(&mut self, side: u8, internal_row: u32) {
-        if let Some(v) = self.victims.get_mut(&(side, internal_row)) {
+        if let Some(v) = self.victims.get_mut(victim_key(side, internal_row)) {
             v.disturb = 0.0;
             v.next_cell = 0;
         }
@@ -120,7 +128,7 @@ mod tests {
             v.next_cell = 2;
         }
         b.refresh_row(7);
-        let v = &b.victims[&(0u8, 7u32)];
+        let v = b.victims.get(victim_key(0, 7)).unwrap();
         assert_eq!(v.disturb, 0.0);
         assert_eq!(v.next_cell, 0);
     }

@@ -22,11 +22,14 @@
 //! (crate `memctrl`) decides when ACTs happen and owns timing; this crate
 //! owns what those ACTs do to the cells.
 
+#![forbid(unsafe_code)]
+
 pub mod bank;
 pub mod device;
 pub mod ecc;
 pub mod flip;
 pub mod profile;
+pub mod rowmap;
 pub mod trr;
 pub mod util;
 

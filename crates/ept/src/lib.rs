@@ -17,6 +17,8 @@
 //!   payload bits, verified on every walk, so a corrupted entry is detected
 //!   on use instead of silently redirecting the VM.
 
+#![forbid(unsafe_code)]
+
 pub mod entry;
 pub mod table;
 

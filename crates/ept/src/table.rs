@@ -2,7 +2,7 @@
 
 use crate::entry::{EptEntry, EptPerms, IntegrityMode, PageSize};
 use crate::{LEVELS, LEVEL_BITS, TABLE_BYTES};
-use std::sync::atomic::{AtomicU64, Ordering};
+use telemetry::Counter;
 
 /// Backing physical memory for EPT table pages.
 ///
@@ -118,11 +118,12 @@ pub struct Ept {
     /// these stay inside the protected EPT row group.
     table_pages: Vec<u64>,
     mapped_leaves: u64,
-    /// Translation walks performed (atomic: `translate` takes `&self`).
-    walks: AtomicU64,
+    /// Translation walks performed (a lock-free counter: `translate` takes
+    /// `&self`).
+    walks: Counter,
     /// Walks or updates refused because an entry failed its integrity
     /// check — each one is a contained §5.4 corruption.
-    integrity_denials: AtomicU64,
+    integrity_denials: Counter,
 }
 
 impl Ept {
@@ -144,8 +145,8 @@ impl Ept {
             salt,
             table_pages: vec![root],
             mapped_leaves: 0,
-            walks: AtomicU64::new(0),
-            integrity_denials: AtomicU64::new(0),
+            walks: Counter::default(),
+            integrity_denials: Counter::default(),
         })
     }
 
@@ -176,13 +177,13 @@ impl Ept {
     /// Translation walks performed so far.
     #[must_use]
     pub fn walks(&self) -> u64 {
-        self.walks.load(Ordering::Relaxed)
+        self.walks.get()
     }
 
     /// Operations refused on an entry integrity failure so far.
     #[must_use]
     pub fn integrity_denials(&self) -> u64 {
-        self.integrity_denials.load(Ordering::Relaxed)
+        self.integrity_denials.get()
     }
 
     /// Adds this table's totals into `reg`: walk and integrity-denial
@@ -225,7 +226,7 @@ impl Ept {
                     return Err(EptError::AlreadyMapped { gpa });
                 }
                 if !entry.integrity_ok(self.mode, self.salt) {
-                    self.integrity_denials.fetch_add(1, Ordering::Relaxed);
+                    self.integrity_denials.inc();
                     return Err(EptError::IntegrityViolation { level, entry_addr });
                 }
                 table = entry.hpa();
@@ -258,7 +259,7 @@ impl Ept {
 
     /// Translates a GPA, verifying integrity at every level.
     pub fn translate(&self, mem: &mut dyn PhysMem, gpa: u64) -> Result<Translation, EptError> {
-        self.walks.fetch_add(1, Ordering::Relaxed);
+        self.walks.inc();
         let mut table = self.root;
         let mut level = LEVELS;
         loop {
@@ -268,7 +269,7 @@ impl Ept {
                 return Err(EptError::NotMapped { gpa });
             }
             if !entry.integrity_ok(self.mode, self.salt) {
-                self.integrity_denials.fetch_add(1, Ordering::Relaxed);
+                self.integrity_denials.inc();
                 return Err(EptError::IntegrityViolation { level, entry_addr });
             }
             if entry.is_leaf() {
@@ -305,7 +306,7 @@ impl Ept {
                 return Err(EptError::NotMapped { gpa });
             }
             if !entry.integrity_ok(self.mode, self.salt) {
-                self.integrity_denials.fetch_add(1, Ordering::Relaxed);
+                self.integrity_denials.inc();
                 return Err(EptError::IntegrityViolation { level, entry_addr });
             }
             if entry.is_leaf() {

@@ -16,6 +16,8 @@
 //! - [`timing_channel`]: a DRAMA-style bank-conflict timing probe attackers
 //!   use to group addresses by bank without knowing the address map.
 
+#![forbid(unsafe_code)]
+
 pub mod attack;
 pub mod forensics;
 pub mod fuzzer;

@@ -289,6 +289,8 @@ impl HashedController {
         delta.reads -= before.reads;
         delta.total_latency_ps -= before.total_latency_ps;
         delta.bytes -= before.bytes;
+        let mut thread_latency: Vec<(u16, (u64, u64))> = thread_latency.into_iter().collect();
+        thread_latency.sort_unstable_by_key(|&(t, _)| t);
         TraceResult {
             stats: delta,
             elapsed_ps: elapsed,

@@ -16,7 +16,7 @@ use crate::stats::CtrlStats;
 use crate::timing::DdrTimings;
 use dram::DramSystem;
 use dram_addr::{AddrError, BankId, DecodeTlb, Geometry, MediaAddress, SystemAddressDecoder};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// One memory operation of a trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,8 +103,9 @@ pub struct TraceResult {
     /// Time from the first issue to the last completion, picoseconds.
     pub elapsed_ps: u64,
     /// Per-thread `(latency sum ps, access count)` — for per-tenant
-    /// accounting when several VMs' threads share one trace.
-    pub thread_latency: HashMap<u16, (u64, u64)>,
+    /// accounting when several VMs' threads share one trace. Sorted by
+    /// thread id, ascending; threads with no completed access are omitted.
+    pub thread_latency: Vec<(u16, (u64, u64))>,
 }
 
 impl TraceResult {
@@ -128,7 +129,8 @@ impl TraceResult {
     pub fn mean_latency_ns_of(&self, threads: impl IntoIterator<Item = u16>) -> f64 {
         let (mut sum, mut count) = (0u64, 0u64);
         for t in threads {
-            if let Some(&(s, c)) = self.thread_latency.get(&t) {
+            if let Ok(i) = self.thread_latency.binary_search_by_key(&t, |&(id, _)| id) {
+                let (s, c) = self.thread_latency[i].1;
                 sum += s;
                 count += c;
             }

@@ -15,6 +15,8 @@
 //! across banks (§4.1) — while remaining fast enough to replay billions of
 //! simulated bytes.
 
+#![forbid(unsafe_code)]
+
 pub mod bankfsm;
 pub mod baseline;
 pub mod controller;

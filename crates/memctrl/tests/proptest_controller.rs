@@ -44,9 +44,9 @@ proptest! {
         prop_assert!(res.stats.total_latency_ps > 0);
         prop_assert!(res.elapsed_ps > 0);
         // Per-thread latency sums match the global sum.
-        let per_thread: u64 = res.thread_latency.values().map(|&(s, _)| s).sum();
+        let per_thread: u64 = res.thread_latency.iter().map(|&(_, (s, _))| s).sum();
         prop_assert_eq!(per_thread, res.stats.total_latency_ps);
-        let per_thread_n: u64 = res.thread_latency.values().map(|&(_, c)| c).sum();
+        let per_thread_n: u64 = res.thread_latency.iter().map(|&(_, (_, c))| c).sum();
         prop_assert_eq!(per_thread_n, n);
     }
 

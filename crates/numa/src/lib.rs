@@ -16,6 +16,8 @@
 //! - [`MemPolicy`]: bind/interleave/preferred allocation policies with
 //!   zonelist-style fallback, mirroring the kernel's NUMA memory policy.
 
+#![forbid(unsafe_code)]
+
 pub mod buddy;
 pub mod cpuset;
 pub mod node;

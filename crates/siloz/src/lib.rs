@@ -27,6 +27,8 @@
 //!   schemes, SoftTRR-style refresh, Copy-on-Flip-style migration), used by
 //!   the comparison experiments.
 
+#![forbid(unsafe_code)]
+
 pub mod artificial;
 pub mod audit;
 pub mod boot_cache;

@@ -353,41 +353,57 @@ pub mod driver {
         Ok(())
     }
 
-    /// Builds the standard 3-descriptor virtio-blk chain starting at
-    /// descriptor `head`, with the request header at `hdr_gpa`, payload at
-    /// `data_gpa`, and status byte at `status_gpa`.
-    #[allow(clippy::too_many_arguments)]
+    /// One guest block request: where its descriptor chain starts and which
+    /// guest pages hold the header, payload, and status byte.
+    ///
+    /// The guest lays these out itself before ringing the device, so the
+    /// driver helper takes them as one value rather than seven loose
+    /// positional arguments.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BlkRequest {
+        /// First descriptor index of the 3-descriptor chain.
+        pub head: u16,
+        /// `VIRTIO_BLK_T_IN` (read) or `VIRTIO_BLK_T_OUT` (write).
+        pub req_type: u32,
+        /// Starting disk sector.
+        pub sector: u64,
+        /// Guest address of the 16-byte request header.
+        pub hdr_gpa: u64,
+        /// Guest address of the data payload.
+        pub data_gpa: u64,
+        /// Payload length in bytes.
+        pub data_len: u32,
+        /// Guest address of the 1-byte status field.
+        pub status_gpa: u64,
+    }
+
+    /// Builds the standard 3-descriptor virtio-blk chain described by `req`
+    /// and publishes it on the avail ring.
     pub fn submit_request(
         hv: &mut Hypervisor,
         vm: VmHandle,
         q: &VirtQueue,
-        head: u16,
-        req_type: u32,
-        sector: u64,
-        hdr_gpa: u64,
-        data_gpa: u64,
-        data_len: u32,
-        status_gpa: u64,
+        req: &BlkRequest,
     ) -> Result<(), SilozError> {
         // Header contents.
         let mut hdr = [0u8; 16];
-        hdr[0..4].copy_from_slice(&req_type.to_le_bytes());
-        hdr[8..16].copy_from_slice(&sector.to_le_bytes());
-        hv.guest_write(vm, hdr_gpa, &hdr)?;
+        hdr[0..4].copy_from_slice(&req.req_type.to_le_bytes());
+        hdr[8..16].copy_from_slice(&req.sector.to_le_bytes());
+        hv.guest_write(vm, req.hdr_gpa, &hdr)?;
         // Chain: head -> head+1 -> head+2.
         write_desc(
             hv,
             vm,
             q,
-            head,
+            req.head,
             Descriptor {
-                addr: hdr_gpa,
+                addr: req.hdr_gpa,
                 len: 16,
                 flags: VIRTQ_DESC_F_NEXT,
-                next: head + 1,
+                next: req.head + 1,
             },
         )?;
-        let data_flags = if req_type == super::VIRTIO_BLK_T_IN {
+        let data_flags = if req.req_type == super::VIRTIO_BLK_T_IN {
             VIRTQ_DESC_F_NEXT | VIRTQ_DESC_F_WRITE
         } else {
             VIRTQ_DESC_F_NEXT
@@ -396,21 +412,21 @@ pub mod driver {
             hv,
             vm,
             q,
-            head + 1,
+            req.head + 1,
             Descriptor {
-                addr: data_gpa,
-                len: data_len,
+                addr: req.data_gpa,
+                len: req.data_len,
                 flags: data_flags,
-                next: head + 2,
+                next: req.head + 2,
             },
         )?;
         write_desc(
             hv,
             vm,
             q,
-            head + 2,
+            req.head + 2,
             Descriptor {
-                addr: status_gpa,
+                addr: req.status_gpa,
                 len: 1,
                 flags: VIRTQ_DESC_F_WRITE,
                 next: 0,
@@ -421,7 +437,11 @@ pub mod driver {
         let (b, _) = hv.guest_read(vm, avail_idx_gpa, 2)?;
         let avail_idx = u16::from_le_bytes([b[0], b[1]]);
         let slot = avail_idx % q.queue_size;
-        hv.guest_write(vm, q.avail_gpa + 4 + slot as u64 * 2, &head.to_le_bytes())?;
+        hv.guest_write(
+            vm,
+            q.avail_gpa + 4 + slot as u64 * 2,
+            &req.head.to_le_bytes(),
+        )?;
         hv.guest_write(vm, avail_idx_gpa, &avail_idx.wrapping_add(1).to_le_bytes())?;
         Ok(())
     }
@@ -461,13 +481,15 @@ mod tests {
             &mut hv,
             vm,
             &q,
-            0,
-            VIRTIO_BLK_T_OUT,
-            7,
-            0x21_0000,
-            0x20_0000,
-            18,
-            0x22_0000,
+            &driver::BlkRequest {
+                head: 0,
+                req_type: VIRTIO_BLK_T_OUT,
+                sector: 7,
+                hdr_gpa: 0x21_0000,
+                data_gpa: 0x20_0000,
+                data_len: 18,
+                status_gpa: 0x22_0000,
+            },
         )
         .unwrap();
         assert_eq!(blk.process_queue(&mut hv, vm).unwrap(), 1);
@@ -480,13 +502,15 @@ mod tests {
             &mut hv,
             vm,
             &q,
-            3,
-            VIRTIO_BLK_T_IN,
-            7,
-            0x21_0000,
-            0x30_0000,
-            18,
-            0x22_0000,
+            &driver::BlkRequest {
+                head: 3,
+                req_type: VIRTIO_BLK_T_IN,
+                sector: 7,
+                hdr_gpa: 0x21_0000,
+                data_gpa: 0x30_0000,
+                data_len: 18,
+                status_gpa: 0x22_0000,
+            },
         )
         .unwrap();
         assert_eq!(blk.process_queue(&mut hv, vm).unwrap(), 1);
@@ -505,13 +529,15 @@ mod tests {
             &mut hv,
             vm,
             &q,
-            0,
-            VIRTIO_BLK_T_OUT,
-            100,
-            0x21_0000,
-            0x20_0000,
-            512,
-            0x22_0000,
+            &driver::BlkRequest {
+                head: 0,
+                req_type: VIRTIO_BLK_T_OUT,
+                sector: 100,
+                hdr_gpa: 0x21_0000,
+                data_gpa: 0x20_0000,
+                data_len: 512,
+                status_gpa: 0x22_0000,
+            },
         )
         .unwrap();
         blk.process_queue(&mut hv, vm).unwrap();
@@ -532,13 +558,15 @@ mod tests {
                 &mut hv,
                 vm,
                 &q,
-                i * 3,
-                VIRTIO_BLK_T_OUT,
-                i as u64,
-                0x21_0000 + i as u64 * 32,
-                0x20_0000,
-                512,
-                0x22_0000 + i as u64,
+                &driver::BlkRequest {
+                    head: i * 3,
+                    req_type: VIRTIO_BLK_T_OUT,
+                    sector: i as u64,
+                    hdr_gpa: 0x21_0000 + i as u64 * 32,
+                    data_gpa: 0x20_0000,
+                    data_len: 512,
+                    status_gpa: 0x22_0000 + i as u64,
+                },
             )
             .unwrap();
         }

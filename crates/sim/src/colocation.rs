@@ -149,51 +149,55 @@ pub fn run_colocation_observed(
     })
 }
 
+/// Everything a colocation suite run needs besides the workload factories
+/// and the telemetry sink: which stack to boot, which hypervisor kinds to
+/// compare, the simulation shape, the seed, and the engine worker count.
+///
+/// Bundling these (rather than passing seven positional arguments) keeps
+/// the suite entry points inside the workspace's `clippy::too_many_arguments`
+/// budget without an `#[allow]`.
+#[derive(Debug, Clone, Copy)]
+pub struct SuitePlan<'a> {
+    /// Stack configuration the hypervisors boot with.
+    pub config: &'a SilozConfig,
+    /// Hypervisor kinds to measure, in output order.
+    pub kinds: &'a [HypervisorKind],
+    /// Simulation shape (ops, repeats, VM memory, vCPUs, working set).
+    pub sim: &'a SimConfig,
+    /// Base RNG seed shared by every kind's cell.
+    pub seed: u64,
+    /// Engine worker threads to fan the kinds out over.
+    pub threads: usize,
+}
+
 /// Measures colocation under each hypervisor kind concurrently — one engine
-/// cell per kind, fanned out over `threads` workers.
+/// cell per kind, fanned out over `plan.threads` workers.
 ///
 /// [`run_colocation`] deliberately reuses its workload *instances* between
 /// the solo and colocated measurements, so parallelism lives at the
 /// hypervisor-kind level: each cell builds fresh generators through the
 /// factories, exactly as a serial loop constructing them per iteration
-/// would, and results come back in `kinds` order regardless of scheduling.
+/// would, and results come back in `plan.kinds` order regardless of
+/// scheduling.
 pub fn run_colocation_suite<V, A>(
-    config: &SilozConfig,
-    kinds: &[HypervisorKind],
+    plan: &SuitePlan<'_>,
     victim: V,
     aggressor: A,
-    sim: &SimConfig,
-    seed: u64,
-    threads: usize,
 ) -> Result<Vec<(HypervisorKind, ColocationResult)>, SilozError>
 where
     V: Fn() -> Box<dyn WorkloadGen> + Sync,
     A: Fn() -> Box<dyn WorkloadGen> + Sync,
 {
-    run_colocation_suite_observed(
-        config,
-        kinds,
-        victim,
-        aggressor,
-        sim,
-        seed,
-        threads,
-        &Registry::new(),
-    )
+    run_colocation_suite_observed(plan, victim, aggressor, &Registry::new())
 }
 
 /// [`run_colocation_suite`] that also records telemetry into `reg`: engine
 /// scheduling metrics at `engine`, and each hypervisor kind's stack totals
 /// under a per-kind child (`baseline` / `siloz`).
-#[allow(clippy::too_many_arguments)]
 pub fn run_colocation_suite_observed<V, A>(
-    config: &SilozConfig,
-    kinds: &[HypervisorKind],
+    plan: &SuitePlan<'_>,
     victim: V,
     aggressor: A,
-    sim: &SimConfig,
-    seed: u64,
-    threads: usize,
     reg: &Registry,
 ) -> Result<Vec<(HypervisorKind, ColocationResult)>, SilozError>
 where
@@ -201,24 +205,24 @@ where
     A: Fn() -> Box<dyn WorkloadGen> + Sync,
 {
     let engine_reg = reg.child("engine");
-    let results = run_cells_observed(kinds.len(), threads, &engine_reg, |idx| {
+    let results = run_cells_observed(plan.kinds.len(), plan.threads, &engine_reg, |idx| {
         let mut v = victim();
         let mut a = aggressor();
-        let kind_reg = reg.child(match kinds[idx] {
+        let kind_reg = reg.child(match plan.kinds[idx] {
             HypervisorKind::Baseline => "baseline",
             HypervisorKind::Siloz => "siloz",
         });
         run_colocation_observed(
-            config,
-            kinds[idx],
+            plan.config,
+            plan.kinds[idx],
             v.as_mut(),
             a.as_mut(),
-            sim,
-            seed,
+            plan.sim,
+            plan.seed,
             &kind_reg,
         )
     });
-    kinds
+    plan.kinds
         .iter()
         .zip(results)
         .map(|(&kind, r)| r.map(|res| (kind, res)))

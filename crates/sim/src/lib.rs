@@ -15,6 +15,8 @@
 //! - Fig. 6/7: Siloz-1024-normalized sensitivity across Siloz-512 /
 //!   Siloz-1024 / Siloz-2048.
 
+#![forbid(unsafe_code)]
+
 pub mod colocation;
 pub mod engine;
 pub mod experiments;
@@ -24,7 +26,7 @@ pub mod stats;
 
 pub use colocation::{
     run_colocation, run_colocation_observed, run_colocation_suite, run_colocation_suite_observed,
-    ColocationResult,
+    ColocationResult, SuitePlan,
 };
 pub use engine::{default_threads, run_cells, run_cells_observed};
 pub use experiments::{

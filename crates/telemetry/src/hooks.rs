@@ -1,0 +1,120 @@
+//! Micro-step decomposition of [`Histo`] mutation, for exhaustive
+//! interleaving checks.
+//!
+//! [`Histo::observe`] is deliberately *not* atomic as a whole: it is three
+//! independent `Relaxed` RMWs (count, then sum, then bucket), and
+//! [`Histo::merge_from`] is one RMW per non-empty field. A concurrent
+//! reader can observe torn intermediate states (count bumped, sum not
+//! yet), but once every writer has joined, the totals are exact — relaxed
+//! atomic addition never loses increments. That is the crate's central
+//! correctness claim, and the `analysis` crate's `interleave-check` pass
+//! proves it exhaustively for bounded schedules by replaying these steps
+//! one at a time under *every* possible thread interleaving.
+//!
+//! This module is the seam that makes the replay faithful: each
+//! [`HistoStep`] corresponds to exactly one atomic RMW of the real
+//! implementation, and [`apply`] issues that same RMW on a real [`Histo`].
+//! [`crate::Counter::add`] and [`crate::Gauge::add`] are single RMWs
+//! already and need no decomposition — a checker schedules those calls
+//! directly as steps.
+
+use crate::metrics::{Histo, HistoSnapshot};
+
+/// One atomic RMW of a [`Histo`] mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistoStep {
+    /// `count.fetch_add(n, Relaxed)`.
+    Count(u64),
+    /// `sum.fetch_add(v, Relaxed)`.
+    Sum(u64),
+    /// `buckets[i].fetch_add(n, Relaxed)`.
+    Bucket(usize, u64),
+}
+
+/// The exact RMW sequence [`Histo::observe`] issues for `value`: count,
+/// then sum, then the bucket.
+#[must_use]
+pub fn observe_steps(value: u64) -> [HistoStep; 3] {
+    [
+        HistoStep::Count(1),
+        HistoStep::Sum(value),
+        HistoStep::Bucket(Histo::bucket_of(value), 1),
+    ]
+}
+
+/// The exact RMW sequence [`Histo::merge_from`] issues for `snap`: count,
+/// sum, then every *non-zero* bucket (empty buckets are skipped, exactly
+/// as the real merge skips them).
+#[must_use]
+pub fn merge_steps(snap: &HistoSnapshot) -> Vec<HistoStep> {
+    let mut steps = vec![HistoStep::Count(snap.count), HistoStep::Sum(snap.sum)];
+    for (i, &n) in snap.buckets.iter().enumerate() {
+        if n != 0 {
+            steps.push(HistoStep::Bucket(i, n));
+        }
+    }
+    steps
+}
+
+/// Issues `step`'s single RMW on `h` — the same instruction the real
+/// [`Histo::observe`] / [`Histo::merge_from`] would execute at that point.
+pub fn apply(h: &Histo, step: HistoStep) {
+    match step {
+        HistoStep::Count(n) => h.step_count(n),
+        HistoStep::Sum(v) => h.step_sum(v),
+        HistoStep::Bucket(i, n) => h.step_bucket(i, n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_steps_replay_to_the_same_state_in_any_order() {
+        // All 6 permutations of the 3 RMWs converge to observe()'s result:
+        // the steps commute because each touches a distinct field.
+        let perms: [[usize; 3]; 6] = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        let reference = Histo::default();
+        reference.observe(77);
+        let steps = observe_steps(77);
+        for p in perms {
+            let h = Histo::default();
+            for &i in &p {
+                apply(&h, steps[i]);
+            }
+            assert_eq!(h.snapshot(), reference.snapshot(), "order {p:?}");
+        }
+    }
+
+    #[test]
+    fn merge_steps_replay_matches_merge_from() {
+        let mut snap = HistoSnapshot::default();
+        snap.observe(0);
+        snap.observe(5);
+        snap.observe(1 << 40);
+        let reference = Histo::default();
+        reference.merge_from(&snap);
+        let h = Histo::default();
+        let steps = merge_steps(&snap);
+        // count + sum + 3 distinct non-empty buckets.
+        assert_eq!(steps.len(), 5);
+        for s in steps {
+            apply(&h, s);
+        }
+        assert_eq!(h.snapshot(), reference.snapshot());
+    }
+
+    #[test]
+    fn empty_merge_is_count_and_sum_only() {
+        let steps = merge_steps(&HistoSnapshot::default());
+        assert_eq!(steps, vec![HistoStep::Count(0), HistoStep::Sum(0)]);
+    }
+}

@@ -39,7 +39,10 @@
 //! assert_eq!(snap, root.snapshot());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod encode;
+pub mod hooks;
 pub mod metrics;
 pub mod registry;
 

@@ -128,6 +128,22 @@ impl Histo {
         }
     }
 
+    /// One `count += n` RMW, exposed to [`crate::hooks`] so the model
+    /// checker replays exactly the instruction [`Self::observe`] issues.
+    pub(crate) fn step_count(&self, n: u64) {
+        self.count.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// One `sum += v` RMW (see [`Self::step_count`]).
+    pub(crate) fn step_sum(&self, v: u64) {
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// One `buckets[i] += n` RMW (see [`Self::step_count`]).
+    pub(crate) fn step_bucket(&self, i: usize, n: u64) {
+        self.buckets[i].fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Captures the current bucket contents.
     #[must_use]
     pub fn snapshot(&self) -> HistoSnapshot {

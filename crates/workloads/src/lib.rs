@@ -13,6 +13,8 @@
 //! which the `sim` crate translates to host physical traces under a given
 //! hypervisor and replays through the memory controller.
 
+#![forbid(unsafe_code)]
+
 pub mod arena;
 pub mod extra;
 pub mod kv;

@@ -38,13 +38,15 @@ fn main() {
         &mut hv,
         vm,
         &q,
-        0,
-        VIRTIO_BLK_T_OUT,
-        9,
-        0x21_0000,
-        0x20_0000,
-        record.len() as u32,
-        0x22_0000,
+        &driver::BlkRequest {
+            head: 0,
+            req_type: VIRTIO_BLK_T_OUT,
+            sector: 9,
+            hdr_gpa: 0x21_0000,
+            data_gpa: 0x20_0000,
+            data_len: record.len() as u32,
+            status_gpa: 0x22_0000,
+        },
     )
     .unwrap();
     hv.dram_mut().advance_ns(50_000_000); // let the token bucket fill
@@ -56,13 +58,15 @@ fn main() {
         &mut hv,
         vm,
         &q,
-        3,
-        VIRTIO_BLK_T_IN,
-        9,
-        0x21_0000,
-        0x30_0000,
-        record.len() as u32,
-        0x22_0000,
+        &driver::BlkRequest {
+            head: 3,
+            req_type: VIRTIO_BLK_T_IN,
+            sector: 9,
+            hdr_gpa: 0x21_0000,
+            data_gpa: 0x30_0000,
+            data_len: record.len() as u32,
+            status_gpa: 0x22_0000,
+        },
     )
     .unwrap();
     hv.dram_mut().advance_ns(50_000_000);

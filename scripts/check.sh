@@ -20,4 +20,25 @@ cargo test -p telemetry -q
 echo "== telemetry snapshot schema (golden fixture) =="
 cargo test --test telemetry_schema -q
 
+echo "== analysis gate: siloz-lint (workspace invariants) =="
+cargo run --release -q -p analysis --bin siloz-lint
+
+echo "== analysis gate: isolation-verify (bijectivity + containment proofs) =="
+cargo run --release -q -p analysis --bin isolation-verify
+
+echo "== analysis gate: interleave-check (exhaustive schedule exploration) =="
+cargo run --release -q -p analysis --bin interleave-check
+
+echo "== cargo doc (warnings are errors, first-party crates) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
+  -p siloz-repro -p analysis -p bench -p dram -p dram-addr -p ept -p hammer \
+  -p memctrl -p numa -p siloz -p sim -p telemetry -p workloads
+
+echo "== miri (optional): telemetry under the interpreter =="
+if cargo miri --version >/dev/null 2>&1; then
+  cargo miri test -p telemetry -q
+else
+  echo "cargo miri unavailable — skipping (informational gate only)"
+fi
+
 echo "all checks passed"

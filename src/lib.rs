@@ -6,6 +6,8 @@
 //! [`dram_addr`], [`memctrl`], [`numa`], [`ept`], [`hammer`], [`workloads`],
 //! [`sim`], and [`telemetry`].
 
+#![forbid(unsafe_code)]
+
 pub use dram;
 pub use dram_addr;
 pub use ept;

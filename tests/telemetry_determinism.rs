@@ -10,7 +10,7 @@
 //! same counts the paper-figure binaries see via `SILOZ_THREADS`.
 
 use siloz_repro::siloz::{HypervisorKind, SilozConfig};
-use siloz_repro::sim::{figure4_observed, run_colocation_suite_observed, SimConfig};
+use siloz_repro::sim::{figure4_observed, run_colocation_suite_observed, SimConfig, SuitePlan};
 use siloz_repro::telemetry::{MetricValue, Registry};
 use siloz_repro::workloads::mlc::{Mlc, MlcKind};
 use siloz_repro::workloads::ycsb::{Ycsb, YcsbKind};
@@ -32,14 +32,17 @@ fn colocation_snapshot(threads: usize) -> (String, String) {
     let config = SilozConfig::mini();
     let sim = tiny_sim();
     let reg = Registry::new();
+    let plan = SuitePlan {
+        config: &config,
+        kinds: &[HypervisorKind::Baseline, HypervisorKind::Siloz],
+        sim: &sim,
+        seed: 11,
+        threads,
+    };
     let results = run_colocation_suite_observed(
-        &config,
-        &[HypervisorKind::Baseline, HypervisorKind::Siloz],
+        &plan,
         || Box::new(Ycsb::new(YcsbKind::C, 8 << 20)) as Box<dyn WorkloadGen>,
         || Box::new(Mlc::new(MlcKind::Reads, 8 << 20)) as Box<dyn WorkloadGen>,
-        &sim,
-        11,
-        threads,
         &reg,
     )
     .expect("colocation suite");
