@@ -50,10 +50,11 @@ pub const ALL_RULES: [&str; 7] = [
 
 /// Source files whose per-access paths the perfsuite gates; the `hot-*`
 /// rules apply only here.
-const HOT_MODULES: [&str; 3] = [
+const HOT_MODULES: [&str; 4] = [
     "crates/memctrl/src/controller.rs",
     "crates/dram/src/bank.rs",
     "crates/dram-addr/src/tlb.rs",
+    "crates/fleet/src/queue.rs",
 ];
 
 const HOT_COLLECTION_IDENTS: [&str; 4] = ["HashMap", "BTreeMap", "HashSet", "BTreeSet"];

@@ -188,6 +188,50 @@ fn bench_figure4(threads: usize, reg: &Registry) -> Measure {
     }
 }
 
+/// Fleet event loop: full isolation re-proof after every event (the
+/// obviously-correct baseline) vs the incremental ownership-map boundary
+/// check with periodic full proofs, asserting the fleet history itself is
+/// unchanged by the checking mode.
+fn bench_fleet(reg: &Registry) -> Measure {
+    use fleet::{CheckMode, Scenario};
+    use numa::PlacementStrategy;
+    let scenario = |check: CheckMode| {
+        let mut s = Scenario::quick(17, PlacementStrategy::FirstFit);
+        s.target_events = 400;
+        s.attack_prob = 0.0;
+        // Keep the tenant workloads nominal so the event loop is dominated
+        // by admission/bookkeeping and the isolation check under test.
+        s.slice_ops = 64;
+        s.slice_working_set = 1 << 20;
+        s.check = check;
+        s
+    };
+    let full = fleet::run_fleet(scenario(CheckMode::FullProof)).expect("full-proof run");
+    let incr = fleet::run_fleet_observed(scenario(CheckMode::Incremental), &reg.child("fleet"))
+        .expect("incremental run");
+    assert!(full.clean() && incr.clean(), "fleet run violated isolation");
+    assert_eq!(
+        (full.events_processed, full.admitted, full.departures),
+        (incr.events_processed, incr.admitted, incr.departures),
+        "checking mode changed the fleet history"
+    );
+
+    let events = incr.events_processed;
+    let full_ns = best_of(2, || {
+        fleet::run_fleet(scenario(CheckMode::FullProof)).expect("full-proof run")
+    });
+    let incr_ns = best_of(2, || {
+        fleet::run_fleet(scenario(CheckMode::Incremental)).expect("incremental run")
+    });
+    Measure {
+        name: "fleet_soak",
+        baseline: "full isolation proof per event",
+        optimized: "incremental ownership-map boundary check",
+        baseline_ns: full_ns / events as f64,
+        optimized_ns: incr_ns / events as f64,
+    }
+}
+
 /// Extracts `"optimized_ns_per_op": <f64>` for the result named `name`
 /// from a `BENCH_perfsuite.json` document, without a JSON parser.
 fn baseline_ns_per_op(json: &str, name: &str) -> Option<f64> {
@@ -246,6 +290,7 @@ fn main() {
         bench_decode(&reg),
         bench_controller(&reg),
         bench_figure4(threads, &reg),
+        bench_fleet(&reg),
     ];
 
     println!(

@@ -1,0 +1,638 @@
+//! The discrete-event fleet engine.
+//!
+//! [`FleetSim`] drains an [`EventQueue`] against a live [`Hypervisor`],
+//! maintaining the central §4.1 invariant — *no two live VMs share a
+//! subarray group* — at **every** event boundary. In
+//! [`CheckMode::Incremental`] the engine keeps a dense group→tenant
+//! ownership map and re-checks only what an event touched (with periodic
+//! full proofs); in [`CheckMode::FullProof`] it re-proves the whole host
+//! after each event via [`analysis::isolation::verify_live_placements`].
+
+use crate::events::{CheckMode, Event, EventKind, Scenario};
+use crate::policy::{AdmissionControl, PendingVm};
+use crate::queue::EventQueue;
+use crate::report::FleetReport;
+use analysis::isolation::verify_live_placements;
+use dram::{DimmProfile, DramSystemBuilder};
+use dram_addr::RepairMap;
+use hammer::FuzzConfig;
+use memctrl::MemoryController;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use siloz::{Hypervisor, HypervisorKind, SilozError, VmHandle};
+use std::collections::BTreeMap;
+
+/// Max violation messages retained verbatim (the total is always counted).
+const VIOLATION_SAMPLES: usize = 16;
+
+/// A live tenant's runtime state.
+#[derive(Debug, Clone, Copy)]
+struct LiveVm {
+    handle: VmHandle,
+    vcpus: u32,
+    /// Rotation cursor for defragmentation sweeps.
+    defrag_cursor: u32,
+}
+
+/// Counters accumulated over a run.
+#[derive(Debug, Default, Clone)]
+pub struct FleetStats {
+    /// Events dequeued and dispatched.
+    pub events_processed: u64,
+    /// Tenant arrival events.
+    pub arrivals: u64,
+    /// VMs destroyed.
+    pub departures: u64,
+    /// Successful growth bursts.
+    pub expansions: u64,
+    /// Growth bursts denied for capacity.
+    pub expand_denials: u64,
+    /// Workload slices executed.
+    pub slices: u64,
+    /// Total memory operations across slices.
+    pub slice_ops: u64,
+    /// Attack campaigns launched.
+    pub attacks: u64,
+    /// Flips induced by attacks (anywhere).
+    pub attack_flips: u64,
+    /// Flips that escaped the aggressor's domain (must stay 0 under Siloz).
+    pub attack_escapes: u64,
+    /// Defragmentation sweeps run.
+    pub defrag_sweeps: u64,
+    /// Blocks migrated by defragmentation.
+    pub defrag_migrations: u64,
+    /// Defrag migrations skipped because the node had no spare block.
+    pub defrag_oom: u64,
+    /// Copy-on-Flip response passes run.
+    pub cof_runs: u64,
+    /// Blocks migrated by Copy-on-Flip.
+    pub cof_migrated: u64,
+    /// Corrected errors observed by Copy-on-Flip scrubs.
+    pub cof_corrected: u64,
+    /// Copy-on-Flip passes aborted because migration found no spare block.
+    pub cof_oom: u64,
+    /// Events targeting tenants that were never admitted or already left.
+    pub orphan_events: u64,
+    /// Peak simultaneously-live VMs.
+    pub peak_live: u64,
+    /// Incremental boundary checks performed.
+    pub incremental_checks: u64,
+    /// Full isolation proofs performed.
+    pub full_proofs: u64,
+    /// Isolation violations detected (must stay 0 under Siloz).
+    pub violations_total: u64,
+    /// First few violation messages, verbatim.
+    pub violation_samples: Vec<String>,
+}
+
+/// The simulator: a hypervisor, a memory controller, an event queue, and
+/// the admission controller, advanced one event at a time.
+pub struct FleetSim {
+    scenario: Scenario,
+    hv: Hypervisor,
+    ctrl: MemoryController,
+    queue: EventQueue,
+    admission: AdmissionControl,
+    live: BTreeMap<u32, LiveVm>,
+    /// Dense group→tenant ownership map, indexed by `GroupId.0`.
+    group_owner: Vec<Option<u32>>,
+    stats: FleetStats,
+    events_since_proof: u32,
+}
+
+impl FleetSim {
+    /// Boots the host described by the scenario and loads its
+    /// pre-generated trace. The DRAM is built vulnerable (evaluation DIMM
+    /// profiles, deployed TRR) so injected attacks actually flip bits.
+    pub fn new(scenario: Scenario) -> Result<Self, SilozError> {
+        let dram = DramSystemBuilder::new(scenario.config.geometry)
+            .internal_map(scenario.config.internal_map)
+            .profiles(DimmProfile::evaluation_dimms())
+            .trr(4, 2)
+            .build();
+        let mut hv = Hypervisor::boot_with(
+            scenario.config.clone(),
+            HypervisorKind::Siloz,
+            dram,
+            RepairMap::new(),
+        )?;
+        hv.set_placement_strategy(scenario.strategy);
+        let ctrl = MemoryController::new(hv.decoder().clone()).without_physics();
+        let (events, next_seq) = crate::events::generate_trace(&scenario);
+        let queue = EventQueue::new(events, next_seq);
+        let admission = AdmissionControl::new(scenario.defer_cap);
+        let group_owner = vec![None; hv.groups().groups().len()];
+        Ok(Self {
+            scenario,
+            hv,
+            ctrl,
+            queue,
+            admission,
+            live: BTreeMap::new(),
+            group_owner,
+            stats: FleetStats::default(),
+            events_since_proof: 0,
+        })
+    }
+
+    /// The hypervisor under simulation.
+    #[must_use]
+    pub fn hypervisor(&self) -> &Hypervisor {
+        &self.hv
+    }
+
+    /// Stats so far.
+    #[must_use]
+    pub fn stats(&self) -> &FleetStats {
+        &self.stats
+    }
+
+    /// The admission controller's accounting.
+    #[must_use]
+    pub fn admission(&self) -> &AdmissionControl {
+        &self.admission
+    }
+
+    /// Live VM count.
+    #[must_use]
+    pub fn live_vms(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Injects one dynamic event (used by property tests to drive
+    /// arbitrary traces through the engine).
+    pub fn inject(&mut self, at: u64, tenant: u32, kind: EventKind) {
+        self.queue.push(at, tenant, kind);
+    }
+
+    fn violation(&mut self, msg: String) {
+        self.stats.violations_total += 1;
+        if self.stats.violation_samples.len() < VIOLATION_SAMPLES {
+            self.stats.violation_samples.push(msg);
+        }
+    }
+
+    /// Incremental boundary check for one tenant: its claimed groups must
+    /// be exclusively its own in the ownership map (`allow_claims` lets an
+    /// admission/expansion record new claims), and both endpoints of every
+    /// unmediated backing block must decode into one of those groups.
+    fn check_tenant(&mut self, tenant: u32, allow_claims: bool) -> Result<(), SilozError> {
+        let Some(vm) = self.live.get(&tenant).copied() else {
+            return Ok(());
+        };
+        self.stats.incremental_checks += 1;
+        let groups = self.hv.vm_groups(vm.handle)?;
+        let mut pending = Vec::new();
+        for gid in &groups {
+            match self.group_owner[gid.0 as usize] {
+                None if allow_claims => pending.push(gid.0),
+                None => self.violation(format!(
+                    "tenant {tenant} holds unclaimed group {} after a non-claiming event",
+                    gid.0
+                )),
+                Some(owner) if owner == tenant => {}
+                Some(owner) => self.violation(format!(
+                    "group {} owned by tenant {owner} but claimed by tenant {tenant}",
+                    gid.0
+                )),
+            }
+        }
+        for g in pending {
+            self.group_owner[g as usize] = Some(tenant);
+        }
+        let blocks = self.hv.vm_unmediated_backing(vm.handle)?;
+        for block in &blocks {
+            for phys in [block.hpa(), block.hpa() + block.bytes() - 1] {
+                match self.hv.groups().group_of_phys(phys) {
+                    Ok(g) if groups.contains(&g) => {}
+                    got => self.violation(format!(
+                        "tenant {tenant} block at {phys:#x} resolves to {got:?}, outside its groups"
+                    )),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Full proof: re-derives every live VM's claims and backing from the
+    /// hypervisor and cross-checks the incremental ownership map against
+    /// it.
+    fn full_proof(&mut self) {
+        self.stats.full_proofs += 1;
+        let proof = verify_live_placements(&self.hv);
+        for v in proof.violations {
+            self.violation(format!("full proof: {v}"));
+        }
+        let mapped = self.group_owner.iter().flatten().count() as u64;
+        if mapped != proof.group_claims {
+            self.violation(format!(
+                "ownership map tracks {mapped} claims but the hypervisor proves {}",
+                proof.group_claims
+            ));
+        }
+    }
+
+    fn admit(&mut self, now: u64, vm: PendingVm) -> Result<(), SilozError> {
+        if let Some(handle) = self.admission.admit_or_defer(&mut self.hv, vm)? {
+            self.live.insert(
+                vm.tenant,
+                LiveVm {
+                    handle,
+                    vcpus: vm.vcpus,
+                    defrag_cursor: 0,
+                },
+            );
+            self.queue
+                .push(now + vm.lifetime, vm.tenant, EventKind::Depart);
+            self.stats.peak_live = self.stats.peak_live.max(self.live.len() as u64);
+            self.check_tenant(vm.tenant, true)?;
+        }
+        Ok(())
+    }
+
+    fn depart(&mut self, now: u64, tenant: u32) -> Result<(), SilozError> {
+        let Some(vm) = self.live.remove(&tenant) else {
+            self.stats.orphan_events += 1;
+            return Ok(());
+        };
+        self.hv.destroy_vm(vm.handle)?;
+        self.stats.departures += 1;
+        for slot in self.group_owner.iter_mut() {
+            if *slot == Some(tenant) {
+                *slot = None;
+            }
+        }
+        // Freed capacity: retry the deferred queue in arrival order.
+        let readmitted = self.admission.retry_deferred(&mut self.hv)?;
+        for (pending, handle) in readmitted {
+            self.live.insert(
+                pending.tenant,
+                LiveVm {
+                    handle,
+                    vcpus: pending.vcpus,
+                    defrag_cursor: 0,
+                },
+            );
+            self.queue
+                .push(now + pending.lifetime, pending.tenant, EventKind::Depart);
+            self.stats.peak_live = self.stats.peak_live.max(self.live.len() as u64);
+            self.check_tenant(pending.tenant, true)?;
+        }
+        Ok(())
+    }
+
+    fn expand(&mut self, tenant: u32, extra_bytes: u64) -> Result<(), SilozError> {
+        let Some(vm) = self.live.get(&tenant).copied() else {
+            self.stats.orphan_events += 1;
+            return Ok(());
+        };
+        match self.hv.expand_vm(vm.handle, extra_bytes) {
+            Ok(()) => {
+                self.stats.expansions += 1;
+                self.check_tenant(tenant, true)?;
+            }
+            Err(SilozError::InsufficientCapacity { .. }) => {
+                self.stats.expand_denials += 1;
+                self.check_tenant(tenant, false)?;
+            }
+            Err(e) => return Err(e),
+        }
+        Ok(())
+    }
+
+    fn slice(&mut self, tenant: u32, ev: &Event, ops: u32) -> Result<(), SilozError> {
+        let Some(vm) = self.live.get(&tenant).copied() else {
+            self.stats.orphan_events += 1;
+            return Ok(());
+        };
+        let mut workload =
+            workloads::fleet_tenant_workload(tenant, self.scenario.slice_working_set);
+        let shape = sim::TraceShape {
+            ops: ops as usize,
+            threads: vm.vcpus.clamp(1, 4) as u16,
+            thread_base: ((u64::from(tenant) * 16) % 65536) as u16,
+            seed: self.scenario.seed ^ (u64::from(tenant) << 17) ^ ev.seq,
+        };
+        let trace = sim::vm_trace(&self.hv, vm.handle, workload.as_mut(), &shape)?;
+        let _ = self.ctrl.run_trace(self.hv.dram_mut(), trace);
+        self.ctrl.sync_dram_time(self.hv.dram_mut());
+        self.stats.slices += 1;
+        self.stats.slice_ops += u64::from(ops);
+        self.check_tenant(tenant, false)?;
+        Ok(())
+    }
+
+    fn attack(&mut self, tenant: u32, ev: &Event) -> Result<(), SilozError> {
+        let Some(vm) = self.live.get(&tenant).copied() else {
+            self.stats.orphan_events += 1;
+            return Ok(());
+        };
+        let mut rng = StdRng::seed_from_u64(
+            self.scenario.seed ^ 0xa77a_c000 ^ (u64::from(tenant) << 20) ^ ev.seq,
+        );
+        let report = hammer::hammer_vm(
+            &mut self.hv,
+            vm.handle,
+            1,
+            FuzzConfig::fleet_campaign(),
+            &mut rng,
+        )?;
+        self.stats.attacks += 1;
+        self.stats.attack_flips += report.flips_total as u64;
+        self.stats.attack_escapes += report.escapes.len() as u64;
+        if !report.escapes.is_empty() {
+            self.violation(format!(
+                "attack by tenant {tenant} escaped its domain: {} flips outside",
+                report.escapes.len()
+            ));
+        }
+        if self.scenario.copy_on_flip {
+            // The host's §3-style response: one colocated victim (the
+            // lowest live tenant id that is not the aggressor) runs a
+            // Copy-on-Flip pass over the scrub results.
+            let victim = self
+                .live
+                .iter()
+                .find(|(&t, _)| t != tenant)
+                .map(|(&t, v)| (t, v.handle));
+            if let Some((vt, vh)) = victim {
+                let max = self.scenario.cof_max_migrations;
+                match siloz::defenses::copy_on_flip_respond(&mut self.hv, vh, max) {
+                    Ok(r) => {
+                        self.stats.cof_runs += 1;
+                        self.stats.cof_migrated += r.migrated_blocks as u64;
+                        self.stats.cof_corrected += r.corrected_errors as u64;
+                        self.check_tenant(vt, false)?;
+                    }
+                    // A fully-packed node has no spare block to copy into;
+                    // the defense simply cannot act (§3's availability
+                    // caveat).
+                    Err(SilozError::Numa(_)) => self.stats.cof_oom += 1,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        self.check_tenant(tenant, false)?;
+        Ok(())
+    }
+
+    fn defrag(&mut self) -> Result<(), SilozError> {
+        self.stats.defrag_sweeps += 1;
+        let mut budget = self.scenario.defrag_per_sweep;
+        let tenants: Vec<u32> = self.live.keys().copied().collect();
+        for tenant in tenants {
+            if budget == 0 {
+                break;
+            }
+            let Some(vm) = self.live.get(&tenant).copied() else {
+                continue;
+            };
+            let blocks = self.hv.vm_unmediated_backing(vm.handle)?;
+            if blocks.is_empty() {
+                continue;
+            }
+            let idx = vm.defrag_cursor as usize % blocks.len();
+            let gpa = blocks[idx].gpa;
+            match self.hv.migrate_block(vm.handle, gpa) {
+                Ok(()) => {
+                    self.stats.defrag_migrations += 1;
+                    budget -= 1;
+                }
+                // The VM exactly fills its groups: nothing to compact.
+                Err(SilozError::Numa(_)) => self.stats.defrag_oom += 1,
+                Err(e) => return Err(e),
+            }
+            if let Some(vm) = self.live.get_mut(&tenant) {
+                vm.defrag_cursor = vm.defrag_cursor.wrapping_add(1);
+            }
+            self.check_tenant(tenant, false)?;
+        }
+        Ok(())
+    }
+
+    /// Dispatches one event and re-establishes the isolation invariant at
+    /// its boundary. Returns `false` once the queue is drained.
+    pub fn step(&mut self) -> Result<bool, SilozError> {
+        let Some(ev) = self.queue.pop() else {
+            return Ok(false);
+        };
+        self.stats.events_processed += 1;
+        match ev.kind {
+            EventKind::Arrive {
+                mem_bytes,
+                vcpus,
+                lifetime,
+            } => {
+                self.stats.arrivals += 1;
+                self.admit(
+                    ev.at,
+                    PendingVm {
+                        tenant: ev.tenant,
+                        mem_bytes,
+                        vcpus,
+                        lifetime,
+                    },
+                )?;
+            }
+            EventKind::Depart => self.depart(ev.at, ev.tenant)?,
+            EventKind::Expand { extra_bytes } => self.expand(ev.tenant, extra_bytes)?,
+            EventKind::Slice { ops } => self.slice(ev.tenant, &ev, ops)?,
+            EventKind::Attack => self.attack(ev.tenant, &ev)?,
+            EventKind::Defrag => self.defrag()?,
+        }
+        match self.scenario.check {
+            CheckMode::FullProof => self.full_proof(),
+            CheckMode::Incremental => {
+                self.events_since_proof += 1;
+                if self.events_since_proof >= self.scenario.proof_period {
+                    self.events_since_proof = 0;
+                    self.full_proof();
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Drains the queue, then runs a final full proof and builds the
+    /// report.
+    pub fn run_to_completion(&mut self) -> Result<FleetReport, SilozError> {
+        while self.step()? {}
+        self.full_proof();
+        Ok(self.report())
+    }
+
+    /// Snapshots the run into a [`FleetReport`].
+    #[must_use]
+    pub fn report(&self) -> FleetReport {
+        let occ = self.hv.occupancy();
+        FleetReport {
+            strategy: self.scenario.strategy.name(),
+            seed: self.scenario.seed,
+            events_processed: self.stats.events_processed,
+            arrivals: self.stats.arrivals,
+            admitted: self.admission.admitted,
+            deferred_admits: self.admission.deferred_admits,
+            rejections: self.admission.rejections,
+            abandoned: self.admission.abandoned,
+            departures: self.stats.departures,
+            expansions: self.stats.expansions,
+            expand_denials: self.stats.expand_denials,
+            slices: self.stats.slices,
+            attacks: self.stats.attacks,
+            attack_flips: self.stats.attack_flips,
+            attack_escapes: self.stats.attack_escapes,
+            defrag_migrations: self.stats.defrag_migrations,
+            cof_migrated: self.stats.cof_migrated,
+            orphan_events: self.stats.orphan_events,
+            peak_live: self.stats.peak_live,
+            final_live: self.live.len() as u64,
+            groups_total: occ.total(),
+            groups_claimed: occ.claimed(),
+            fragmentation_pct: occ.fragmentation_pct(),
+            incremental_checks: self.stats.incremental_checks,
+            full_proofs: self.stats.full_proofs,
+            violations_total: self.stats.violations_total,
+            violation_samples: self.stats.violation_samples.clone(),
+        }
+    }
+
+    /// Exports run telemetry: `fleet` (engine counters), `hv`, `ctrl`, and
+    /// `dram` children.
+    pub fn export_telemetry(&self, reg: &telemetry::Registry) {
+        let fleet = reg.child("fleet");
+        fleet
+            .counter("events_processed")
+            .add(self.stats.events_processed);
+        fleet.counter("arrivals").add(self.stats.arrivals);
+        fleet.counter("admissions").add(self.admission.admitted);
+        fleet
+            .counter("admissions_deferred")
+            .add(self.admission.deferred_admits);
+        fleet.counter("rejections").add(self.admission.rejections);
+        fleet.counter("abandoned").add(self.admission.abandoned);
+        fleet.counter("departures").add(self.stats.departures);
+        fleet.counter("expansions").add(self.stats.expansions);
+        fleet
+            .counter("expand_denials")
+            .add(self.stats.expand_denials);
+        fleet.counter("slices").add(self.stats.slices);
+        fleet.counter("slice_ops").add(self.stats.slice_ops);
+        fleet.counter("attacks").add(self.stats.attacks);
+        fleet.counter("attack_flips").add(self.stats.attack_flips);
+        fleet
+            .counter("attack_escapes")
+            .add(self.stats.attack_escapes);
+        fleet.counter("defrag_sweeps").add(self.stats.defrag_sweeps);
+        fleet
+            .counter("defrag_migrations")
+            .add(self.stats.defrag_migrations);
+        fleet.counter("defrag_oom").add(self.stats.defrag_oom);
+        fleet.counter("cof_runs").add(self.stats.cof_runs);
+        fleet.counter("cof_migrated").add(self.stats.cof_migrated);
+        fleet.counter("cof_corrected").add(self.stats.cof_corrected);
+        fleet.counter("cof_oom").add(self.stats.cof_oom);
+        fleet.counter("orphan_events").add(self.stats.orphan_events);
+        fleet
+            .counter("isolation_checks")
+            .add(self.stats.incremental_checks);
+        fleet
+            .counter("isolation_proofs")
+            .add(self.stats.full_proofs);
+        fleet
+            .counter("isolation_violations")
+            .add(self.stats.violations_total);
+        fleet.gauge("live_vms").add(self.live.len() as i64);
+        fleet
+            .gauge("peak_live_vms")
+            .add(self.stats.peak_live as i64);
+        fleet
+            .gauge("deferred_pending")
+            .add(self.admission.deferred_len() as i64);
+        self.hv.export_telemetry(&reg.child("hv"));
+        self.ctrl.export_telemetry(&reg.child("ctrl"));
+        self.hv.dram().export_telemetry(&reg.child("dram"));
+    }
+}
+
+/// Runs a scenario end to end and returns its report.
+pub fn run_fleet(scenario: Scenario) -> Result<FleetReport, SilozError> {
+    run_fleet_observed(scenario, &telemetry::Registry::new())
+}
+
+/// [`run_fleet`] that also exports run telemetry into `reg` (children:
+/// `fleet`, `hv`, `ctrl`, `dram`).
+pub fn run_fleet_observed(
+    scenario: Scenario,
+    reg: &telemetry::Registry,
+) -> Result<FleetReport, SilozError> {
+    let mut sim = FleetSim::new(scenario)?;
+    let report = sim.run_to_completion()?;
+    sim.export_telemetry(reg);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa::PlacementStrategy;
+
+    fn tiny(strategy: PlacementStrategy) -> Scenario {
+        let mut s = Scenario::quick(5, strategy);
+        s.target_events = 120;
+        s.attack_prob = 0.05;
+        s
+    }
+
+    #[test]
+    fn quick_fleet_run_is_clean_under_every_strategy() {
+        for strategy in PlacementStrategy::ALL {
+            let report = run_fleet(tiny(strategy)).unwrap();
+            assert_eq!(report.violations_total, 0, "{report:?}");
+            assert_eq!(report.attack_escapes, 0);
+            assert!(report.events_processed >= 120);
+            assert!(report.admitted > 0);
+            assert!(report.full_proofs > 0);
+            assert_eq!(report.strategy, strategy.name());
+        }
+    }
+
+    #[test]
+    fn fleet_runs_are_deterministic() {
+        let a = run_fleet(tiny(PlacementStrategy::BestFit)).unwrap();
+        let b = run_fleet(tiny(PlacementStrategy::BestFit)).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn full_proof_mode_checks_every_event() {
+        let mut s = tiny(PlacementStrategy::FirstFit);
+        s.target_events = 40;
+        s.check = CheckMode::FullProof;
+        s.attack_prob = 0.0;
+        let report = run_fleet(s).unwrap();
+        // One proof per event plus the final one.
+        assert_eq!(report.full_proofs, report.events_processed + 1);
+        assert_eq!(report.violations_total, 0);
+    }
+
+    #[test]
+    fn injected_events_drive_the_engine() {
+        let mut s = tiny(PlacementStrategy::FirstFit);
+        s.target_events = 1; // minimal pre-generated trace
+        let mut sim = FleetSim::new(s).unwrap();
+        sim.inject(
+            0,
+            900,
+            EventKind::Arrive {
+                mem_bytes: 64 << 20,
+                vcpus: 2,
+                lifetime: 50,
+            },
+        );
+        sim.inject(10, 900, EventKind::Slice { ops: 200 });
+        while sim.step().unwrap() {}
+        assert!(sim.stats().slices >= 1);
+        assert_eq!(sim.stats().violations_total, 0);
+        assert_eq!(sim.live_vms(), 0, "departures must drain the fleet");
+    }
+}

@@ -1,0 +1,90 @@
+//! Property test (fleet admission invariant): for *arbitrary* event traces
+//! under *every* placement policy, no two live VMs' unmediated backing
+//! blocks may ever resolve to the same subarray group.
+//!
+//! The trace drives [`fleet::FleetSim`] directly through its injection
+//! API; the invariant is re-proved with the isolation-verify machinery
+//! ([`analysis::isolation::verify_live_placements`]) both mid-run — while
+//! VMs are still live — and after the queue fully drains.
+
+use analysis::isolation::verify_live_placements;
+use fleet::{EventKind, FleetSim, Scenario};
+use numa::PlacementStrategy;
+use proptest::prelude::*;
+
+/// Builds a mini-host simulator with an empty pre-generated trace.
+fn empty_sim(strategy: PlacementStrategy) -> FleetSim {
+    let mut s = Scenario::quick(9, strategy);
+    s.target_events = 0;
+    s.attack_prob = 0.0;
+    FleetSim::new(s).expect("boot")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `(kind, target, mib, vcpus)` tuples decode into arrive / depart /
+    /// expand / slice events; whatever the interleaving, every event
+    /// boundary and the final state uphold group exclusivity under all
+    /// three policies.
+    #[test]
+    fn arbitrary_traces_never_share_groups(
+        ops in prop::collection::vec(
+            (0u8..4, any::<prop::sample::Index>(), 16u64..200, 1u32..4),
+            1..28,
+        ),
+    ) {
+        for strategy in PlacementStrategy::ALL {
+            let mut sim = empty_sim(strategy);
+            let mut arrivals: u32 = 0;
+            for (i, &(kind, target, mib, vcpus)) in ops.iter().enumerate() {
+                let at = i as u64 * 10;
+                // Lifetimes park dynamic departures far past the injected
+                // trace, so the mid-run proof sees a populated fleet.
+                match kind {
+                    0 => {
+                        sim.inject(at, arrivals, EventKind::Arrive {
+                            mem_bytes: mib << 20,
+                            vcpus,
+                            lifetime: 50_000,
+                        });
+                        arrivals += 1;
+                    }
+                    1 => sim.inject(
+                        at,
+                        target.index(arrivals.max(1) as usize) as u32,
+                        EventKind::Depart,
+                    ),
+                    2 => sim.inject(
+                        at,
+                        target.index(arrivals.max(1) as usize) as u32,
+                        EventKind::Expand { extra_bytes: (mib / 4 + 2) << 20 },
+                    ),
+                    _ => sim.inject(
+                        at,
+                        target.index(arrivals.max(1) as usize) as u32,
+                        EventKind::Slice { ops: 300 },
+                    ),
+                }
+            }
+            // Process exactly the injected events (their timestamps all
+            // precede the scheduled departures), then prove isolation on
+            // the live fleet.
+            for _ in 0..ops.len() {
+                prop_assert!(sim.step().expect("step"));
+            }
+            let live = sim.live_vms() as u64;
+            let proof = verify_live_placements(sim.hypervisor());
+            prop_assert!(proof.passed(), "{strategy:?}: {:?}", proof.violations);
+            prop_assert_eq!(proof.vms, live);
+            // Drain the scheduled departures; the run must finish clean
+            // and empty.
+            let report = sim.run_to_completion().expect("drain");
+            prop_assert_eq!(report.violations_total, 0, "{:?}", report.violation_samples);
+            prop_assert_eq!(sim.live_vms(), 0);
+            let end = verify_live_placements(sim.hypervisor());
+            prop_assert!(end.passed());
+            prop_assert_eq!(end.group_claims, 0, "claims must drain with the fleet");
+        }
+    }
+}

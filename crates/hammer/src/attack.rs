@@ -96,7 +96,10 @@ pub fn hammer_vm<R: Rng>(
         }
     }
     let flips_total = hv.dram().flip_log().len() - before;
-    let escapes = hv.flips_outside_vm(vm)?;
+    // Window the escape scan to this campaign: in long-running multi-tenant
+    // scenarios the log already holds earlier aggressors' (contained) flips,
+    // which live outside *this* VM's groups by construction.
+    let escapes = hv.flips_outside_vm_since(vm, before)?;
     Ok(HammerVmReport {
         flips_total,
         flips_in_domain: flips_total.saturating_sub(escapes.len()),

@@ -29,6 +29,21 @@ impl Default for FuzzConfig {
     }
 }
 
+impl FuzzConfig {
+    /// A short campaign for fleet scenarios: a churn simulator injects many
+    /// attacks over thousands of lifecycle events, so each one samples few
+    /// patterns but hammers them long enough to cross realistic Rowhammer
+    /// thresholds.
+    #[must_use]
+    pub const fn fleet_campaign() -> Self {
+        Self {
+            patterns: 3,
+            periods_per_attempt: 120_000,
+            extra_open_ns: 0,
+        }
+    }
+}
+
 /// Result of a fuzzing campaign.
 #[derive(Debug, Clone)]
 pub struct FuzzReport {

@@ -26,7 +26,7 @@ pub mod policy;
 pub use buddy::BuddyAllocator;
 pub use cpuset::{CgroupRegistry, ControlGroup};
 pub use node::{NodeId, NodeInfo, Topology};
-pub use policy::{MemPolicy, PolicyAlloc};
+pub use policy::{MemPolicy, PlacementStrategy, PolicyAlloc};
 
 /// Base page size (4 KiB) — one page frame.
 pub const FRAME_BYTES: u64 = 4096;

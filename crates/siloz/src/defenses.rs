@@ -158,6 +158,9 @@ pub fn copy_on_flip_respond(
     };
     let backing = hv.vm_unmediated_backing(vm)?;
     let decoder = hv.decoder().clone();
+    // Sorted for O(log n) dedup below — a scrub pass over a wide blast
+    // radius revisits the same blocks once per corrected line, and the
+    // former `contains` scan made the loop quadratic in migrated blocks.
     let mut migrated_gpas: Vec<u64> = Vec::new();
     for (bank, row, _byte) in &scrub.corrected {
         // Which frames have lines in the corrected (bank, row)?
@@ -171,10 +174,12 @@ pub fn copy_on_flip_respond(
             {
                 hit_vm = true;
                 let gpa = block.gpa;
-                if !migrated_gpas.contains(&gpa) && report.migrated_blocks < max_migrations {
-                    hv.migrate_block(vm, gpa)?;
-                    migrated_gpas.push(gpa);
-                    report.migrated_blocks += 1;
+                if let Err(slot) = migrated_gpas.binary_search(&gpa) {
+                    if report.migrated_blocks < max_migrations {
+                        hv.migrate_block(vm, gpa)?;
+                        migrated_gpas.insert(slot, gpa);
+                        report.migrated_blocks += 1;
+                    }
                 }
             }
         }

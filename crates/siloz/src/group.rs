@@ -240,6 +240,157 @@ impl SubarrayGroupMap {
     pub fn decoder(&self) -> &SystemAddressDecoder {
         &self.decoder
     }
+
+    /// Builds a fleet-facing occupancy report by probing each group.
+    ///
+    /// `probe` receives every group in id order and returns `None` for
+    /// groups outside the caller's scope (host-reserved, EPT guard) or
+    /// `Some((owner, free_frames))` for guest-visible groups, where `owner`
+    /// is the claiming control group (if any) and `free_frames` the group's
+    /// node-level free count. The map contributes each group's total frame
+    /// capacity; the report aggregates claim/fragmentation statistics.
+    pub fn occupancy<F>(&self, mut probe: F) -> OccupancyReport
+    where
+        F: FnMut(&GroupInfo) -> Option<(Option<String>, u64)>,
+    {
+        let mut out = Vec::new();
+        for info in &self.groups {
+            if let Some((owner, free_frames)) = probe(info) {
+                out.push(GroupOccupancy {
+                    group: info.id,
+                    socket: info.socket,
+                    owner,
+                    free_frames,
+                    total_frames: info.bytes() / FRAME_BYTES,
+                });
+            }
+        }
+        OccupancyReport { groups: out }
+    }
+}
+
+/// Occupancy of one guest-visible subarray group (one logical NUMA node).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupOccupancy {
+    /// The group.
+    pub group: GroupId,
+    /// Socket the group lives on.
+    pub socket: u16,
+    /// Name of the control group holding the node's exclusive claim, if any.
+    pub owner: Option<String>,
+    /// Free frames on the group's node right now.
+    pub free_frames: u64,
+    /// Total frames the group spans (offlined pages included).
+    pub total_frames: u64,
+}
+
+impl GroupOccupancy {
+    /// Whether a VM currently holds this group.
+    #[must_use]
+    pub fn is_claimed(&self) -> bool {
+        self.owner.is_some()
+    }
+
+    /// Whether the group is unclaimed with its full capacity free (no
+    /// offlined pages, no leaked allocations).
+    #[must_use]
+    pub fn is_pristine(&self) -> bool {
+        self.owner.is_none() && self.free_frames == self.total_frames
+    }
+}
+
+/// Fleet-wide occupancy and fragmentation statistics over the guest group
+/// pool — the introspection admission-control policies steer by (§8's group
+/// exhaustion discussion).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OccupancyReport {
+    /// Per-group occupancy in group-id order.
+    pub groups: Vec<GroupOccupancy>,
+}
+
+impl OccupancyReport {
+    /// Number of groups covered by the report.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.groups.len() as u64
+    }
+
+    /// Groups currently claimed by a VM.
+    #[must_use]
+    pub fn claimed(&self) -> u64 {
+        self.groups.iter().filter(|g| g.is_claimed()).count() as u64
+    }
+
+    /// Unclaimed groups whose full capacity is free.
+    #[must_use]
+    pub fn pristine(&self) -> u64 {
+        self.groups.iter().filter(|g| g.is_pristine()).count() as u64
+    }
+
+    /// Unclaimed groups with *less* than their full capacity free
+    /// (degraded by offlining or leaked pages) — the leftovers best-fit
+    /// placement tries to burn first.
+    #[must_use]
+    pub fn partial(&self) -> u64 {
+        self.groups
+            .iter()
+            .filter(|g| !g.is_claimed() && g.free_frames < g.total_frames)
+            .count() as u64
+    }
+
+    /// Total free bytes across unclaimed groups (claimable capacity).
+    #[must_use]
+    pub fn free_bytes(&self) -> u64 {
+        self.unclaimed_free_frames() * FRAME_BYTES
+    }
+
+    /// Free frames per socket across unclaimed groups, socket-ascending.
+    #[must_use]
+    pub fn socket_free_frames(&self) -> Vec<(u16, u64)> {
+        let mut out: Vec<(u16, u64)> = Vec::new();
+        for g in &self.groups {
+            if g.is_claimed() {
+                continue;
+            }
+            match out.iter_mut().find(|(s, _)| *s == g.socket) {
+                Some((_, free)) => *free += g.free_frames,
+                None => out.push((g.socket, g.free_frames)),
+            }
+        }
+        out.sort_unstable_by_key(|&(s, _)| s);
+        out
+    }
+
+    /// Admission-relevant external fragmentation, in whole percent.
+    ///
+    /// VMs are placed on a single socket when possible, so the claimable
+    /// capacity that matters for a large request is the *best single
+    /// socket's*, not the machine total. This returns
+    /// `100 * (1 - best_socket_free / total_free)`, i.e. the share of free
+    /// capacity stranded outside the best socket — `0` when everything
+    /// claimable sits on one socket (or nothing is free at all).
+    #[must_use]
+    pub fn fragmentation_pct(&self) -> u64 {
+        let total = self.unclaimed_free_frames();
+        if total == 0 {
+            return 0;
+        }
+        let best = self
+            .socket_free_frames()
+            .into_iter()
+            .map(|(_, free)| free)
+            .max()
+            .unwrap_or(0);
+        (total - best) * 100 / total
+    }
+
+    fn unclaimed_free_frames(&self) -> u64 {
+        self.groups
+            .iter()
+            .filter(|g| !g.is_claimed())
+            .map(|g| g.free_frames)
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -332,6 +483,36 @@ mod tests {
         // 3 GiB groups: one per set.
         assert_eq!(m2048.gig_set_of(GroupId(0)), 0);
         assert_eq!(m2048.gig_set_of(GroupId(1)), 1);
+    }
+
+    #[test]
+    fn occupancy_report_aggregates_claims_and_fragmentation() {
+        let map = SubarrayGroupMap::compute(&skylake_decoder(), 1024).unwrap();
+        // Pretend: group 0 claimed, group 1 degraded, group 2 pristine on
+        // socket 0; one pristine group on socket 1; everything else skipped.
+        let report = map.occupancy(|info| match info.id.0 {
+            0 => Some((Some("vm0".to_string()), 1000)),
+            1 => Some((None, 100)),
+            2 => Some((None, info.bytes() / 4096)),
+            n if info.socket == 1 && n == map.groups_per_socket() => {
+                Some((None, info.bytes() / 4096))
+            }
+            _ => None,
+        });
+        assert_eq!(report.total(), 4);
+        assert_eq!(report.claimed(), 1);
+        assert_eq!(report.pristine(), 2);
+        assert_eq!(report.partial(), 1);
+        let per_socket = report.socket_free_frames();
+        assert_eq!(per_socket.len(), 2);
+        assert!(per_socket[0].1 > per_socket[1].1);
+        // Socket 1's pristine group strands a minority of free capacity.
+        let pct = report.fragmentation_pct();
+        assert!(pct > 0 && pct < 50, "pct = {pct}");
+        // Claimed-only pool: no free capacity → 0% by convention.
+        let empty = map.occupancy(|info| (info.id.0 == 0).then(|| (Some("vm0".to_string()), 0)));
+        assert_eq!(empty.fragmentation_pct(), 0);
+        assert_eq!(empty.free_bytes(), 0);
     }
 
     #[test]

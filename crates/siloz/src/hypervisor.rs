@@ -27,7 +27,7 @@ use dram::flip::BitFlip;
 use dram::{DramSystem, DramSystemBuilder};
 use dram_addr::{RepairMap, SystemAddressDecoder};
 use ept::{Ept, EptAllocator, EptError, EptPerms, IntegrityMode, PageSize, PhysMem, Translation};
-use numa::{CgroupRegistry, MemPolicy, NodeId, NodeInfo, PolicyAlloc, Topology};
+use numa::{CgroupRegistry, MemPolicy, NodeId, NodeInfo, PlacementStrategy, PolicyAlloc, Topology};
 use std::collections::HashMap;
 
 const FRAME_BYTES: u64 = 4096;
@@ -56,6 +56,10 @@ struct HvEvents {
     ept_denials_retired: u64,
     ept_table_pages_retired: u64,
     ept_leaves_retired: u64,
+    /// Capacity rejections per [`PlacementStrategy`] (indexed by
+    /// [`PlacementStrategy::index`]) — the admission-control accounting the
+    /// fleet simulator compares policies by.
+    policy_rejections: [u64; 3],
 }
 
 /// A created VM's state.
@@ -141,6 +145,7 @@ pub struct Hypervisor {
     next_vm: u32,
     ept_salt: u64,
     events: HvEvents,
+    strategy: PlacementStrategy,
 }
 
 impl Hypervisor {
@@ -193,6 +198,7 @@ impl Hypervisor {
                     next_vm: 0,
                     ept_salt: 0x5110_2bad_c0de,
                     events: HvEvents::default(),
+                    strategy: PlacementStrategy::default(),
                 })
             }
             HypervisorKind::Baseline => {
@@ -239,9 +245,24 @@ impl Hypervisor {
                     next_vm: 0,
                     ept_salt: 0x5110_2bad_c0de,
                     events: HvEvents::default(),
+                    strategy: PlacementStrategy::default(),
                 })
             }
         }
+    }
+
+    /// The placement strategy admission control currently runs under.
+    #[must_use]
+    pub fn placement_strategy(&self) -> PlacementStrategy {
+        self.strategy
+    }
+
+    /// Switches the placement strategy used by [`Self::create_vm`] for all
+    /// subsequent admissions. Existing placements are untouched: strategies
+    /// only reorder candidate nodes and sockets, never what is claimable,
+    /// so the exclusivity invariant is strategy-independent.
+    pub fn set_placement_strategy(&mut self, strategy: PlacementStrategy) {
+        self.strategy = strategy;
     }
 
     /// The hypervisor variant.
@@ -329,7 +350,12 @@ impl Hypervisor {
         let result = self.create_vm_inner(spec);
         match &result {
             Ok(_) => self.events.vms_created += 1,
-            Err(_) => self.events.create_denials += 1,
+            Err(e) => {
+                self.events.create_denials += 1;
+                if matches!(e, SilozError::InsufficientCapacity { .. }) {
+                    self.events.policy_rejections[self.strategy.index()] += 1;
+                }
+            }
         }
         result
     }
@@ -401,28 +427,52 @@ impl Hypervisor {
                 Ok((socket, vec![node]))
             }
             HypervisorKind::Siloz => {
-                let sockets: Vec<u16> = match spec.preferred_socket {
-                    Some(s) => {
-                        let mut v = vec![s];
-                        v.extend((0..self.config.geometry.sockets).filter(|&x| x != s));
-                        v
-                    }
-                    None => (0..self.config.geometry.sockets).collect(),
-                };
+                // Candidate sockets in the strategy's preference order; an
+                // explicit preference always goes first regardless.
+                let mut ranked: Vec<(u16, u32)> = (0..self.config.geometry.sockets)
+                    .map(|socket| {
+                        let claimed = self
+                            .guest_nodes
+                            .iter()
+                            .filter(|&&n| {
+                                self.topo.node(n).map(|i| i.socket) == Ok(socket)
+                                    && self.cgroups.owner_of(n).is_some()
+                            })
+                            .count() as u32;
+                        (socket, claimed)
+                    })
+                    .collect();
+                self.strategy.order_sockets(&mut ranked);
+                let mut sockets: Vec<u16> = Vec::with_capacity(ranked.len());
+                if let Some(s) = spec.preferred_socket {
+                    sockets.push(s);
+                }
+                sockets.extend(
+                    ranked
+                        .iter()
+                        .map(|&(s, _)| s)
+                        .filter(|&s| Some(s) != spec.preferred_socket),
+                );
                 // Prefer a single socket for physical NUMA locality (§5.2);
-                // accumulate unclaimed nodes until their actual free
-                // capacity (offlined pages excluded) covers the request.
+                // accumulate unclaimed nodes — in the strategy's node
+                // order — until their actual free capacity (offlined pages
+                // excluded) covers the request.
                 for &socket in &sockets {
-                    let mut chosen = Vec::new();
-                    let mut bytes = 0u64;
+                    let mut candidates: Vec<(NodeId, u64)> = Vec::new();
                     for &n in &self.guest_nodes {
                         if self.topo.node(n).map(|i| i.socket) != Ok(socket)
                             || self.cgroups.owner_of(n).is_some()
                         {
                             continue;
                         }
+                        candidates.push((n, self.topo.free_frames(n)?));
+                    }
+                    self.strategy.order_nodes(&mut candidates);
+                    let mut chosen = Vec::new();
+                    let mut bytes = 0u64;
+                    for (n, free) in candidates {
                         chosen.push(n);
-                        bytes += self.topo.free_frames(n)? * FRAME_BYTES;
+                        bytes += free * FRAME_BYTES;
                         if bytes >= unmediated_bytes {
                             return Ok((socket, chosen));
                         }
@@ -875,6 +925,23 @@ impl Hypervisor {
         Ok(self.vm(handle)?.ept.table_pages())
     }
 
+    /// Occupancy and fragmentation of the guest-reserved group pool: one
+    /// entry per guest group with its claiming VM's control group (if any)
+    /// and current node-level free frames. Empty on the baseline, which
+    /// provisions no guest groups. This is the introspection surface
+    /// admission-control policies and the fleet simulator steer by (§8).
+    #[must_use]
+    pub fn occupancy(&self) -> crate::group::OccupancyReport {
+        self.groups.occupancy(|info| {
+            let node = *self.node_of_group.get(&info.id)?;
+            if !self.guest_nodes.contains(&node) {
+                return None;
+            }
+            let owner = self.cgroups.owner_of(node).map(str::to_string);
+            Some((owner, self.topo.free_frames(node).unwrap_or(0)))
+        })
+    }
+
     /// Adds this hypervisor's lifecycle totals into `reg`, with two child
     /// registries: `ept` (walks, integrity denials, table-page footprint,
     /// leaves — summed over live VMs plus everything already destroyed) and
@@ -911,6 +978,29 @@ impl Hypervisor {
         for alloc in self.ept_allocs.values() {
             alloc.export_telemetry(&guard);
         }
+
+        // Admission control: capacity rejections per placement strategy
+        // plus a point-in-time view of group-pool fragmentation.
+        let admission = reg.child("admission");
+        admission
+            .counter("rejections_first_fit")
+            .add(self.events.policy_rejections[0]);
+        admission
+            .counter("rejections_best_fit")
+            .add(self.events.policy_rejections[1]);
+        admission
+            .counter("rejections_socket_affine")
+            .add(self.events.policy_rejections[2]);
+        let occ = self.occupancy();
+        admission.gauge("groups_total").add(occ.total() as i64);
+        admission.gauge("groups_claimed").add(occ.claimed() as i64);
+        admission
+            .gauge("groups_pristine")
+            .add(occ.pristine() as i64);
+        admission.gauge("groups_partial").add(occ.partial() as i64);
+        admission
+            .gauge("fragmentation_pct")
+            .add(occ.fragmentation_pct() as i64);
     }
 
     /// Translates a guest physical address through the VM's EPT, walking the
@@ -991,6 +1081,21 @@ impl Hypervisor {
     /// On the baseline (no provisioned groups), every flip outside the VM's
     /// actually-backing rows counts as an escape.
     pub fn flips_outside_vm(&self, handle: VmHandle) -> Result<Vec<BitFlip>, SilozError> {
+        self.flips_outside_vm_since(handle, 0)
+    }
+
+    /// [`Self::flips_outside_vm`] restricted to flips recorded at or after
+    /// flip-log index `skip`.
+    ///
+    /// Long-running scenarios with several attack campaigns need this
+    /// window: a previous aggressor's (contained) flips live in *its*
+    /// groups, which are outside every other VM's groups, so an unwindowed
+    /// scan would misattribute them as fresh escapes.
+    pub fn flips_outside_vm_since(
+        &self,
+        handle: VmHandle,
+        skip: usize,
+    ) -> Result<Vec<BitFlip>, SilozError> {
         let vm = self.vm(handle)?;
         let g = self.decoder.geometry();
         let mut escaped = Vec::new();
@@ -1002,7 +1107,7 @@ impl Hypervisor {
                     .filter_map(|gid| self.groups.group(*gid))
                     .map(|info| (info.socket, info.rows.clone()))
                     .collect();
-                for flip in self.dram.flip_log().all() {
+                for flip in self.dram.flip_log().all().iter().skip(skip) {
                     let socket = flip.bank.socket(g);
                     let inside = spans
                         .iter()
@@ -1025,7 +1130,7 @@ impl Hypervisor {
                         p += g.row_group_bytes() - p % g.row_group_bytes();
                     }
                 }
-                for flip in self.dram.flip_log().all() {
+                for flip in self.dram.flip_log().all().iter().skip(skip) {
                     let socket = flip.bank.socket(g);
                     if !vm_rows.contains(&(socket, flip.media_row)) {
                         escaped.push(*flip);

@@ -48,7 +48,7 @@ pub use audit::{audit, AuditReport, Violation};
 pub use boot_cache::{from_cache, to_cache};
 pub use config::{EptProtection, SilozConfig};
 pub use ept_guard::EptGuardPlan;
-pub use group::{GroupId, GroupInfo, SubarrayGroupMap};
+pub use group::{GroupId, GroupInfo, GroupOccupancy, OccupancyReport, SubarrayGroupMap};
 pub use guest_paging::GuestPageTables;
 pub use hypervisor::{Hypervisor, HypervisorKind};
 pub use iommu::IommuDomain;

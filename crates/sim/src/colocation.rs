@@ -10,11 +10,9 @@
 //! partitioning is future work.
 
 use crate::engine::run_cells_observed;
-use crate::run::{HpaMap, SimConfig};
+use crate::run::{vm_trace, SimConfig, TraceShape};
 use dram::{DimmProfile, DramSystemBuilder};
 use memctrl::{MemOp, MemoryController};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use siloz::{Hypervisor, HypervisorKind, SilozConfig, SilozError, VmSpec};
 use telemetry::Registry;
 use workloads::WorkloadGen;
@@ -49,29 +47,17 @@ fn tenant_trace(
     thread_base: u16,
     seed: u64,
 ) -> Result<Vec<MemOp>, SilozError> {
-    let hpa_map = HpaMap::new(hv.vm_unmediated_backing(vm)?);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let guest_ops = workload.generate(ops, &mut rng);
-    let threads = threads.max(1);
-    let mut thread = 0u16;
-    Ok(guest_ops
-        .iter()
-        .map(|op| {
-            if !op.dependent {
-                thread += 1;
-                if thread == threads {
-                    thread = 0;
-                }
-            }
-            MemOp {
-                phys: hpa_map.to_hpa(op.offset),
-                write: op.write,
-                gap_ps: op.gap_ps,
-                dependent: op.dependent,
-                thread: thread_base + thread,
-            }
-        })
-        .collect())
+    vm_trace(
+        hv,
+        vm,
+        workload,
+        &TraceShape {
+            ops,
+            threads,
+            thread_base,
+            seed,
+        },
+    )
 }
 
 /// Measures the victim workload's latency alone and colocated with the

@@ -34,5 +34,5 @@ pub use experiments::{
     figure5_with_threads, figure6, figure6_observed, figure6_with_threads, figure7,
     figure7_observed, figure7_with_threads, Comparison,
 };
-pub use run::{run_workload, run_workload_observed, SimConfig};
+pub use run::{run_workload, run_workload_observed, vm_trace, SimConfig, TraceShape};
 pub use stats::Summary;

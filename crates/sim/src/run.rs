@@ -54,6 +54,64 @@ impl HpaMap {
     }
 }
 
+/// Shape of one tenant's physical trace: how many guest ops to draw, how
+/// many vCPU streams to deal them across, the global thread-id base those
+/// streams start at (so several tenants' traces can interleave through one
+/// controller without colliding), and the RNG seed for the draw.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceShape {
+    /// Guest operations to generate.
+    pub ops: usize,
+    /// vCPU streams the ops are dealt to (chains stay within a stream).
+    pub threads: u16,
+    /// First global controller thread id of this tenant's streams.
+    pub thread_base: u16,
+    /// Seed for the workload draw.
+    pub seed: u64,
+}
+
+/// Builds one tenant's physical [`MemOp`] trace: draws `shape.ops` guest
+/// operations from `workload`, deals each logical request (a chain starting
+/// at a non-dependent op) round-robin to the tenant's vCPU streams, and
+/// resolves guest offsets through the VM's actual unmediated backing.
+///
+/// Shared by the colocation experiment and the fleet simulator's per-VM
+/// load generators.
+///
+/// # Errors
+///
+/// Fails if `vm` is unknown to `hv`.
+pub fn vm_trace(
+    hv: &Hypervisor,
+    vm: siloz::VmHandle,
+    workload: &mut dyn WorkloadGen,
+    shape: &TraceShape,
+) -> Result<Vec<MemOp>, SilozError> {
+    let hpa_map = HpaMap::new(hv.vm_unmediated_backing(vm)?);
+    let mut rng = StdRng::seed_from_u64(shape.seed);
+    let guest_ops = workload.generate(shape.ops, &mut rng);
+    let threads = shape.threads.max(1);
+    let mut thread = 0u16;
+    Ok(guest_ops
+        .iter()
+        .map(|op| {
+            if !op.dependent {
+                thread += 1;
+                if thread == threads {
+                    thread = 0;
+                }
+            }
+            MemOp {
+                phys: hpa_map.to_hpa(op.offset),
+                write: op.write,
+                gap_ps: op.gap_ps,
+                dependent: op.dependent,
+                thread: shape.thread_base + thread,
+            }
+        })
+        .collect())
+}
+
 /// Simulation parameters shared across experiment runs.
 #[derive(Debug, Clone, Copy)]
 pub struct SimConfig {

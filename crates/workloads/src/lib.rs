@@ -133,10 +133,43 @@ pub fn throughput_suite(working_set: u64) -> Vec<Box<dyn WorkloadGen>> {
     v
 }
 
+/// Deterministic per-tenant workload assignment for fleet scenarios: tenant
+/// `tenant` runs the `tenant % 8`-th entry of a fixed mixed roster (four
+/// YCSB mixes, memcached, OLTP, streaming MLC, GUPS), sized to
+/// `working_set`. The mapping depends only on the tenant id, so a fleet
+/// trace replays bit-identically regardless of scheduling.
+#[must_use]
+pub fn fleet_tenant_workload(tenant: u32, working_set: u64) -> Box<dyn WorkloadGen> {
+    match tenant % 8 {
+        0 => Box::new(ycsb::Ycsb::new(ycsb::YcsbKind::A, working_set)),
+        1 => Box::new(ycsb::Ycsb::new(ycsb::YcsbKind::B, working_set)),
+        2 => Box::new(ycsb::Ycsb::new(ycsb::YcsbKind::C, working_set)),
+        3 => Box::new(kv::Memcached::new(working_set)),
+        4 => Box::new(oltp::SysbenchOltp::new(working_set)),
+        5 => Box::new(mlc::Mlc::new(mlc::MlcKind::Reads, working_set)),
+        6 => Box::new(ycsb::Ycsb::new(ycsb::YcsbKind::F, working_set)),
+        _ => Box::new(extra::Gups::new(working_set)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::SeedableRng;
+
+    #[test]
+    fn fleet_roster_is_deterministic_and_total() {
+        for tenant in 0..16 {
+            let a = fleet_tenant_workload(tenant, 8 << 20).name();
+            let b = fleet_tenant_workload(tenant, 8 << 20).name();
+            assert_eq!(a, b);
+            assert_eq!(a, fleet_tenant_workload(tenant + 8, 8 << 20).name());
+        }
+        let distinct: std::collections::BTreeSet<String> = (0..8)
+            .map(|t| fleet_tenant_workload(t, 8 << 20).name())
+            .collect();
+        assert_eq!(distinct.len(), 8, "roster entries are distinct");
+    }
 
     #[test]
     fn suites_cover_the_paper_rosters() {

@@ -29,10 +29,13 @@ cargo run --release -q -p analysis --bin isolation-verify
 echo "== analysis gate: interleave-check (exhaustive schedule exploration) =="
 cargo run --release -q -p analysis --bin interleave-check
 
+echo "== fleet gate: quick multi-tenant soak (churn + attacks + determinism) =="
+cargo run --release -q -p bench --bin fleet_soak -- --quick
+
 echo "== cargo doc (warnings are errors, first-party crates) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
-  -p siloz-repro -p analysis -p bench -p dram -p dram-addr -p ept -p hammer \
-  -p memctrl -p numa -p siloz -p sim -p telemetry -p workloads
+  -p siloz-repro -p analysis -p bench -p dram -p dram-addr -p ept -p fleet \
+  -p hammer -p memctrl -p numa -p siloz -p sim -p telemetry -p workloads
 
 echo "== miri (optional): telemetry under the interpreter =="
 if cargo miri --version >/dev/null 2>&1; then

@@ -4,13 +4,14 @@
 //! a single dependency. See the individual crates for full documentation:
 //! [`siloz`] (the hypervisor, i.e. the paper's contribution), [`dram`],
 //! [`dram_addr`], [`memctrl`], [`numa`], [`ept`], [`hammer`], [`workloads`],
-//! [`sim`], and [`telemetry`].
+//! [`sim`], [`fleet`], and [`telemetry`].
 
 #![forbid(unsafe_code)]
 
 pub use dram;
 pub use dram_addr;
 pub use ept;
+pub use fleet;
 pub use hammer;
 pub use memctrl;
 pub use numa;

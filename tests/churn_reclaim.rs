@@ -1,0 +1,100 @@
+//! Churn-reclaim property: after any randomized create / expand / destroy
+//! history, host [`shutdown`] returns the allocator and free lists to the
+//! pristine post-boot state — no leaked frames, no stale group claims, no
+//! lost EPT guard-pool pages.
+//!
+//! [`shutdown`]: siloz_repro::siloz::Hypervisor::shutdown
+
+use proptest::prelude::*;
+use siloz_repro::numa::NodeId;
+use siloz_repro::siloz::{audit, Hypervisor, HypervisorKind, SilozConfig, SilozError, VmSpec};
+use siloz_repro::telemetry::{MetricValue, Registry};
+
+/// Everything that must be byte-for-byte restored by a full teardown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Fingerprint {
+    /// `(node, free frames)` over every guest and host node.
+    node_free: Vec<(NodeId, u64)>,
+    /// EPT guard-pool pages still available (summed over sockets).
+    guard_remaining: i64,
+    /// Claimed / pristine group counts from the occupancy API.
+    groups: (u64, u64),
+}
+
+fn fingerprint(hv: &Hypervisor) -> Fingerprint {
+    let node_free = hv
+        .guest_nodes()
+        .iter()
+        .chain(hv.host_nodes())
+        .map(|&n| (n, hv.topology().free_frames(n).unwrap()))
+        .collect();
+    let reg = Registry::new();
+    hv.export_telemetry(&reg);
+    let snap = reg.snapshot();
+    let guard_remaining = match snap.children["ept_guard"].metrics.get("frames_remaining") {
+        Some(MetricValue::Gauge { value, .. }) => *value,
+        _ => -1,
+    };
+    let occ = hv.occupancy();
+    Fingerprint {
+        node_free,
+        guard_remaining,
+        groups: (occ.claimed(), occ.pristine()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random lifecycle histories (creations, growth bursts, destructions,
+    /// in any interleaving that fits) never perturb what `shutdown`
+    /// reclaims.
+    #[test]
+    fn shutdown_restores_pristine_post_boot_state(
+        ops in prop::collection::vec(
+            (0u8..3, 16u64..200, any::<prop::sample::Index>()),
+            1..20,
+        ),
+    ) {
+        let mut hv = Hypervisor::boot(SilozConfig::mini(), HypervisorKind::Siloz).unwrap();
+        let pristine = fingerprint(&hv);
+        prop_assert_eq!(pristine.groups.0, 0, "no groups claimed at boot");
+        prop_assert!(pristine.guard_remaining > 0, "guard pool missing");
+
+        let mut live = Vec::new();
+        for (i, &(kind, mib, which)) in ops.iter().enumerate() {
+            match kind {
+                0 => match hv.create_vm(VmSpec::new(&format!("churn{i}"), 1, mib << 20)) {
+                    Ok(vm) => live.push(vm),
+                    Err(SilozError::InsufficientCapacity { .. }) => {}
+                    Err(e) => return Err(TestCaseError::fail(format!("create: {e}"))),
+                },
+                1 if !live.is_empty() => {
+                    let vm = live[which.index(live.len())];
+                    match hv.expand_vm(vm, (mib / 4 + 2) << 20) {
+                        Ok(()) | Err(SilozError::InsufficientCapacity { .. }) => {}
+                        Err(e) => return Err(TestCaseError::fail(format!("expand: {e}"))),
+                    }
+                }
+                2 if !live.is_empty() => {
+                    let vm = live.remove(which.index(live.len()));
+                    hv.destroy_vm(vm).unwrap();
+                }
+                _ => {}
+            }
+        }
+        prop_assert!(audit(&hv).unwrap().is_healthy(), "audit failed mid-churn");
+
+        let killed = hv.shutdown();
+        prop_assert_eq!(killed, live.len());
+        prop_assert!(hv.vm_handles().is_empty());
+        prop_assert_eq!(&fingerprint(&hv), &pristine, "shutdown leaked state");
+        prop_assert!(audit(&hv).unwrap().is_healthy(), "audit failed post-shutdown");
+
+        // The reclaimed capacity is genuinely usable: a fresh maximal VM
+        // admission must succeed exactly as it would have at boot.
+        let free_bytes = hv.occupancy().free_bytes();
+        prop_assert!(free_bytes > 0);
+        hv.create_vm(VmSpec::new("reboot-probe", 1, 256 << 20)).unwrap();
+    }
+}

@@ -26,6 +26,14 @@ fn golden_registry() -> Registry {
     let ctrl = reg.child("ctrl");
     ctrl.counter("row_hits").add(900);
     ctrl.child("tlb").counter("hits").add(850);
+    // The hypervisor's admission-control export: per-policy capacity
+    // rejections plus point-in-time group-pool fragmentation.
+    let admission = reg.child("admission");
+    admission.counter("rejections_first_fit").add(5);
+    admission.counter("rejections_best_fit").add(4);
+    admission.counter("rejections_socket_affine").add(3);
+    admission.gauge("groups_claimed").add(6);
+    admission.gauge("fragmentation_pct").add(25);
     // An empty child must render as empty maps, not be dropped.
     let _ = reg.child("empty");
     reg
@@ -78,5 +86,11 @@ fn merged_golden_snapshot_doubles_every_metric() {
     let ctrl = other.child("ctrl");
     ctrl.counter("row_hits").add(900);
     ctrl.child("tlb").counter("hits").add(850);
+    let admission = other.child("admission");
+    admission.counter("rejections_first_fit").add(5);
+    admission.counter("rejections_best_fit").add(4);
+    admission.counter("rejections_socket_affine").add(3);
+    admission.gauge("groups_claimed").add(6);
+    admission.gauge("fragmentation_pct").add(25);
     assert_eq!(doubled, other.snapshot());
 }
