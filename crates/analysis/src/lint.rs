@@ -50,9 +50,10 @@ pub const ALL_RULES: [&str; 7] = [
 
 /// Source files whose per-access paths the perfsuite gates; the `hot-*`
 /// rules apply only here.
-const HOT_MODULES: [&str; 4] = [
+const HOT_MODULES: [&str; 5] = [
     "crates/memctrl/src/controller.rs",
     "crates/dram/src/bank.rs",
+    "crates/dram/src/device.rs",
     "crates/dram-addr/src/tlb.rs",
     "crates/fleet/src/queue.rs",
 ];

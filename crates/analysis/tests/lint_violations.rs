@@ -138,6 +138,7 @@ fn crate_roots_must_forbid_unsafe() {
 fn classify_matches_repo_layout() {
     assert!(classify("crates/memctrl/src/controller.rs").hot);
     assert!(classify("crates/dram/src/bank.rs").hot);
+    assert!(classify("crates/dram/src/device.rs").hot);
     assert!(classify("crates/dram-addr/src/tlb.rs").hot);
     assert!(classify("crates/fleet/src/queue.rs").hot);
     assert!(!classify("crates/memctrl/src/baseline.rs").hot);

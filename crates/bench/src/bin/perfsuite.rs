@@ -1,4 +1,4 @@
-//! Performance suite quantifying the three hot-path optimizations:
+//! Performance suite quantifying the hot-path optimizations:
 //!
 //! 1. **Decode TLB** — memoized [`DecodeTlb`] vs the raw
 //!    [`SystemAddressDecoder`] division chains, on a row-local scan.
@@ -6,8 +6,13 @@
 //!    window ([`MemoryController`]) vs the retained hash-map baseline
 //!    ([`HashedController`]) on a mixed trace, with the results asserted
 //!    identical.
-//! 3. **Parallel experiment engine** — `figure4` fan-out across threads vs
+//! 3. **Activation ledger** — coalesced `activate_burst` vs the per-ACT
+//!    device reference path on a ~1M-ACT hammer loop, with device state
+//!    asserted bit-identical.
+//! 4. **Parallel experiment engine** — `figure4` fan-out across threads vs
 //!    the serial path, with the figure output asserted bit-identical.
+//! 5. **Fleet incremental isolation check** — plus the TLB-memoized,
+//!    allocation-free migration copy path underneath the event loop.
 //!
 //! Writes the measurements to `BENCH_perfsuite.json` in the working
 //! directory (overwritten each run) and prints a summary table.
@@ -159,6 +164,66 @@ fn bench_controller(reg: &Registry) -> Measure {
     }
 }
 
+/// Device hammer loop: ~1M activations of a 16-sided pattern issued per-ACT
+/// (the reference path) vs as 64-ACT coalesced bursts (the activation
+/// ledger), with the resulting device state asserted bit-identical.
+fn bench_device_hammer(reg: &Registry) -> Measure {
+    use dram_addr::{mini_geometry, BankId};
+    let total = 1_000_000u64;
+    let rows: Vec<u32> = (100..132).step_by(2).map(|r| r as u32).collect();
+    let burst_len = 64u64;
+    // Advance past one tREFI per pattern period so refresh, TRR serves, and
+    // threshold crossings all participate — bursts split around the advance.
+    let period_ns = 8_000u64;
+    let run = |coalesced: bool| {
+        let mut d = dram::DramSystemBuilder::new(mini_geometry()).build();
+        let mut acts = 0u64;
+        while acts < total {
+            for &r in &rows {
+                if coalesced {
+                    d.activate_burst(BankId(0), r, burst_len, 0);
+                } else {
+                    for _ in 0..burst_len {
+                        d.activate_row(BankId(0), r, 0);
+                    }
+                }
+                acts += burst_len;
+            }
+            d.advance_ns(period_ns);
+        }
+        (d, acts)
+    };
+    let (ref_dev, acts) = run(false);
+    let (burst_dev, _) = run(true);
+    assert_eq!(
+        ref_dev.stats(),
+        burst_dev.stats(),
+        "burst path diverged from per-ACT stats"
+    );
+    assert_eq!(
+        ref_dev.flip_log().all(),
+        burst_dev.flip_log().all(),
+        "burst path diverged from per-ACT flips"
+    );
+    assert!(
+        !ref_dev.flip_log().all().is_empty(),
+        "the hammer loop must actually flip bits"
+    );
+    reg.child("device_hammer")
+        .counter("acts")
+        .add(ref_dev.stats().acts);
+
+    let per_act = best_of(3, || run(false));
+    let burst = best_of(3, || run(true));
+    Measure {
+        name: "device_hammer_1m_acts",
+        baseline: "per-ACT activate_row reference path",
+        optimized: "coalesced activate_burst ledger",
+        baseline_ns: per_act / acts as f64,
+        optimized_ns: burst / acts as f64,
+    }
+}
+
 /// Figure-4 regeneration: serial vs parallel engine, outputs asserted
 /// bit-identical. Per-cell cost dominates, so ns are reported per run.
 fn bench_figure4(threads: usize, reg: &Registry) -> Measure {
@@ -289,6 +354,7 @@ fn main() {
     let measures = [
         bench_decode(&reg),
         bench_controller(&reg),
+        bench_device_hammer(&reg),
         bench_figure4(threads, &reg),
         bench_fleet(&reg),
     ];

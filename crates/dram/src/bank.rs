@@ -23,14 +23,52 @@ pub(crate) fn victim_key(side: u8, internal_row: u32) -> u64 {
 }
 
 /// Disturbance state of one victim half-row.
+///
+/// Disturbance is stored in *segment* form, `base + w * n`: `n` activations
+/// at the current per-ACT weight `w` on top of a folded `base` from earlier
+/// weight regimes (RowPress changes `w` mid-window). This makes a coalesced
+/// burst of `k` activations (`n += k`) produce bit-for-bit the same float as
+/// `k` sequential per-ACT updates — both evaluate `base + w * n` with one
+/// multiply and one add — which is what pins the burst path to the reference
+/// path in the equivalence proptests.
 #[derive(Debug, Clone)]
 pub(crate) struct VictimState {
-    /// Accumulated weighted disturbance since this half-row's last refresh.
-    pub disturb: f64,
+    /// Folded disturbance from earlier weight segments (since last refresh).
+    pub base: f64,
+    /// Per-activation weight of the current segment.
+    pub w: f64,
+    /// Activation count in the current segment.
+    pub n: u64,
     /// This half-row's weak cells, sorted by flip threshold.
     pub cells: Vec<WeakCell>,
     /// Index of the next unflipped weak cell at the current disturbance.
     pub next_cell: usize,
+}
+
+impl VictimState {
+    /// Accumulated weighted disturbance since this half-row's last refresh.
+    #[inline]
+    #[must_use]
+    pub(crate) fn disturb(&self) -> f64 {
+        self.base + self.w * self.n as f64
+    }
+
+    /// Records `k` activations at weight `w`, folding the previous segment
+    /// if the weight changed. Returns `(base, n_before)` so callers can
+    /// evaluate the disturbance after any prefix `j <= k` of the burst as
+    /// `base + w * (n_before + j)` — exactly the value `j` sequential
+    /// per-ACT calls would have produced.
+    #[inline]
+    pub(crate) fn add(&mut self, w: f64, k: u64) -> (f64, u64) {
+        if self.w.to_bits() != w.to_bits() {
+            self.base += self.w * self.n as f64;
+            self.w = w;
+            self.n = 0;
+        }
+        let n_before = self.n;
+        self.n += k;
+        (self.base, n_before)
+    }
 }
 
 /// Mutable state of a single DRAM bank: victim disturbance accumulators,
@@ -73,7 +111,9 @@ impl BankState {
     ) -> &mut VictimState {
         self.victims
             .get_or_insert_with(victim_key(side_idx(side), internal_row), || VictimState {
-                disturb: 0.0,
+                base: 0.0,
+                w: 0.0,
+                n: 0,
                 cells: weak_cells(profile, bank, side, internal_row, half_row_bytes),
                 next_cell: 0,
             })
@@ -85,7 +125,8 @@ impl BankState {
     #[inline]
     pub(crate) fn refresh_half_row(&mut self, side: u8, internal_row: u32) {
         if let Some(v) = self.victims.get_mut(victim_key(side, internal_row)) {
-            v.disturb = 0.0;
+            v.base = 0.0;
+            v.n = 0;
             v.next_cell = 0;
         }
     }
@@ -99,7 +140,10 @@ impl BankState {
     /// Peak accumulated disturbance across all victims (diagnostics).
     #[must_use]
     pub fn max_disturbance(&self) -> f64 {
-        self.victims.values().map(|v| v.disturb).fold(0.0, f64::max)
+        self.victims
+            .values()
+            .map(VictimState::disturb)
+            .fold(0.0, f64::max)
     }
 }
 
@@ -114,7 +158,7 @@ mod tests {
         assert!(b.victims.is_empty());
         let v = b.victim_mut(&p, 0, RankSide::A, 7, 4096);
         assert!(!v.cells.is_empty());
-        assert_eq!(v.disturb, 0.0);
+        assert_eq!(v.disturb(), 0.0);
         assert_eq!(b.victims.len(), 1);
     }
 
@@ -124,13 +168,42 @@ mod tests {
         let mut b = BankState::new(4, 2);
         {
             let v = b.victim_mut(&p, 0, RankSide::A, 7, 4096);
-            v.disturb = 123.0;
+            v.add(1.0, 123);
             v.next_cell = 2;
+            assert_eq!(v.disturb(), 123.0);
         }
         b.refresh_row(7);
         let v = b.victims.get(victim_key(0, 7)).unwrap();
-        assert_eq!(v.disturb, 0.0);
+        assert_eq!(v.disturb(), 0.0);
         assert_eq!(v.next_cell, 0);
+    }
+
+    #[test]
+    fn victim_add_burst_matches_sequential_bitwise() {
+        // The core FP-equivalence invariant: k sequential add(w, 1) calls
+        // leave the exact same (base, w, n) as one add(w, k), across weight
+        // changes (RowPress) and refreshes.
+        let regimes = [(1.0f64, 7u64), (1.2, 3), (1.2, 5), (0.2, 11), (1.0, 1)];
+        let mut seq = VictimState {
+            base: 0.0,
+            w: 0.0,
+            n: 0,
+            cells: Vec::new(),
+            next_cell: 0,
+        };
+        let mut burst = seq.clone();
+        for &(w, k) in &regimes {
+            for _ in 0..k {
+                seq.add(w, 1);
+            }
+            let (base, n_before) = burst.add(w, k);
+            assert_eq!(base.to_bits(), burst.base.to_bits());
+            assert_eq!(burst.n, n_before + k);
+            assert_eq!(seq.base.to_bits(), burst.base.to_bits());
+            assert_eq!(seq.w.to_bits(), burst.w.to_bits());
+            assert_eq!(seq.n, burst.n);
+            assert_eq!(seq.disturb().to_bits(), burst.disturb().to_bits());
+        }
     }
 
     #[test]
@@ -145,8 +218,8 @@ mod tests {
         let p = DimmProfile::default_eval();
         let mut b = BankState::new(0, 0);
         assert_eq!(b.max_disturbance(), 0.0);
-        b.victim_mut(&p, 0, RankSide::A, 1, 4096).disturb = 5.0;
-        b.victim_mut(&p, 0, RankSide::B, 2, 4096).disturb = 9.0;
+        b.victim_mut(&p, 0, RankSide::A, 1, 4096).add(1.0, 5);
+        b.victim_mut(&p, 0, RankSide::B, 2, 4096).add(1.0, 9);
         assert_eq!(b.max_disturbance(), 9.0);
     }
 }

@@ -56,7 +56,7 @@ impl DisturbanceWeights {
 /// Thresholds are expressed in effective activations per refresh window: a
 /// victim whose accumulated (weighted) disturbance exceeds its sampled
 /// threshold before its next refresh flips bits.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct DimmProfile {
     /// Short vendor-anonymized name ("A" ... "F" in Table 3).
     pub name: &'static str,

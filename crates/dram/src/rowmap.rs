@@ -18,8 +18,9 @@
 /// Fibonacci hashing constant (2^64 / φ).
 const FIB: u64 = 0x9e37_79b9_7f4a_7c15;
 
-/// Sentinel key marking an empty slot. Packed victim keys use at most 33
-/// bits, so the sentinel can never collide with a real key.
+/// Sentinel key marking an empty slot. Packed keys are `(small id) << 32 |
+/// row` with ids far below `u32::MAX`, so the sentinel can never collide
+/// with a real key.
 const EMPTY: u64 = u64::MAX;
 
 /// A deterministic open-addressed `u64 → V` map without removal.

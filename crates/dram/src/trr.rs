@@ -62,6 +62,44 @@ impl TrrTracker {
         }
     }
 
+    /// Records `n` consecutive activations of `internal_row`, with state
+    /// identical to calling [`TrrTracker::observe`] `n` times.
+    ///
+    /// The closed form for the full-and-absent case: let `m` be the minimum
+    /// tracked count and `r = max(m, 1)`. Sequential observes decrement every
+    /// counter once per call until the `r`-th call frees a zero slot and
+    /// inserts `(row, 1)`; the remaining `n - r` calls then increment that
+    /// entry. If `n < r` no slot ever frees, so the burst only decrements.
+    /// (`m` can be 0: `on_refresh` leaves served entries at count 0, and the
+    /// very next observe replaces one — hence the `max(m, 1)`.)
+    pub fn observe_n(&mut self, internal_row: u32, n: u64) {
+        if self.capacity == 0 || n == 0 {
+            return;
+        }
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == internal_row) {
+            e.1 += n;
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push((internal_row, n));
+            return;
+        }
+        let m = self.entries.iter().map(|e| e.1).min().unwrap_or(0);
+        let r = m.max(1);
+        if n < r {
+            for e in &mut self.entries {
+                e.1 = e.1.saturating_sub(n);
+            }
+            return;
+        }
+        for e in &mut self.entries {
+            e.1 = e.1.saturating_sub(r);
+        }
+        if let Some(slot) = self.entries.iter_mut().find(|e| e.1 == 0) {
+            *slot = (internal_row, 1 + (n - r));
+        }
+    }
+
     /// Handles a REF command: returns the internal rows whose *neighbors*
     /// should be refreshed now (the suspected aggressors), resetting their
     /// counters.
@@ -133,6 +171,58 @@ mod tests {
         // Counters should all be tiny relative to the 5000 activations each
         // row actually received: the tracker has lost the magnitude.
         assert!(t.entries().iter().all(|&(_, c)| c < 100));
+    }
+
+    #[test]
+    fn observe_n_replays_sequential_observes_exactly() {
+        // Drive both trackers through a schedule that exercises every
+        // observe_n branch: tracked-row increment, insert-with-room,
+        // full-and-absent with n < r, n == r, n > r, and the post-refresh
+        // zero-count-entry case (m == 0).
+        let schedule: &[(u32, u64)] = &[
+            (10, 3), // insert with room
+            (20, 5), // insert with room
+            (30, 2), // insert with room
+            (40, 4), // insert with room (tracker now full)
+            (10, 7), // tracked increment
+            (50, 1), // full & absent, n < r (min count 2)
+            (50, 2), // full & absent, n == r
+            (60, 9), // full & absent, n > r
+            (10, 1), // tracked increment after churn
+        ];
+        let mut seq = TrrTracker::new(4, 2);
+        let mut burst = TrrTracker::new(4, 2);
+        for &(row, n) in schedule {
+            for _ in 0..n {
+                seq.observe(row);
+            }
+            burst.observe_n(row, n);
+            assert_eq!(seq.entries(), burst.entries(), "after ({row}, {n})");
+        }
+        // A REF leaves served entries at count 0; the next burst must still
+        // match sequential semantics (the m == 0, r == 1 case).
+        assert_eq!(seq.on_refresh(), burst.on_refresh());
+        for &(row, n) in &[(70u32, 1u64), (80, 6), (70, 2)] {
+            for _ in 0..n {
+                seq.observe(row);
+            }
+            burst.observe_n(row, n);
+            assert_eq!(seq.entries(), burst.entries(), "post-REF ({row}, {n})");
+        }
+    }
+
+    #[test]
+    fn observe_n_degenerate_counts() {
+        let mut t = TrrTracker::new(4, 2);
+        t.observe_n(10, 0);
+        assert!(t.entries().is_empty(), "n = 0 is a no-op");
+        t.observe_n(10, 1);
+        let mut one = TrrTracker::new(4, 2);
+        one.observe(10);
+        assert_eq!(t.entries(), one.entries(), "n = 1 equals observe()");
+        let mut d = TrrTracker::disabled();
+        d.observe_n(10, 100);
+        assert!(d.entries().is_empty());
     }
 
     #[test]

@@ -130,6 +130,11 @@ impl Blacksmith {
     }
 
     /// Hammers one explicit pattern; returns whether new flips appeared.
+    ///
+    /// The per-period schedule is issued as run-length-coalesced activation
+    /// bursts (amplitude > 1 slots produce back-to-back same-row ACTs), with
+    /// device state identical to per-ACT issue. Time advances only between
+    /// periods, so no burst ever spans a refresh boundary.
     pub fn hammer(
         &self,
         dram: &mut DramSystem,
@@ -139,13 +144,14 @@ impl Blacksmith {
     ) -> bool {
         let before = dram.flip_log().len();
         let rows_per_bank = dram.geometry().rows_per_bank;
+        let runs = pattern.coalesced_schedule();
         for _ in 0..self.config.periods_per_attempt {
-            for &row in &pattern.schedule {
+            for &(row, count) in &runs {
                 if row >= rows_per_bank {
                     continue;
                 }
-                dram.activate_row(bank, row, self.config.extra_open_ns);
-                *acts += 1;
+                dram.activate_burst(bank, row, count as u64, self.config.extra_open_ns);
+                *acts += count as u64;
             }
             dram.advance_ns(pattern.schedule.len() as u64 * T_RC_NS);
         }

@@ -144,6 +144,24 @@ impl HammerPattern {
     pub fn acts_per_period(&self) -> usize {
         self.schedule.len()
     }
+
+    /// The schedule as run-length-encoded `(row, count)` activation runs.
+    ///
+    /// Amplitude > 1 slots emit back-to-back same-row activations; this is
+    /// the form `dram::DramSystem::activate_burst` consumes, with the run
+    /// order (and hence device state) identical to walking `schedule`
+    /// element by element.
+    #[must_use]
+    pub fn coalesced_schedule(&self) -> Vec<(u32, u32)> {
+        let mut runs: Vec<(u32, u32)> = Vec::new();
+        for &row in &self.schedule {
+            match runs.last_mut() {
+                Some((r, n)) if *r == row => *n += 1,
+                _ => runs.push((row, 1)),
+            }
+        }
+        runs
+    }
 }
 
 #[cfg(test)]
@@ -188,6 +206,26 @@ mod tests {
         let count9 = p.schedule.iter().filter(|&&r| r == 9).count();
         assert_eq!(count5, 6, "3 firings x amplitude 2");
         assert_eq!(count9, 1);
+    }
+
+    #[test]
+    fn coalesced_schedule_is_exact_rle_of_schedule() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let allowed: Vec<u32> = (100..200).collect();
+        for _ in 0..50 {
+            let p = HammerPattern::random(&allowed, &mut rng);
+            let runs = p.coalesced_schedule();
+            // Expanding the runs reproduces the schedule exactly.
+            let expanded: Vec<u32> = runs
+                .iter()
+                .flat_map(|&(row, n)| std::iter::repeat_n(row, n as usize))
+                .collect();
+            assert_eq!(expanded, p.schedule);
+            // Maximal runs: no two adjacent runs share a row.
+            for w in runs.windows(2) {
+                assert_ne!(w[0].0, w[1].0);
+            }
+        }
     }
 
     #[test]

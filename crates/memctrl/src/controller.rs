@@ -142,6 +142,17 @@ impl TraceResult {
     }
 }
 
+/// A buffered run of back-to-back same-row activations, awaiting coalesced
+/// issue to the device as one [`DramSystem::activate_burst`]. While a run is
+/// pending no other device call is made, so flushing it late is
+/// bit-identical to having issued each ACT at buffering time.
+#[derive(Debug, Clone, Copy)]
+struct ActRun {
+    bank: BankId,
+    row: u32,
+    count: u64,
+}
+
 /// Per-rank activate bookkeeping (tFAW and tRRD).
 #[derive(Debug, Default, Clone)]
 struct RankState {
@@ -228,6 +239,9 @@ pub struct MemoryController {
     /// implementation where un-accessed banks accrued no refresh debt.
     touched: Vec<u32>,
     drive_physics: bool,
+    /// Pending same-row activation run, coalesced into one device burst at
+    /// the next run break, time sync, or end of trace (§4f).
+    pending_act: Option<ActRun>,
     /// Row-buffer management policy.
     pub policy: PagePolicy,
     /// FR-FCFS lookahead window for [`Self::run_trace`].
@@ -267,6 +281,7 @@ impl MemoryController {
             bank_touches: vec![0; geometry.total_banks() as usize],
             touched: Vec::new(),
             drive_physics: true,
+            pending_act: None,
             policy: PagePolicy::Open,
             window: 16,
             dram_sync_counter: 0,
@@ -373,7 +388,11 @@ impl MemoryController {
         arrival_ps: u64,
     ) -> Result<AccessResult, AddrError> {
         let (media, bank_id) = self.tlb.decode_with_bank(phys)?;
-        Ok(self.access_decoded(dram, media, bank_id, write, arrival_ps))
+        let res = self.access_decoded(dram, media, bank_id, write, arrival_ps);
+        // Single-access callers observe device state between calls; don't
+        // leave an activation buffered.
+        self.flush_acts(dram);
+        Ok(res)
     }
 
     /// The decode-free access path: serves an already-decoded access.
@@ -438,7 +457,23 @@ impl MemoryController {
         }
         self.bank_touches[ord] += 1;
         if self.drive_physics && kind != AccessKind::RowHit {
-            dram.activate(&media, 0);
+            // Coalesce back-to-back same-row ACTs (closed-page same-row
+            // streams, hammering traces) into one burst; a run breaks as
+            // soon as any other row activates, keeping the device's global
+            // flip-log order identical to per-ACT issue.
+            match &mut self.pending_act {
+                Some(run) if run.bank == bank_id && run.row == media.row => run.count += 1,
+                run => {
+                    if let Some(prev) = run.take() {
+                        dram.activate_burst(prev.bank, prev.row, prev.count, 0);
+                    }
+                    *run = Some(ActRun {
+                        bank: bank_id,
+                        row: media.row,
+                        count: 1,
+                    });
+                }
+            }
             self.dram_sync_counter += 1;
             if self.dram_sync_counter >= 512 {
                 self.dram_sync_counter = 0;
@@ -452,9 +487,20 @@ impl MemoryController {
         }
     }
 
+    /// Issues any buffered activation run to the device as one coalesced
+    /// burst.
+    fn flush_acts(&mut self, dram: &mut DramSystem) {
+        if let Some(run) = self.pending_act.take() {
+            dram.activate_burst(run.bank, run.row, run.count, 0);
+        }
+    }
+
     /// Brings the DRAM device clock up to the controller clock so
-    /// distributed refresh keeps pace with simulated time.
-    pub fn sync_dram_time(&self, dram: &mut DramSystem) {
+    /// distributed refresh keeps pace with simulated time. Flushes any
+    /// buffered activation run first — bursts must not span the refresh
+    /// boundaries `advance_ns` may cross.
+    pub fn sync_dram_time(&mut self, dram: &mut DramSystem) {
+        self.flush_acts(dram);
         let clock_ns = self.stats.clock_ps / 1000;
         if clock_ns > dram.now_ns() {
             dram.advance_ns(clock_ns - dram.now_ns());
@@ -538,6 +584,7 @@ impl MemoryController {
             // Undecoded (out-of-range) ops are dropped from the trace; the
             // workload layer is responsible for valid addressing.
         }
+        self.flush_acts(dram);
         let elapsed = self
             .stats
             .clock_ps
@@ -829,6 +876,56 @@ mod tests {
             flat_reg.snapshot().metrics,
             hashed_reg.snapshot().metrics,
             "flat and hashed controllers must emit identical telemetry"
+        );
+    }
+
+    #[test]
+    fn coalesced_act_runs_match_per_act_issue_on_closed_page() {
+        // Closed-page policy re-activates on every access, so a same-row
+        // stream forms long ACT runs — exactly what the pending-run buffer
+        // coalesces into device bursts. The hashed baseline still issues
+        // per-ACT, so full device state (stats, ordered flip log) must
+        // match bit for bit, including across the 512-ACT time syncs and
+        // the hot-row flips this siege produces.
+        let dec = mini_decoder();
+        let rg = dec.geometry().row_group_bytes();
+        let mut ops = Vec::new();
+        for i in 0..100_000u64 {
+            let phys = match i % 8 {
+                0..=6 => 0,                        // the siege: one long run
+                _ => ((i / 8) % 64) * rg + 2 * rg, // run break to varied rows
+            };
+            ops.push(MemOp::read(phys));
+        }
+        // TRR-less devices: a single-aggressor siege is exactly what
+        // deployed TRR neutralizes, and the point here is the controller's
+        // run buffer, not the tracker (burst-vs-TRR equivalence is pinned
+        // by the dram crate's own battery).
+        let mk_dram = || {
+            dram::DramSystemBuilder::new(mini_geometry())
+                .trr(0, 0)
+                .build()
+        };
+        let mut d1 = mk_dram();
+        let mut flat = MemoryController::new(mini_decoder()).with_policy(PagePolicy::Closed);
+        let flat_res = flat.run_trace(&mut d1, ops.clone());
+
+        let mut d2 = mk_dram();
+        let mut hashed =
+            crate::HashedController::new(mini_decoder()).with_policy(PagePolicy::Closed);
+        let hashed_res = hashed.run_trace(&mut d2, ops);
+
+        assert_eq!(flat_res, hashed_res);
+        assert_eq!(d1.stats(), d2.stats());
+        assert!(d1.stats().acts >= 100_000, "closed page re-activates");
+        assert!(
+            !d1.flip_log().all().is_empty(),
+            "an 87k-ACT siege must flip bits on the default profile"
+        );
+        assert_eq!(
+            d1.flip_log().all(),
+            d2.flip_log().all(),
+            "coalesced bursts must preserve per-ACT flip order"
         );
     }
 

@@ -131,6 +131,13 @@ pub struct Hypervisor {
     kind: HypervisorKind,
     config: SilozConfig,
     decoder: SystemAddressDecoder,
+    /// Decode memoization for the line-by-line `copy_phys` loop: a clone of
+    /// `decoder` behind a row-group-granular cache, so migrating a block
+    /// decodes each row-group stripe once instead of every 64 B. Decode is
+    /// pure address-map config, so the two decoders always agree.
+    copy_tlb: dram_addr::DecodeTlb,
+    /// Reused line buffer for `copy_phys` (allocation-free copy loop).
+    copy_scratch: Vec<u8>,
     dram: DramSystem,
     topo: Topology,
     groups: SubarrayGroupMap,
@@ -183,6 +190,8 @@ impl Hypervisor {
                 Ok(Self {
                     kind,
                     config,
+                    copy_tlb: dram_addr::DecodeTlb::new(decoder.clone()),
+                    copy_scratch: Vec::new(),
                     decoder,
                     dram,
                     topo: prov.topo,
@@ -230,6 +239,8 @@ impl Hypervisor {
                 Ok(Self {
                     kind,
                     config,
+                    copy_tlb: dram_addr::DecodeTlb::new(decoder.clone()),
+                    copy_scratch: Vec::new(),
                     decoder,
                     dram,
                     topo,
@@ -1175,18 +1186,29 @@ impl Hypervisor {
 
     /// Copies `len` bytes between physical ranges, line by line (used by
     /// migration-based defenses).
+    ///
+    /// Decodes go through the hypervisor's copy TLB (one real decode per
+    /// row-group stripe rather than per 64 B line) and reads land in a
+    /// reused scratch buffer, so the per-line loop is allocation-free.
     pub fn copy_phys(&mut self, src: u64, dst: u64, len: u64) -> Result<(), SilozError> {
         let g = *self.decoder.geometry();
         let mut off = 0u64;
         while off < len {
-            let sm = self.decoder.decode(src + off)?;
+            let sm = self.copy_tlb.decode(src + off)?;
             let chunk = (dram_addr::CACHE_LINE_BYTES - (src + off) % dram_addr::CACHE_LINE_BYTES)
                 .min(len - off);
             let sbank = sm.global_bank(&g);
-            let (bytes, _) = self.dram.read_row(sbank, sm.row, sm.col, chunk as u32);
-            let dm = self.decoder.decode(dst + off)?;
+            let _ = self.dram.read_row_into(
+                sbank,
+                sm.row,
+                sm.col,
+                chunk as u32,
+                &mut self.copy_scratch,
+            );
+            let dm = self.copy_tlb.decode(dst + off)?;
             let dbank = dm.global_bank(&g);
-            self.dram.write_row(dbank, dm.row, dm.col, &bytes);
+            self.dram
+                .write_row(dbank, dm.row, dm.col, &self.copy_scratch);
             off += chunk;
         }
         Ok(())

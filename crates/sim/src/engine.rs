@@ -59,6 +59,42 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_cells_costed(n, threads, &[], reg, cell)
+}
+
+/// The dispatch permutation for per-cell cost estimates: indices in
+/// descending-cost order (LPT — longest processing time first), ties broken
+/// by index. Dispatching long cells first keeps one expensive straggler
+/// from landing last and serializing the tail of a parallel run; cells are
+/// pure functions of their index, so the permutation never changes results.
+///
+/// An empty `costs` (or one of the wrong length) means "no estimate":
+/// callers get plain index order.
+#[must_use]
+pub fn lpt_order(n: usize, costs: &[u64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    if costs.len() == n {
+        order.sort_by_key(|&i| (std::cmp::Reverse(costs[i]), i));
+    }
+    order
+}
+
+/// [`run_cells_observed`] with per-cell cost estimates: workers claim cells
+/// in [`lpt_order`] rather than index order. Results still come back in
+/// index order and are bit-identical to the serial loop — only wall-clock
+/// balance depends on the estimates.
+// lint:allow(observed-twin) — takes `reg` directly; this IS the observed form.
+pub fn run_cells_costed<T, F>(
+    n: usize,
+    threads: usize,
+    costs: &[u64],
+    reg: &Registry,
+    cell: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let threads = threads.clamp(1, n.max(1));
     let cells_run = reg.counter("cells_run");
     let wall = reg.histo_volatile("cell_wall_ns");
@@ -66,6 +102,7 @@ where
     reg.gauge_volatile("workers").add(threads as i64);
     let fair_share = n / threads;
     if threads == 1 {
+        // The serial reference: index order, no dispatch permutation.
         return (0..n)
             .map(|idx| {
                 let t0 = Instant::now();
@@ -76,6 +113,7 @@ where
             })
             .collect();
     }
+    let order = lpt_order(n, costs);
     let next = AtomicUsize::new(0);
     let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
     std::thread::scope(|s| {
@@ -83,10 +121,11 @@ where
             s.spawn(|| {
                 let mut local: Vec<(usize, T)> = Vec::new();
                 loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= n {
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    if slot >= n {
                         break;
                     }
+                    let idx = order[slot];
                     let t0 = Instant::now();
                     local.push((idx, cell(idx)));
                     wall.observe(t0.elapsed().as_nanos() as u64);
@@ -135,6 +174,26 @@ mod tests {
     #[test]
     fn more_threads_than_cells_is_fine() {
         assert_eq!(run_cells(2, 16, |i| i + 1), vec![1, 2]);
+    }
+
+    #[test]
+    fn lpt_order_sorts_descending_with_stable_ties() {
+        assert_eq!(lpt_order(4, &[1, 9, 9, 3]), vec![1, 2, 3, 0]);
+        // Missing or mismatched estimates fall back to index order.
+        assert_eq!(lpt_order(3, &[]), vec![0, 1, 2]);
+        assert_eq!(lpt_order(3, &[5, 1]), vec![0, 1, 2]);
+        assert_eq!(lpt_order(0, &[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn costed_dispatch_matches_serial_results_bitwise() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let costs: Vec<u64> = (0..33).map(|i| (i * 7 % 13) as u64).collect();
+        let reg = Registry::new();
+        let serial = run_cells_costed(33, 1, &costs, &reg, f);
+        let parallel = run_cells_costed(33, 5, &costs, &reg, f);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, (0..33).map(f).collect::<Vec<_>>());
     }
 
     #[test]

@@ -5,12 +5,14 @@
 //! simulation, and results are aggregated keyed by cell index so the figure
 //! output is bit-identical to the serial loop for any thread count.
 
-use crate::engine::{default_threads, run_cells_observed};
+use crate::engine::{default_threads, run_cells_costed};
 use crate::run::{run_workload_observed, SimConfig};
 use crate::stats::{geomean, overhead_pct_higher_better, overhead_pct_lower_better, Summary};
 use siloz::{HypervisorKind, SilozConfig, SilozError};
 use telemetry::Registry;
-use workloads::{exec_time_suite, throughput_suite, Metric, WorkloadGen};
+use workloads::{
+    exec_time_suite, exec_time_workload, throughput_suite, throughput_workload, Metric, WorkloadGen,
+};
 
 /// One figure row: a workload measured under a reference and a candidate
 /// configuration, with the paired per-seed overhead distribution.
@@ -45,33 +47,40 @@ impl Comparison {
 
 type SuiteFactory = fn(u64) -> Vec<Box<dyn WorkloadGen>>;
 
+/// Builds only the `i`-th workload of a suite. Measurement cells use this
+/// instead of [`SuiteFactory`]: building the full roster is working-set-sized
+/// substrate work (KV preloads, sort inputs), and each cell needs one entry.
+type NthFactory = fn(usize, u64) -> Box<dyn WorkloadGen>;
+
 /// Measures one suite under `reference_kind`/`reference_cfg` vs
 /// `candidate_kind`/`candidate_cfg`, paired per seed, plus a geomean row.
 fn compare_suite(
-    suite: SuiteFactory,
+    (suite, nth): (SuiteFactory, NthFactory),
     reference: (&SilozConfig, HypervisorKind),
     candidate: (&SilozConfig, HypervisorKind),
     sim: &SimConfig,
     threads: usize,
     reg: &Registry,
 ) -> Result<Vec<Comparison>, SilozError> {
-    let names: Vec<(String, Metric)> = suite(sim.working_set)
-        .iter()
-        .map(|w| (w.name(), w.metric()))
-        .collect();
+    let roster = suite(sim.working_set);
+    let names: Vec<(String, Metric)> = roster.iter().map(|w| (w.name(), w.metric())).collect();
+    let hints: Vec<u64> = roster.iter().map(|w| w.cost_hint()).collect();
+    drop(roster);
     let n = names.len();
     // One cell per (seed, workload, reference-or-candidate) measurement,
     // seed-major so cell index order equals the serial loop's execution
-    // order. Each cell builds fresh workload instances (generators are
-    // stateful) and shares nothing mutable, so results are reproduced
-    // bit-identically for any thread count.
+    // order. Each cell builds a fresh instance of exactly the workload it
+    // measures (generators are stateful) and shares nothing mutable, so
+    // results are reproduced bit-identically for any thread count; cost
+    // hints only reorder the parallel dispatch (LPT).
     let cells = sim.repeats as usize * n * 2;
+    let costs: Vec<u64> = (0..cells).map(|idx| hints[(idx / 2) % n]).collect();
     let engine_reg = reg.child("engine");
-    let results = run_cells_observed(cells, threads, &engine_reg, |idx| {
+    let results = run_cells_costed(cells, threads, &costs, &engine_reg, |idx| {
         let seed = (idx / (n * 2)) as u64;
         let i = (idx / 2) % n;
         let candidate_run = idx % 2 == 1;
-        let mut wl_suite = suite(sim.working_set);
+        let mut workload = nth(i, sim.working_set);
         let (cfg, kind, run_seed) = if candidate_run {
             (
                 candidate.0,
@@ -85,7 +94,7 @@ fn compare_suite(
         } else {
             (reference.0, reference.1, seed)
         };
-        run_workload_observed(cfg, kind, wl_suite[i].as_mut(), sim, run_seed, reg)
+        run_workload_observed(cfg, kind, workload.as_mut(), sim, run_seed, reg)
     });
     let mut ref_samples: Vec<Vec<f64>> = vec![Vec::new(); n];
     let mut cand_samples: Vec<Vec<f64>> = vec![Vec::new(); n];
@@ -165,7 +174,7 @@ pub fn figure4_observed(
     reg: &Registry,
 ) -> Result<Vec<Comparison>, SilozError> {
     compare_suite(
-        exec_time_suite,
+        (exec_time_suite, exec_time_workload),
         (config, HypervisorKind::Baseline),
         (config, HypervisorKind::Siloz),
         sim,
@@ -196,7 +205,7 @@ pub fn figure5_observed(
     reg: &Registry,
 ) -> Result<Vec<Comparison>, SilozError> {
     compare_suite(
-        throughput_suite,
+        (throughput_suite, throughput_workload),
         (config, HypervisorKind::Baseline),
         (config, HypervisorKind::Siloz),
         sim,
@@ -209,7 +218,7 @@ pub fn figure5_observed(
 pub type SensitivityResult = Vec<(String, Vec<Comparison>)>;
 
 fn sensitivity(
-    suite: SuiteFactory,
+    suite: (SuiteFactory, NthFactory),
     config: &SilozConfig,
     sim: &SimConfig,
     sizes: &[u32],
@@ -258,7 +267,7 @@ pub fn figure6_observed(
 ) -> Result<SensitivityResult, SilozError> {
     let (small, reference, large) = sensitivity_sizes(config);
     sensitivity(
-        exec_time_suite,
+        (exec_time_suite, exec_time_workload),
         config,
         sim,
         &[small, large],
@@ -292,7 +301,7 @@ pub fn figure7_observed(
 ) -> Result<SensitivityResult, SilozError> {
     let (small, reference, large) = sensitivity_sizes(config);
     sensitivity(
-        throughput_suite,
+        (throughput_suite, throughput_workload),
         config,
         sim,
         &[small, large],

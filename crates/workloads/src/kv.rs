@@ -186,6 +186,12 @@ impl WorkloadGen for Memcached {
         Metric::Throughput
     }
 
+    fn cost_hint(&self) -> u64 {
+        // The heaviest cell of either roster: full KV preload plus a
+        // get-dominated trace over the whole store.
+        21
+    }
+
     fn generate(&mut self, count: usize, rng: &mut StdRng) -> Vec<GuestOp> {
         self.ensure_loaded(rng);
         while self.store.arena.trace_len() < count {

@@ -104,33 +104,79 @@ pub trait WorkloadGen {
     fn metric(&self) -> Metric;
     /// Generates the next `count` operations.
     fn generate(&mut self, count: usize, rng: &mut StdRng) -> Vec<GuestOp>;
+    /// Coarse relative cost of one measurement cell running this workload
+    /// (construction + generation + replay), in arbitrary units. The sim
+    /// engine uses it to dispatch expensive cells first (LPT scheduling) so
+    /// one long straggler cannot serialize the tail of a parallel figure
+    /// run; only the ordering matters, and results are independent of it.
+    /// Values were measured at the quick mini-config scale (~milliseconds
+    /// per unit); substrate-heavy workloads (KV stores) dominate.
+    fn cost_hint(&self) -> u64 {
+        4
+    }
+}
+
+/// Number of workloads in [`exec_time_suite`].
+pub const EXEC_TIME_SUITE_LEN: usize = ycsb::YcsbKind::ALL.len() + 3;
+
+/// Number of workloads in [`throughput_suite`].
+pub const THROUGHPUT_SUITE_LEN: usize = mlc::MlcKind::ALL.len() + 2;
+
+/// The `i`-th entry of [`exec_time_suite`], built alone.
+///
+/// Measurement cells that need exactly one workload use this instead of
+/// constructing (and immediately discarding) the other eight substrates —
+/// suite construction is working-set-sized work (KV preloads, sort inputs).
+///
+/// # Panics
+///
+/// Panics if `i >= EXEC_TIME_SUITE_LEN`.
+#[must_use]
+pub fn exec_time_workload(i: usize, working_set: u64) -> Box<dyn WorkloadGen> {
+    let n_ycsb = ycsb::YcsbKind::ALL.len();
+    assert!(i < EXEC_TIME_SUITE_LEN, "workload index {i} out of range");
+    if i < n_ycsb {
+        Box::new(ycsb::Ycsb::new(ycsb::YcsbKind::ALL[i], working_set))
+    } else {
+        match i - n_ycsb {
+            0 => Box::new(terasort::Terasort::new(working_set)),
+            1 => Box::new(spec::SpecSuite::new(working_set)),
+            _ => Box::new(parsec::ParsecSuite::new(working_set)),
+        }
+    }
+}
+
+/// The `i`-th entry of [`throughput_suite`], built alone.
+///
+/// # Panics
+///
+/// Panics if `i >= THROUGHPUT_SUITE_LEN`.
+#[must_use]
+pub fn throughput_workload(i: usize, working_set: u64) -> Box<dyn WorkloadGen> {
+    assert!(i < THROUGHPUT_SUITE_LEN, "workload index {i} out of range");
+    match i {
+        0 => Box::new(kv::Memcached::new(working_set)),
+        1 => Box::new(oltp::SysbenchOltp::new(working_set)),
+        _ => Box::new(mlc::Mlc::new(mlc::MlcKind::ALL[i - 2], working_set)),
+    }
 }
 
 /// The full execution-time roster of Fig. 4: six YCSB workloads on the KV
 /// store, terasort, a SPEC CPU 2017-like suite and a PARSEC 3.0-like suite.
 #[must_use]
 pub fn exec_time_suite(working_set: u64) -> Vec<Box<dyn WorkloadGen>> {
-    let mut v: Vec<Box<dyn WorkloadGen>> = Vec::new();
-    for wl in ycsb::YcsbKind::ALL {
-        v.push(Box::new(ycsb::Ycsb::new(wl, working_set)));
-    }
-    v.push(Box::new(terasort::Terasort::new(working_set)));
-    v.push(Box::new(spec::SpecSuite::new(working_set)));
-    v.push(Box::new(parsec::ParsecSuite::new(working_set)));
-    v
+    (0..EXEC_TIME_SUITE_LEN)
+        .map(|i| exec_time_workload(i, working_set))
+        .collect()
 }
 
 /// The throughput roster of Fig. 5: memcached, SysBench-mySQL-like OLTP,
 /// and the five Intel MLC configurations.
 #[must_use]
 pub fn throughput_suite(working_set: u64) -> Vec<Box<dyn WorkloadGen>> {
-    let mut v: Vec<Box<dyn WorkloadGen>> = Vec::new();
-    v.push(Box::new(kv::Memcached::new(working_set)));
-    v.push(Box::new(oltp::SysbenchOltp::new(working_set)));
-    for kind in mlc::MlcKind::ALL {
-        v.push(Box::new(mlc::Mlc::new(kind, working_set)));
-    }
-    v
+    (0..THROUGHPUT_SUITE_LEN)
+        .map(|i| throughput_workload(i, working_set))
+        .collect()
 }
 
 /// Deterministic per-tenant workload assignment for fleet scenarios: tenant

@@ -85,6 +85,11 @@ impl WorkloadGen for Mlc {
         Metric::Throughput
     }
 
+    fn cost_hint(&self) -> u64 {
+        // Pure arithmetic address streams: the cheapest cells.
+        2
+    }
+
     fn generate(&mut self, count: usize, _rng: &mut StdRng) -> Vec<GuestOp> {
         let mut out = Vec::with_capacity(count);
         while out.len() < count {

@@ -225,6 +225,10 @@ impl WorkloadGen for SysbenchOltp {
         Metric::Throughput
     }
 
+    fn cost_hint(&self) -> u64 {
+        3
+    }
+
     fn generate(&mut self, count: usize, rng: &mut StdRng) -> Vec<GuestOp> {
         let mut out: Vec<GuestOp> = Vec::with_capacity(count + 512);
         while out.len() < count {

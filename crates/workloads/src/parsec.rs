@@ -113,6 +113,10 @@ impl WorkloadGen for ParsecSuite {
         Metric::ExecTime
     }
 
+    fn cost_hint(&self) -> u64 {
+        3
+    }
+
     fn generate(&mut self, count: usize, rng: &mut StdRng) -> Vec<GuestOp> {
         let mut out = Vec::with_capacity(count + 64);
         let share = (count / KERNELS.len()).max(5);

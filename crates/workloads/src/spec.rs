@@ -125,6 +125,10 @@ impl WorkloadGen for SpecSuite {
         Metric::ExecTime
     }
 
+    fn cost_hint(&self) -> u64 {
+        2
+    }
+
     fn generate(&mut self, count: usize, rng: &mut StdRng) -> Vec<GuestOp> {
         let mut out = Vec::with_capacity(count + 64);
         // Rotate kernels in equal shares.

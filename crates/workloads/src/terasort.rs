@@ -117,6 +117,10 @@ impl WorkloadGen for Terasort {
         Metric::ExecTime
     }
 
+    fn cost_hint(&self) -> u64 {
+        2
+    }
+
     fn generate(&mut self, count: usize, rng: &mut StdRng) -> Vec<GuestOp> {
         let mut out: Vec<GuestOp> = Vec::with_capacity(count + 1024);
         while out.len() < count {

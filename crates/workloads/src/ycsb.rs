@@ -152,6 +152,17 @@ impl WorkloadGen for Ycsb {
         Metric::ExecTime
     }
 
+    fn cost_hint(&self) -> u64 {
+        // KV-substrate cells dominate a figure run; write-heavy mixes (A, F
+        // rewrites, B updates) churn the store hardest.
+        match self.kind {
+            YcsbKind::A => 15,
+            YcsbKind::B => 13,
+            YcsbKind::C | YcsbKind::D => 9,
+            YcsbKind::E | YcsbKind::F => 8,
+        }
+    }
+
     fn generate(&mut self, count: usize, rng: &mut StdRng) -> Vec<GuestOp> {
         self.ensure_loaded(rng);
         let mut out: Vec<GuestOp> = Vec::with_capacity(count + 256);
