@@ -50,12 +50,14 @@ pub const ALL_RULES: [&str; 7] = [
 
 /// Source files whose per-access paths the perfsuite gates; the `hot-*`
 /// rules apply only here.
-const HOT_MODULES: [&str; 5] = [
+const HOT_MODULES: [&str; 7] = [
     "crates/memctrl/src/controller.rs",
+    "crates/memctrl/src/compiled.rs",
     "crates/dram/src/bank.rs",
     "crates/dram/src/device.rs",
     "crates/dram-addr/src/tlb.rs",
     "crates/fleet/src/queue.rs",
+    "crates/sim/src/compile.rs",
 ];
 
 const HOT_COLLECTION_IDENTS: [&str; 4] = ["HashMap", "BTreeMap", "HashSet", "BTreeSet"];

@@ -137,12 +137,15 @@ fn crate_roots_must_forbid_unsafe() {
 #[test]
 fn classify_matches_repo_layout() {
     assert!(classify("crates/memctrl/src/controller.rs").hot);
+    assert!(classify("crates/memctrl/src/compiled.rs").hot);
     assert!(classify("crates/dram/src/bank.rs").hot);
     assert!(classify("crates/dram/src/device.rs").hot);
     assert!(classify("crates/dram-addr/src/tlb.rs").hot);
     assert!(classify("crates/fleet/src/queue.rs").hot);
+    assert!(classify("crates/sim/src/compile.rs").hot);
     assert!(!classify("crates/memctrl/src/baseline.rs").hot);
     assert!(!classify("crates/fleet/src/engine.rs").hot);
+    assert!(!classify("crates/sim/src/cache.rs").hot);
     assert!(classify("crates/telemetry/src/metrics.rs").telemetry);
     assert!(classify("crates/sim/src/lib.rs").crate_root);
     assert!(classify("src/lib.rs").crate_root);

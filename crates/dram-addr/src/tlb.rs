@@ -63,6 +63,15 @@ pub struct DecodeTlb {
     banks_per_socket: u64,
     socket_bytes: u64,
     capacity: u64,
+    /// `(mask, shift)` replacing `% / banks_per_socket` when the bank count
+    /// is a power of two (every line of the tail then runs division-free).
+    bank_pow2: Option<(u64, u32)>,
+    /// The bank-hash permutation, fully tabulated:
+    /// `hash_table[(row & hash_row_mask) * banks_per_socket + slot]` is the
+    /// flat bank index. [`crate::BankHash::None`] tabulates as one identity
+    /// row with a zero mask, so the hot path has no policy branch.
+    hash_row_mask: u32,
+    hash_table: Vec<u32>,
 }
 
 impl DecodeTlb {
@@ -85,6 +94,19 @@ impl DecodeTlb {
         let bank_media = (0..g.banks_per_socket())
             .map(|flat| BankId(flat).to_media(g))
             .collect();
+        let banks = g.banks_per_socket() as u64;
+        let bank_pow2 = banks
+            .is_power_of_two()
+            .then(|| (banks - 1, banks.trailing_zeros()));
+        let hash_row_mask = match decoder.config().bank_hash {
+            crate::BankHash::None => 0,
+            crate::BankHash::XorRow => u32::from(g.bank_groups) - 1,
+        };
+        let hash = decoder.config().bank_hash;
+        let hash_table = (0..=hash_row_mask)
+            .flat_map(|row| (0..banks).map(move |slot| (slot, row)))
+            .map(|(slot, row)| hash.bank_of_line(slot, row, g))
+            .collect();
         Self {
             tags: vec![EMPTY; slots],
             rows: vec![0; slots],
@@ -94,11 +116,31 @@ impl DecodeTlb {
             misses: 0,
             aliases: 0,
             row_group_bytes: g.row_group_bytes(),
-            banks_per_socket: g.banks_per_socket() as u64,
+            banks_per_socket: banks,
             socket_bytes: decoder.socket_bytes(),
             capacity: decoder.capacity(),
+            bank_pow2,
+            hash_row_mask,
+            hash_table,
             inner: decoder,
         }
+    }
+
+    /// Splits a line index within a row group into `(bank slot, column
+    /// line)` — mask/shift when the bank count is a power of two.
+    #[inline]
+    fn split_line(&self, line: u64) -> (u64, u64) {
+        match self.bank_pow2 {
+            Some((mask, shift)) => (line & mask, line >> shift),
+            None => (line % self.banks_per_socket, line / self.banks_per_socket),
+        }
+    }
+
+    /// The bank-hash permutation via the precomputed table.
+    #[inline]
+    fn flat_bank(&self, slot: u64, row: u32) -> u32 {
+        let base = (row & self.hash_row_mask) as usize * self.banks_per_socket as usize;
+        self.hash_table[base + slot as usize]
     }
 
     /// The wrapped decoder.
@@ -135,6 +177,18 @@ impl DecodeTlb {
     /// Empties the cache (counters are kept).
     pub fn flush(&mut self) {
         self.tags.fill(EMPTY);
+    }
+
+    /// Credits externally-performed decodes into this TLB's counters.
+    ///
+    /// Trace compilation decodes a whole trace up front through its own
+    /// [`StreamDecoder`]; replaying the compiled program then credits those
+    /// counts here so a controller's exported `tlb` telemetry is identical
+    /// to having decoded each op at replay time.
+    pub fn credit(&mut self, hits: u64, misses: u64, aliases: u64) {
+        self.hits += hits;
+        self.misses += misses;
+        self.aliases += aliases;
     }
 
     /// Memoized [`SystemAddressDecoder::decode`]; exact for all addresses.
@@ -175,20 +229,91 @@ impl DecodeTlb {
         // the precomputed coordinate table.
         let line_off = phys % self.row_group_bytes;
         let line = line_off / CACHE_LINE_BYTES;
-        let bank_slot = line % self.banks_per_socket;
-        let col_line = line / self.banks_per_socket;
-        let g = self.inner.geometry();
-        let flat = self
-            .inner
-            .config()
-            .bank_hash
-            .bank_of_line(bank_slot, row, g);
+        let (bank_slot, col_line) = self.split_line(line);
+        let flat = self.flat_bank(bank_slot, row);
         let socket = phys / self.socket_bytes;
         let mut media = self.bank_media[flat as usize];
         media.socket = socket as u16;
         media.row = row;
         media.col = (col_line * CACHE_LINE_BYTES + phys % CACHE_LINE_BYTES) as u32;
         let bank = BankId(socket as u32 * self.banks_per_socket as u32 + flat);
+        Ok((media, bank))
+    }
+}
+
+/// A streaming decoder for trace compilation: a [`DecodeTlb`] plus a
+/// one-entry stripe shortcut exploiting the run structure of real traces.
+///
+/// Consecutive ops of a trace very often land in the same row-group stripe
+/// (sequential line streams, value reads following a bucket probe). Within
+/// one stripe the expensive part of the decode — stripe index, media row,
+/// socket — is constant, and the wrapped TLB's slot for that stripe is
+/// *guaranteed* live (this decoder owns the TLB, and the previous decode
+/// installed it), so the shortcut counts a hit exactly where
+/// [`DecodeTlb::decode_with_bank`] would and computes only the line tail:
+/// no division at all on the fast path.
+///
+/// The crate's tests pin `decode_with_bank` bit-identical (result *and*
+/// counters) to a plain [`DecodeTlb`] fed the same stream.
+#[derive(Debug, Clone)]
+pub struct StreamDecoder {
+    tlb: DecodeTlb,
+    /// First byte of the current stripe, or `u64::MAX` before any decode.
+    stripe_base: u64,
+    /// Cached `(row, socket)` of the current stripe.
+    row: u32,
+    socket: u16,
+}
+
+impl StreamDecoder {
+    /// Wraps `decoder` with a fresh default-capacity TLB.
+    #[must_use]
+    pub fn new(decoder: SystemAddressDecoder) -> Self {
+        Self {
+            tlb: DecodeTlb::new(decoder),
+            stripe_base: u64::MAX,
+            row: 0,
+            socket: 0,
+        }
+    }
+
+    /// `(hits, misses, aliases)` counted so far — fast-path decodes are
+    /// credited as the TLB hits they would have been.
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.tlb.hits, self.tlb.misses, self.tlb.aliases)
+    }
+
+    /// Memoized decode; exact for all addresses, identical in result and
+    /// counter accounting to [`DecodeTlb::decode_with_bank`].
+    ///
+    /// # Errors
+    ///
+    /// Fails for addresses beyond the machine's capacity, like the inner
+    /// decoder (rejections touch no counters).
+    #[inline]
+    pub fn decode_with_bank(&mut self, phys: u64) -> Result<(MediaAddress, BankId), AddrError> {
+        // Same stripe as the previous decode? Stripes are aligned, so a
+        // subtraction replaces the division; the in-range check is implied
+        // (the previous decode validated this stripe).
+        let line_off = phys.wrapping_sub(self.stripe_base);
+        if line_off < self.tlb.row_group_bytes {
+            // The TLB slot for this stripe is live, so it would have hit.
+            self.tlb.hits += 1;
+            let line = line_off / CACHE_LINE_BYTES;
+            let (bank_slot, col_line) = self.tlb.split_line(line);
+            let flat = self.tlb.flat_bank(bank_slot, self.row);
+            let mut media = self.tlb.bank_media[flat as usize];
+            media.socket = self.socket;
+            media.row = self.row;
+            media.col = (col_line * CACHE_LINE_BYTES + phys % CACHE_LINE_BYTES) as u32;
+            let bank = BankId(u32::from(self.socket) * self.tlb.banks_per_socket as u32 + flat);
+            return Ok((media, bank));
+        }
+        let (media, bank) = self.tlb.decode_with_bank(phys)?;
+        self.stripe_base = phys - phys % self.tlb.row_group_bytes;
+        self.row = media.row;
+        self.socket = media.socket;
         Ok((media, bank))
     }
 }
@@ -344,6 +469,75 @@ mod tests {
         let after: Vec<_> = probe.iter().map(|&p| tlb.decode(p).unwrap()).collect();
         assert_eq!(before, after, "decode is independent of repair state");
         assert!(tlb.misses() >= 2 * probe.len() as u64 - tlb.aliases());
+    }
+
+    #[test]
+    fn stream_decoder_matches_tlb_exactly_with_counters() {
+        // The stream decoder's same-stripe shortcut must be invisible:
+        // identical results *and* identical hit/miss/alias accounting to a
+        // plain TLB fed the same address sequence. Exercise dense runs
+        // (fast path), stripe boundaries, returns to a prior stripe after
+        // visiting another (slot still live ⇒ still a hit), and a
+        // pseudo-random mix.
+        for dec in [mini_decoder(), skylake_decoder()] {
+            let mut stream = StreamDecoder::new(dec.clone());
+            let mut tlb = DecodeTlb::new(dec.clone());
+            let stripe = dec.geometry().row_group_bytes();
+            let mut seq = Vec::new();
+            // Dense run inside one stripe, crossing into the next.
+            for k in 0..64u64 {
+                seq.push(stripe - 32 * 64 + k * 64);
+            }
+            // Revisit the first stripe (alias-free return), then ping-pong.
+            seq.push(100);
+            seq.push(stripe + 100);
+            seq.push(164);
+            // Deterministic pseudo-random walk over the whole machine.
+            let mut x = 0x1234_5678_9abc_def0u64;
+            for _ in 0..4_000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                seq.push(x % dec.capacity());
+            }
+            for &phys in &seq {
+                assert_eq!(
+                    stream.decode_with_bank(phys).unwrap(),
+                    tlb.decode_with_bank(phys).unwrap(),
+                    "stream vs tlb decode diverged at {phys:#x}"
+                );
+            }
+            assert_eq!(
+                stream.counters(),
+                (tlb.hits(), tlb.misses(), tlb.aliases()),
+                "counter accounting diverged"
+            );
+            assert!(stream.counters().0 > 0 && stream.counters().1 > 0);
+        }
+    }
+
+    #[test]
+    fn stream_decoder_rejects_out_of_range_without_counting() {
+        let dec = mini_decoder();
+        let cap = dec.capacity();
+        let mut stream = StreamDecoder::new(dec.clone());
+        assert!(matches!(
+            stream.decode_with_bank(cap),
+            Err(AddrError::PhysOutOfRange { .. })
+        ));
+        assert_eq!(stream.counters(), (0, 0, 0));
+        // After a valid decode, an out-of-range address in a *later* stripe
+        // still fails (it can never satisfy the same-stripe shortcut, since
+        // capacity is stripe-aligned and the cached stripe is in range).
+        let last = cap - 64;
+        let expect = dec.decode(last).unwrap();
+        assert_eq!(stream.decode_with_bank(last).unwrap().0, expect);
+        let counters = stream.counters();
+        assert!(matches!(
+            stream.decode_with_bank(cap),
+            Err(AddrError::PhysOutOfRange { .. })
+        ));
+        assert_eq!(stream.counters(), counters);
     }
 
     #[test]

@@ -16,10 +16,11 @@ use analysis::isolation::verify_live_placements;
 use dram::{DimmProfile, DramSystemBuilder};
 use dram_addr::RepairMap;
 use hammer::FuzzConfig;
-use memctrl::MemoryController;
+use memctrl::{CompiledTrace, MemoryController};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use siloz::{Hypervisor, HypervisorKind, SilozError, VmHandle};
+use sim::GuestLedger;
 use std::collections::BTreeMap;
 
 /// Max violation messages retained verbatim (the total is always counted).
@@ -51,6 +52,10 @@ pub struct FleetStats {
     pub slices: u64,
     /// Total memory operations across slices.
     pub slice_ops: u64,
+    /// Tenant ledgers compiled (config-independent; reused across respawns).
+    pub ledger_compiles: u64,
+    /// Ledger→backing binds (re-done only when a tenant's backing changes).
+    pub program_binds: u64,
     /// Attack campaigns launched.
     pub attacks: u64,
     /// Flips induced by attacks (anywhere).
@@ -96,6 +101,13 @@ pub struct FleetSim {
     live: BTreeMap<u32, LiveVm>,
     /// Dense group→tenant ownership map, indexed by `GroupId.0`.
     group_owner: Vec<Option<u32>>,
+    /// Compiled per-tenant load-generator ledgers, keyed by
+    /// `(tenant, ops, threads)`. Backing-independent: entries survive the
+    /// tenant's departure and are reused verbatim if it is readmitted.
+    ledgers: BTreeMap<(u32, u32, u16), GuestLedger>,
+    /// Ledgers bound to the owning tenant's *current* backing, same key.
+    /// Invalidated whenever an event moves the tenant's memory.
+    programs: BTreeMap<(u32, u32, u16), CompiledTrace>,
     stats: FleetStats,
     events_since_proof: u32,
 }
@@ -130,6 +142,8 @@ impl FleetSim {
             admission,
             live: BTreeMap::new(),
             group_owner,
+            ledgers: BTreeMap::new(),
+            programs: BTreeMap::new(),
             stats: FleetStats::default(),
             events_since_proof: 0,
         })
@@ -245,6 +259,7 @@ impl FleetSim {
             self.queue
                 .push(now + vm.lifetime, vm.tenant, EventKind::Depart);
             self.stats.peak_live = self.stats.peak_live.max(self.live.len() as u64);
+            self.invalidate_programs(vm.tenant);
             self.check_tenant(vm.tenant, true)?;
         }
         Ok(())
@@ -257,6 +272,7 @@ impl FleetSim {
         };
         self.hv.destroy_vm(vm.handle)?;
         self.stats.departures += 1;
+        self.invalidate_programs(tenant);
         for slot in self.group_owner.iter_mut() {
             if *slot == Some(tenant) {
                 *slot = None;
@@ -276,6 +292,7 @@ impl FleetSim {
             self.queue
                 .push(now + pending.lifetime, pending.tenant, EventKind::Depart);
             self.stats.peak_live = self.stats.peak_live.max(self.live.len() as u64);
+            self.invalidate_programs(pending.tenant);
             self.check_tenant(pending.tenant, true)?;
         }
         Ok(())
@@ -289,6 +306,7 @@ impl FleetSim {
         match self.hv.expand_vm(vm.handle, extra_bytes) {
             Ok(()) => {
                 self.stats.expansions += 1;
+                self.invalidate_programs(tenant);
                 self.check_tenant(tenant, true)?;
             }
             Err(SilozError::InsufficientCapacity { .. }) => {
@@ -300,21 +318,44 @@ impl FleetSim {
         Ok(())
     }
 
-    fn slice(&mut self, tenant: u32, ev: &Event, ops: u32) -> Result<(), SilozError> {
+    /// Drops a tenant's bound replay programs. Called whenever an event
+    /// changes the tenant's backing (admission, departure, expansion,
+    /// defrag or Copy-on-Flip migration); the next slice re-binds the
+    /// cached ledger against the new backing. Ledgers themselves are
+    /// backing-independent and never invalidated.
+    fn invalidate_programs(&mut self, tenant: u32) {
+        self.programs.retain(|k, _| k.0 != tenant);
+    }
+
+    /// Replays one load-generator slice for `tenant`. The tenant's guest
+    /// trace is a fixed draw — seeded by `(scenario seed, tenant)` — so it
+    /// compiles to a [`GuestLedger`] exactly once and each slice replays
+    /// the pre-bound program through the controller; only a backing change
+    /// forces a re-bind.
+    fn slice(&mut self, tenant: u32, ops: u32) -> Result<(), SilozError> {
         let Some(vm) = self.live.get(&tenant).copied() else {
             self.stats.orphan_events += 1;
             return Ok(());
         };
-        let mut workload =
-            workloads::fleet_tenant_workload(tenant, self.scenario.slice_working_set);
-        let shape = sim::TraceShape {
-            ops: ops as usize,
-            threads: vm.vcpus.clamp(1, 4) as u16,
-            thread_base: ((u64::from(tenant) * 16) % 65536) as u16,
-            seed: self.scenario.seed ^ (u64::from(tenant) << 17) ^ ev.seq,
-        };
-        let trace = sim::vm_trace(&self.hv, vm.handle, workload.as_mut(), &shape)?;
-        let _ = self.ctrl.run_trace(self.hv.dram_mut(), trace);
+        let threads = vm.vcpus.clamp(1, 4) as u16;
+        let key = (tenant, ops, threads);
+        if !self.ledgers.contains_key(&key) {
+            let mut workload =
+                workloads::fleet_tenant_workload(tenant, self.scenario.slice_working_set);
+            let mut rng = StdRng::seed_from_u64(self.scenario.seed ^ (u64::from(tenant) << 17));
+            let ledger = GuestLedger::generate(workload.as_mut(), ops as usize, threads, &mut rng);
+            self.ledgers.insert(key, ledger);
+            self.stats.ledger_compiles += 1;
+        }
+        if !self.programs.contains_key(&key) {
+            let thread_base = ((u64::from(tenant) * 16) % 65536) as u16;
+            let program = sim::vm_compiled(&self.hv, vm.handle, &self.ledgers[&key], thread_base)?;
+            self.programs.insert(key, program);
+            self.stats.program_binds += 1;
+        }
+        let _ = self
+            .ctrl
+            .run_compiled(self.hv.dram_mut(), &self.programs[&key]);
         self.ctrl.sync_dram_time(self.hv.dram_mut());
         self.stats.slices += 1;
         self.stats.slice_ops += u64::from(ops);
@@ -362,6 +403,9 @@ impl FleetSim {
                         self.stats.cof_runs += 1;
                         self.stats.cof_migrated += r.migrated_blocks as u64;
                         self.stats.cof_corrected += r.corrected_errors as u64;
+                        if r.migrated_blocks > 0 {
+                            self.invalidate_programs(vt);
+                        }
                         self.check_tenant(vt, false)?;
                     }
                     // A fully-packed node has no spare block to copy into;
@@ -396,6 +440,7 @@ impl FleetSim {
             match self.hv.migrate_block(vm.handle, gpa) {
                 Ok(()) => {
                     self.stats.defrag_migrations += 1;
+                    self.invalidate_programs(tenant);
                     budget -= 1;
                 }
                 // The VM exactly fills its groups: nothing to compact.
@@ -436,7 +481,7 @@ impl FleetSim {
             }
             EventKind::Depart => self.depart(ev.at, ev.tenant)?,
             EventKind::Expand { extra_bytes } => self.expand(ev.tenant, extra_bytes)?,
-            EventKind::Slice { ops } => self.slice(ev.tenant, &ev, ops)?,
+            EventKind::Slice { ops } => self.slice(ev.tenant, ops)?,
             EventKind::Attack => self.attack(ev.tenant, &ev)?,
             EventKind::Defrag => self.defrag()?,
         }
@@ -517,6 +562,10 @@ impl FleetSim {
             .add(self.stats.expand_denials);
         fleet.counter("slices").add(self.stats.slices);
         fleet.counter("slice_ops").add(self.stats.slice_ops);
+        fleet
+            .counter("ledger_compiles")
+            .add(self.stats.ledger_compiles);
+        fleet.counter("program_binds").add(self.stats.program_binds);
         fleet.counter("attacks").add(self.stats.attacks);
         fleet.counter("attack_flips").add(self.stats.attack_flips);
         fleet

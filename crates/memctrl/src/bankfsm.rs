@@ -59,14 +59,31 @@ impl BankFsm {
         timings: &DdrTimings,
         policy: PagePolicy,
     ) -> (AccessKind, u64, u64) {
-        let result = self.access(row, arrival_ps, timings);
+        let kind = self.classify(row);
+        let (act, done) = self.access_classified(kind, row, arrival_ps, timings, policy);
+        (kind, act, done)
+    }
+
+    /// [`Self::access_with_policy`] with the row-buffer interaction already
+    /// classified — for callers that computed [`Self::classify`] on the
+    /// current state anyway (the controller does, for rank ACT
+    /// constraints). `kind` must be that classification, unmodified.
+    pub fn access_classified(
+        &mut self,
+        kind: AccessKind,
+        row: u32,
+        arrival_ps: u64,
+        timings: &DdrTimings,
+        policy: PagePolicy,
+    ) -> (u64, u64) {
+        let (act, done) = self.serve(kind, row, arrival_ps, timings);
         if policy == PagePolicy::Closed {
             // Auto-precharge overlaps the burst; the bank is simply closed
             // and ready tRP after the access completes.
             self.open_row = None;
             self.ready_ps += timings.t_rp_ps;
         }
-        result
+        (act, done)
     }
 
     /// Performs an access to `row` arriving at `arrival_ps` (open-page).
@@ -79,6 +96,20 @@ impl BankFsm {
         timings: &DdrTimings,
     ) -> (AccessKind, u64, u64) {
         let kind = self.classify(row);
+        let (act, done) = self.serve(kind, row, arrival_ps, timings);
+        (kind, act, done)
+    }
+
+    /// The timing core shared by every access form: `kind` is the
+    /// classification of `row` against the current state.
+    #[inline]
+    fn serve(
+        &mut self,
+        kind: AccessKind,
+        row: u32,
+        arrival_ps: u64,
+        timings: &DdrTimings,
+    ) -> (u64, u64) {
         let start = arrival_ps.max(self.ready_ps);
         let (act_start, done) = match kind {
             AccessKind::RowHit => (start, start + timings.hit_latency_ps()),
@@ -102,7 +133,7 @@ impl BankFsm {
         };
         self.open_row = Some(row);
         self.ready_ps = done;
-        (kind, act_start, done)
+        (act_start, done)
     }
 
     /// Closes the bank (e.g. on refresh).

@@ -12,6 +12,7 @@
 //! [`run_trace`]: MemoryController::run_trace
 
 use crate::bankfsm::{AccessKind, BankFsm, PagePolicy};
+use crate::compiled::{CompiledTrace, INVALID_BANK};
 use crate::stats::CtrlStats;
 use crate::timing::DdrTimings;
 use dram::DramSystem;
@@ -189,13 +190,19 @@ fn per_thread(threads: &mut Vec<PerThread>, thread: u16, start_clock: u64) -> &m
     &mut threads[idx]
 }
 
-/// A window entry of [`MemoryController::run_trace`]: the op, its issue
-/// time, and its decode (performed once, at window entry).
+/// A window entry of the replay loops: issue time plus the scheduling
+/// coordinates of the op's decode (performed once, at window entry —
+/// `bank` is [`INVALID_BANK`] when the address failed to decode). 24 bytes,
+/// so the per-pick FR-FCFS scan streams over a compact contiguous window.
 #[derive(Debug, Clone, Copy)]
 struct PendingOp {
-    op: MemOp,
     issue: u64,
-    decoded: Option<(MediaAddress, BankId)>,
+    bank: u32,
+    row: u32,
+    rank_ord: u16,
+    chan_ord: u16,
+    thread: u16,
+    write: bool,
 }
 
 /// The memory controller: address decode, FR-FCFS scheduling, DDR timing.
@@ -404,6 +411,29 @@ impl MemoryController {
         write: bool,
         arrival_ps: u64,
     ) -> AccessResult {
+        let rank_ord =
+            self.geometry
+                .rank_ordinal(media.socket, media.channel, media.dimm, media.rank);
+        let chan_ord = self.geometry.channel_ordinal(media.socket, media.channel);
+        self.access_inner(
+            dram, bank_id, media.row, rank_ord, chan_ord, write, arrival_ps,
+        )
+    }
+
+    /// The innermost service path: bank, row, and geometry ordinals already
+    /// resolved (by [`Self::access_decoded`], or at compile time for
+    /// [`Self::run_compiled`] programs).
+    #[allow(clippy::too_many_arguments)]
+    fn access_inner(
+        &mut self,
+        dram: &mut DramSystem,
+        bank_id: BankId,
+        row: u32,
+        rank_ord: usize,
+        chan_ord: usize,
+        write: bool,
+        arrival_ps: u64,
+    ) -> AccessResult {
         // Distributed refresh: when the clock crosses tREFI, steal tRFC from
         // every touched bank (coarse model of per-rank staggered REF).
         while arrival_ps >= self.next_ref_ps {
@@ -417,12 +447,9 @@ impl MemoryController {
         }
         let ord = bank_id.0 as usize;
         // Rank-level ACT constraints apply only if an ACT will be issued.
-        let needs_act = self.banks[ord].classify(media.row) != AccessKind::RowHit;
+        let kind = self.banks[ord].classify(row);
         let mut arrival = arrival_ps;
-        let rank_ord =
-            self.geometry
-                .rank_ordinal(media.socket, media.channel, media.dimm, media.rank);
-        if needs_act {
+        if kind != AccessKind::RowHit {
             let rank = &self.ranks[rank_ord];
             arrival = arrival.max(rank.last_act_ps + self.timings.t_rrd_ps);
             if rank.recent_acts.len() == 4 {
@@ -430,8 +457,8 @@ impl MemoryController {
                 arrival = arrival.max(oldest + self.timings.t_faw_ps);
             }
         }
-        let (kind, act_start, bank_done) =
-            self.banks[ord].access_with_policy(media.row, arrival, &self.timings, self.policy);
+        let (act_start, bank_done) =
+            self.banks[ord].access_classified(kind, row, arrival, &self.timings, self.policy);
         if kind != AccessKind::RowHit {
             let rank = &mut self.ranks[rank_ord];
             rank.last_act_ps = act_start;
@@ -441,7 +468,7 @@ impl MemoryController {
             }
         }
         // Channel data bus: the burst occupies the bus; queue if busy.
-        let bus = &mut self.bus_free[self.geometry.channel_ordinal(media.socket, media.channel)];
+        let bus = &mut self.bus_free[chan_ord];
         let data_start = (bank_done - self.timings.t_burst_ps).max(*bus);
         let done = data_start + self.timings.t_burst_ps;
         *bus = done;
@@ -462,14 +489,14 @@ impl MemoryController {
             // soon as any other row activates, keeping the device's global
             // flip-log order identical to per-ACT issue.
             match &mut self.pending_act {
-                Some(run) if run.bank == bank_id && run.row == media.row => run.count += 1,
+                Some(run) if run.bank == bank_id && run.row == row => run.count += 1,
                 run => {
                     if let Some(prev) = run.take() {
                         dram.activate_burst(prev.bank, prev.row, prev.count, 0);
                     }
                     *run = Some(ActRun {
                         bank: bank_id,
-                        row: media.row,
+                        row,
                         count: 1,
                     });
                 }
@@ -507,6 +534,60 @@ impl MemoryController {
         }
     }
 
+    /// FR-FCFS pick: the oldest row-hit if any, else the oldest op; the
+    /// starvation bound forces the oldest once `bypassed` reaches the
+    /// window size. `hitmask` bit `i` mirrors "entry `i` classifies as a
+    /// row hit" whenever `masked` (windows of at most 64 entries); larger
+    /// windows fall back to scanning.
+    #[inline]
+    fn pick(&self, pending: &[PendingOp], hitmask: u64, masked: bool, bypassed: u32) -> usize {
+        if bypassed >= self.window as u32 {
+            0
+        } else if masked {
+            if hitmask == 0 {
+                0
+            } else {
+                hitmask.trailing_zeros() as usize
+            }
+        } else {
+            pending
+                .iter()
+                .position(|p| {
+                    p.bank != INVALID_BANK
+                        && self.banks[p.bank as usize].classify(p.row) == AccessKind::RowHit
+                })
+                .unwrap_or(0)
+        }
+    }
+
+    /// Re-derives `hitmask` bits after serving an access on `served_bank`:
+    /// only that bank's open row changed, so only its entries re-classify —
+    /// unless the access crossed a refresh boundary (`refresh_crossed`),
+    /// which precharged every touched bank and thus cleared every hit
+    /// except those the just-served bank re-opened.
+    #[inline]
+    fn requalify(
+        &self,
+        pending: &[PendingOp],
+        hitmask: &mut u64,
+        served_bank: u32,
+        refresh_crossed: bool,
+    ) {
+        if refresh_crossed {
+            *hitmask = 0;
+        }
+        let open = self.banks[served_bank as usize].open_row;
+        for (i, e) in pending.iter().enumerate() {
+            if e.bank == served_bank {
+                if open == Some(e.row) {
+                    *hitmask |= 1 << i;
+                } else {
+                    *hitmask &= !(1 << i);
+                }
+            }
+        }
+    }
+
     /// Replays a trace with FR-FCFS scheduling over a lookahead window.
     ///
     /// Each thread's ops issue in order, separated by their `gap_ps` (and
@@ -522,15 +603,18 @@ impl MemoryController {
         let before = self.stats;
         let mut threads: Vec<PerThread> = Vec::new();
         let mut first_issue: Option<u64> = None;
-        let mut pending: VecDeque<PendingOp> = VecDeque::new();
+        let window = self.window.max(1);
+        let mut pending: Vec<PendingOp> = Vec::with_capacity(window);
         let mut staged: Option<MemOp> = None;
         let mut bypassed = 0u32;
+        let masked = window <= 64;
+        let mut hitmask = 0u64;
         let mut iter = ops.into_iter();
         loop {
             // Fill the window. A dependent op whose thread still has an op
             // in flight cannot be timestamped yet; it (and everything
             // behind it) waits.
-            while pending.len() < self.window.max(1) {
+            while pending.len() < window {
                 let Some(op) = staged.take().or_else(|| iter.next()) else {
                     break;
                 };
@@ -546,10 +630,38 @@ impl MemoryController {
                 t.cursor = issue;
                 t.outstanding += 1;
                 first_issue.get_or_insert(issue);
-                // Decode once on entry; invalid addresses stay undecoded and
-                // are dropped when picked.
-                let decoded = self.tlb.decode_with_bank(op.phys).ok();
-                pending.push_back(PendingOp { op, issue, decoded });
+                // Decode once on entry; invalid addresses stay undecoded
+                // (bank sentinel) and are dropped when picked.
+                let entry = match self.tlb.decode_with_bank(op.phys) {
+                    Ok((m, bank)) => PendingOp {
+                        issue,
+                        bank: bank.0,
+                        row: m.row,
+                        rank_ord: self
+                            .geometry
+                            .rank_ordinal(m.socket, m.channel, m.dimm, m.rank)
+                            as u16,
+                        chan_ord: self.geometry.channel_ordinal(m.socket, m.channel) as u16,
+                        thread: op.thread,
+                        write: op.write,
+                    },
+                    Err(_) => PendingOp {
+                        issue,
+                        bank: INVALID_BANK,
+                        row: 0,
+                        rank_ord: 0,
+                        chan_ord: 0,
+                        thread: op.thread,
+                        write: op.write,
+                    },
+                };
+                if masked
+                    && entry.bank != INVALID_BANK
+                    && self.banks[entry.bank as usize].classify(entry.row) == AccessKind::RowHit
+                {
+                    hitmask |= 1 << pending.len();
+                }
+                pending.push(entry);
             }
             if pending.is_empty() {
                 break;
@@ -558,31 +670,162 @@ impl MemoryController {
             // FR-FCFS: pick the oldest row-hit if any, else the oldest op.
             // Cap how often the oldest op may be bypassed — real
             // controllers bound reordering to prevent starvation.
-            let choice = if bypassed >= self.window as u32 {
-                0
-            } else {
-                pending
-                    .iter()
-                    .position(|p| {
-                        p.decoded.is_some_and(|(m, bank)| {
-                            self.banks[bank.0 as usize].classify(m.row) == AccessKind::RowHit
-                        })
-                    })
-                    .unwrap_or(0)
-            };
+            let choice = self.pick(&pending, hitmask, masked, bypassed);
             bypassed = if choice == 0 { 0 } else { bypassed + 1 };
-            let p = pending.remove(choice).expect("choice is in range");
-            let thread = p.op.thread as usize;
+            let p = pending.remove(choice);
+            if masked {
+                // Collapse the removed entry's bit out of the mask.
+                let below = (1u64 << choice) - 1;
+                hitmask = (hitmask & below) | ((hitmask >> 1) & !below);
+            }
+            let thread = p.thread as usize;
             threads[thread].outstanding -= 1;
-            if let Some((media, bank)) = p.decoded {
-                let res = self.access_decoded(dram, media, bank, p.op.write, p.issue);
+            if p.bank != INVALID_BANK {
+                let ref_before = self.next_ref_ps;
+                let res = self.access_inner(
+                    dram,
+                    BankId(p.bank),
+                    p.row,
+                    p.rank_ord as usize,
+                    p.chan_ord as usize,
+                    p.write,
+                    p.issue,
+                );
                 let t = &mut threads[thread];
                 t.last_done = t.last_done.max(res.done_ps);
                 t.lat_sum += res.latency_ps;
                 t.lat_count += 1;
+                if masked {
+                    self.requalify(
+                        &pending,
+                        &mut hitmask,
+                        p.bank,
+                        self.next_ref_ps != ref_before,
+                    );
+                }
             }
             // Undecoded (out-of-range) ops are dropped from the trace; the
             // workload layer is responsible for valid addressing.
+        }
+        self.flush_acts(dram);
+        let elapsed = self
+            .stats
+            .clock_ps
+            .saturating_sub(first_issue.unwrap_or(start_clock));
+        let mut delta = self.stats;
+        delta.accesses -= before.accesses;
+        delta.row_hits -= before.row_hits;
+        delta.row_misses -= before.row_misses;
+        delta.row_conflicts -= before.row_conflicts;
+        delta.reads -= before.reads;
+        delta.total_latency_ps -= before.total_latency_ps;
+        delta.bytes -= before.bytes;
+        let thread_latency = threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.lat_count > 0)
+            .map(|(id, t)| (id as u16, (t.lat_sum, t.lat_count)))
+            .collect();
+        TraceResult {
+            stats: delta,
+            elapsed_ps: elapsed,
+            thread_latency,
+        }
+    }
+
+    /// Replays a pre-decoded program — the decode-free twin of
+    /// [`Self::run_trace`].
+    ///
+    /// Scheduling is identical op for op: same window fill with the same
+    /// dependent-op stall, same FR-FCFS pick with the same starvation
+    /// bound, same `access_decoded` service path — so results,
+    /// statistics, and telemetry are bit-identical to running the source
+    /// trace through [`Self::run_trace`] on an identically-configured
+    /// controller. The compile-time decode counters are credited into this
+    /// controller's TLB up front, which for a fresh controller reproduces
+    /// the direct path's exported `tlb` metrics exactly.
+    pub fn run_compiled(&mut self, dram: &mut DramSystem, prog: &CompiledTrace) -> TraceResult {
+        self.tlb
+            .credit(prog.tlb_hits, prog.tlb_misses, prog.tlb_aliases);
+        let start_clock = self.stats.clock_ps;
+        let before = self.stats;
+        let mut threads: Vec<PerThread> = Vec::new();
+        let mut first_issue: Option<u64> = None;
+        let window = self.window.max(1);
+        let mut pending: Vec<PendingOp> = Vec::with_capacity(window);
+        let mut bypassed = 0u32;
+        let masked = window <= 64;
+        let mut hitmask = 0u64;
+        let mut next = 0usize;
+        let ops = prog.ops.as_slice();
+        loop {
+            while pending.len() < window && next < ops.len() {
+                let op = &ops[next];
+                let t = per_thread(&mut threads, op.thread, start_clock);
+                if op.dependent && t.outstanding > 0 {
+                    break;
+                }
+                let mut issue = t.cursor + op.gap_ps;
+                if op.dependent {
+                    issue = issue.max(t.last_done);
+                }
+                t.cursor = issue;
+                t.outstanding += 1;
+                first_issue.get_or_insert(issue);
+                if masked
+                    && op.bank != INVALID_BANK
+                    && self.banks[op.bank as usize].classify(op.row) == AccessKind::RowHit
+                {
+                    hitmask |= 1 << pending.len();
+                }
+                pending.push(PendingOp {
+                    issue,
+                    bank: op.bank,
+                    row: op.row,
+                    rank_ord: op.rank_ord,
+                    chan_ord: op.chan_ord,
+                    thread: op.thread,
+                    write: op.write,
+                });
+                next += 1;
+            }
+            if pending.is_empty() {
+                break;
+            }
+            self.queue_depth.observe(pending.len() as u64);
+            let choice = self.pick(&pending, hitmask, masked, bypassed);
+            bypassed = if choice == 0 { 0 } else { bypassed + 1 };
+            let p = pending.remove(choice);
+            if masked {
+                let below = (1u64 << choice) - 1;
+                hitmask = (hitmask & below) | ((hitmask >> 1) & !below);
+            }
+            let thread = p.thread as usize;
+            threads[thread].outstanding -= 1;
+            if p.bank != INVALID_BANK {
+                let ref_before = self.next_ref_ps;
+                let res = self.access_inner(
+                    dram,
+                    BankId(p.bank),
+                    p.row,
+                    p.rank_ord as usize,
+                    p.chan_ord as usize,
+                    p.write,
+                    p.issue,
+                );
+                let t = &mut threads[thread];
+                t.last_done = t.last_done.max(res.done_ps);
+                t.lat_sum += res.latency_ps;
+                t.lat_count += 1;
+                if masked {
+                    self.requalify(
+                        &pending,
+                        &mut hitmask,
+                        p.bank,
+                        self.next_ref_ps != ref_before,
+                    );
+                }
+            }
         }
         self.flush_acts(dram);
         let elapsed = self
@@ -927,6 +1170,127 @@ mod tests {
             d2.flip_log().all(),
             "coalesced bursts must preserve per-ACT flip order"
         );
+    }
+
+    /// A mixed trace exercising every scheduling feature: sequential
+    /// streams, a hot row with gaps, random writes, dependent chases,
+    /// invalid (dropped) addresses, several threads.
+    fn mixed_trace(n: u64) -> Vec<MemOp> {
+        let dec = mini_decoder();
+        let cap = dec.capacity();
+        let rg = dec.geometry().row_group_bytes();
+        let mut x = 0xdead_beefu64;
+        (0..n)
+            .map(|i| match i % 5 {
+                0 => MemOp::read(i * 64),
+                1 => MemOp::read(0).with_gap_ps(1_000).on_thread(1),
+                2 => {
+                    x = dram::util::splitmix64(x);
+                    MemOp::write((x % cap) & !63).on_thread(2)
+                }
+                3 => MemOp::read((i * rg) % cap).after_previous().on_thread(3),
+                _ => MemOp::read(cap + i), // invalid: dropped by both paths
+            })
+            .collect()
+    }
+
+    #[test]
+    fn run_compiled_matches_run_trace_exactly() {
+        // The pre-decoded replay must be indistinguishable from the direct
+        // path: same TraceResult, same bank census, and identical exported
+        // telemetry including the TLB child (compile-time counters are
+        // credited at replay).
+        let ops = mixed_trace(20_000);
+        let (mut direct, mut d1) = setup();
+        let direct_res = direct.run_trace(&mut d1, ops.clone());
+
+        let prog = CompiledTrace::compile(mini_decoder(), ops);
+        let (mut compiled, mut d2) = setup();
+        let compiled_res = compiled.run_compiled(&mut d2, &prog);
+
+        assert_eq!(direct_res, compiled_res);
+        assert_eq!(direct.banks_touched(), compiled.banks_touched());
+        let direct_reg = telemetry::Registry::new();
+        direct.export_telemetry(&direct_reg);
+        let compiled_reg = telemetry::Registry::new();
+        compiled.export_telemetry(&compiled_reg);
+        assert_eq!(
+            direct_reg.snapshot(),
+            compiled_reg.snapshot(),
+            "compiled replay must emit identical telemetry, TLB included"
+        );
+    }
+
+    #[test]
+    fn run_compiled_matches_run_trace_with_physics_and_closed_page() {
+        // With physics driven and a closed-page policy, every access
+        // re-activates: the ACT-run coalescing, 512-ACT time syncs, and
+        // flip-log ordering must all match the direct path bit for bit.
+        let dec = mini_decoder();
+        let rg = dec.geometry().row_group_bytes();
+        let mut ops = Vec::new();
+        for i in 0..60_000u64 {
+            let phys = match i % 8 {
+                0..=6 => 0,
+                _ => ((i / 8) % 64) * rg + 2 * rg,
+            };
+            ops.push(MemOp::read(phys));
+        }
+        let mk_dram = || {
+            dram::DramSystemBuilder::new(mini_geometry())
+                .trr(0, 0)
+                .build()
+        };
+        let mut d1 = mk_dram();
+        let mut direct = MemoryController::new(mini_decoder()).with_policy(PagePolicy::Closed);
+        let direct_res = direct.run_trace(&mut d1, ops.clone());
+
+        let prog = CompiledTrace::compile(mini_decoder(), ops);
+        let mut d2 = mk_dram();
+        let mut compiled = MemoryController::new(mini_decoder()).with_policy(PagePolicy::Closed);
+        let compiled_res = compiled.run_compiled(&mut d2, &prog);
+
+        assert_eq!(direct_res, compiled_res);
+        assert_eq!(d1.stats(), d2.stats());
+        assert_eq!(
+            d1.flip_log().all(),
+            d2.flip_log().all(),
+            "compiled replay must preserve per-ACT flip order"
+        );
+    }
+
+    #[test]
+    fn run_compiled_on_warm_controller_accumulates_like_run_trace() {
+        // Back-to-back programs on one controller: clock carry-over, stats
+        // deltas, and per-thread state resets must match running the same
+        // two traces directly.
+        let first = mixed_trace(4_000);
+        let second: Vec<MemOp> = (0..2_000u64)
+            .map(|i| MemOp::read((i % 512) * 64).on_thread((i % 3) as u16))
+            .collect();
+        let (mut direct, mut d1) = setup();
+        let dr1 = direct.run_trace(&mut d1, first.clone());
+        let dr2 = direct.run_trace(&mut d1, second.clone());
+
+        let prog1 = CompiledTrace::compile(mini_decoder(), first);
+        let prog2 = CompiledTrace::compile(mini_decoder(), second);
+        let (mut compiled, mut d2) = setup();
+        let cr1 = compiled.run_compiled(&mut d2, &prog1);
+        let cr2 = compiled.run_compiled(&mut d2, &prog2);
+
+        assert_eq!(dr1, cr1);
+        assert_eq!(dr2, cr2);
+        assert_eq!(direct.clock_ps(), compiled.clock_ps());
+    }
+
+    #[test]
+    fn empty_compiled_trace_is_a_no_op() {
+        let (mut ctrl, mut dram) = setup();
+        let prog = CompiledTrace::compile(mini_decoder(), std::iter::empty());
+        assert!(prog.is_empty());
+        let res = ctrl.run_compiled(&mut dram, &prog);
+        assert_eq!(res.stats.accesses, 0);
+        assert_eq!(res.elapsed_ps, 0);
     }
 
     #[test]

@@ -19,12 +19,14 @@
 
 pub mod bankfsm;
 pub mod baseline;
+pub mod compiled;
 pub mod controller;
 pub mod stats;
 pub mod timing;
 
 pub use bankfsm::{AccessKind, BankFsm, PagePolicy};
 pub use baseline::HashedController;
+pub use compiled::CompiledTrace;
 pub use controller::{AccessResult, MemOp, MemoryController, TraceResult};
 pub use stats::CtrlStats;
 pub use timing::DdrTimings;

@@ -5,8 +5,9 @@
 //! simulation, and results are aggregated keyed by cell index so the figure
 //! output is bit-identical to the serial loop for any thread count.
 
+use crate::cache::TraceCache;
 use crate::engine::{default_threads, run_cells_costed};
-use crate::run::{run_workload_observed, SimConfig};
+use crate::run::{workload_cell, CellWorkload, Replay, RunSeeds, SimConfig};
 use crate::stats::{geomean, overhead_pct_higher_better, overhead_pct_lower_better, Summary};
 use siloz::{HypervisorKind, SilozConfig, SilozError};
 use telemetry::Registry;
@@ -54,17 +55,27 @@ type NthFactory = fn(usize, u64) -> Box<dyn WorkloadGen>;
 
 /// Measures one suite under `reference_kind`/`reference_cfg` vs
 /// `candidate_kind`/`candidate_cfg`, paired per seed, plus a geomean row.
+///
+/// Reference and candidate cells of one seed share their *trace* seed:
+/// common random numbers pair the comparison op for op, and the trace
+/// compiler builds each `(workload, seed)` ledger once for both arms.
+/// Their *noise* seeds differ (keyed by the candidate configuration), so
+/// measurement noise stays independent per arm as real runs would be.
+#[allow(clippy::too_many_arguments)]
 fn compare_suite(
     (suite, nth): (SuiteFactory, NthFactory),
     reference: (&SilozConfig, HypervisorKind),
     candidate: (&SilozConfig, HypervisorKind),
     sim: &SimConfig,
     threads: usize,
+    replay: Replay,
+    cache: &TraceCache,
     reg: &Registry,
 ) -> Result<Vec<Comparison>, SilozError> {
     let roster = suite(sim.working_set);
     let names: Vec<(String, Metric)> = roster.iter().map(|w| (w.name(), w.metric())).collect();
     let hints: Vec<u64> = roster.iter().map(|w| w.cost_hint()).collect();
+    let working_sets: Vec<u64> = roster.iter().map(|w| w.working_set()).collect();
     drop(roster);
     let n = names.len();
     // One cell per (seed, workload, reference-or-candidate) measurement,
@@ -80,21 +91,31 @@ fn compare_suite(
         let seed = (idx / (n * 2)) as u64;
         let i = (idx / 2) % n;
         let candidate_run = idx % 2 == 1;
-        let mut workload = nth(i, sim.working_set);
-        let (cfg, kind, run_seed) = if candidate_run {
+        // Deferred build: a compiled cell whose ledger is already cached
+        // never constructs (or preloads) the workload at all.
+        let workload = CellWorkload::Deferred {
+            name: names[i].0.clone(),
+            working_set: working_sets[i],
+            metric: names[i].1,
+            build: Box::new(move || nth(i, sim.working_set)),
+        };
+        let (cfg, kind, seeds) = if candidate_run {
             (
                 candidate.0,
                 candidate.1,
-                // Different noise stream for the candidate run — keyed by
-                // the candidate configuration too, so distinct sensitivity
-                // variants get independent nuisance factors, as real
-                // measurements would.
-                seed ^ 0x5a5a_0000 ^ (candidate.0.presumed_subarray_rows as u64) << 32,
+                RunSeeds {
+                    trace: seed,
+                    // Different noise stream for the candidate run — keyed
+                    // by the candidate configuration too, so distinct
+                    // sensitivity variants get independent nuisance
+                    // factors, as real measurements would.
+                    noise: seed ^ 0x5a5a_0000 ^ (candidate.0.presumed_subarray_rows as u64) << 32,
+                },
             )
         } else {
-            (reference.0, reference.1, seed)
+            (reference.0, reference.1, RunSeeds::uniform(seed))
         };
-        run_workload_observed(cfg, kind, workload.as_mut(), sim, run_seed, reg)
+        workload_cell(cfg, kind, workload, sim, seeds, replay, Some(cache), reg)
     });
     let mut ref_samples: Vec<Vec<f64>> = vec![Vec::new(); n];
     let mut cand_samples: Vec<Vec<f64>> = vec![Vec::new(); n];
@@ -173,13 +194,58 @@ pub fn figure4_observed(
     threads: usize,
     reg: &Registry,
 ) -> Result<Vec<Comparison>, SilozError> {
+    figure4_cached(config, sim, threads, &TraceCache::new(), reg)
+}
+
+/// [`figure4_observed`] with a caller-owned [`TraceCache`]. Keeping one
+/// cache alive across calls makes regeneration incremental: ledgers,
+/// environments, bound programs, and whole replay outcomes are reused, so
+/// a repeated grid re-simulates nothing and only re-applies per-cell
+/// measurement noise. Output is bit-identical for any cache state.
+pub fn figure4_cached(
+    config: &SilozConfig,
+    sim: &SimConfig,
+    threads: usize,
+    cache: &TraceCache,
+    reg: &Registry,
+) -> Result<Vec<Comparison>, SilozError> {
     compare_suite(
         (exec_time_suite, exec_time_workload),
         (config, HypervisorKind::Baseline),
         (config, HypervisorKind::Siloz),
         sim,
         threads,
+        Replay::Compiled,
+        cache,
         reg,
+    )
+}
+
+/// [`figure4`] through the direct (uncompiled) replay path — the
+/// equivalence oracle. Output is bit-identical to [`figure4`]; wall time
+/// is not.
+pub fn figure4_uncompiled(
+    config: &SilozConfig,
+    sim: &SimConfig,
+) -> Result<Vec<Comparison>, SilozError> {
+    figure4_uncompiled_with_threads(config, sim, default_threads())
+}
+
+/// [`figure4_uncompiled`] with an explicit worker count.
+pub fn figure4_uncompiled_with_threads(
+    config: &SilozConfig,
+    sim: &SimConfig,
+    threads: usize,
+) -> Result<Vec<Comparison>, SilozError> {
+    compare_suite(
+        (exec_time_suite, exec_time_workload),
+        (config, HypervisorKind::Baseline),
+        (config, HypervisorKind::Siloz),
+        sim,
+        threads,
+        Replay::Direct,
+        &TraceCache::new(),
+        &Registry::new(),
     )
 }
 
@@ -204,13 +270,54 @@ pub fn figure5_observed(
     threads: usize,
     reg: &Registry,
 ) -> Result<Vec<Comparison>, SilozError> {
+    figure5_cached(config, sim, threads, &TraceCache::new(), reg)
+}
+
+/// [`figure5_observed`] with a caller-owned [`TraceCache`] — see
+/// [`figure4_cached`] for the reuse contract.
+pub fn figure5_cached(
+    config: &SilozConfig,
+    sim: &SimConfig,
+    threads: usize,
+    cache: &TraceCache,
+    reg: &Registry,
+) -> Result<Vec<Comparison>, SilozError> {
     compare_suite(
         (throughput_suite, throughput_workload),
         (config, HypervisorKind::Baseline),
         (config, HypervisorKind::Siloz),
         sim,
         threads,
+        Replay::Compiled,
+        cache,
         reg,
+    )
+}
+
+/// [`figure5`] through the direct (uncompiled) replay path — the
+/// equivalence oracle. Output is bit-identical to [`figure5`].
+pub fn figure5_uncompiled(
+    config: &SilozConfig,
+    sim: &SimConfig,
+) -> Result<Vec<Comparison>, SilozError> {
+    figure5_uncompiled_with_threads(config, sim, default_threads())
+}
+
+/// [`figure5_uncompiled`] with an explicit worker count.
+pub fn figure5_uncompiled_with_threads(
+    config: &SilozConfig,
+    sim: &SimConfig,
+    threads: usize,
+) -> Result<Vec<Comparison>, SilozError> {
+    compare_suite(
+        (throughput_suite, throughput_workload),
+        (config, HypervisorKind::Baseline),
+        (config, HypervisorKind::Siloz),
+        sim,
+        threads,
+        Replay::Direct,
+        &TraceCache::new(),
+        &Registry::new(),
     )
 }
 
@@ -227,6 +334,10 @@ fn sensitivity(
     reg: &Registry,
 ) -> Result<SensitivityResult, SilozError> {
     let reference_cfg = config.clone().with_presumed_subarray_rows(reference_size);
+    // One cache across the variants: ledgers are config-independent, and
+    // the reference arm's environments and bound programs recur in every
+    // variant's grid.
+    let cache = TraceCache::new();
     let mut out = Vec::new();
     for &size in sizes {
         let cand_cfg = config.clone().with_presumed_subarray_rows(size);
@@ -236,6 +347,8 @@ fn sensitivity(
             (&cand_cfg, HypervisorKind::Siloz),
             sim,
             threads,
+            Replay::Compiled,
+            &cache,
             &reg.child(&format!("siloz_{size}")),
         )?;
         out.push((format!("Siloz-{size}"), rows));
@@ -363,6 +476,17 @@ mod tests {
         let serial = figure4_with_threads(&config, &sim, 1).unwrap();
         let parallel = figure4_with_threads(&config, &sim, 4).unwrap();
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn compiled_figures_match_the_uncompiled_oracle() {
+        // The tentpole guarantee: the trace compiler changes wall time
+        // only. Every sample, summary, and overhead of the figure output
+        // must be bitwise equal to the direct-replay oracle.
+        let (config, sim) = quick();
+        let compiled = figure4(&config, &sim).unwrap();
+        let direct = figure4_uncompiled(&config, &sim).unwrap();
+        assert_eq!(compiled, direct);
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! Running one workload inside one VM under one hypervisor.
 
+use crate::cache::{BoundEnv, CellOutcome, LedgerKey, TraceCache};
+use crate::compile::GuestLedger;
 use crate::noise::noisy;
-use dram::{DimmProfile, DramSystemBuilder};
-use memctrl::{MemOp, MemoryController};
+use dram::{DimmProfile, DramSystem, DramSystemBuilder};
+use memctrl::{CompiledTrace, MemOp, MemoryController, TraceResult};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use siloz::{BackingBlock, Hypervisor, HypervisorKind, SilozConfig, SilozError, VmSpec};
+use std::sync::Arc;
 use telemetry::Registry;
 use workloads::{Metric, WorkloadGen};
 
@@ -89,27 +92,27 @@ pub fn vm_trace(
 ) -> Result<Vec<MemOp>, SilozError> {
     let hpa_map = HpaMap::new(hv.vm_unmediated_backing(vm)?);
     let mut rng = StdRng::seed_from_u64(shape.seed);
-    let guest_ops = workload.generate(shape.ops, &mut rng);
-    let threads = shape.threads.max(1);
-    let mut thread = 0u16;
-    Ok(guest_ops
-        .iter()
-        .map(|op| {
-            if !op.dependent {
-                thread += 1;
-                if thread == threads {
-                    thread = 0;
-                }
-            }
-            MemOp {
-                phys: hpa_map.to_hpa(op.offset),
-                write: op.write,
-                gap_ps: op.gap_ps,
-                dependent: op.dependent,
-                thread: shape.thread_base + thread,
-            }
-        })
-        .collect())
+    let ledger = GuestLedger::generate(workload, shape.ops, shape.threads, &mut rng);
+    Ok(ledger.expand_mem_ops(&hpa_map, shape.thread_base))
+}
+
+/// Binds an already-compiled [`GuestLedger`] to a VM's concrete backing,
+/// emitting a pre-decoded replay program for
+/// [`MemoryController::run_compiled`]. The fleet's load generators compile
+/// each tenant's ledger once and re-bind it here whenever the tenant's
+/// backing changes (respawn, expansion, defrag migration).
+///
+/// # Errors
+///
+/// Fails if `vm` is unknown to `hv`.
+pub fn vm_compiled(
+    hv: &Hypervisor,
+    vm: siloz::VmHandle,
+    ledger: &GuestLedger,
+    thread_base: u16,
+) -> Result<CompiledTrace, SilozError> {
+    let hpa_map = HpaMap::new(hv.vm_unmediated_backing(vm)?);
+    Ok(ledger.bind(&hpa_map, hv.decoder().clone(), thread_base))
 }
 
 /// Simulation parameters shared across experiment runs.
@@ -153,6 +156,54 @@ impl SimConfig {
     }
 }
 
+/// Domain separator for the measurement-noise RNG stream (`"noise_v1"`),
+/// keeping noise draws independent of the workload draw even when both
+/// halves of a [`RunSeeds`] carry the same value.
+pub const NOISE_DOMAIN: u64 = 0x6e6f_6973_655f_7631;
+
+/// The two independent random streams of one measurement cell.
+///
+/// The *trace* seed drives the workload draw (which guest ops run); the
+/// *noise* seed drives the run-to-run measurement noise. Splitting them
+/// lets paired configurations share one trace draw — common random numbers
+/// across a comparison, and one [`GuestLedger`] compile instead of two —
+/// while still sampling independent nuisance factors per measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSeeds {
+    /// Seed for the workload draw (and substrate preload).
+    pub trace: u64,
+    /// Seed for the measurement-noise stream.
+    pub noise: u64,
+}
+
+impl RunSeeds {
+    /// Both streams keyed by one seed — the single-seed entry points'
+    /// behavior.
+    #[must_use]
+    pub fn uniform(seed: u64) -> Self {
+        Self {
+            trace: seed,
+            noise: seed,
+        }
+    }
+
+    fn noise_rng(self) -> StdRng {
+        StdRng::seed_from_u64(self.noise ^ NOISE_DOMAIN)
+    }
+}
+
+/// How a measurement cell replays its trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Replay {
+    /// Generate, translate, and decode per cell; replay via
+    /// [`MemoryController::run_trace`]. The equivalence oracle.
+    Direct,
+    /// Reuse compiled ledgers, pooled substrates, booted environments, and
+    /// bound programs through a [`TraceCache`]; replay via
+    /// [`MemoryController::run_compiled`]. Bit-identical to [`Self::Direct`].
+    Compiled,
+}
+
 /// One measured sample: execution time in milliseconds (ExecTime) or
 /// bandwidth in GiB/s (Throughput).
 pub fn run_workload(
@@ -180,54 +231,235 @@ pub fn run_workload_observed(
     seed: u64,
     reg: &Registry,
 ) -> Result<f64, SilozError> {
-    // Performance runs use an invulnerable DIMM (disturbance bookkeeping
-    // off) — allocation policy is what is being measured.
+    workload_cell(
+        config,
+        kind,
+        CellWorkload::Ready(workload),
+        sim,
+        RunSeeds::uniform(seed),
+        Replay::Direct,
+        None,
+        reg,
+    )
+}
+
+/// [`run_workload`] through the trace compiler: the sample is bit-identical
+/// to the direct path, but ledgers, substrates, booted environments, and
+/// bound programs are shared through `cache` across every cell that can
+/// reuse them.
+pub fn run_workload_compiled(
+    config: &SilozConfig,
+    kind: HypervisorKind,
+    workload: &mut dyn WorkloadGen,
+    sim: &SimConfig,
+    seed: u64,
+    cache: &TraceCache,
+) -> Result<f64, SilozError> {
+    run_workload_compiled_observed(config, kind, workload, sim, seed, cache, &Registry::new())
+}
+
+/// [`run_workload_compiled`] that also exports stack-wide telemetry into
+/// `reg` — the same `ctrl`/`dram`/`hv` children, with identical values, as
+/// [`run_workload_observed`].
+pub fn run_workload_compiled_observed(
+    config: &SilozConfig,
+    kind: HypervisorKind,
+    workload: &mut dyn WorkloadGen,
+    sim: &SimConfig,
+    seed: u64,
+    cache: &TraceCache,
+    reg: &Registry,
+) -> Result<f64, SilozError> {
+    workload_cell(
+        config,
+        kind,
+        CellWorkload::Ready(workload),
+        sim,
+        RunSeeds::uniform(seed),
+        Replay::Compiled,
+        Some(cache),
+        reg,
+    )
+}
+
+/// Boots the measurement environment for one configuration: hypervisor
+/// with an invulnerable DIMM (disturbance bookkeeping off — allocation
+/// policy is what is being measured), one VM, and its guest→HPA map.
+fn boot_env(
+    config: &SilozConfig,
+    kind: HypervisorKind,
+    sim: &SimConfig,
+) -> Result<BoundEnv, SilozError> {
     let dram = DramSystemBuilder::new(config.geometry)
         .profiles(vec![DimmProfile::invulnerable()])
         .build();
     let mut hv = Hypervisor::boot_with(config.clone(), kind, dram, dram_addr::RepairMap::new())?;
     let vm = hv.create_vm(VmSpec::new("perf-vm", sim.vcpus, sim.vm_memory))?;
+    let hpa = HpaMap::new(hv.vm_unmediated_backing(vm)?);
+    Ok(BoundEnv { hv, hpa })
+}
 
-    // Guest-offset -> HPA translation table from the VM's actual backing.
-    let hpa_map = HpaMap::new(hv.vm_unmediated_backing(vm)?);
+/// Converts a replay result into the cell's sample and exports telemetry.
+fn finish_cell(
+    metric: Metric,
+    result: &TraceResult,
+    ctrl: &MemoryController,
+    env: &BoundEnv,
+    seeds: RunSeeds,
+    reg: &Registry,
+) -> f64 {
+    ctrl.export_telemetry(&reg.child("ctrl"));
+    env.hv.dram().export_telemetry(&reg.child("dram"));
+    env.hv.export_telemetry(&reg.child("hv"));
+    let raw = match metric {
+        Metric::ExecTime => result.elapsed_ms(),
+        Metric::Throughput => result.bandwidth_gib_s(),
+    };
+    noisy(raw, &mut seeds.noise_rng())
+}
 
-    let mut rng = StdRng::seed_from_u64(seed);
-    let guest_ops = workload.generate(sim.ops, &mut rng);
+/// A cell's workload: either a generator the caller already built (the
+/// public single-cell entry points) or a deferred build (grid drivers).
+/// Compiled cells only invoke a deferred build when the ledger for the
+/// cell's draw is not already cached — on a warm cache, no workload (or
+/// substrate preload) is constructed at all.
+pub(crate) enum CellWorkload<'a> {
+    /// A ready generator; its identity is read off the instance.
+    Ready(&'a mut dyn WorkloadGen),
+    /// Identity known up front, generator built on demand.
+    Deferred {
+        /// [`WorkloadGen::name`] of the workload `build` produces.
+        name: String,
+        /// [`WorkloadGen::working_set`] of the built workload.
+        working_set: u64,
+        /// [`WorkloadGen::metric`] of the built workload.
+        metric: Metric,
+        /// Builds the generator (invoked at most once).
+        build: Box<dyn FnOnce() -> Box<dyn WorkloadGen> + 'a>,
+    },
+}
+
+impl CellWorkload<'_> {
+    /// `(name, working_set, metric)` without forcing a deferred build.
+    fn identity(&self) -> (String, u64, Metric) {
+        match self {
+            CellWorkload::Ready(w) => (w.name(), w.working_set(), w.metric()),
+            CellWorkload::Deferred {
+                name,
+                working_set,
+                metric,
+                ..
+            } => (name.clone(), *working_set, *metric),
+        }
+    }
+}
+
+/// One measurement cell: both the direct path and the compiled path, which
+/// the equivalence battery pins bit-identical (samples *and* exported
+/// telemetry).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn workload_cell(
+    config: &SilozConfig,
+    kind: HypervisorKind,
+    workload: CellWorkload<'_>,
+    sim: &SimConfig,
+    seeds: RunSeeds,
+    replay: Replay,
+    cache: Option<&TraceCache>,
+    reg: &Registry,
+) -> Result<f64, SilozError> {
     // Deal each logical request (a chain starting at a non-dependent op) to
     // the next vCPU, as a multi-threaded server would; dependencies stay
     // within their thread.
     let threads = sim.vcpus.clamp(1, 16) as u16;
-    let mut thread = 0u16;
-    let trace: Vec<MemOp> = guest_ops
-        .iter()
-        .map(|op| {
-            if !op.dependent {
-                thread += 1;
-                if thread == threads {
-                    thread = 0;
+    let (name, working_set, metric) = workload.identity();
+    match replay {
+        Replay::Direct => {
+            let mut built;
+            let workload: &mut dyn WorkloadGen = match workload {
+                CellWorkload::Ready(w) => w,
+                CellWorkload::Deferred { build, .. } => {
+                    built = build();
+                    built.as_mut()
                 }
-            }
-            MemOp {
-                phys: hpa_map.to_hpa(op.offset),
-                write: op.write,
-                gap_ps: op.gap_ps,
-                dependent: op.dependent,
-                thread,
-            }
-        })
-        .collect();
-
-    let decoder = hv.decoder().clone();
-    let mut ctrl = MemoryController::new(decoder).without_physics();
-    let result = ctrl.run_trace(hv.dram_mut(), trace);
-    ctrl.export_telemetry(&reg.child("ctrl"));
-    hv.dram().export_telemetry(&reg.child("dram"));
-    hv.export_telemetry(&reg.child("hv"));
-    let raw = match workload.metric() {
-        Metric::ExecTime => result.elapsed_ms(),
-        Metric::Throughput => result.bandwidth_gib_s(),
-    };
-    Ok(noisy(raw, &mut rng))
+            };
+            let mut env = boot_env(config, kind, sim)?;
+            let mut rng = StdRng::seed_from_u64(seeds.trace);
+            let ledger = GuestLedger::generate(workload, sim.ops, threads, &mut rng);
+            let trace = ledger.expand_mem_ops(&env.hpa, 0);
+            let mut ctrl = MemoryController::new(env.hv.decoder().clone()).without_physics();
+            let result = ctrl.run_trace(env.hv.dram_mut(), trace);
+            Ok(finish_cell(metric, &result, &ctrl, &env, seeds, reg))
+        }
+        Replay::Compiled => {
+            let local;
+            let cache = match cache {
+                Some(shared) => shared,
+                None => {
+                    local = TraceCache::new();
+                    &local
+                }
+            };
+            let ledger_key: LedgerKey = (name, working_set, sim.ops, threads, seeds.trace);
+            // Environment identity covers every configuration axis a cell
+            // can vary: hypervisor kind, VM shape, and the full config
+            // (geometry, subarray size, policy toggles).
+            let env_key = format!("{kind:?}|{}|{}|{config:?}", sim.vm_memory, sim.vcpus);
+            let env = cache.env(&env_key, || boot_env(config, kind, sim))?;
+            // Cells replay with physics off against a fresh controller and
+            // scratch device, so the whole outcome is a pure function of
+            // (ledger, env): a recurring measurement is never re-simulated.
+            let outcome = cache.replay(&ledger_key, &env_key, || {
+                let ledger = cache.ledger(&ledger_key, || {
+                    let mut built;
+                    let workload: &mut dyn WorkloadGen = match workload {
+                        CellWorkload::Ready(w) => w,
+                        CellWorkload::Deferred { build, .. } => {
+                            built = build();
+                            built.as_mut()
+                        }
+                    };
+                    let mut rng = StdRng::seed_from_u64(seeds.trace);
+                    // Substrate pool: workloads sharing one load phase
+                    // (e.g. all six YCSB mixes over one store size) adopt
+                    // the pooled post-load snapshot and resume the pooled
+                    // RNG, skipping the preload while drawing
+                    // byte-identical traces.
+                    if let Some(substrate) = workload.substrate_key() {
+                        let pool_key = (substrate, seeds.trace);
+                        if let Some((snap, loaded_rng)) = cache.substrate(&pool_key) {
+                            workload.adopt_substrate(&snap);
+                            rng = loaded_rng;
+                        } else {
+                            workload.preload(&mut rng);
+                            if let Some(snap) = workload.export_substrate() {
+                                cache.store_substrate(pool_key, snap, rng.clone());
+                            }
+                        }
+                    }
+                    Arc::new(GuestLedger::generate(workload, sim.ops, threads, &mut rng))
+                });
+                let program = cache.program(&ledger_key, &env_key, || {
+                    Arc::new(ledger.bind(&env.hpa, env.hv.decoder().clone(), 0))
+                });
+                // The env is shared and immutable; replay drives a
+                // per-cell scratch device (never touched with physics
+                // disabled).
+                let mut scratch = DramSystem::new(config.geometry);
+                let mut ctrl = MemoryController::new(env.hv.decoder().clone()).without_physics();
+                let result = ctrl.run_compiled(&mut scratch, &program);
+                Arc::new(CellOutcome { result, ctrl })
+            });
+            Ok(finish_cell(
+                metric,
+                &outcome.result,
+                &outcome.ctrl,
+                &env,
+                seeds,
+                reg,
+            ))
+        }
+    }
 }
 
 #[cfg(test)]

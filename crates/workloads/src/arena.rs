@@ -10,13 +10,16 @@ use crate::GuestOp;
 /// appends cache-line-granular operations to its trace. This keeps the
 /// workload logic *real* (actual lookups, actual sorts) while producing the
 /// address streams the simulator replays.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TraceArena {
     capacity: u64,
     next: u64,
     trace: Vec<GuestOp>,
     /// Compute time to attach to the next touched line.
     pending_gap: u64,
+    /// When muted, touches advance allocator/gap state but emit no ops
+    /// (preload phases whose trace would be discarded anyway).
+    muted: bool,
 }
 
 impl TraceArena {
@@ -28,7 +31,17 @@ impl TraceArena {
             next: 0,
             trace: Vec::new(),
             pending_gap: 0,
+            muted: false,
         }
+    }
+
+    /// Mutes (or unmutes) trace emission. While muted, touches still
+    /// consume the pending compute gap and move the allocator exactly as an
+    /// unmuted arena would — only the (discarded) trace pushes are skipped.
+    /// Substrate preload phases use this: their warmup trace is thrown away,
+    /// so recording it is pure overhead.
+    pub fn mute(&mut self, on: bool) {
+        self.muted = on;
     }
 
     /// Total capacity.
@@ -79,6 +92,12 @@ impl TraceArena {
 
     fn touch(&mut self, offset: u64, len: u64, write: bool, gap_ps: u64, dependent: bool) {
         debug_assert!(offset + len <= self.capacity, "access beyond arena");
+        if self.muted {
+            // Identical end state to the unmuted path: the pending gap is
+            // consumed (it would have attached to the first emitted line).
+            self.pending_gap = 0;
+            return;
+        }
         let first_line = offset / 64;
         let last_line = (offset + len.max(1) - 1) / 64;
         let mut gap = gap_ps + std::mem::take(&mut self.pending_gap);
@@ -147,6 +166,26 @@ mod tests {
         let t = a.take_trace();
         assert_eq!(t[0].gap_ps, 5_000);
         assert_eq!(t[1].gap_ps, 0);
+    }
+
+    #[test]
+    fn muted_touches_move_state_but_emit_nothing() {
+        let mut a = TraceArena::new(4096);
+        let mut b = TraceArena::new(4096);
+        b.mute(true);
+        for arena in [&mut a, &mut b] {
+            let off = arena.alloc(256, 64);
+            arena.compute(7_000);
+            arena.write(off, 256);
+        }
+        b.mute(false);
+        assert!(b.take_trace().is_empty(), "muted touches emit no ops");
+        assert!(!a.take_trace().is_empty());
+        // Allocator and gap state are identical afterwards.
+        assert_eq!(a.used(), b.used());
+        a.read(0, 64);
+        b.read(0, 64);
+        assert_eq!(a.take_trace(), b.take_trace(), "no stale pending gap");
     }
 
     #[test]

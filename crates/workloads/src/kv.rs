@@ -8,7 +8,7 @@
 //! followed by value-sized sequential access.
 
 use crate::arena::TraceArena;
-use crate::{GuestOp, Metric, WorkloadGen};
+use crate::{GuestOp, Metric, SubstrateSnapshot, WorkloadGen};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -24,7 +24,7 @@ struct Bucket {
 }
 
 /// The KV store substrate.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct KvStore {
     arena: TraceArena,
     buckets: Vec<Bucket>,
@@ -129,6 +129,17 @@ impl KvStore {
         self.arena.take_trace()
     }
 
+    /// Number of buffered trace operations.
+    #[must_use]
+    pub fn trace_len(&self) -> usize {
+        self.arena.trace_len()
+    }
+
+    /// Mutes (or unmutes) trace emission — see [`TraceArena::mute`].
+    pub fn mute_trace(&mut self, on: bool) {
+        self.arena.mute(on);
+    }
+
     /// Arena capacity (the workload's working set).
     #[must_use]
     pub fn working_set(&self) -> u64 {
@@ -164,11 +175,12 @@ impl Memcached {
         if self.loaded {
             return;
         }
+        // The load phase is warmup, not measured traffic: emit no ops.
+        self.store.mute_trace(true);
         for k in 0..self.keys {
             self.store.set(k, rng.gen_range(64..=400));
         }
-        // The load phase is warmup, not measured traffic.
-        let _ = self.store.take_trace();
+        self.store.mute_trace(false);
         self.loaded = true;
     }
 }
@@ -205,6 +217,25 @@ impl WorkloadGen for Memcached {
         let mut t = self.store.take_trace();
         t.truncate(count);
         t
+    }
+
+    fn substrate_key(&self) -> Option<String> {
+        Some(format!("memcached/{}", self.store.working_set()))
+    }
+
+    fn preload(&mut self, rng: &mut StdRng) {
+        self.ensure_loaded(rng);
+    }
+
+    fn export_substrate(&self) -> Option<SubstrateSnapshot> {
+        self.loaded
+            .then(|| SubstrateSnapshot::Kv(self.store.clone()))
+    }
+
+    fn adopt_substrate(&mut self, snap: &SubstrateSnapshot) {
+        let SubstrateSnapshot::Kv(store) = snap;
+        self.store = store.clone();
+        self.loaded = true;
     }
 }
 

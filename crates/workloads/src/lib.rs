@@ -94,6 +94,20 @@ pub enum Metric {
     Throughput,
 }
 
+/// A cloneable snapshot of a workload's preloaded data-structure substrate.
+///
+/// Several workloads share byte-identical preload phases — every YCSB mix
+/// loads the same KV store for a given `(working_set, seed)`, regardless of
+/// the request mix that follows. The trace compiler pools these snapshots
+/// (keyed by [`WorkloadGen::substrate_key`]) so a grid of cells pays for
+/// each distinct preload once; adopting a snapshot plus cloning the
+/// post-preload RNG reproduces the cold path bit for bit.
+#[derive(Debug, Clone)]
+pub enum SubstrateSnapshot {
+    /// A preloaded [`KvStore`] (YCSB and memcached substrates).
+    Kv(KvStore),
+}
+
 /// A workload generator.
 pub trait WorkloadGen {
     /// Display name (matches the paper's figure labels).
@@ -104,6 +118,24 @@ pub trait WorkloadGen {
     fn metric(&self) -> Metric;
     /// Generates the next `count` operations.
     fn generate(&mut self, count: usize, rng: &mut StdRng) -> Vec<GuestOp>;
+    /// Cache key identifying this workload's preload phase, or `None` when
+    /// the workload has no poolable substrate. Two workloads returning the
+    /// same key must consume identical RNG draws during [`Self::preload`]
+    /// and end with identical substrate state, so a snapshot from one can
+    /// seed the other.
+    fn substrate_key(&self) -> Option<String> {
+        None
+    }
+    /// Runs the preload phase alone (idempotent; [`Self::generate`] still
+    /// preloads lazily if this was never called).
+    fn preload(&mut self, _rng: &mut StdRng) {}
+    /// Snapshots the preloaded substrate, or `None` if not preloaded (or
+    /// not poolable).
+    fn export_substrate(&self) -> Option<SubstrateSnapshot> {
+        None
+    }
+    /// Adopts a pooled substrate snapshot, marking the workload preloaded.
+    fn adopt_substrate(&mut self, _snap: &SubstrateSnapshot) {}
     /// Coarse relative cost of one measurement cell running this workload
     /// (construction + generation + replay), in arbitrary units. The sim
     /// engine uses it to dispatch expensive cells first (LPT scheduling) so
@@ -253,6 +285,37 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn substrate_pool_roundtrip_is_bit_identical() {
+        // Cold path: construct and generate directly.
+        let mut cold = ycsb::Ycsb::new(ycsb::YcsbKind::B, 4 << 20);
+        let ops_cold = cold.generate(2_000, &mut StdRng::seed_from_u64(42));
+        // Pool path: preload a *different* mix sharing the same substrate
+        // key, snapshot it, adopt into a fresh instance, resume the RNG.
+        let mut loader = ycsb::Ycsb::new(ycsb::YcsbKind::E, 4 << 20);
+        assert_eq!(loader.substrate_key(), cold.substrate_key());
+        let mut rng = StdRng::seed_from_u64(42);
+        loader.preload(&mut rng);
+        let snap = loader.export_substrate().expect("preloaded");
+        let mut warm = ycsb::Ycsb::new(ycsb::YcsbKind::B, 4 << 20);
+        assert!(warm.export_substrate().is_none(), "not yet preloaded");
+        warm.adopt_substrate(&snap);
+        let ops_warm = warm.generate(2_000, &mut rng);
+        assert_eq!(ops_cold, ops_warm);
+
+        // Memcached pools under its own key (different preload draws).
+        let mut mc = kv::Memcached::new(4 << 20);
+        assert_ne!(mc.substrate_key(), cold.substrate_key());
+        let mc_cold = mc.generate(2_000, &mut StdRng::seed_from_u64(7));
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut mc_loader = kv::Memcached::new(4 << 20);
+        mc_loader.preload(&mut rng);
+        let snap = mc_loader.export_substrate().expect("preloaded");
+        let mut mc_warm = kv::Memcached::new(4 << 20);
+        mc_warm.adopt_substrate(&snap);
+        assert_eq!(mc_cold, mc_warm.generate(2_000, &mut rng));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::kv::KvStore;
 use crate::zipf::{Latest, Zipfian};
-use crate::{GuestOp, Metric, WorkloadGen};
+use crate::{GuestOp, Metric, SubstrateSnapshot, WorkloadGen};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -80,10 +80,14 @@ impl Ycsb {
         if self.loaded {
             return;
         }
+        // The load phase is warmup, not measured traffic: emit no ops. The
+        // load is identical for every [`YcsbKind`] over the same store size
+        // and seed, which is what makes the substrate poolable.
+        self.store.mute_trace(true);
         for k in 0..self.keys {
             self.store.set(k, rng.gen_range(800..=1200));
         }
-        let _ = self.store.take_trace();
+        self.store.mute_trace(false);
         self.loaded = true;
     }
 
@@ -165,13 +169,34 @@ impl WorkloadGen for Ycsb {
 
     fn generate(&mut self, count: usize, rng: &mut StdRng) -> Vec<GuestOp> {
         self.ensure_loaded(rng);
-        let mut out: Vec<GuestOp> = Vec::with_capacity(count + 256);
-        while out.len() < count {
+        // Accumulate in the arena and take once at the end — same ops in
+        // the same order as taking after every request, minus the copies.
+        while self.store.trace_len() < count {
             self.one_op(rng);
-            out.extend(self.store.take_trace());
         }
+        let mut out = self.store.take_trace();
         out.truncate(count);
         out
+    }
+
+    fn substrate_key(&self) -> Option<String> {
+        // All six mixes share one preload over the same store size.
+        Some(format!("ycsb-kv/{}", self.store.working_set()))
+    }
+
+    fn preload(&mut self, rng: &mut StdRng) {
+        self.ensure_loaded(rng);
+    }
+
+    fn export_substrate(&self) -> Option<SubstrateSnapshot> {
+        self.loaded
+            .then(|| SubstrateSnapshot::Kv(self.store.clone()))
+    }
+
+    fn adopt_substrate(&mut self, snap: &SubstrateSnapshot) {
+        let SubstrateSnapshot::Kv(store) = snap;
+        self.store = store.clone();
+        self.loaded = true;
     }
 }
 

@@ -11,6 +11,8 @@ pub struct Zipfian {
     alpha: f64,
     zeta_n: f64,
     eta: f64,
+    /// `0.5^theta`, hoisted out of [`Self::sample`]'s rank-1 cutoff test.
+    half_pow_theta: f64,
     scramble: bool,
 }
 
@@ -32,7 +34,7 @@ impl Zipfian {
     pub fn new(n: u64, theta: f64, scramble: bool) -> Self {
         assert!(n > 0, "empty keyspace");
         assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1)");
-        let zeta_n = Self::zeta(n, theta);
+        let zeta_n = Self::zeta_cached(n, theta);
         let zeta_2 = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta_2 / zeta_n);
@@ -42,8 +44,37 @@ impl Zipfian {
             alpha,
             zeta_n,
             eta,
+            half_pow_theta: 0.5f64.powf(theta),
             scramble,
         }
+    }
+
+    /// Memoized [`Self::zeta`] for large keyspaces: `zeta(n, theta)` is a
+    /// pure function, and figure grids construct the same sampler hundreds
+    /// of times, so the O(n) harmonic sum is worth caching process-wide.
+    /// Small keyspaces skip the lock — the sum is cheaper than contention.
+    fn zeta_cached(n: u64, theta: f64) -> f64 {
+        use std::collections::BTreeMap;
+        use std::sync::{Mutex, OnceLock};
+        if n < 1024 {
+            return Self::zeta(n, theta);
+        }
+        static CACHE: OnceLock<Mutex<BTreeMap<(u64, u64), f64>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
+        let key = (n, theta.to_bits());
+        if let Some(&v) = cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+        {
+            return v;
+        }
+        let v = Self::zeta(n, theta);
+        cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(key, v);
+        v
     }
 
     fn zeta(n: u64, theta: f64) -> f64 {
@@ -70,13 +101,19 @@ impl Zipfian {
         self.n
     }
 
+    /// Skew parameter.
+    #[must_use]
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
     /// Samples an item index.
     pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
         let u: f64 = rng.gen();
         let uz = u * self.zeta_n;
         let rank = if uz < 1.0 {
             0
-        } else if uz < 1.0 + 0.5f64.powf(self.theta) {
+        } else if uz < 1.0 + self.half_pow_theta {
             1
         } else {
             (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64

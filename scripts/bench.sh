@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Runs the performance suite: builds release, runs the perfsuite binary
-# (decode TLB vs raw decode, flat vs hashed controller, parallel vs serial
-# figure engine), and leaves the measurements in BENCH_perfsuite.json plus
-# a telemetry snapshot in TELEMETRY_perfsuite.json at the repo root.
+# (decode TLB vs raw decode, flat vs hashed controller, compiled trace
+# replay cold and warm vs the uncompiled figure engine), and leaves the
+# measurements in BENCH_perfsuite.json plus a telemetry snapshot in
+# TELEMETRY_perfsuite.json at the repo root. Every row — including the
+# figure4_quick / figure4_compiled trace-compiler rows — is gated against
+# the previous run's optimized_ns_per_op.
 # Criterion microbenches can be run separately with
 # `cargo bench --workspace`.
 #

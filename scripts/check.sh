@@ -29,6 +29,9 @@ cargo run --release -q -p analysis --bin isolation-verify
 echo "== analysis gate: interleave-check (exhaustive schedule exploration) =="
 cargo run --release -q -p analysis --bin interleave-check
 
+echo "== sim gate: compiled replay bit-identical to the uncompiled reference =="
+cargo test -p sim --test compiled_equivalence -q
+
 echo "== fleet gate: quick multi-tenant soak (churn + attacks + determinism) =="
 cargo run --release -q -p bench --bin fleet_soak -- --quick
 
