@@ -50,13 +50,14 @@ pub const ALL_RULES: [&str; 7] = [
 
 /// Source files whose per-access paths the perfsuite gates; the `hot-*`
 /// rules apply only here.
-const HOT_MODULES: [&str; 7] = [
+const HOT_MODULES: [&str; 8] = [
     "crates/memctrl/src/controller.rs",
     "crates/memctrl/src/compiled.rs",
     "crates/dram/src/bank.rs",
     "crates/dram/src/device.rs",
     "crates/dram-addr/src/tlb.rs",
     "crates/fleet/src/queue.rs",
+    "crates/mitigation/src/backends.rs",
     "crates/sim/src/compile.rs",
 ];
 

@@ -16,7 +16,12 @@
 //!    generate-and-simulate reference — all three outputs asserted
 //!    bit-identical.
 //! 5. **Fleet incremental isolation check** — plus the TLB-memoized,
-//!    allocation-free migration copy path underneath the event loop.
+//!    allocation-free migration copy path underneath the event loop. The
+//!    dirty-set fast path is gated: incremental checking must cost at
+//!    most half the full-proof ns/event on the quick soak.
+//! 6. **Mitigation overhead** — per-backend ns/ACT of the controller
+//!    hook (`blockhammer`, `breakhammer`) vs the unhooked `none` fast
+//!    path, on the same mixed trace the controller bench replays.
 //!
 //! Writes the measurements to `BENCH_perfsuite.json` in the working
 //! directory (overwritten each run) and prints a summary table. Each row
@@ -340,6 +345,36 @@ fn bench_fleet(reg: &Registry) -> Measure {
     let incr_ns = best_of(2, || {
         fleet::run_fleet(scenario(CheckMode::Incremental)).expect("incremental run")
     });
+    // The dirty-set regression gate. Whole-soak wall time is dominated by
+    // the event loop itself (admissions, slices, defrag), so the checking
+    // cost is read from the engine's own `check_wall_ns` volatile counter:
+    // with clean tenants verified by a cached-claims lookup, incremental
+    // checking must stay at no more than half the full-proof cost per
+    // event (measured: under 10%).
+    let check_ns = |check: CheckMode| {
+        use telemetry::MetricValue;
+        let mut best = u64::MAX;
+        for _ in 0..3 {
+            let r = Registry::new();
+            fleet::run_fleet_observed(scenario(check), &r).expect("check-cost run");
+            let MetricValue::Counter { value, .. } =
+                r.snapshot().children["fleet"].metrics["check_wall_ns"]
+            else {
+                panic!("check_wall_ns missing from the fleet export");
+            };
+            best = best.min(value);
+        }
+        best as f64 / events as f64
+    };
+    let full_check = check_ns(CheckMode::FullProof);
+    let incr_check = check_ns(CheckMode::Incremental);
+    assert!(
+        incr_check <= full_check * 0.5,
+        "incremental check regressed: {incr_check:.0} ns/event vs full proof {full_check:.0} ns/event"
+    );
+    println!(
+        "  fleet check cost: full proof {full_check:.0} ns/event, incremental {incr_check:.0} ns/event"
+    );
     Measure {
         name: "fleet_soak",
         baseline: "full isolation proof per event",
@@ -348,6 +383,56 @@ fn bench_fleet(reg: &Registry) -> Measure {
         optimized_ns: incr_ns / events as f64,
         threads: 1,
     }
+}
+
+/// Controller-hook overhead per activation for each rival backend: the
+/// mixed trace replayed with the backend's `on_act`/`on_refresh` hooks
+/// installed vs the unhooked `none` fast path. `optimized_ns_per_op`
+/// here is the *hooked* cost — the row quantifies overhead, so its
+/// "speedup" reads below 1 by design.
+fn bench_mitigation(reg: &Registry) -> Vec<Measure> {
+    use mitigation::Backend;
+    let n = 200_000u64;
+    let ops = mixed_trace(n);
+    let acts = {
+        let dec = mini_decoder();
+        let mut dram = DramSystem::new(*dec.geometry());
+        let mut ctrl = MemoryController::new(dec).without_physics();
+        let res = ctrl.run_trace(&mut dram, ops.clone());
+        res.stats.row_misses + res.stats.row_conflicts
+    };
+    let bare = best_of(3, || {
+        let dec = mini_decoder();
+        let mut dram = DramSystem::new(*dec.geometry());
+        let mut ctrl = MemoryController::new(dec).without_physics();
+        ctrl.run_trace(&mut dram, ops.clone())
+    });
+    [Backend::BlockHammer, Backend::BreakHammer]
+        .into_iter()
+        .map(|backend| {
+            let hooked = best_of(3, || {
+                let dec = mini_decoder();
+                let mut dram = DramSystem::new(*dec.geometry());
+                let mut ctrl = MemoryController::new(dec)
+                    .without_physics()
+                    .with_mitigation(backend.controller_hook().expect("rival backend"));
+                let res = ctrl.run_trace(&mut dram, ops.clone());
+                ctrl.export_telemetry(&reg.child(backend.name()));
+                res
+            });
+            Measure {
+                name: match backend {
+                    Backend::BlockHammer => "mitigation_blockhammer",
+                    _ => "mitigation_breakhammer",
+                },
+                baseline: "unhooked controller fast path (none)",
+                optimized: "per-ACT mitigation hook installed",
+                baseline_ns: bare / acts as f64,
+                optimized_ns: hooked / acts as f64,
+                threads: 1,
+            }
+        })
+        .collect()
 }
 
 /// Extracts `"optimized_ns_per_op": <f64>` for the result named `name`
@@ -411,6 +496,7 @@ fn main() {
     ];
     measures.extend(bench_figure4(threads, &reg));
     measures.push(bench_fleet(&reg));
+    measures.extend(bench_mitigation(&reg));
 
     println!(
         "{:<22} {:>16} {:>16} {:>9} {:>8}",

@@ -6,7 +6,9 @@
 //! [`CheckMode::Incremental`] the engine keeps a dense group→tenant
 //! ownership map and re-checks only what an event touched (with periodic
 //! full proofs); in [`CheckMode::FullProof`] it re-proves the whole host
-//! after each event via [`analysis::isolation::verify_live_placements`].
+//! after each event via [`analysis::isolation::verify_live_placements`];
+//! [`CheckMode::Off`] skips checking entirely (the perfsuite's perf floor
+//! for measuring check cost differentially — never a correctness gate).
 
 use crate::events::{CheckMode, Event, EventKind, Scenario};
 use crate::policy::{AdmissionControl, PendingVm};
@@ -17,11 +19,12 @@ use dram::{DimmProfile, DramSystemBuilder};
 use dram_addr::RepairMap;
 use hammer::FuzzConfig;
 use memctrl::{CompiledTrace, MemoryController};
+use mitigation::DomainPolicy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use siloz::{Hypervisor, HypervisorKind, SilozError, VmHandle};
+use siloz::{GroupId, Hypervisor, HypervisorKind, SilozError, VmHandle};
 use sim::GuestLedger;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Max violation messages retained verbatim (the total is always counted).
 const VIOLATION_SAMPLES: usize = 16;
@@ -80,12 +83,22 @@ pub struct FleetStats {
     pub orphan_events: u64,
     /// Peak simultaneously-live VMs.
     pub peak_live: u64,
+    /// Arrivals vetoed outright by the mitigation backend.
+    pub admission_vetoes: u64,
     /// Incremental boundary checks performed.
     pub incremental_checks: u64,
+    /// Incremental checks satisfied from the clean-tenant fast path (pure
+    /// ownership-map lookups, no hypervisor re-derivation).
+    pub incremental_fast_checks: u64,
     /// Full isolation proofs performed.
     pub full_proofs: u64,
     /// Isolation violations detected (must stay 0 under Siloz).
     pub violations_total: u64,
+    /// Wall-clock nanoseconds spent inside isolation checks and proofs.
+    /// Volatile (scheduling-dependent): exported as a volatile counter,
+    /// never part of [`FleetReport`] — the perfsuite reads it to compare
+    /// checking modes without the event-loop floor drowning the signal.
+    pub check_wall_ns: u64,
     /// First few violation messages, verbatim.
     pub violation_samples: Vec<String>,
 }
@@ -101,6 +114,15 @@ pub struct FleetSim {
     live: BTreeMap<u32, LiveVm>,
     /// Dense group→tenant ownership map, indexed by `GroupId.0`.
     group_owner: Vec<Option<u32>>,
+    /// Per-tenant cached group claims, refreshed whenever the slow
+    /// incremental check re-derives them from the hypervisor.
+    group_cache: BTreeMap<u32, Vec<GroupId>>,
+    /// Tenants whose backing may have changed since their cache entry was
+    /// refreshed; a dirty tenant always takes the slow check path.
+    dirty: BTreeSet<u32>,
+    /// The deployed defense's controller-side state (rivals only; `None`
+    /// for the `none` and `siloz` backends, whose fast path stays intact).
+    defense: Option<Box<dyn mitigation::Mitigation>>,
     /// Compiled per-tenant load-generator ledgers, keyed by
     /// `(tenant, ops, threads)`. Backing-independent: entries survive the
     /// tenant's departure and are reused verbatim if it is readmitted.
@@ -116,18 +138,24 @@ impl FleetSim {
     /// Boots the host described by the scenario and loads its
     /// pre-generated trace. The DRAM is built vulnerable (evaluation DIMM
     /// profiles, deployed TRR) so injected attacks actually flip bits.
+    ///
+    /// The scenario's [`mitigation::Backend`] decides the hypervisor kind:
+    /// `Siloz` boots with isolation domains (and the engine proves the
+    /// §4.1 invariant at every boundary); every other backend boots the
+    /// shared baseline, so flips may escape and the per-backend report
+    /// records how many its controller hook contained.
     pub fn new(scenario: Scenario) -> Result<Self, SilozError> {
         let dram = DramSystemBuilder::new(scenario.config.geometry)
             .internal_map(scenario.config.internal_map)
             .profiles(DimmProfile::evaluation_dimms())
             .trr(4, 2)
             .build();
-        let mut hv = Hypervisor::boot_with(
-            scenario.config.clone(),
-            HypervisorKind::Siloz,
-            dram,
-            RepairMap::new(),
-        )?;
+        let kind = match scenario.mitigation.domain_policy() {
+            DomainPolicy::IsolationDomains => HypervisorKind::Siloz,
+            DomainPolicy::Shared => HypervisorKind::Baseline,
+        };
+        let defense = scenario.mitigation.controller_hook();
+        let mut hv = Hypervisor::boot_with(scenario.config.clone(), kind, dram, RepairMap::new())?;
         hv.set_placement_strategy(scenario.strategy);
         let ctrl = MemoryController::new(hv.decoder().clone()).without_physics();
         let (events, next_seq) = crate::events::generate_trace(&scenario);
@@ -142,6 +170,9 @@ impl FleetSim {
             admission,
             live: BTreeMap::new(),
             group_owner,
+            group_cache: BTreeMap::new(),
+            dirty: BTreeSet::new(),
+            defense,
             ledgers: BTreeMap::new(),
             programs: BTreeMap::new(),
             stats: FleetStats::default(),
@@ -179,6 +210,21 @@ impl FleetSim {
         self.queue.push(at, tenant, kind);
     }
 
+    /// Replaces the live defense state (tests and experiments that need a
+    /// custom [`mitigation::Mitigation`], e.g. an admission-vetoing one).
+    pub fn set_defense(&mut self, defense: Box<dyn mitigation::Mitigation>) {
+        self.defense = Some(defense);
+    }
+
+    /// Whether the isolation prover applies: only the Siloz backend makes
+    /// the §4.1 claim. The prover stays Siloz-only-aware — on a shared
+    /// baseline there is no group-exclusivity invariant to check, and
+    /// escaped flips are a measured outcome, not a violation.
+    fn proves_isolation(&self) -> bool {
+        self.scenario.check != CheckMode::Off
+            && self.scenario.mitigation.domain_policy() == DomainPolicy::IsolationDomains
+    }
+
     fn violation(&mut self, msg: String) {
         self.stats.violations_total += 1;
         if self.stats.violation_samples.len() < VIOLATION_SAMPLES {
@@ -190,11 +236,44 @@ impl FleetSim {
     /// be exclusively its own in the ownership map (`allow_claims` lets an
     /// admission/expansion record new claims), and both endpoints of every
     /// unmediated backing block must decode into one of those groups.
+    ///
+    /// A tenant whose backing has not changed since its last slow check
+    /// (not in the dirty set) is verified from its cached claim list with
+    /// pure ownership-map lookups — no hypervisor re-derivation. Events
+    /// that move memory mark the tenant dirty (via
+    /// [`FleetSim::invalidate_programs`]), forcing the slow path, which
+    /// re-derives the claims and refreshes the cache.
     fn check_tenant(&mut self, tenant: u32, allow_claims: bool) -> Result<(), SilozError> {
+        if !self.proves_isolation() {
+            return Ok(());
+        }
+        let t = std::time::Instant::now();
+        let out = self.check_tenant_inner(tenant, allow_claims);
+        self.stats.check_wall_ns += t.elapsed().as_nanos() as u64;
+        out
+    }
+
+    fn check_tenant_inner(&mut self, tenant: u32, allow_claims: bool) -> Result<(), SilozError> {
         let Some(vm) = self.live.get(&tenant).copied() else {
             return Ok(());
         };
         self.stats.incremental_checks += 1;
+        if !allow_claims && !self.dirty.contains(&tenant) {
+            if let Some(cached) = self.group_cache.remove(&tenant) {
+                self.stats.incremental_fast_checks += 1;
+                for gid in &cached {
+                    match self.group_owner[gid.0 as usize] {
+                        Some(owner) if owner == tenant => {}
+                        other => self.violation(format!(
+                            "cached group {} of tenant {tenant} is owned by {other:?}",
+                            gid.0
+                        )),
+                    }
+                }
+                self.group_cache.insert(tenant, cached);
+                return Ok(());
+            }
+        }
         let groups = self.hv.vm_groups(vm.handle)?;
         let mut pending = Vec::new();
         for gid in &groups {
@@ -225,6 +304,8 @@ impl FleetSim {
                 }
             }
         }
+        self.group_cache.insert(tenant, groups);
+        self.dirty.remove(&tenant);
         Ok(())
     }
 
@@ -232,6 +313,10 @@ impl FleetSim {
     /// hypervisor and cross-checks the incremental ownership map against
     /// it.
     fn full_proof(&mut self) {
+        if !self.proves_isolation() {
+            return;
+        }
+        let t = std::time::Instant::now();
         self.stats.full_proofs += 1;
         let proof = verify_live_placements(&self.hv);
         for v in proof.violations {
@@ -244,9 +329,17 @@ impl FleetSim {
                 proof.group_claims
             ));
         }
+        self.stats.check_wall_ns += t.elapsed().as_nanos() as u64;
     }
 
     fn admit(&mut self, now: u64, vm: PendingVm) -> Result<(), SilozError> {
+        if let Some(d) = self.defense.as_deref_mut() {
+            if !d.admit(vm.tenant, vm.mem_bytes) {
+                self.stats.admission_vetoes += 1;
+                self.admission.rejections += 1;
+                return Ok(());
+            }
+        }
         if let Some(handle) = self.admission.admit_or_defer(&mut self.hv, vm)? {
             self.live.insert(
                 vm.tenant,
@@ -273,6 +366,8 @@ impl FleetSim {
         self.hv.destroy_vm(vm.handle)?;
         self.stats.departures += 1;
         self.invalidate_programs(tenant);
+        self.group_cache.remove(&tenant);
+        self.dirty.remove(&tenant);
         for slot in self.group_owner.iter_mut() {
             if *slot == Some(tenant) {
                 *slot = None;
@@ -309,7 +404,8 @@ impl FleetSim {
                 self.invalidate_programs(tenant);
                 self.check_tenant(tenant, true)?;
             }
-            Err(SilozError::InsufficientCapacity { .. }) => {
+            // `Numa(_)` is the baseline allocator's capacity error.
+            Err(SilozError::InsufficientCapacity { .. } | SilozError::Numa(_)) => {
                 self.stats.expand_denials += 1;
                 self.check_tenant(tenant, false)?;
             }
@@ -318,13 +414,16 @@ impl FleetSim {
         Ok(())
     }
 
-    /// Drops a tenant's bound replay programs. Called whenever an event
-    /// changes the tenant's backing (admission, departure, expansion,
-    /// defrag or Copy-on-Flip migration); the next slice re-binds the
-    /// cached ledger against the new backing. Ledgers themselves are
+    /// Drops a tenant's bound replay programs and marks it dirty for the
+    /// incremental checker. Called whenever an event changes the tenant's
+    /// backing (admission, departure, expansion, defrag or Copy-on-Flip
+    /// migration); the next slice re-binds the cached ledger against the
+    /// new backing, and the next boundary check re-derives the tenant's
+    /// claims from the hypervisor. Ledgers themselves are
     /// backing-independent and never invalidated.
     fn invalidate_programs(&mut self, tenant: u32) {
         self.programs.retain(|k, _| k.0 != tenant);
+        self.dirty.insert(tenant);
     }
 
     /// Replays one load-generator slice for `tenant`. The tenant's guest
@@ -371,17 +470,24 @@ impl FleetSim {
         let mut rng = StdRng::seed_from_u64(
             self.scenario.seed ^ 0xa77a_c000 ^ (u64::from(tenant) << 20) ^ ev.seq,
         );
-        let report = hammer::hammer_vm(
-            &mut self.hv,
-            vm.handle,
-            1,
-            FuzzConfig::fleet_campaign(),
-            &mut rng,
-        )?;
+        let mut campaign = FuzzConfig::fleet_campaign();
+        campaign.extra_open_ns = self.scenario.attack_open_ns;
+        let report = match self.defense.as_deref_mut() {
+            Some(d) => hammer::hammer_vm_defended(
+                &mut self.hv,
+                vm.handle,
+                1,
+                campaign,
+                &mut rng,
+                d,
+                (tenant % u64::from(u16::MAX) as u32) as u16,
+            )?,
+            None => hammer::hammer_vm(&mut self.hv, vm.handle, 1, campaign, &mut rng)?,
+        };
         self.stats.attacks += 1;
         self.stats.attack_flips += report.flips_total as u64;
         self.stats.attack_escapes += report.escapes.len() as u64;
-        if !report.escapes.is_empty() {
+        if self.proves_isolation() && !report.escapes.is_empty() {
             self.violation(format!(
                 "attack by tenant {tenant} escaped its domain: {} flips outside",
                 report.escapes.len()
@@ -486,6 +592,7 @@ impl FleetSim {
             EventKind::Defrag => self.defrag()?,
         }
         match self.scenario.check {
+            CheckMode::Off => {}
             CheckMode::FullProof => self.full_proof(),
             CheckMode::Incremental => {
                 self.events_since_proof += 1;
@@ -512,6 +619,7 @@ impl FleetSim {
         let occ = self.hv.occupancy();
         FleetReport {
             strategy: self.scenario.strategy.name(),
+            mitigation: self.scenario.mitigation.name(),
             seed: self.scenario.seed,
             events_processed: self.stats.events_processed,
             arrivals: self.stats.arrivals,
@@ -534,7 +642,9 @@ impl FleetSim {
             groups_total: occ.total(),
             groups_claimed: occ.claimed(),
             fragmentation_pct: occ.fragmentation_pct(),
+            admission_vetoes: self.stats.admission_vetoes,
             incremental_checks: self.stats.incremental_checks,
+            incremental_fast_checks: self.stats.incremental_fast_checks,
             full_proofs: self.stats.full_proofs,
             violations_total: self.stats.violations_total,
             violation_samples: self.stats.violation_samples.clone(),
@@ -582,14 +692,23 @@ impl FleetSim {
         fleet.counter("cof_oom").add(self.stats.cof_oom);
         fleet.counter("orphan_events").add(self.stats.orphan_events);
         fleet
+            .counter("admission_vetoes")
+            .add(self.stats.admission_vetoes);
+        fleet
             .counter("isolation_checks")
             .add(self.stats.incremental_checks);
+        fleet
+            .counter("isolation_checks_fast")
+            .add(self.stats.incremental_fast_checks);
         fleet
             .counter("isolation_proofs")
             .add(self.stats.full_proofs);
         fleet
             .counter("isolation_violations")
             .add(self.stats.violations_total);
+        fleet
+            .counter_volatile("check_wall_ns")
+            .add(self.stats.check_wall_ns);
         fleet.gauge("live_vms").add(self.live.len() as i64);
         fleet
             .gauge("peak_live_vms")
@@ -600,6 +719,9 @@ impl FleetSim {
         self.hv.export_telemetry(&reg.child("hv"));
         self.ctrl.export_telemetry(&reg.child("ctrl"));
         self.hv.dram().export_telemetry(&reg.child("dram"));
+        if let Some(d) = self.defense.as_deref() {
+            d.export_telemetry(&reg.child("mitigation"));
+        }
     }
 }
 
@@ -662,6 +784,120 @@ mod tests {
         // One proof per event plus the final one.
         assert_eq!(report.full_proofs, report.events_processed + 1);
         assert_eq!(report.violations_total, 0);
+    }
+
+    #[test]
+    fn incremental_fast_path_kicks_in_without_changing_history() {
+        // The dirty-set optimization must be invisible to everything except
+        // checking cost: same admissions, same departures, same attack
+        // outcomes as re-proving every event, with most incremental checks
+        // served from the cache.
+        let mut inc = tiny(PlacementStrategy::FirstFit);
+        inc.target_events = 200;
+        let mut full = inc.clone();
+        full.check = CheckMode::FullProof;
+        let a = run_fleet(inc).unwrap();
+        let b = run_fleet(full).unwrap();
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.admitted, b.admitted);
+        assert_eq!(a.departures, b.departures);
+        assert_eq!(a.attack_flips, b.attack_flips);
+        assert_eq!(a.violations_total, 0);
+        assert_eq!(b.violations_total, 0);
+        assert!(
+            a.incremental_fast_checks >= a.incremental_checks / 3,
+            "a healthy share of boundary checks must hit the fast path: {} of {}",
+            a.incremental_fast_checks,
+            a.incremental_checks
+        );
+    }
+
+    #[test]
+    fn off_mode_skips_every_check_without_changing_history() {
+        // The perf floor: checks never steer the simulation, so disabling
+        // them must reproduce the exact event history with zero proofs.
+        let mut on = tiny(PlacementStrategy::FirstFit);
+        on.target_events = 200;
+        let mut off = on.clone();
+        off.check = CheckMode::Off;
+        let a = run_fleet(on).unwrap();
+        let b = run_fleet(off).unwrap();
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.admitted, b.admitted);
+        assert_eq!(a.departures, b.departures);
+        assert_eq!(a.attack_flips, b.attack_flips);
+        assert_eq!(b.full_proofs, 0, "off mode must run no proofs");
+        assert_eq!(b.incremental_checks, 0, "off mode must run no checks");
+    }
+
+    #[test]
+    fn shared_backends_skip_the_isolation_prover() {
+        let mut s = tiny(PlacementStrategy::FirstFit);
+        s.target_events = 80;
+        s.mitigation = mitigation::Backend::None;
+        let report = run_fleet(s).unwrap();
+        assert_eq!(report.mitigation, "none");
+        assert_eq!(report.full_proofs, 0, "no §4.1 claim on the baseline");
+        assert_eq!(report.incremental_checks, 0);
+        assert_eq!(report.violations_total, 0);
+        assert!(report.admitted > 0);
+    }
+
+    #[test]
+    fn rival_backend_contains_flips_the_undefended_baseline_leaks() {
+        let mk = |backend| {
+            let mut s = tiny(PlacementStrategy::FirstFit);
+            s.target_events = 160;
+            s.attack_prob = 0.4;
+            s.copy_on_flip = false;
+            s.mitigation = backend;
+            s
+        };
+        let undefended = run_fleet(mk(mitigation::Backend::None)).unwrap();
+        assert!(undefended.attacks > 0, "scenario must inject campaigns");
+        assert!(undefended.attack_flips > 0, "undefended attacks must flip");
+        let defended = run_fleet(mk(mitigation::Backend::BlockHammer)).unwrap();
+        assert_eq!(defended.mitigation, "blockhammer");
+        assert_eq!(defended.attacks, undefended.attacks);
+        assert!(
+            defended.attack_flips < undefended.attack_flips,
+            "BlockHammer must suppress flips: {} vs {}",
+            defended.attack_flips,
+            undefended.attack_flips
+        );
+    }
+
+    #[test]
+    fn defense_admission_veto_rejects_before_placement() {
+        #[derive(Debug)]
+        struct VetoAll;
+        impl mitigation::Mitigation for VetoAll {
+            fn name(&self) -> &'static str {
+                "veto_all"
+            }
+            fn admit(&mut self, _tenant: u32, _mem_bytes: u64) -> bool {
+                false
+            }
+            fn export_telemetry(&self, _reg: &telemetry::Registry) {}
+        }
+        let mut s = tiny(PlacementStrategy::FirstFit);
+        s.target_events = 1;
+        let mut sim = FleetSim::new(s).unwrap();
+        sim.set_defense(Box::new(VetoAll));
+        sim.inject(
+            0,
+            700,
+            EventKind::Arrive {
+                mem_bytes: 32 << 20,
+                vcpus: 1,
+                lifetime: 10,
+            },
+        );
+        while sim.step().unwrap() {}
+        let report = sim.report();
+        assert!(report.admission_vetoes >= 1);
+        assert!(report.rejections >= report.admission_vetoes);
+        assert_eq!(sim.live_vms(), 0);
     }
 
     #[test]

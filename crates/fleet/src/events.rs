@@ -26,6 +26,12 @@ pub enum CheckMode {
     /// Run the full [`analysis::isolation::verify_live_placements`] proof
     /// after *every* event. Quadratic-ish and slow; the perfsuite baseline.
     FullProof,
+    /// Skip every isolation check, including the final proof. The event
+    /// history is identical (checks never steer the simulation), but no
+    /// violations can be detected — this exists solely as the perfsuite's
+    /// perf floor so the checking cost can be measured differentially.
+    /// Never use it in a gate that asserts `clean()`.
+    Off,
 }
 
 /// What happens at an event boundary.
@@ -112,6 +118,12 @@ pub struct Scenario {
     pub defrag_per_sweep: u32,
     /// Probability an arriving VM turns aggressor mid-life.
     pub attack_prob: f64,
+    /// Extra nanoseconds attack campaigns hold aggressor rows open beyond
+    /// the nominal tRAS (RowPress dwell, §2.5). 0 is classic Rowhammer;
+    /// large values amplify per-ACT disturbance so rows can flip *below*
+    /// ACT-counting blacklist thresholds — the arena uses this to probe
+    /// throttling defenses' blind spot.
+    pub attack_open_ns: u64,
     /// Whether the host answers attacks with a Copy-on-Flip pass for a
     /// colocated victim (§3).
     pub copy_on_flip: bool,
@@ -124,6 +136,11 @@ pub struct Scenario {
     pub check: CheckMode,
     /// Events between full isolation proofs in incremental mode.
     pub proof_period: u32,
+    /// The RowHammer defense the host deploys. [`mitigation::Backend::Siloz`]
+    /// (the default) boots the Siloz hypervisor and proves domain isolation;
+    /// `None` and the controller-level rivals boot the shared baseline, with
+    /// rivals installing their per-ACT hook into attack campaigns.
+    pub mitigation: mitigation::Backend,
 }
 
 impl Scenario {
@@ -151,11 +168,13 @@ impl Scenario {
             defrag_period: 300,
             defrag_per_sweep: 4,
             attack_prob: 0.03,
+            attack_open_ns: 0,
             copy_on_flip: true,
             cof_max_migrations: 4,
             defer_cap: 16,
             check: CheckMode::Incremental,
             proof_period: 250,
+            mitigation: mitigation::Backend::Siloz,
         }
     }
 
@@ -181,11 +200,13 @@ impl Scenario {
             defrag_period: 400,
             defrag_per_sweep: 4,
             attack_prob: 0.008,
+            attack_open_ns: 0,
             copy_on_flip: true,
             cof_max_migrations: 4,
             defer_cap: 32,
             check: CheckMode::Incremental,
             proof_period: 500,
+            mitigation: mitigation::Backend::Siloz,
         }
     }
 }

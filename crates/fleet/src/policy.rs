@@ -57,6 +57,11 @@ impl AdmissionControl {
     /// Tries to admit `vm` now; on a capacity rejection the request joins
     /// the deferred queue (abandoning the oldest entry if full) and `None`
     /// is returned. Non-capacity errors propagate.
+    ///
+    /// Capacity exhaustion surfaces as `InsufficientCapacity` under Siloz
+    /// (group accounting) but as a raw allocator `Numa` error under the
+    /// baseline hypervisor; both defer (`create_vm` rolls back partial
+    /// allocations on failure).
     pub fn admit_or_defer(
         &mut self,
         hv: &mut Hypervisor,
@@ -67,7 +72,7 @@ impl AdmissionControl {
                 self.admitted += 1;
                 Ok(Some(handle))
             }
-            Err(SilozError::InsufficientCapacity { .. }) => {
+            Err(SilozError::InsufficientCapacity { .. } | SilozError::Numa(_)) => {
                 self.rejections += 1;
                 if self.deferred.len() == self.cap {
                     self.deferred.pop_front();
@@ -96,7 +101,7 @@ impl AdmissionControl {
                     self.deferred_admits += 1;
                     admitted.push((vm, handle));
                 }
-                Err(SilozError::InsufficientCapacity { .. }) => break,
+                Err(SilozError::InsufficientCapacity { .. } | SilozError::Numa(_)) => break,
                 Err(e) => return Err(e),
             }
         }

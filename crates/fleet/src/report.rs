@@ -10,6 +10,9 @@ pub struct FleetReport {
     /// Placement strategy name (`first_fit` / `best_fit` /
     /// `socket_affine`).
     pub strategy: &'static str,
+    /// Deployed mitigation backend name (`none` / `siloz` / `blockhammer`
+    /// / `breakhammer`).
+    pub mitigation: &'static str,
     /// Scenario master seed.
     pub seed: u64,
     /// Events dispatched (trace + dynamic departures/re-admissions).
@@ -54,8 +57,12 @@ pub struct FleetReport {
     pub groups_claimed: u64,
     /// Final group-pool fragmentation (percent).
     pub fragmentation_pct: u64,
+    /// Arrivals vetoed by the mitigation backend before placement.
+    pub admission_vetoes: u64,
     /// Incremental boundary checks performed.
     pub incremental_checks: u64,
+    /// Incremental checks served by the clean-tenant fast path.
+    pub incremental_fast_checks: u64,
     /// Full isolation proofs performed.
     pub full_proofs: u64,
     /// Isolation violations (0 under Siloz).
@@ -71,11 +78,19 @@ impl FleetReport {
         self.violations_total == 0 && self.attack_escapes == 0
     }
 
+    /// Attack flips that stayed inside the aggressors' own domains — the
+    /// arena's containment quantity.
+    #[must_use]
+    pub fn attack_flips_contained(&self) -> u64 {
+        self.attack_flips.saturating_sub(self.attack_escapes)
+    }
+
     /// This report as a JSON object.
     #[must_use]
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
             ("strategy", Json::Str(self.strategy.to_string())),
+            ("mitigation", Json::Str(self.mitigation.to_string())),
             ("seed", Json::Num(self.seed.into())),
             ("events_processed", Json::Num(self.events_processed.into())),
             ("arrivals", Json::Num(self.arrivals.into())),
@@ -91,6 +106,10 @@ impl FleetReport {
             ("attack_flips", Json::Num(self.attack_flips.into())),
             ("attack_escapes", Json::Num(self.attack_escapes.into())),
             (
+                "attack_flips_contained",
+                Json::Num(self.attack_flips_contained().into()),
+            ),
+            (
                 "defrag_migrations",
                 Json::Num(self.defrag_migrations.into()),
             ),
@@ -104,9 +123,14 @@ impl FleetReport {
                 "fragmentation_pct",
                 Json::Num(self.fragmentation_pct.into()),
             ),
+            ("admission_vetoes", Json::Num(self.admission_vetoes.into())),
             (
                 "incremental_checks",
                 Json::Num(self.incremental_checks.into()),
+            ),
+            (
+                "incremental_fast_checks",
+                Json::Num(self.incremental_fast_checks.into()),
             ),
             ("full_proofs", Json::Num(self.full_proofs.into())),
             ("violations_total", Json::Num(self.violations_total.into())),
@@ -153,6 +177,7 @@ mod tests {
     fn sample() -> FleetReport {
         FleetReport {
             strategy: "first_fit",
+            mitigation: "siloz",
             seed: 1,
             events_processed: 10,
             arrivals: 3,
@@ -175,7 +200,9 @@ mod tests {
             groups_total: 7,
             groups_claimed: 0,
             fragmentation_pct: 0,
+            admission_vetoes: 0,
             incremental_checks: 9,
+            incremental_fast_checks: 4,
             full_proofs: 1,
             violations_total: 0,
             violation_samples: Vec::new(),

@@ -78,6 +78,42 @@ pub fn hammer_vm<R: Rng>(
     config: FuzzConfig,
     rng: &mut R,
 ) -> Result<HammerVmReport, SilozError> {
+    hammer_vm_inner(hv, vm, banks_per_socket, config, rng, None)
+}
+
+/// [`hammer_vm`] with a controller-level [`mitigation::Mitigation`] backend
+/// live during the campaign: every ACT the attacker issues passes through
+/// the defense (attributed to stream `source`, conventionally the tenant
+/// id), and injected throttle delays stall it in simulated time. With
+/// [`mitigation::NoMitigation`] the report is bit-identical to
+/// [`hammer_vm`].
+pub fn hammer_vm_defended<R: Rng>(
+    hv: &mut Hypervisor,
+    vm: VmHandle,
+    banks_per_socket: u32,
+    config: FuzzConfig,
+    rng: &mut R,
+    defense: &mut dyn mitigation::Mitigation,
+    source: u16,
+) -> Result<HammerVmReport, SilozError> {
+    hammer_vm_inner(
+        hv,
+        vm,
+        banks_per_socket,
+        config,
+        rng,
+        Some((defense, source)),
+    )
+}
+
+fn hammer_vm_inner<R: Rng>(
+    hv: &mut Hypervisor,
+    vm: VmHandle,
+    banks_per_socket: u32,
+    config: FuzzConfig,
+    rng: &mut R,
+    mut defense: Option<(&mut dyn mitigation::Mitigation, u16)>,
+) -> Result<HammerVmReport, SilozError> {
     let rows = vm_rows(hv, vm)?;
     let g = *hv.decoder().geometry();
     let mut fuzzer = Blacksmith::new(config);
@@ -91,7 +127,12 @@ pub fn hammer_vm<R: Rng>(
             let bank = BankId(*socket as u32 * g.banks_per_socket() + flat);
             banks.push(bank);
             let reachable = vm_bank_rows(hv, vm, bank, socket_rows)?;
-            let report = fuzzer.fuzz(hv.dram_mut(), bank, &reachable, rng);
+            let report = match defense.as_mut() {
+                Some((d, source)) => {
+                    fuzzer.fuzz_defended(hv.dram_mut(), bank, &reachable, rng, &mut **d, *source)
+                }
+                None => fuzzer.fuzz(hv.dram_mut(), bank, &reachable, rng),
+            };
             acts += report.acts;
         }
     }
@@ -204,6 +245,64 @@ mod tests {
         );
         // The escaped flips landed beyond the attacker's topmost row.
         assert!(escapes.iter().any(|f| f.media_row > top));
+    }
+
+    #[test]
+    fn defended_hammer_vm_with_none_matches_undefended() {
+        let run = |defended: bool| {
+            let mut hv = Hypervisor::boot(SilozConfig::mini(), HypervisorKind::Siloz).unwrap();
+            let vm = hv.create_vm(VmSpec::new("attacker", 2, 128 << 20)).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+            if defended {
+                let mut noop = mitigation::NoMitigation::new();
+                hammer_vm_defended(&mut hv, vm, 2, quick_cfg(), &mut rng, &mut noop, 5).unwrap()
+            } else {
+                hammer_vm(&mut hv, vm, 2, quick_cfg(), &mut rng).unwrap()
+            }
+        };
+        let plain = run(false);
+        let defended = run(true);
+        assert_eq!(plain.flips_total, defended.flips_total);
+        assert_eq!(plain.acts, defended.acts);
+        assert_eq!(plain.banks, defended.banks);
+        assert_eq!(plain.escapes, defended.escapes);
+    }
+
+    #[test]
+    fn blockhammer_defends_the_shared_baseline() {
+        // The arena's core claim in miniature: on the *baseline* hypervisor
+        // (no isolation domains), a BlockHammer hook at the controller
+        // contains a campaign that otherwise escapes across VM boundaries.
+        let run = |defense: Option<&mut dyn mitigation::Mitigation>| {
+            let cfg = SilozConfig::mini();
+            let dram = dram::DramSystemBuilder::new(cfg.geometry).trr(0, 0).build();
+            let mut hv = Hypervisor::boot_with(
+                cfg,
+                HypervisorKind::Baseline,
+                dram,
+                dram_addr::RepairMap::new(),
+            )
+            .unwrap();
+            let attacker = hv.create_vm(VmSpec::new("attacker", 2, 64 << 20)).unwrap();
+            let _victim = hv.create_vm(VmSpec::new("victim", 2, 64 << 20)).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+            match defense {
+                Some(d) => {
+                    hammer_vm_defended(&mut hv, attacker, 4, quick_cfg(), &mut rng, d, 1).unwrap()
+                }
+                None => hammer_vm(&mut hv, attacker, 4, quick_cfg(), &mut rng).unwrap(),
+            }
+        };
+        let undefended = run(None);
+        assert!(undefended.flips_total > 0, "baseline attack must flip");
+        let mut bh = mitigation::BlockHammer::new();
+        let defended = run(Some(&mut bh));
+        assert!(
+            defended.flips_total < undefended.flips_total,
+            "BlockHammer must suppress flips: {} vs {}",
+            defended.flips_total,
+            undefended.flips_total
+        );
     }
 
     #[test]

@@ -5,7 +5,22 @@ use crate::T_RC_NS;
 use dram::flip::BitFlip;
 use dram::DramSystem;
 use dram_addr::BankId;
+use mitigation::Mitigation;
 use rand::Rng;
+
+/// tREFI in nanoseconds, mirroring the device's distributed-REF cadence —
+/// the granularity at which defended campaigns feed decay ticks to a
+/// [`Mitigation`] backend.
+const TREFI_NS: u64 = dram::REFRESH_WINDOW_NS / dram::REFS_PER_WINDOW as u64;
+
+/// Delivers one `on_refresh` tick per tREFI boundary crossed up to
+/// `now_ns`, advancing the `next_decay_ns` cursor past it.
+fn drain_decay_ticks(defense: &mut dyn Mitigation, now_ns: u64, next_decay_ns: &mut u64) {
+    while now_ns >= *next_decay_ns {
+        defense.on_refresh(*next_decay_ns * 1000);
+        *next_decay_ns += TREFI_NS;
+    }
+}
 
 /// Fuzzer configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,6 +144,45 @@ impl Blacksmith {
         }
     }
 
+    /// [`Blacksmith::fuzz`] with a live [`Mitigation`] backend in the loop:
+    /// every activation is reported to `defense` (attributed to stream
+    /// `source`), and any throttle delay it injects stalls the attacker in
+    /// simulated time — giving refresh and TRR a chance to reset victims
+    /// before their thresholds are crossed.
+    ///
+    /// With [`mitigation::NoMitigation`] this is bit-identical to the
+    /// undefended [`Blacksmith::fuzz`] (same flips, acts, and clock).
+    pub fn fuzz_defended<R: Rng>(
+        &mut self,
+        dram: &mut DramSystem,
+        bank: BankId,
+        allowed_rows: &[u32],
+        rng: &mut R,
+        defense: &mut dyn Mitigation,
+        source: u16,
+    ) -> FuzzReport {
+        let before = dram.flip_log().len();
+        let mut acts = 0u64;
+        let mut effective = None;
+        let mut tried = 0u32;
+        for _ in 0..self.config.patterns {
+            tried += 1;
+            let pattern = HammerPattern::random(allowed_rows, rng);
+            let found = self.hammer_defended(dram, bank, &pattern, &mut acts, defense, source);
+            if found && effective.is_none() {
+                effective = Some(pattern);
+                break;
+            }
+        }
+        let flips = dram.flip_log().all()[before..].to_vec();
+        FuzzReport {
+            patterns_tried: tried,
+            acts,
+            flips,
+            effective_pattern: effective,
+        }
+    }
+
     /// Hammers one explicit pattern; returns whether new flips appeared.
     ///
     /// The per-period schedule is issued as run-length-coalesced activation
@@ -154,6 +208,53 @@ impl Blacksmith {
                 *acts += count as u64;
             }
             dram.advance_ns(pattern.schedule.len() as u64 * T_RC_NS);
+        }
+        dram.flip_log().len() > before
+    }
+
+    /// [`Blacksmith::hammer`] against a live [`Mitigation`] backend.
+    ///
+    /// Every ACT of each coalesced run is offered to `defense.on_act`
+    /// first; the summed throttle delay advances simulated time *before*
+    /// the burst issues, so distributed refresh catches up while the
+    /// attacker stalls — that time dilation is exactly how controller-level
+    /// defenses contain flips here. Decay ticks ([`Mitigation::on_refresh`])
+    /// are delivered once per tREFI of simulated attack time.
+    pub fn hammer_defended(
+        &self,
+        dram: &mut DramSystem,
+        bank: BankId,
+        pattern: &HammerPattern,
+        acts: &mut u64,
+        defense: &mut dyn Mitigation,
+        source: u16,
+    ) -> bool {
+        let before = dram.flip_log().len();
+        let rows_per_bank = dram.geometry().rows_per_bank;
+        let runs = pattern.coalesced_schedule();
+        let mut next_decay_ns = (dram.now_ns() / TREFI_NS + 1) * TREFI_NS;
+        for _ in 0..self.config.periods_per_attempt {
+            for &(row, count) in &runs {
+                if row >= rows_per_bank {
+                    continue;
+                }
+                let mut delay_ps = 0u64;
+                for _ in 0..count {
+                    let now_ps = dram.now_ns() * 1000 + delay_ps;
+                    delay_ps += defense.on_act(bank.0, row, source, now_ps);
+                }
+                if delay_ps > 0 {
+                    // Stall before the burst: bursts model back-to-back ACT
+                    // runs and must not internally span a refresh, so the
+                    // injected delay lands between runs.
+                    dram.advance_ns(delay_ps.div_ceil(1000));
+                }
+                dram.activate_burst(bank, row, count as u64, self.config.extra_open_ns);
+                *acts += count as u64;
+                drain_decay_ticks(defense, dram.now_ns(), &mut next_decay_ns);
+            }
+            dram.advance_ns(pattern.schedule.len() as u64 * T_RC_NS);
+            drain_decay_ticks(defense, dram.now_ns(), &mut next_decay_ns);
         }
         dram.flip_log().len() > before
     }
@@ -207,6 +308,128 @@ mod tests {
         let report = fuzzer.fuzz(&mut dram, BankId(0), &rows, &mut rng);
         assert!(!report.any_flips());
         assert_eq!(report.patterns_tried, 3);
+    }
+
+    #[test]
+    fn defended_hammer_with_none_backend_is_bit_identical() {
+        // The trait-port pin at the attack layer: a NoMitigation hook in
+        // the loop must not perturb flips, acts, or the simulated clock.
+        let pattern = HammerPattern::n_sided(40, 8);
+        let fuzzer = Blacksmith::new(FuzzConfig {
+            patterns: 1,
+            periods_per_attempt: 30_000,
+            extra_open_ns: 0,
+        });
+        let mut plain = DramSystemBuilder::new(mini_geometry()).trr(0, 0).build();
+        let mut plain_acts = 0u64;
+        let plain_found = fuzzer.hammer(&mut plain, BankId(0), &pattern, &mut plain_acts);
+
+        let mut defended = DramSystemBuilder::new(mini_geometry()).trr(0, 0).build();
+        let mut noop = mitigation::NoMitigation::new();
+        let mut defended_acts = 0u64;
+        let defended_found = fuzzer.hammer_defended(
+            &mut defended,
+            BankId(0),
+            &pattern,
+            &mut defended_acts,
+            &mut noop,
+            3,
+        );
+        assert_eq!(plain_found, defended_found);
+        assert_eq!(plain_acts, defended_acts);
+        assert_eq!(plain.now_ns(), defended.now_ns());
+        assert_eq!(plain.stats(), defended.stats());
+        assert_eq!(plain.flip_log().all(), defended.flip_log().all());
+        assert!(plain_found, "the undefended attack must actually flip bits");
+    }
+
+    #[test]
+    fn blockhammer_throttling_contains_the_flips() {
+        // Same pattern, same DIMM: undefended hammering flips bits, but a
+        // BlockHammer hook blacklists the aggressor rows and the injected
+        // per-ACT stalls let refresh reset victims before they cross
+        // threshold.
+        let pattern = HammerPattern::n_sided(40, 8);
+        let fuzzer = Blacksmith::new(FuzzConfig {
+            patterns: 1,
+            periods_per_attempt: 30_000,
+            extra_open_ns: 0,
+        });
+        let mut plain = DramSystemBuilder::new(mini_geometry()).trr(0, 0).build();
+        let mut plain_acts = 0u64;
+        assert!(fuzzer.hammer(&mut plain, BankId(0), &pattern, &mut plain_acts));
+
+        let mut defended = DramSystemBuilder::new(mini_geometry()).trr(0, 0).build();
+        let mut bh = mitigation::BlockHammer::new();
+        let mut defended_acts = 0u64;
+        let found = fuzzer.hammer_defended(
+            &mut defended,
+            BankId(0),
+            &pattern,
+            &mut defended_acts,
+            &mut bh,
+            3,
+        );
+        assert!(!found, "BlockHammer must contain this campaign");
+        assert_eq!(defended.flip_log().len(), 0);
+        assert_eq!(defended_acts, plain_acts, "throttling delays, not drops");
+        assert!(
+            defended.now_ns() > 4 * plain.now_ns(),
+            "throttle stalls must dilate attack time: {} vs {}",
+            defended.now_ns(),
+            plain.now_ns()
+        );
+        let reg = telemetry::Registry::new();
+        bh.export_telemetry(&reg);
+        let snap = reg.snapshot();
+        match snap.metrics["rows_blacklisted"] {
+            telemetry::MetricValue::Counter { value, .. } => {
+                assert!(value >= 8, "all aggressor rows blacklisted, got {value}");
+            }
+            ref other => panic!("unexpected metric {other:?}"),
+        }
+    }
+
+    #[test]
+    fn breakhammer_throttles_the_hammering_source() {
+        let pattern = HammerPattern::n_sided(40, 8);
+        let fuzzer = Blacksmith::new(FuzzConfig {
+            patterns: 1,
+            periods_per_attempt: 30_000,
+            extra_open_ns: 0,
+        });
+        let mut plain = DramSystemBuilder::new(mini_geometry()).trr(0, 0).build();
+        let mut plain_acts = 0u64;
+        fuzzer.hammer(&mut plain, BankId(0), &pattern, &mut plain_acts);
+
+        let mut defended = DramSystemBuilder::new(mini_geometry()).trr(0, 0).build();
+        let mut bh = mitigation::BreakHammer::new();
+        let mut defended_acts = 0u64;
+        fuzzer.hammer_defended(
+            &mut defended,
+            BankId(0),
+            &pattern,
+            &mut defended_acts,
+            &mut bh,
+            9,
+        );
+        assert!(
+            defended.flip_log().len() <= plain.flip_log().len(),
+            "source throttling cannot make the attack stronger"
+        );
+        assert!(
+            defended.now_ns() > 2 * plain.now_ns(),
+            "stream throttling must slow the attacker: {} vs {}",
+            defended.now_ns(),
+            plain.now_ns()
+        );
+        let reg = telemetry::Registry::new();
+        bh.export_telemetry(&reg);
+        let snap = reg.snapshot();
+        match snap.metrics["sources_throttled"] {
+            telemetry::MetricValue::Counter { value, .. } => assert!(value >= 1),
+            ref other => panic!("unexpected metric {other:?}"),
+        }
     }
 
     #[test]

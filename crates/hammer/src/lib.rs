@@ -24,7 +24,9 @@ pub mod fuzzer;
 pub mod pattern;
 pub mod timing_channel;
 
-pub use attack::{hammer_vm, verify_ept_intact, vm_bank_rows, vm_rows, HammerVmReport};
+pub use attack::{
+    hammer_vm, hammer_vm_defended, verify_ept_intact, vm_bank_rows, vm_rows, HammerVmReport,
+};
 pub use forensics::{attribute_flips, DamageReport, FlipOwner};
 pub use fuzzer::{Blacksmith, FuzzConfig, FuzzReport};
 pub use pattern::HammerPattern;

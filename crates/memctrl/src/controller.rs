@@ -259,6 +259,10 @@ pub struct MemoryController {
     queue_depth: telemetry::HistoSnapshot,
     /// Per-access latency distribution, nanoseconds.
     latency_ns: telemetry::HistoSnapshot,
+    /// Installed per-ACT defense, if any (§4h). `None` — the common case,
+    /// covering the undefended baseline *and* Siloz, whose defense is
+    /// placement-time — leaves the issue loop's fast path untouched.
+    mitigation: Option<Box<dyn mitigation::Mitigation>>,
 }
 
 impl MemoryController {
@@ -294,6 +298,7 @@ impl MemoryController {
             dram_sync_counter: 0,
             queue_depth: telemetry::HistoSnapshot::default(),
             latency_ns: telemetry::HistoSnapshot::default(),
+            mitigation: None,
             tlb: DecodeTlb::new(decoder),
         }
     }
@@ -311,6 +316,23 @@ impl MemoryController {
     pub fn without_physics(mut self) -> Self {
         self.drive_physics = false;
         self
+    }
+
+    /// Installs a per-ACT defense: `m.on_act` is consulted on every
+    /// activation (row misses and conflicts, not row hits) and its
+    /// returned delay is added to the op's arrival time before rank
+    /// constraints apply; `m.on_refresh` fires at every tREFI crossing.
+    /// Controllers without a hook skip both calls entirely.
+    #[must_use]
+    pub fn with_mitigation(mut self, m: Box<dyn mitigation::Mitigation>) -> Self {
+        self.mitigation = Some(m);
+        self
+    }
+
+    /// The installed per-ACT defense, if any.
+    #[must_use]
+    pub fn mitigation(&self) -> Option<&dyn mitigation::Mitigation> {
+        self.mitigation.as_deref()
     }
 
     /// The decoder in use.
@@ -384,6 +406,9 @@ impl MemoryController {
             per_bank.observe(self.bank_touches[ord as usize]);
         }
         self.tlb.export_telemetry(&reg.child("tlb"));
+        if let Some(m) = &self.mitigation {
+            m.export_telemetry(&reg.child("mitigation"));
+        }
     }
 
     /// Serves one access arriving at `arrival_ps`.
@@ -395,7 +420,7 @@ impl MemoryController {
         arrival_ps: u64,
     ) -> Result<AccessResult, AddrError> {
         let (media, bank_id) = self.tlb.decode_with_bank(phys)?;
-        let res = self.access_decoded(dram, media, bank_id, write, arrival_ps);
+        let res = self.access_decoded(dram, media, bank_id, write, 0, arrival_ps);
         // Single-access callers observe device state between calls; don't
         // leave an activation buffered.
         self.flush_acts(dram);
@@ -409,6 +434,7 @@ impl MemoryController {
         media: MediaAddress,
         bank_id: BankId,
         write: bool,
+        thread: u16,
         arrival_ps: u64,
     ) -> AccessResult {
         let rank_ord =
@@ -416,7 +442,7 @@ impl MemoryController {
                 .rank_ordinal(media.socket, media.channel, media.dimm, media.rank);
         let chan_ord = self.geometry.channel_ordinal(media.socket, media.channel);
         self.access_inner(
-            dram, bank_id, media.row, rank_ord, chan_ord, write, arrival_ps,
+            dram, bank_id, media.row, rank_ord, chan_ord, write, thread, arrival_ps,
         )
     }
 
@@ -432,6 +458,7 @@ impl MemoryController {
         rank_ord: usize,
         chan_ord: usize,
         write: bool,
+        thread: u16,
         arrival_ps: u64,
     ) -> AccessResult {
         // Distributed refresh: when the clock crosses tREFI, steal tRFC from
@@ -443,6 +470,9 @@ impl MemoryController {
                 fsm.precharge(self.next_ref_ps, &t);
                 fsm.ready_ps += t.t_rfc_ps;
             }
+            if let Some(m) = self.mitigation.as_deref_mut() {
+                m.on_refresh(self.next_ref_ps);
+            }
             self.next_ref_ps += t.t_refi_ps;
         }
         let ord = bank_id.0 as usize;
@@ -450,6 +480,11 @@ impl MemoryController {
         let kind = self.banks[ord].classify(row);
         let mut arrival = arrival_ps;
         if kind != AccessKind::RowHit {
+            // Defense throttling delays the ACT before timing constraints
+            // re-queue it, so rank windows apply to the *delayed* issue.
+            if let Some(m) = self.mitigation.as_deref_mut() {
+                arrival += m.on_act(bank_id.0, row, thread, arrival);
+            }
             let rank = &self.ranks[rank_ord];
             arrival = arrival.max(rank.last_act_ps + self.timings.t_rrd_ps);
             if rank.recent_acts.len() == 4 {
@@ -689,6 +724,7 @@ impl MemoryController {
                     p.rank_ord as usize,
                     p.chan_ord as usize,
                     p.write,
+                    p.thread,
                     p.issue,
                 );
                 let t = &mut threads[thread];
@@ -811,6 +847,7 @@ impl MemoryController {
                     p.rank_ord as usize,
                     p.chan_ord as usize,
                     p.write,
+                    p.thread,
                     p.issue,
                 );
                 let t = &mut threads[thread];
@@ -1356,5 +1393,110 @@ mod tests {
         let ops = vec![MemOp::read(0), MemOp::read(cap + 4096), MemOp::read(64)];
         let res = ctrl.run_trace(&mut dram, ops);
         assert_eq!(res.stats.accesses, 2);
+    }
+
+    /// A hammering trace: two rows of one bank, strictly alternating, and
+    /// dependent so FR-FCFS cannot coalesce it into row-hit runs — every
+    /// access is a row conflict and an ACT, like a real flush-based
+    /// hammer loop.
+    fn hammer_trace(n: u64, thread: u16) -> Vec<MemOp> {
+        let dec = mini_decoder();
+        let phys_of_row = |row: u32| {
+            dec.encode(&dram_addr::MediaAddress {
+                socket: 0,
+                channel: 0,
+                dimm: 0,
+                rank: 0,
+                bank_group: 0,
+                bank: 0,
+                row,
+                col: 0,
+            })
+            .expect("row in range")
+        };
+        let rows = [phys_of_row(0), phys_of_row(2)];
+        (0..n)
+            .map(|i| {
+                MemOp::read(rows[(i % 2) as usize])
+                    .after_previous()
+                    .on_thread(thread)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn installed_noop_backend_is_bit_identical_to_no_hook() {
+        // A zero-delay hook takes the hooked branch on every ACT yet must
+        // not perturb a single timestamp, stat, or device flip.
+        let ops = mixed_trace(20_000);
+        let (mut plain, mut d1) = setup();
+        let plain_res = plain.run_trace(&mut d1, ops.clone());
+
+        let dec = mini_decoder();
+        let mut d2 = DramSystem::new(*dec.geometry());
+        let mut hooked =
+            MemoryController::new(dec).with_mitigation(Box::new(mitigation::NoMitigation::new()));
+        let hooked_res = hooked.run_trace(&mut d2, ops);
+
+        assert_eq!(plain_res, hooked_res);
+        assert_eq!(d1.stats(), d2.stats());
+        assert_eq!(d1.flip_log().all(), d2.flip_log().all());
+        assert_eq!(plain.clock_ps(), hooked.clock_ps());
+    }
+
+    #[test]
+    fn blockhammer_hook_throttles_a_hammering_trace() {
+        let ops = hammer_trace(4_000, 0);
+        let (mut plain, mut d1) = setup();
+        let plain_res = plain.run_trace(&mut d1, ops.clone());
+
+        let dec = mini_decoder();
+        let mut d2 = DramSystem::new(*dec.geometry());
+        let mut defended = MemoryController::new(dec)
+            .with_mitigation(mitigation::Backend::BlockHammer.controller_hook().unwrap());
+        let defended_res = defended.run_trace(&mut d2, ops);
+
+        assert!(
+            defended_res.elapsed_ps > plain_res.elapsed_ps * 2,
+            "throttling must stretch the campaign: {} vs {}",
+            defended_res.elapsed_ps,
+            plain_res.elapsed_ps
+        );
+        let reg = telemetry::Registry::new();
+        defended.export_telemetry(&reg);
+        let snap = reg.snapshot();
+        let child = &snap.children["mitigation"];
+        let telemetry::MetricValue::Counter {
+            value: throttled, ..
+        } = child.metrics["acts_throttled"]
+        else {
+            panic!("acts_throttled must be a counter");
+        };
+        // Both rows blacklist after 512 estimated ACTs each.
+        assert!(throttled > 2_000, "acts_throttled = {throttled}");
+    }
+
+    #[test]
+    fn breakhammer_hook_throttles_the_offending_thread() {
+        // Thread 9 activates at the tRC limit (~166 ACTs/tREFI), far over
+        // the leak allowance, so its score blows the budget and later
+        // ACTs pay.
+        let ops = hammer_trace(12_000, 9);
+        let dec = mini_decoder();
+        let mut dram = DramSystem::new(*dec.geometry());
+        let mut defended = MemoryController::new(dec)
+            .with_mitigation(mitigation::Backend::BreakHammer.controller_hook().unwrap());
+        let res = defended.run_trace(&mut dram, ops);
+        assert_eq!(res.stats.accesses, 12_000);
+        let reg = telemetry::Registry::new();
+        defended.export_telemetry(&reg);
+        let snap = reg.snapshot();
+        let child = &snap.children["mitigation"];
+        let telemetry::MetricValue::Counter { value: sources, .. } =
+            child.metrics["sources_throttled"]
+        else {
+            panic!("sources_throttled must be a counter");
+        };
+        assert!(sources >= 1, "hammering source never throttled");
     }
 }

@@ -1,0 +1,390 @@
+//! The concrete defense state machines.
+//!
+//! This module is on the analysis linter's hot-path list: per-ACT hooks
+//! run inside the memory controller's issue loop, so everything here
+//! uses flat pre-allocated arrays, allocates only in constructors, and
+//! never touches maps or the heap per activation.
+
+use crate::{DomainPolicy, Mitigation};
+
+/// `none`: the undefended baseline every arena row is normalized
+/// against. All hooks are the trait defaults (admit everything, zero
+/// delay); exists so "no defense" is still a first-class backend with a
+/// deterministic (empty) telemetry snapshot.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoMitigation;
+
+impl NoMitigation {
+    /// Build the no-op backend.
+    pub fn new() -> Self {
+        NoMitigation
+    }
+}
+
+impl Mitigation for NoMitigation {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn export_telemetry(&self, _reg: &telemetry::Registry) {}
+}
+
+/// `siloz`: the paper's defense, expressed as a placement-only policy.
+///
+/// All the actual machinery (subarray-group allocator, EPT mediation,
+/// §4.1 invariant proofs) lives in `crates/siloz` and is engaged by
+/// booting the hypervisor in `Siloz` mode; this backend's whole job is
+/// to *demand* that via [`DomainPolicy::IsolationDomains`] and take no
+/// per-ACT action, leaving the controller fast path untouched.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SilozMitigation {
+    admit_checks: u64,
+}
+
+impl SilozMitigation {
+    /// Build the placement-only Siloz backend.
+    pub fn new() -> Self {
+        SilozMitigation { admit_checks: 0 }
+    }
+}
+
+impl Mitigation for SilozMitigation {
+    fn name(&self) -> &'static str {
+        "siloz"
+    }
+
+    fn domain_policy(&self) -> DomainPolicy {
+        DomainPolicy::IsolationDomains
+    }
+
+    fn admit(&mut self, _tenant: u32, _mem_bytes: u64) -> bool {
+        // Capacity vetoes come from the domain allocator itself
+        // (`numa::Error::OutOfMemory` at placement); the backend only
+        // records that it was consulted.
+        self.admit_checks += 1;
+        true
+    }
+
+    fn export_telemetry(&self, reg: &telemetry::Registry) {
+        reg.counter("admit_checks").add(self.admit_checks);
+    }
+}
+
+/// Counting-Bloom-filter rows (hash functions). Four independent
+/// hashes keep the false-positive rate low at our occupancies.
+pub const CBF_HASHES: usize = 4;
+/// Counters per hash row; power of two so indexing is a mask.
+pub const CBF_WIDTH: usize = 4096;
+/// Activates to one row within an epoch before it is blacklisted.
+/// Well below the weakest simulated DIMM's HC_first, so the blacklist
+/// engages long before disturbance accumulates to a flip.
+pub const CBF_THRESHOLD: u32 = 512;
+/// Epoch length: one 64 ms refresh window, after which every victim has
+/// been refreshed and the filter restarts from zero.
+pub const CBF_EPOCH_PS: u64 = 64_000_000_000;
+/// Delay injected per blacklisted activate (1.5 µs). Stretching a
+/// 50k-ACT campaign by ~1.5 µs/ACT pushes it far past the refresh
+/// window, so victims are refreshed before the flip threshold.
+pub const CBF_DELAY_PS: u64 = 1_500_000;
+
+/// `blockhammer`: BlockHammer-style (arxiv 2102.05981) row blacklister.
+///
+/// Every activation increments [`CBF_HASHES`] counting-Bloom-filter
+/// cells keyed by `(bank, row)`; the row's estimated activation count
+/// is the minimum of its cells, which — because counters only increase
+/// within an epoch — can never *under*-count (the monotonicity law the
+/// property tests pin). Estimates at or above [`CBF_THRESHOLD`]
+/// blacklist the row and each further activate pays [`CBF_DELAY_PS`].
+/// The filter resets every [`CBF_EPOCH_PS`] (one refresh window).
+#[derive(Clone, Debug)]
+pub struct BlockHammer {
+    /// `CBF_HASHES` rows of `CBF_WIDTH` counters, flattened.
+    counters: Vec<u32>,
+    /// Current epoch ordinal (`now_ps / CBF_EPOCH_PS`).
+    epoch: u64,
+    acts_observed: u64,
+    acts_throttled: u64,
+    rows_blacklisted: u64,
+    epochs_rolled: u64,
+    throttle_ps_total: u64,
+}
+
+impl Default for BlockHammer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BlockHammer {
+    /// Build the blacklister with an all-zero filter.
+    pub fn new() -> Self {
+        BlockHammer {
+            counters: vec![0u32; CBF_HASHES * CBF_WIDTH],
+            epoch: 0,
+            acts_observed: 0,
+            acts_throttled: 0,
+            rows_blacklisted: 0,
+            epochs_rolled: 0,
+            throttle_ps_total: 0,
+        }
+    }
+
+    /// The filter's current estimate for `(bank, row)` — an upper bound
+    /// on how many times that row activated this epoch.
+    pub fn estimate(&self, bank: u32, row: u32) -> u32 {
+        let key = ((bank as u64) << 32) | row as u64;
+        let mut min = u32::MAX;
+        for h in 0..CBF_HASHES {
+            let slot = cbf_slot(key, h);
+            min = min.min(self.counters[h * CBF_WIDTH + slot]);
+        }
+        min
+    }
+
+    fn roll_epoch_to(&mut self, epoch: u64) {
+        for c in &mut self.counters {
+            *c = 0;
+        }
+        self.epoch = epoch;
+        self.epochs_rolled += 1;
+    }
+}
+
+/// SplitMix64 finalizer — a cheap, well-mixed stateless hash.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Index of `key`'s cell in hash row `h`.
+fn cbf_slot(key: u64, h: usize) -> usize {
+    (splitmix64(key ^ ((h as u64) << 56).wrapping_add(h as u64)) as usize) & (CBF_WIDTH - 1)
+}
+
+impl Mitigation for BlockHammer {
+    fn name(&self) -> &'static str {
+        "blockhammer"
+    }
+
+    fn on_act(&mut self, bank: u32, row: u32, _source: u16, now_ps: u64) -> u64 {
+        let epoch = now_ps / CBF_EPOCH_PS;
+        if epoch != self.epoch {
+            self.roll_epoch_to(epoch);
+        }
+        self.acts_observed += 1;
+        let key = ((bank as u64) << 32) | row as u64;
+        let mut min = u32::MAX;
+        for h in 0..CBF_HASHES {
+            let cell = &mut self.counters[h * CBF_WIDTH + cbf_slot(key, h)];
+            *cell = cell.saturating_add(1);
+            min = min.min(*cell);
+        }
+        if min == CBF_THRESHOLD {
+            self.rows_blacklisted += 1;
+        }
+        if min >= CBF_THRESHOLD {
+            self.acts_throttled += 1;
+            self.throttle_ps_total += CBF_DELAY_PS;
+            CBF_DELAY_PS
+        } else {
+            0
+        }
+    }
+
+    fn export_telemetry(&self, reg: &telemetry::Registry) {
+        reg.counter("acts_observed").add(self.acts_observed);
+        reg.counter("acts_throttled").add(self.acts_throttled);
+        reg.counter("rows_blacklisted").add(self.rows_blacklisted);
+        reg.counter("epochs_rolled").add(self.epochs_rolled);
+        reg.counter("throttle_ps_total").add(self.throttle_ps_total);
+    }
+}
+
+/// Sources an index can take; `u16` stream ids index directly.
+pub const BH_SOURCES: usize = 1 << 16;
+/// Score a source may accumulate before throttling.
+pub const BH_BUDGET: u64 = 2048;
+/// Score leaked back per source per refresh crossing (the benign
+/// allowance: 32 ACTs per tREFI ≈ 4 M ACTs/s sustained — a hammering
+/// stream's conflict-bound rate is ~3× that).
+pub const BH_LEAK: u64 = 32;
+/// Delay injected per over-budget activate (0.8 µs).
+pub const BH_DELAY_PS: u64 = 800_000;
+
+/// `breakhammer`: BreakHammer-style suspect-source scorer.
+///
+/// Rather than tracking rows, it scores the *stream* issuing the
+/// activates — a leaky bucket per source: each ACT bumps the score,
+/// each tREFI crossing leaks [`BH_LEAK`] back, and any source whose
+/// score exceeds [`BH_BUDGET`] pays [`BH_DELAY_PS`] per further
+/// activate until the leak brings it back under. Benign streams —
+/// mostly row hits, ACT rates under the allowance — hover near zero; a
+/// hammering stream activates at the tRC limit (~166 per tREFI),
+/// out-runs the leak, and trips the budget within a few hundred µs.
+#[derive(Clone, Debug)]
+pub struct BreakHammer {
+    /// Per-source score, indexed by stream id.
+    scores: Vec<u64>,
+    /// Sources with a nonzero score (kept small so decay is cheap).
+    touched: Vec<u16>,
+    acts_observed: u64,
+    acts_throttled: u64,
+    sources_throttled: u64,
+    decays: u64,
+    throttle_ps_total: u64,
+}
+
+impl Default for BreakHammer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BreakHammer {
+    /// Build the scorer with all sources at zero.
+    pub fn new() -> Self {
+        BreakHammer {
+            scores: vec![0u64; BH_SOURCES],
+            touched: Vec::with_capacity(64),
+            acts_observed: 0,
+            acts_throttled: 0,
+            sources_throttled: 0,
+            decays: 0,
+            throttle_ps_total: 0,
+        }
+    }
+
+    /// Current score for `source`.
+    pub fn score(&self, source: u16) -> u64 {
+        self.scores[source as usize]
+    }
+}
+
+impl Mitigation for BreakHammer {
+    fn name(&self) -> &'static str {
+        "breakhammer"
+    }
+
+    fn on_act(&mut self, _bank: u32, _row: u32, source: u16, _now_ps: u64) -> u64 {
+        self.acts_observed += 1;
+        let s = &mut self.scores[source as usize];
+        if *s == 0 {
+            self.touched.push(source);
+        }
+        *s += 1;
+        if *s == BH_BUDGET + 1 {
+            self.sources_throttled += 1;
+        }
+        if *s > BH_BUDGET {
+            self.acts_throttled += 1;
+            self.throttle_ps_total += BH_DELAY_PS;
+            BH_DELAY_PS
+        } else {
+            0
+        }
+    }
+
+    fn on_refresh(&mut self, _now_ps: u64) {
+        self.decays += 1;
+        let mut i = 0;
+        while i < self.touched.len() {
+            let s = self.touched[i] as usize;
+            self.scores[s] = self.scores[s].saturating_sub(BH_LEAK);
+            if self.scores[s] == 0 {
+                self.touched.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn export_telemetry(&self, reg: &telemetry::Registry) {
+        reg.counter("acts_observed").add(self.acts_observed);
+        reg.counter("acts_throttled").add(self.acts_throttled);
+        reg.counter("sources_throttled").add(self.sources_throttled);
+        reg.counter("decays").add(self.decays);
+        reg.counter("throttle_ps_total").add(self.throttle_ps_total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbf_estimate_never_undercounts_one_row() {
+        let mut bh = BlockHammer::new();
+        for i in 0..1000u32 {
+            bh.on_act(3, 77, 0, (i as u64) * 47_000);
+            assert!(bh.estimate(3, 77) > i, "undercount at act {i}");
+        }
+    }
+
+    #[test]
+    fn cbf_blacklists_exactly_at_threshold() {
+        let mut bh = BlockHammer::new();
+        for i in 1..=CBF_THRESHOLD + 10 {
+            let delay = bh.on_act(0, 42, 0, 0);
+            if i < CBF_THRESHOLD {
+                assert_eq!(delay, 0, "throttled early at act {i}");
+            } else {
+                assert_eq!(delay, CBF_DELAY_PS, "not throttled at act {i}");
+            }
+        }
+        assert_eq!(bh.rows_blacklisted, 1);
+        assert_eq!(bh.acts_throttled, 11);
+    }
+
+    #[test]
+    fn cbf_epoch_roll_clears_the_filter() {
+        let mut bh = BlockHammer::new();
+        for _ in 0..CBF_THRESHOLD {
+            bh.on_act(0, 9, 0, 0);
+        }
+        assert!(bh.estimate(0, 9) >= CBF_THRESHOLD);
+        // First ACT of the next refresh window sees a clean filter.
+        assert_eq!(bh.on_act(0, 9, 0, CBF_EPOCH_PS), 0);
+        assert_eq!(bh.estimate(0, 9), 1);
+        assert_eq!(bh.epochs_rolled, 1);
+    }
+
+    #[test]
+    fn cbf_aliasing_only_inflates_distinct_rows() {
+        // Distinct rows may collide in some hash rows, but the min-of-4
+        // estimate for a row touched once stays far below threshold.
+        let mut bh = BlockHammer::new();
+        for row in 0..2000u32 {
+            bh.on_act(1, row, 0, 0);
+        }
+        assert!(bh.estimate(1, 0) < CBF_THRESHOLD);
+    }
+
+    #[test]
+    fn breakhammer_throttles_only_the_offending_source() {
+        let mut bh = BreakHammer::new();
+        for _ in 0..BH_BUDGET {
+            assert_eq!(bh.on_act(0, 1, 7, 0), 0);
+        }
+        assert_eq!(bh.on_act(0, 1, 7, 0), BH_DELAY_PS, "offender not throttled");
+        assert_eq!(bh.on_act(0, 1, 8, 0), 0, "bystander throttled");
+        assert_eq!(bh.sources_throttled, 1);
+    }
+
+    #[test]
+    fn breakhammer_decay_rehabilitates_sources() {
+        let mut bh = BreakHammer::new();
+        for _ in 0..=BH_BUDGET {
+            bh.on_act(0, 1, 3, 0);
+        }
+        assert!(bh.score(3) > BH_BUDGET);
+        let rounds = (BH_BUDGET + 1).div_ceil(BH_LEAK);
+        for _ in 0..rounds {
+            bh.on_refresh(0);
+        }
+        assert_eq!(bh.score(3), 0, "score did not leak to zero");
+        assert_eq!(bh.on_act(0, 1, 3, 0), 0, "rehabilitated source throttled");
+        assert_eq!(bh.decays, rounds);
+    }
+}

@@ -1,0 +1,204 @@
+//! Cross-defense property battery (the arena's trust anchor).
+//!
+//! Three laws pin the mitigation layer against randomized ACT streams:
+//!
+//! 1. **`none` law** — a controller with the [`NoMitigation`] hook
+//!    *installed* (not merely absent) is bit-identical to the bare
+//!    fast path on any trace: same trace result, same controller clock,
+//!    same DRAM stats and flip log.
+//! 2. **CBF monotonicity** — BlockHammer's min-of-hashes estimate never
+//!    under-counts within an epoch, so a row activated at least
+//!    [`CBF_THRESHOLD`] times is always blacklisted: no false
+//!    negatives, ever.
+//! 3. **no-reorder law** — throttle delays only push completions later;
+//!    they never reorder same-bank same-row service relative to the
+//!    undefended oracle, and per-row completions stay in issue order.
+
+use dram::DramSystem;
+use dram_addr::{mini_decoder, MediaAddress, SystemAddressDecoder};
+use memctrl::{MemOp, MemoryController};
+use mitigation::backends::{CBF_DELAY_PS, CBF_THRESHOLD};
+use mitigation::{BlockHammer, Mitigation, NoMitigation};
+use proptest::prelude::*;
+
+fn arb_op(cap: u64) -> impl Strategy<Value = MemOp> {
+    (
+        0..cap / 64,
+        any::<bool>(),
+        0u64..50_000,
+        any::<bool>(),
+        0u16..4,
+    )
+        .prop_map(|(line, write, gap, dep, thread)| MemOp {
+            phys: line * 64,
+            write,
+            gap_ps: gap,
+            dependent: dep,
+            thread,
+        })
+}
+
+/// Physical address of `row`'s first line in bank 0 of the mini
+/// geometry — alternating two such rows forces a row conflict (and an
+/// ACT) on every access, the stream a blacklister must see.
+fn row_addr(dec: &SystemAddressDecoder, row: u32) -> u64 {
+    dec.encode(&MediaAddress {
+        socket: 0,
+        channel: 0,
+        dimm: 0,
+        rank: 0,
+        bank_group: 0,
+        bank: 0,
+        row,
+        col: 0,
+    })
+    .unwrap()
+}
+
+/// One burst of activates to a `(bank, row)` within the filter's domain.
+/// Counts range high enough that random streams regularly cross
+/// [`CBF_THRESHOLD`] for some rows and stay below it for others.
+fn arb_burst() -> impl Strategy<Value = (u32, u32, u32)> {
+    (0u32..4, 0u32..32, 1u32..1500)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Law 1: the `none` backend is bitwise invisible. Installing its
+    /// hook must leave every observable — trace result, controller
+    /// clock, DRAM stats, flip log — identical to the hook-free path.
+    #[test]
+    fn none_backend_is_bit_identical_to_the_fast_path(
+        ops in prop::collection::vec(arb_op(1 << 26), 1..250),
+    ) {
+        let dec = mini_decoder();
+        let mut dram_a = DramSystem::new(*dec.geometry());
+        let mut plain = MemoryController::new(dec.clone());
+        let res_a = plain.run_trace(&mut dram_a, ops.clone());
+
+        let mut dram_b = DramSystem::new(*dec.geometry());
+        let mut hooked =
+            MemoryController::new(dec).with_mitigation(Box::new(NoMitigation::new()));
+        let res_b = hooked.run_trace(&mut dram_b, ops);
+
+        prop_assert_eq!(res_a.stats, res_b.stats);
+        prop_assert_eq!(res_a.elapsed_ps, res_b.elapsed_ps);
+        prop_assert_eq!(res_a.thread_latency, res_b.thread_latency);
+        prop_assert_eq!(plain.clock_ps(), hooked.clock_ps());
+        prop_assert_eq!(
+            format!("{:?}", dram_a.stats()),
+            format!("{:?}", dram_b.stats())
+        );
+        prop_assert_eq!(
+            format!("{:?}", dram_a.flip_log()),
+            format!("{:?}", dram_b.flip_log())
+        );
+    }
+
+    /// Law 2: no false negatives above threshold. After any same-epoch
+    /// ACT stream, every `(bank, row)` the stream activated is estimated
+    /// at no less than its true count, and every row at or above
+    /// [`CBF_THRESHOLD`] pays the throttle delay on its next activate.
+    #[test]
+    fn cbf_never_false_negatives_a_hammered_row(
+        bursts in prop::collection::vec(arb_burst(), 1..40),
+    ) {
+        let mut defense = BlockHammer::new();
+        let mut truth = std::collections::BTreeMap::new();
+        for &(bank, row, count) in &bursts {
+            for _ in 0..count {
+                defense.on_act(bank, row, 0, 0);
+            }
+            *truth.entry((bank, row)).or_insert(0u32) += count;
+        }
+        for (&(bank, row), &count) in &truth {
+            let est = defense.estimate(bank, row);
+            prop_assert!(
+                est >= count,
+                "estimate {est} undercounts true {count} for ({bank},{row})"
+            );
+            if count >= CBF_THRESHOLD {
+                let delay = defense.on_act(bank, row, 0, 0);
+                prop_assert_eq!(
+                    delay, CBF_DELAY_PS,
+                    "row ({}, {}) hammered {} times escaped the blacklist",
+                    bank, row, count
+                );
+            }
+        }
+    }
+
+    /// Law 3: throttling dilates time but never reorders. Two rows in
+    /// one bank are activated in a random interleaving; under the
+    /// defended controller every completion lands no earlier than the
+    /// undefended oracle's, and each row's completions stay in issue
+    /// order on both sides.
+    #[test]
+    fn throttle_delays_never_reorder_same_row_service(
+        picks in prop::collection::vec(any::<bool>(), 1100..1400),
+        gap in 0u64..40_000,
+    ) {
+        let dec = mini_decoder();
+        let addrs = [row_addr(&dec, 0), row_addr(&dec, 4)];
+        let mut dram_a = DramSystem::new(*dec.geometry());
+        let mut oracle = MemoryController::new(dec.clone());
+        let mut dram_b = DramSystem::new(*dec.geometry());
+        let mut defended =
+            MemoryController::new(dec).with_mitigation(Box::new(BlockHammer::new()));
+
+        let mut done = [(Vec::new(), Vec::new()), (Vec::new(), Vec::new())];
+        let mut arrival = 0u64;
+        for &hot in &picks {
+            let row = usize::from(hot);
+            let phys = addrs[row]; // two rows of one bank
+            let a = oracle.access_at(&mut dram_a, phys, false, arrival).unwrap();
+            let b = defended.access_at(&mut dram_b, phys, false, arrival).unwrap();
+            prop_assert!(
+                b.done_ps >= a.done_ps,
+                "defended completion {} precedes oracle {}",
+                b.done_ps,
+                a.done_ps
+            );
+            done[row].0.push(a.done_ps);
+            done[row].1.push(b.done_ps);
+            arrival += gap;
+        }
+        for (oracle_done, defended_done) in &done {
+            prop_assert!(
+                oracle_done.windows(2).all(|w| w[0] < w[1]),
+                "oracle reordered same-row service"
+            );
+            prop_assert!(
+                defended_done.windows(2).all(|w| w[0] < w[1]),
+                "throttling reordered same-row service"
+            );
+        }
+    }
+}
+
+/// The two-row interleaving above must actually engage the blacklist in
+/// a fixed worst case, so law 3 is exercised with live throttling and
+/// not vacuously green.
+#[test]
+fn law3_fixture_actually_trips_the_blacklist() {
+    let dec = mini_decoder();
+    let addrs = [row_addr(&dec, 0), row_addr(&dec, 4)];
+    let mut dram = DramSystem::new(*dec.geometry());
+    let mut ctrl = MemoryController::new(dec).with_mitigation(Box::new(BlockHammer::new()));
+    for i in 0..1400u64 {
+        ctrl.access_at(&mut dram, addrs[(i % 2) as usize], false, 0)
+            .unwrap();
+    }
+    let reg = telemetry::Registry::new();
+    ctrl.export_telemetry(&reg);
+    let snap = reg.child("mitigation").snapshot();
+    let throttled = match &snap.metrics["acts_throttled"] {
+        telemetry::MetricValue::Counter { value, .. } => *value,
+        other => panic!("acts_throttled is {other:?}"),
+    };
+    assert!(
+        throttled > 0,
+        "alternating two-row stream never engaged the blacklist; law 3 is vacuous"
+    );
+}

@@ -46,12 +46,12 @@ impl Comparison {
     }
 }
 
-type SuiteFactory = fn(u64) -> Vec<Box<dyn WorkloadGen>>;
+pub(crate) type SuiteFactory = fn(u64) -> Vec<Box<dyn WorkloadGen>>;
 
 /// Builds only the `i`-th workload of a suite. Measurement cells use this
 /// instead of [`SuiteFactory`]: building the full roster is working-set-sized
 /// substrate work (KV preloads, sort inputs), and each cell needs one entry.
-type NthFactory = fn(usize, u64) -> Box<dyn WorkloadGen>;
+pub(crate) type NthFactory = fn(usize, u64) -> Box<dyn WorkloadGen>;
 
 /// Measures one suite under `reference_kind`/`reference_cfg` vs
 /// `candidate_kind`/`candidate_cfg`, paired per seed, plus a geomean row.
@@ -62,10 +62,11 @@ type NthFactory = fn(usize, u64) -> Box<dyn WorkloadGen>;
 /// Their *noise* seeds differ (keyed by the candidate configuration), so
 /// measurement noise stays independent per arm as real runs would be.
 #[allow(clippy::too_many_arguments)]
-fn compare_suite(
+pub(crate) fn compare_suite(
     (suite, nth): (SuiteFactory, NthFactory),
     reference: (&SilozConfig, HypervisorKind),
     candidate: (&SilozConfig, HypervisorKind),
+    candidate_defense: Option<mitigation::Backend>,
     sim: &SimConfig,
     threads: usize,
     replay: Replay,
@@ -115,7 +116,24 @@ fn compare_suite(
         } else {
             (reference.0, reference.1, RunSeeds::uniform(seed))
         };
-        workload_cell(cfg, kind, workload, sim, seeds, replay, Some(cache), reg)
+        // The reference arm is always undefended; the defense under test
+        // rides the candidate arm only.
+        let defense = if candidate_run {
+            candidate_defense
+        } else {
+            None
+        };
+        workload_cell(
+            cfg,
+            kind,
+            workload,
+            sim,
+            seeds,
+            replay,
+            Some(cache),
+            defense,
+            reg,
+        )
     });
     let mut ref_samples: Vec<Vec<f64>> = vec![Vec::new(); n];
     let mut cand_samples: Vec<Vec<f64>> = vec![Vec::new(); n];
@@ -213,6 +231,7 @@ pub fn figure4_cached(
         (exec_time_suite, exec_time_workload),
         (config, HypervisorKind::Baseline),
         (config, HypervisorKind::Siloz),
+        None,
         sim,
         threads,
         Replay::Compiled,
@@ -241,6 +260,7 @@ pub fn figure4_uncompiled_with_threads(
         (exec_time_suite, exec_time_workload),
         (config, HypervisorKind::Baseline),
         (config, HypervisorKind::Siloz),
+        None,
         sim,
         threads,
         Replay::Direct,
@@ -286,6 +306,7 @@ pub fn figure5_cached(
         (throughput_suite, throughput_workload),
         (config, HypervisorKind::Baseline),
         (config, HypervisorKind::Siloz),
+        None,
         sim,
         threads,
         Replay::Compiled,
@@ -313,6 +334,7 @@ pub fn figure5_uncompiled_with_threads(
         (throughput_suite, throughput_workload),
         (config, HypervisorKind::Baseline),
         (config, HypervisorKind::Siloz),
+        None,
         sim,
         threads,
         Replay::Direct,
@@ -345,6 +367,7 @@ fn sensitivity(
             suite,
             (&reference_cfg, HypervisorKind::Siloz),
             (&cand_cfg, HypervisorKind::Siloz),
+            None,
             sim,
             threads,
             Replay::Compiled,

@@ -17,6 +17,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod cache;
 pub mod colocation;
 pub mod compile;
@@ -26,6 +27,7 @@ pub mod noise;
 pub mod run;
 pub mod stats;
 
+pub use arena::{arena, arena_observed, arena_with_threads, hypervisor_kind_for, ArenaRow};
 pub use cache::TraceCache;
 pub use colocation::{
     run_colocation, run_colocation_observed, run_colocation_suite, run_colocation_suite_observed,

@@ -239,6 +239,7 @@ pub fn run_workload_observed(
         RunSeeds::uniform(seed),
         Replay::Direct,
         None,
+        None,
         reg,
     )
 }
@@ -278,6 +279,7 @@ pub fn run_workload_compiled_observed(
         RunSeeds::uniform(seed),
         Replay::Compiled,
         Some(cache),
+        None,
         reg,
     )
 }
@@ -357,6 +359,11 @@ impl CellWorkload<'_> {
 /// One measurement cell: both the direct path and the compiled path, which
 /// the equivalence battery pins bit-identical (samples *and* exported
 /// telemetry).
+///
+/// `defense` optionally installs a mitigation backend's controller hook
+/// for the replay (the arena grid's axis). Backends without a controller
+/// hook (`None`, `Siloz`) leave the cell byte-for-byte identical to an
+/// undefended one — `Siloz`'s defense is the placement `kind` itself.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn workload_cell(
     config: &SilozConfig,
@@ -366,6 +373,7 @@ pub(crate) fn workload_cell(
     seeds: RunSeeds,
     replay: Replay,
     cache: Option<&TraceCache>,
+    defense: Option<mitigation::Backend>,
     reg: &Registry,
 ) -> Result<f64, SilozError> {
     // Deal each logical request (a chain starting at a non-dependent op) to
@@ -388,6 +396,9 @@ pub(crate) fn workload_cell(
             let ledger = GuestLedger::generate(workload, sim.ops, threads, &mut rng);
             let trace = ledger.expand_mem_ops(&env.hpa, 0);
             let mut ctrl = MemoryController::new(env.hv.decoder().clone()).without_physics();
+            if let Some(hook) = defense.and_then(mitigation::Backend::controller_hook) {
+                ctrl = ctrl.with_mitigation(hook);
+            }
             let result = ctrl.run_trace(env.hv.dram_mut(), trace);
             Ok(finish_cell(metric, &result, &ctrl, &env, seeds, reg))
         }
@@ -402,9 +413,18 @@ pub(crate) fn workload_cell(
             };
             let ledger_key: LedgerKey = (name, working_set, sim.ops, threads, seeds.trace);
             // Environment identity covers every configuration axis a cell
-            // can vary: hypervisor kind, VM shape, and the full config
-            // (geometry, subarray size, policy toggles).
-            let env_key = format!("{kind:?}|{}|{}|{config:?}", sim.vm_memory, sim.vcpus);
+            // can vary: hypervisor kind, VM shape, the full config
+            // (geometry, subarray size, policy toggles), and — when one is
+            // installed — the controller defense, since a hooked replay's
+            // outcome is not interchangeable with an undefended one.
+            let hook_tag = match defense {
+                Some(d) if d.controller_hook().is_some() => d.name(),
+                _ => "",
+            };
+            let env_key = format!(
+                "{kind:?}|{}|{}|{config:?}|{hook_tag}",
+                sim.vm_memory, sim.vcpus
+            );
             let env = cache.env(&env_key, || boot_env(config, kind, sim))?;
             // Cells replay with physics off against a fresh controller and
             // scratch device, so the whole outcome is a pure function of
@@ -447,6 +467,9 @@ pub(crate) fn workload_cell(
                 // disabled).
                 let mut scratch = DramSystem::new(config.geometry);
                 let mut ctrl = MemoryController::new(env.hv.decoder().clone()).without_physics();
+                if let Some(hook) = defense.and_then(mitigation::Backend::controller_hook) {
+                    ctrl = ctrl.with_mitigation(hook);
+                }
                 let result = ctrl.run_compiled(&mut scratch, &program);
                 Arc::new(CellOutcome { result, ctrl })
             });

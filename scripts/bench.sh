@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
 # Runs the performance suite: builds release, runs the perfsuite binary
 # (decode TLB vs raw decode, flat vs hashed controller, compiled trace
-# replay cold and warm vs the uncompiled figure engine), and leaves the
+# replay cold and warm vs the uncompiled figure engine, fleet incremental
+# proofs, and the per-ACT mitigation-hook overhead rows), and leaves the
 # measurements in BENCH_perfsuite.json plus a telemetry snapshot in
 # TELEMETRY_perfsuite.json at the repo root. Every row — including the
-# figure4_quick / figure4_compiled trace-compiler rows — is gated against
-# the previous run's optimized_ns_per_op.
+# figure4_quick / figure4_compiled trace-compiler rows and the
+# mitigation_* hook rows — is gated against the previous run's
+# optimized_ns_per_op. The full head-to-head defense comparison
+# (ARENA_report.json) is regenerated separately with
+# `cargo run --release -p bench --bin arena`.
 # Criterion microbenches can be run separately with
 # `cargo bench --workspace`.
 #

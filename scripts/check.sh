@@ -32,13 +32,20 @@ cargo run --release -q -p analysis --bin interleave-check
 echo "== sim gate: compiled replay bit-identical to the uncompiled reference =="
 cargo test -p sim --test compiled_equivalence -q
 
+echo "== mitigation gate: siloz-behind-the-trait bitwise equivalence =="
+cargo test -p sim --test mitigation_equivalence -q
+
 echo "== fleet gate: quick multi-tenant soak (churn + attacks + determinism) =="
 cargo run --release -q -p bench --bin fleet_soak -- --quick
+
+echo "== mitigation gate: quick head-to-head arena (duels + soak + perf) =="
+cargo run --release -q -p bench --bin arena -- --quick
 
 echo "== cargo doc (warnings are errors, first-party crates) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
   -p siloz-repro -p analysis -p bench -p dram -p dram-addr -p ept -p fleet \
-  -p hammer -p memctrl -p numa -p siloz -p sim -p telemetry -p workloads
+  -p hammer -p memctrl -p mitigation -p numa -p siloz -p sim -p telemetry \
+  -p workloads
 
 echo "== miri (optional): telemetry under the interpreter =="
 if cargo miri --version >/dev/null 2>&1; then

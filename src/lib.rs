@@ -3,8 +3,8 @@
 //! Re-exports every subsystem crate so examples and integration tests can use
 //! a single dependency. See the individual crates for full documentation:
 //! [`siloz`] (the hypervisor, i.e. the paper's contribution), [`dram`],
-//! [`dram_addr`], [`memctrl`], [`numa`], [`ept`], [`hammer`], [`workloads`],
-//! [`sim`], [`fleet`], and [`telemetry`].
+//! [`dram_addr`], [`memctrl`], [`mitigation`], [`numa`], [`ept`],
+//! [`hammer`], [`workloads`], [`sim`], [`fleet`], and [`telemetry`].
 
 #![forbid(unsafe_code)]
 
@@ -14,6 +14,7 @@ pub use ept;
 pub use fleet;
 pub use hammer;
 pub use memctrl;
+pub use mitigation;
 pub use numa;
 pub use siloz;
 pub use sim;

@@ -9,8 +9,11 @@
 //! scheduled. These tests pin that guarantee at 1, 2, and 7 workers, the
 //! same counts the paper-figure binaries see via `SILOZ_THREADS`.
 
+use siloz_repro::mitigation::Backend;
 use siloz_repro::siloz::{HypervisorKind, SilozConfig};
-use siloz_repro::sim::{figure4_observed, run_colocation_suite_observed, SimConfig, SuitePlan};
+use siloz_repro::sim::{
+    arena_observed, figure4_observed, run_colocation_suite_observed, SimConfig, SuitePlan,
+};
 use siloz_repro::telemetry::{MetricValue, Registry};
 use siloz_repro::workloads::mlc::{Mlc, MlcKind};
 use siloz_repro::workloads::ycsb::{Ycsb, YcsbKind};
@@ -130,4 +133,50 @@ fn deterministic_snapshot_counts_real_work() {
         panic!("vms_created missing");
     };
     assert_eq!(vms, cells);
+}
+
+#[test]
+fn arena_mitigation_telemetry_is_thread_count_invariant() {
+    // The arena adds per-backend registry children, and hooked backends
+    // add a `mitigation` child under each controller export. Both must
+    // obey the same invariance as every other deterministic metric.
+    let config = SilozConfig::mini();
+    let sim = tiny_sim();
+    let backends = [Backend::None, Backend::BlockHammer];
+    let run = |threads: usize| {
+        let reg = Registry::new();
+        let grids = arena_observed(&config, &sim, threads, &backends, &reg).expect("arena");
+        (reg.snapshot(), grids)
+    };
+    let (serial_snap, serial_grids) = run(1);
+    for threads in [2, 7] {
+        let (snap, grids) = run(threads);
+        assert_eq!(
+            serial_grids, grids,
+            "arena grids diverged at {threads} threads"
+        );
+        assert_eq!(
+            serial_snap.deterministic().to_json(),
+            snap.deterministic().to_json(),
+            "arena telemetry diverged at {threads} threads"
+        );
+    }
+    // The hooked backend's cells carried the defense: its controller
+    // child must hold a `mitigation` registry with live counters, and
+    // the unhooked backend must not grow one.
+    let hooked = &serial_snap.children["blockhammer"].children["ctrl"].children["mitigation"];
+    let MetricValue::Counter { value: acts, .. } = hooked.metrics["acts_observed"] else {
+        panic!("acts_observed missing from the mitigation child");
+    };
+    assert!(acts > 0, "the blockhammer hook observed no activations");
+    assert!(
+        hooked.metrics.contains_key("rows_blacklisted"),
+        "blacklist counter missing"
+    );
+    assert!(
+        !serial_snap.children["none"].children["ctrl"]
+            .children
+            .contains_key("mitigation"),
+        "the none backend must not install a controller hook"
+    );
 }

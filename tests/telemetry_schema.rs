@@ -34,6 +34,13 @@ fn golden_registry() -> Registry {
     admission.counter("rejections_socket_affine").add(3);
     admission.gauge("groups_claimed").add(6);
     admission.gauge("fragmentation_pct").add(25);
+    // The controller's mitigation-hook export (the shape every
+    // `Mitigation::export_telemetry` fans into under `ctrl/mitigation`).
+    let mitigation = ctrl.child("mitigation");
+    mitigation.counter("acts_observed").add(240_000);
+    mitigation.counter("acts_throttled").add(512);
+    mitigation.counter("rows_blacklisted").add(2);
+    mitigation.counter("throttle_ps_total").add(768_000_000);
     // An empty child must render as empty maps, not be dropped.
     let _ = reg.child("empty");
     reg
@@ -92,5 +99,10 @@ fn merged_golden_snapshot_doubles_every_metric() {
     admission.counter("rejections_socket_affine").add(3);
     admission.gauge("groups_claimed").add(6);
     admission.gauge("fragmentation_pct").add(25);
+    let mitigation = ctrl.child("mitigation");
+    mitigation.counter("acts_observed").add(240_000);
+    mitigation.counter("acts_throttled").add(512);
+    mitigation.counter("rows_blacklisted").add(2);
+    mitigation.counter("throttle_ps_total").add(768_000_000);
     assert_eq!(doubled, other.snapshot());
 }
