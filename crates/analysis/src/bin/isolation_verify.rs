@@ -7,7 +7,21 @@ use analysis::isolation::{report_json, verify_all};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    let json_mode = std::env::args().any(|a| a == "--json");
     let proofs = verify_all();
+    let json = report_json(&proofs);
+    if let Err(e) = std::fs::write("ANALYSIS_isolation.json", &json) {
+        eprintln!("isolation-verify: cannot write ANALYSIS_isolation.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    if json_mode {
+        println!("{json}");
+        return if proofs.iter().all(analysis::isolation::ConfigProof::passed) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     for p in &proofs {
         let presumed: Vec<String> = p
             .presumed
@@ -31,11 +45,6 @@ fn main() -> ExitCode {
             ),
             Some(f) => println!("isolation-verify: {}: FAILED — {f}", p.name),
         }
-    }
-    let json = report_json(&proofs);
-    if let Err(e) = std::fs::write("ANALYSIS_isolation.json", &json) {
-        eprintln!("isolation-verify: cannot write ANALYSIS_isolation.json: {e}");
-        return ExitCode::FAILURE;
     }
     println!("isolation-verify: wrote ANALYSIS_isolation.json");
     if proofs.iter().all(analysis::isolation::ConfigProof::passed) {

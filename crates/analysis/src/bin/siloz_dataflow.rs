@@ -1,0 +1,61 @@
+//! `siloz-dataflow`: parses every first-party source file, solves the
+//! interprocedural taint summaries, and runs the `seed-provenance` and
+//! `address-domain` passes as one hard gate (see `analysis::gate`).
+//! Writes `ANALYSIS_dataflow.json` to the current directory. Exits
+//! non-zero on any surviving violation, on a parse-coverage hole, or if
+//! the whole run blows its wall-clock budget — a gate nobody waits on is
+//! a gate people delete.
+
+use analysis::gate::{gate_workspace, render_json};
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// The whole-workspace run must finish inside this budget.
+const BUDGET_MS: u128 = 15_000;
+
+fn main() -> ExitCode {
+    let json_mode = std::env::args().any(|a| a == "--json");
+    let root = Path::new(".");
+    if !root.join("Cargo.toml").exists() {
+        eprintln!("siloz-dataflow: run from the repository root (no ./Cargo.toml here)");
+        return ExitCode::FAILURE;
+    }
+    let start = Instant::now();
+    let report = match gate_workspace(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("siloz-dataflow: workspace walk failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed_ms = start.elapsed().as_millis();
+    let json = render_json(&report, elapsed_ms);
+    if json_mode {
+        println!("{json}");
+    } else {
+        for v in &report.violations {
+            println!("{v}");
+        }
+        println!(
+            "siloz-dataflow: {} files, {} fns, {} waivers honored, {} violation(s) in {elapsed_ms} ms",
+            report.files,
+            report.fns,
+            report.waivers_used,
+            report.violations.len(),
+        );
+    }
+    if let Err(e) = std::fs::write("ANALYSIS_dataflow.json", &json) {
+        eprintln!("siloz-dataflow: cannot write ANALYSIS_dataflow.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    if elapsed_ms > BUDGET_MS {
+        eprintln!("siloz-dataflow: {elapsed_ms} ms exceeds the {BUDGET_MS} ms budget");
+        return ExitCode::FAILURE;
+    }
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -3,7 +3,7 @@
 //! any violation; run from the repository root (as `scripts/check.sh`
 //! does).
 
-use analysis::lint::{by_rule, lint_workspace, ALL_RULES};
+use analysis::lint::{by_rule, lint_workspace, render_json, ALL_RULES};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -20,6 +20,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", render_json(&report));
+        return if report.violations.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     for v in &report.violations {
         println!("{v}");
     }

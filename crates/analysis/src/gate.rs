@@ -1,0 +1,161 @@
+//! The `siloz-dataflow` gate driver: runs both dataflow passes over the
+//! whole workspace, applies waivers, checks for stale waivers in the
+//! dataflow namespace, and renders `ANALYSIS_dataflow.json`.
+
+use crate::addrflow::AddrPass;
+use crate::dataflow::Engine;
+use crate::lint::Violation;
+use crate::report::Json;
+use crate::seedflow::SeedPass;
+use crate::symbols::Workspace;
+use crate::waivers::{Waivers, RULE_STALE_WAIVER};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// Rule: a file the parser could not fully cover. Unwaivable in spirit —
+/// the fix is always to extend the parser, never to look away.
+pub const RULE_PARSE_COVERAGE: &str = "parse-coverage";
+
+/// Result of running the dataflow gate over a workspace.
+#[derive(Debug, Default)]
+pub struct DataflowReport {
+    /// Files parsed.
+    pub files: usize,
+    /// Functions analyzed.
+    pub fns: usize,
+    /// Surviving violations (post-waiver), ordered by file then line.
+    pub violations: Vec<Violation>,
+    /// Waiver annotations that suppressed at least one finding.
+    pub waivers_used: usize,
+}
+
+/// The dataflow waiver namespace: every rule either pass can report.
+#[must_use]
+pub fn dataflow_rules() -> Vec<&'static str> {
+    let mut v: Vec<&'static str> = Vec::new();
+    v.extend_from_slice(&crate::seedflow::RULES);
+    v.extend_from_slice(&crate::addrflow::RULES);
+    v
+}
+
+/// Runs both passes over every first-party file under `root`.
+///
+/// # Errors
+///
+/// Returns any I/O error from walking or reading the tree.
+pub fn gate_workspace(root: &Path) -> std::io::Result<DataflowReport> {
+    let ws = Workspace::load(root)?;
+    Ok(gate_loaded(&ws))
+}
+
+/// Runs both passes over an already-loaded workspace (snippet-test hook).
+#[must_use]
+pub fn gate_loaded(ws: &Workspace) -> DataflowReport {
+    let mut raw: Vec<Violation> = Vec::new();
+
+    // Parser coverage is the foundation every taint fact rests on: a file
+    // with recovered regions has statements the analysis never saw.
+    for f in &ws.files {
+        for &line in &f.parsed.recovered {
+            raw.push(Violation {
+                rule: RULE_PARSE_COVERAGE,
+                file: f.rel.clone(),
+                line,
+                message: "statement not covered by the analysis parser; extend \
+                          `analysis::parse` (recovery is never waivable)"
+                    .into(),
+            });
+        }
+    }
+
+    let seed = SeedPass;
+    let mut eng = Engine::new(ws, &seed);
+    eng.solve();
+    raw.extend(eng.report());
+
+    let addr = AddrPass;
+    let mut eng = Engine::new(ws, &addr);
+    eng.solve();
+    raw.extend(eng.report());
+
+    // Waivers, per file, judged against the dataflow namespace only.
+    let namespace = dataflow_rules();
+    let mut by_file: BTreeMap<String, Vec<Violation>> = BTreeMap::new();
+    for v in raw {
+        by_file.entry(v.file.clone()).or_default().push(v);
+    }
+    let mut report = DataflowReport {
+        files: ws.files.len(),
+        fns: ws.fns.len(),
+        ..DataflowReport::default()
+    };
+    for f in &ws.files {
+        let waivers = Waivers::collect(&f.parsed.comments);
+        let mut used: BTreeSet<usize> = BTreeSet::new();
+        let file_raw = by_file.remove(f.rel.as_str()).unwrap_or_default();
+        let mut kept = waivers.filter(file_raw, |v| (v.rule, v.line), &mut used);
+        for e in waivers.stale(&namespace, &used) {
+            kept.push(Violation {
+                rule: RULE_STALE_WAIVER,
+                file: f.rel.clone(),
+                line: e.line.max(1),
+                message: format!(
+                    "waiver `lint:allow{}({})` suppressed nothing; remove it",
+                    if e.file_scope { "-file" } else { "" },
+                    e.rule
+                ),
+            });
+        }
+        report.waivers_used += used.len();
+        report.violations.extend(kept);
+    }
+    // Violations for files not in the workspace (shouldn't happen) pass
+    // through unwaived.
+    for (_, mut vs) in by_file {
+        report.violations.append(&mut vs);
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+}
+
+/// Renders the machine-readable gate report.
+#[must_use]
+pub fn render_json(report: &DataflowReport, elapsed_ms: u128) -> String {
+    let violations: Vec<Json> = report
+        .violations
+        .iter()
+        .map(|v| {
+            Json::obj(vec![
+                ("rule", Json::Str(v.rule.to_string())),
+                ("file", Json::Str(v.file.clone())),
+                ("line", Json::Num(u128::from(v.line))),
+                ("message", Json::Str(v.message.clone())),
+            ])
+        })
+        .collect();
+    let mut by_rule: BTreeMap<&str, u128> = BTreeMap::new();
+    for v in &report.violations {
+        *by_rule.entry(v.rule).or_insert(0) += 1;
+    }
+    Json::obj(vec![
+        ("schema", Json::Str("siloz-dataflow-v1".into())),
+        ("files", Json::Num(report.files as u128)),
+        ("fns", Json::Num(report.fns as u128)),
+        ("waivers_used", Json::Num(report.waivers_used as u128)),
+        ("elapsed_ms", Json::Num(elapsed_ms)),
+        (
+            "by_rule",
+            Json::Obj(
+                by_rule
+                    .into_iter()
+                    .map(|(k, n)| (k.to_string(), Json::Num(n)))
+                    .collect(),
+            ),
+        ),
+        ("violations", Json::Arr(violations)),
+        ("ok", Json::Bool(report.violations.is_empty())),
+    ])
+    .render()
+}

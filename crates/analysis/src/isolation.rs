@@ -135,6 +135,8 @@ fn stripe_bijection(cfg: &SupportedConfig, proof: &mut ConfigProof) -> Result<()
             ));
         }
         let range = dec.phys_range_of_row_group(socket, row).map_err(err)?;
+        // Comparing the decoder's inverse against the original phys is
+        // this verifier's whole point. lint:allow(addr-domain-mix)
         if range.start != phys || range.end != phys + rgb {
             return Err(format!(
                 "{}: inverse of (socket {socket}, row {row}) is {range:?}, want start {phys:#x}",

@@ -96,6 +96,17 @@ impl Lexer {
     }
 
     fn run(mut self) -> Scan {
+        // A shebang line (`#!...` not followed by `[`) is trivia, not tokens;
+        // it only occurs at byte 0, so `#![forbid(..)]` inner attributes are
+        // unaffected.
+        if self.peek(0) == Some('#') && self.peek(1) == Some('!') && self.peek(2) != Some('[') {
+            while let Some(c) = self.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                self.bump();
+            }
+        }
         while let Some(c) = self.peek(0) {
             match c {
                 '/' if self.peek(1) == Some('/') => self.line_comment(),
@@ -248,6 +259,21 @@ impl Lexer {
                 if c == '.' && !matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
                     break;
                 }
+                // A signed float exponent (`1.5e-3`, `2E+10`): the sign is
+                // part of the literal. Radix-prefixed literals (`0xE`) never
+                // carry exponents, so a trailing `e` there stays a digit.
+                if (c == 'e' || c == 'E')
+                    && !text.starts_with("0x")
+                    && !text.starts_with("0X")
+                    && matches!(self.peek(1), Some('+' | '-'))
+                    && matches!(self.peek(2), Some(d) if d.is_ascii_digit())
+                {
+                    text.push(c);
+                    self.bump();
+                    let sign = self.bump().expect("peeked sign");
+                    text.push(sign);
+                    continue;
+                }
                 text.push(c);
                 self.bump();
             } else {
@@ -267,6 +293,24 @@ impl Lexer {
             } else {
                 break;
             }
+        }
+        // Byte char literal: b'x' (never a lifetime, so consume directly).
+        if name == "b" && self.peek(0) == Some('\'') {
+            let line = self.line;
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c == '\\' {
+                    self.bump();
+                    self.bump();
+                    continue;
+                }
+                self.bump();
+                if c == '\'' {
+                    break;
+                }
+            }
+            self.push(TokenKind::Punct, "'".into(), line);
+            return;
         }
         // Raw / byte string prefixes: r"..", r#".."#, b"..", br#".."#.
         if matches!(name.as_str(), "r" | "b" | "br") {

@@ -24,9 +24,16 @@
 
 #![forbid(unsafe_code)]
 
+pub mod addrflow;
+pub mod dataflow;
+pub mod gate;
 pub mod interleave;
 pub mod isolation;
 pub mod lexer;
 pub mod lint;
+pub mod parse;
 pub mod report;
 pub mod sched;
+pub mod seedflow;
+pub mod symbols;
+pub mod waivers;

@@ -12,13 +12,18 @@
 //! | `observed-twin` | every `pub fn run_*` experiment entry point has a telemetry-recording `*_observed` twin |
 //! | `metric-names` | registry name literals are snake_case, and the golden fixture's names all exist in source |
 //! | `forbid-unsafe` | every crate root carries `#![forbid(unsafe_code)]` |
+//! | `stale-waiver` | every waiver annotation still suppresses at least one finding |
 //!
 //! Violations can be waived in place with `// lint:allow(<rule>)` (covers
 //! that line and the next) or `// lint:allow-file(<rule>)` (covers the
-//! whole file); the workspace report counts the waivers that actually
-//! suppressed something, so dead waivers are visible.
+//! whole file). A waiver that suppresses nothing is itself a hard error
+//! (`stale-waiver`): waivers document live exceptions, and one that
+//! outlives its exception silently licenses the next real violation at
+//! that site. The dataflow gate (`analysis::gate`) applies the same
+//! machinery to its own rule namespace.
 
 use crate::lexer::{scan, Scan, Token, TokenKind};
+use crate::waivers::Waivers;
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 
@@ -36,9 +41,25 @@ pub const RULE_OBSERVED_TWIN: &str = "observed-twin";
 pub const RULE_METRIC_NAMES: &str = "metric-names";
 /// Rule: crate root missing `#![forbid(unsafe_code)]`.
 pub const RULE_FORBID_UNSAFE: &str = "forbid-unsafe";
+/// Rule: a waiver annotation for a lint rule that suppressed nothing.
+pub const RULE_STALE_WAIVER: &str = crate::waivers::RULE_STALE_WAIVER;
 
 /// Every rule, for reporting.
-pub const ALL_RULES: [&str; 7] = [
+pub const ALL_RULES: [&str; 8] = [
+    RULE_HOT_COLLECTIONS,
+    RULE_HOT_ALLOC,
+    RULE_NONDETERMINISM,
+    RULE_ATOMICS,
+    RULE_OBSERVED_TWIN,
+    RULE_METRIC_NAMES,
+    RULE_FORBID_UNSAFE,
+    RULE_STALE_WAIVER,
+];
+
+/// The rules a `lint:allow(..)` annotation can name for *this* gate; a
+/// waiver naming anything else (e.g. a `siloz-dataflow` rule) is out of
+/// namespace and judged by the gate that owns it.
+const WAIVABLE_RULES: [&str; 7] = [
     RULE_HOT_COLLECTIONS,
     RULE_HOT_ALLOC,
     RULE_NONDETERMINISM,
@@ -152,7 +173,7 @@ pub struct FileLint {
 pub fn lint_source(file: &str, source: &str, class: FileClass) -> FileLint {
     let scan = scan(source);
     let test_cutoff = test_cutoff_line(&scan);
-    let waivers = Waivers::collect(&scan);
+    let waivers = Waivers::collect(&scan.comments);
     let mut raw: Vec<Violation> = Vec::new();
 
     ident_rules(file, &scan, class, test_cutoff, &mut raw);
@@ -165,17 +186,22 @@ pub fn lint_source(file: &str, source: &str, class: FileClass) -> FileLint {
         forbid_unsafe_rule(file, &scan, &mut raw);
     }
 
-    let mut used: BTreeSet<(usize, u32)> = BTreeSet::new();
-    let violations = raw
-        .into_iter()
-        .filter(|v| match waivers.covering(v.rule, v.line) {
-            Some(key) => {
-                used.insert(key);
-                false
-            }
-            None => true,
-        })
-        .collect();
+    let mut used: BTreeSet<usize> = BTreeSet::new();
+    let mut violations = waivers.filter(raw, |v| (v.rule, v.line), &mut used);
+    // An in-namespace waiver that suppressed nothing is itself a hard
+    // error: dead waivers silently disable future findings at that site.
+    for e in waivers.stale(&WAIVABLE_RULES, &used) {
+        violations.push(Violation {
+            rule: RULE_STALE_WAIVER,
+            file: file.into(),
+            line: e.line.max(1),
+            message: format!(
+                "waiver `lint:allow{}({})` suppressed nothing; remove it",
+                if e.file_scope { "-file" } else { "" },
+                e.rule
+            ),
+        });
+    }
     FileLint {
         violations,
         metric_literals,
@@ -194,54 +220,6 @@ fn test_cutoff_line(scan: &Scan) -> u32 {
         }
     }
     u32::MAX
-}
-
-/// Waiver annotations parsed out of comments.
-struct Waivers {
-    /// `(rule, line)` pairs from `lint:allow(rule)`; cover `line` and
-    /// `line + 1`. The `usize` key half is the annotation's index, so one
-    /// annotation suppressing many findings counts once.
-    line_scoped: Vec<(String, u32)>,
-    file_scoped: Vec<String>,
-}
-
-impl Waivers {
-    fn collect(scan: &Scan) -> Self {
-        let mut line_scoped = Vec::new();
-        let mut file_scoped = Vec::new();
-        for c in &scan.comments {
-            for (marker, file_scope) in [("lint:allow-file(", true), ("lint:allow(", false)] {
-                let mut rest = c.text.as_str();
-                while let Some(at) = rest.find(marker) {
-                    rest = &rest[at + marker.len()..];
-                    if let Some(end) = rest.find(')') {
-                        let rule = rest[..end].trim().to_string();
-                        if file_scope {
-                            file_scoped.push(rule);
-                        } else {
-                            line_scoped.push((rule, c.line));
-                        }
-                    }
-                }
-            }
-        }
-        Self {
-            line_scoped,
-            file_scoped,
-        }
-    }
-
-    /// The waiver covering (`rule`, `line`), identified so usage can be
-    /// counted per annotation. File-scoped waivers use line 0.
-    fn covering(&self, rule: &str, line: u32) -> Option<(usize, u32)> {
-        if let Some(i) = self.file_scoped.iter().position(|r| r == rule) {
-            return Some((i, 0));
-        }
-        self.line_scoped
-            .iter()
-            .position(|(r, l)| r == rule && (line == *l || line == l + 1))
-            .map(|i| (i, self.line_scoped[i].1))
-    }
 }
 
 fn is_ident(t: &Token, s: &str) -> bool {
@@ -646,4 +624,39 @@ pub fn by_rule(violations: &[Violation]) -> BTreeMap<&'static str, usize> {
         *map.entry(v.rule).or_insert(0) += 1;
     }
     map
+}
+
+/// Renders a machine-readable lint report (the `siloz-lint --json` shape).
+#[must_use]
+pub fn render_json(report: &WorkspaceLint) -> String {
+    use crate::report::Json;
+    let violations: Vec<Json> = report
+        .violations
+        .iter()
+        .map(|v| {
+            Json::obj(vec![
+                ("rule", Json::Str(v.rule.to_string())),
+                ("file", Json::Str(v.file.clone())),
+                ("line", Json::Num(u128::from(v.line))),
+                ("message", Json::Str(v.message.clone())),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("schema", Json::Str("siloz-lint-v1".into())),
+        ("files", Json::Num(report.files as u128)),
+        ("waivers_used", Json::Num(report.waivers_used as u128)),
+        (
+            "by_rule",
+            Json::Obj(
+                by_rule(&report.violations)
+                    .into_iter()
+                    .map(|(k, n)| (k.to_string(), Json::Num(n as u128)))
+                    .collect(),
+            ),
+        ),
+        ("violations", Json::Arr(violations)),
+        ("ok", Json::Bool(report.violations.is_empty())),
+    ])
+    .render()
 }

@@ -1,0 +1,115 @@
+//! Edge-case battery for the hand-rolled scanner: the lexical shapes most
+//! likely to desynchronize a token stream (raw/byte strings, exotic float
+//! literals, nested comments, the `'` ambiguity, shebang lines). Each case
+//! asserts both the interesting token and that scanning stays synchronized
+//! (the trailing sentinel identifier is still seen).
+
+use analysis::lexer::{scan, TokenKind};
+
+fn token_texts(src: &str, kind: TokenKind) -> Vec<String> {
+    scan(src)
+        .tokens
+        .into_iter()
+        .filter(|t| t.kind == kind)
+        .map(|t| t.text)
+        .collect()
+}
+
+fn idents(src: &str) -> Vec<String> {
+    token_texts(src, TokenKind::Ident)
+}
+
+#[test]
+fn raw_byte_strings_with_fences() {
+    // br#"…"# : the fence width must be honored and the body kept opaque.
+    let src = r###"let x = br#"bytes "inner" HashMap"#; sentinel"###;
+    let strs = token_texts(src, TokenKind::Str);
+    assert_eq!(strs, vec![r#"bytes "inner" HashMap"#.to_string()]);
+    assert!(!idents(src).contains(&"HashMap".to_string()));
+    assert!(idents(src).contains(&"sentinel".to_string()));
+
+    // Double-fenced raw string containing a single-fenced terminator.
+    let src = r####"let y = r##"end "# not yet"##; sentinel"####;
+    let strs = token_texts(src, TokenKind::Str);
+    assert_eq!(strs, vec![r##"end "# not yet"##.to_string()]);
+    assert!(idents(src).contains(&"sentinel".to_string()));
+
+    // Plain byte string processes escapes like an ordinary string.
+    let src = r#"let z = b"a\"b"; sentinel"#;
+    let strs = token_texts(src, TokenKind::Str);
+    assert_eq!(strs, vec!["a\\\"b".to_string()]);
+    assert!(idents(src).contains(&"sentinel".to_string()));
+}
+
+#[test]
+fn float_literals_with_exponents() {
+    // Signed exponents are one literal, not literal-minus-literal.
+    let toks = scan("let a = 1.5e-3; let b = 2E+10; let c = 7e4; sentinel");
+    let nums: Vec<_> = toks
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Num)
+        .map(|t| t.text.clone())
+        .collect();
+    assert_eq!(nums, vec!["1.5e-3", "2E+10", "7e4"]);
+    assert!(idents("let a = 1.5e-3; sentinel").contains(&"sentinel".to_string()));
+
+    // Hex literals ending in `E` must not swallow a following `+`.
+    let toks = scan("0xE+1");
+    let texts: Vec<_> = toks.tokens.iter().map(|t| t.text.clone()).collect();
+    assert_eq!(texts, vec!["0xE", "+", "1"]);
+
+    // Subtraction after an ordinary integer is still two tokens.
+    let toks = scan("3-2");
+    assert_eq!(toks.tokens.len(), 3);
+
+    // Typed float suffixes stay attached.
+    let toks = scan("1_000.5f64");
+    assert_eq!(toks.tokens[0].text, "1_000.5f64");
+}
+
+#[test]
+fn deeply_nested_block_comments() {
+    let src = "/* a /* b /* c /* d */ c */ b */ a */ sentinel";
+    let s = scan(src);
+    assert_eq!(s.comments.len(), 1);
+    assert!(s.comments[0].text.contains("d"));
+    assert_eq!(idents(src), vec!["sentinel".to_string()]);
+
+    // An unterminated nested comment swallows the rest (robustness, not
+    // correctness: rustc would reject the file).
+    let s = scan("/* open /* still open */ text");
+    assert_eq!(s.comments.len(), 1);
+    assert!(s.tokens.is_empty());
+}
+
+#[test]
+fn char_literal_vs_lifetime_after_quote() {
+    // All four shapes in one expression soup.
+    let src = "fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\''; let u = '\\u{1F4A9}'; } sentinel";
+    assert!(idents(src).contains(&"sentinel".to_string()));
+
+    // `'_` is a lifetime, not an unterminated char.
+    let src = "fn g(x: &'_ str) {} sentinel";
+    assert!(idents(src).contains(&"sentinel".to_string()));
+
+    // Byte char literal: the `b` prefix tokenizes separately but the quoted
+    // body must not desynchronize the stream.
+    let src = r"let q = b'\''; sentinel";
+    assert!(idents(src).contains(&"sentinel".to_string()));
+}
+
+#[test]
+fn shebang_line_is_trivia() {
+    let src = "#!/usr/bin/env run-cargo-script\nfn main() {} sentinel";
+    let ids = idents(src);
+    assert!(!ids.contains(&"usr".to_string()), "shebang leaked: {ids:?}");
+    assert_eq!(ids, vec!["fn", "main", "sentinel"]);
+    // Line numbers after the shebang stay 1-based and correct.
+    let s = scan(src);
+    assert_eq!(s.tokens[0].line, 2);
+
+    // An inner attribute at byte 0 is NOT a shebang.
+    let src = "#![forbid(unsafe_code)]\nsentinel";
+    assert!(idents(src).contains(&"forbid".to_string()));
+}

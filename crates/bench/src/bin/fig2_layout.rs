@@ -48,6 +48,8 @@ fn main() {
         let (_, row) = decoder.row_group_of(phys).expect("in range");
         let group = map.group_of_phys(phys).expect("in range");
         let half = decoder.config().jump_bytes / 2;
+        // Labels each sample by its interleave half for the figure; the
+        // modulus is a plot label, not address math. lint:allow(addr-raw-arith)
         let range = if phys % decoder.config().jump_bytes < half {
             "A"
         } else {

@@ -44,7 +44,7 @@ pub use skylake::{
     ddr5_decoder, ddr5_geometry, mini_decoder, mini_geometry, skylake_decoder, skylake_geometry,
 };
 pub use tlb::{DecodeTlb, StreamDecoder};
-pub use transform::{internal_row, InternalMapConfig};
+pub use transform::{internal_row, line_offset, InternalMapConfig};
 
 /// Size of one cache line in bytes; the granularity at which the memory
 /// controller applies physical-to-media mappings (§2.4).

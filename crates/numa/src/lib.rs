@@ -31,6 +31,29 @@ pub use policy::{MemPolicy, PlacementStrategy, PolicyAlloc};
 /// Base page size (4 KiB) — one page frame.
 pub const FRAME_BYTES: u64 = 4096;
 
+/// The page-frame number containing a host-physical address.
+///
+/// The one sanctioned way to turn an `hpa` into the frame ordinal the
+/// allocator and EPT pool speak; callers must not open-code the division
+/// (the `siloz-dataflow` address-domain gate enforces this).
+#[must_use]
+pub const fn frame_of_hpa(hpa: u64) -> u64 {
+    hpa / FRAME_BYTES
+}
+
+/// The base host-physical address of a page frame (inverse of
+/// [`frame_of_hpa`] for frame-aligned addresses).
+#[must_use]
+pub const fn hpa_of_frame(frame: u64) -> u64 {
+    frame * FRAME_BYTES
+}
+
+/// Whether a host-physical address sits on a page-frame boundary.
+#[must_use]
+pub const fn is_frame_aligned(hpa: u64) -> bool {
+    hpa.is_multiple_of(FRAME_BYTES)
+}
+
 /// Order of a 2 MiB huge page in 4 KiB frames.
 pub const ORDER_2M: u8 = 9;
 

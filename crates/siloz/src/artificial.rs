@@ -11,8 +11,7 @@
 use crate::SilozError;
 use dram_addr::transform::media_row_from_internal;
 use dram_addr::{BankId, InternalMapConfig, RankSide, RepairMap, SystemAddressDecoder};
-
-const FRAME_BYTES: u64 = 4096;
+use numa::frame_of_hpa;
 
 /// Rows reserved at each subarray boundary when vendor scrambling is active
 /// and the subarray size is not a multiple of 8 (§6).
@@ -132,7 +131,7 @@ pub fn frames_touching_bank_row(
     for line in 0..g.lines_per_row() {
         media.col = (line * dram_addr::CACHE_LINE_BYTES) as u32;
         let phys = decoder.encode(&media)?;
-        let frame = phys / FRAME_BYTES;
+        let frame = frame_of_hpa(phys);
         if frames.last() != Some(&frame) {
             frames.push(frame);
         }

@@ -18,9 +18,8 @@
 use crate::SilozError;
 use dram_addr::{Geometry, SystemAddressDecoder};
 use ept::{EptAllocator, EptError};
+use numa::{frame_of_hpa, hpa_of_frame};
 use std::ops::Range;
-
-const FRAME_BYTES: u64 = 4096;
 
 /// Per-socket EPT guard placement.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -92,14 +91,14 @@ impl EptGuardPlan {
             }
             let ept_row = base + o;
             let ept_phys = decoder.phys_range_of_row_group(socket, ept_row)?;
-            let ept_frames = ept_phys.start / FRAME_BYTES..ept_phys.end / FRAME_BYTES;
+            let ept_frames = frame_of_hpa(ept_phys.start)..frame_of_hpa(ept_phys.end);
             let mut guard_frames = Vec::new();
             for row in base..base + b {
                 if row == ept_row {
                     continue;
                 }
                 let phys = decoder.phys_range_of_row_group(socket, row)?;
-                guard_frames.extend(phys.start / FRAME_BYTES..phys.end / FRAME_BYTES);
+                guard_frames.extend(frame_of_hpa(phys.start)..frame_of_hpa(phys.end));
             }
             guard_frames.sort_unstable();
             sockets.push(SocketEptPlan {
@@ -187,13 +186,13 @@ impl EptFrameAlloc {
     /// Returns a table page to the pool (VM shutdown).
     pub fn release(&mut self, hpa: u64) {
         debug_assert!(self.contains_hpa(hpa));
-        self.freed.push(hpa / FRAME_BYTES);
+        self.freed.push(frame_of_hpa(hpa));
     }
 
     /// Whether `hpa` lies within the EPT row group.
     #[must_use]
     pub fn contains_hpa(&self, hpa: u64) -> bool {
-        let f = hpa / FRAME_BYTES;
+        let f = frame_of_hpa(hpa);
         f >= self.frames.start && f < self.frames.end
     }
 }
@@ -202,7 +201,7 @@ impl EptAllocator for EptFrameAlloc {
     fn alloc_table_page(&mut self) -> Result<u64, EptError> {
         if let Some(frame) = self.freed.pop() {
             self.allocs += 1;
-            return Ok(frame * FRAME_BYTES);
+            return Ok(hpa_of_frame(frame));
         }
         if self.next >= self.frames.end {
             self.denials += 1;
@@ -211,7 +210,7 @@ impl EptAllocator for EptFrameAlloc {
         let frame = self.next;
         self.next += 1;
         self.allocs += 1;
-        Ok(frame * FRAME_BYTES)
+        Ok(hpa_of_frame(frame))
     }
 }
 

@@ -10,11 +10,10 @@
 
 use crate::SilozError;
 use dram_addr::SystemAddressDecoder;
+use numa::{frame_of_hpa, hpa_of_frame, is_frame_aligned, FRAME_BYTES};
 use std::ops::Range;
 
 /// Page frame size used throughout (4 KiB).
-const FRAME_BYTES: u64 = 4096;
-
 /// Identifier of a subarray group, dense across the machine:
 /// `socket * groups_per_socket + index_within_socket`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -97,8 +96,8 @@ impl SubarrayGroupMap {
                 let mut frames: Vec<Range<u64>> = Vec::new();
                 for row in rows.clone() {
                     let phys = decoder.phys_range_of_row_group(socket, row)?;
-                    debug_assert_eq!(phys.start % FRAME_BYTES, 0);
-                    let fr = phys.start / FRAME_BYTES..phys.end / FRAME_BYTES;
+                    debug_assert!(is_frame_aligned(phys.start));
+                    let fr = frame_of_hpa(phys.start)..frame_of_hpa(phys.end);
                     match frames.last_mut() {
                         Some(last) if last.end == fr.start => last.end = fr.end,
                         _ => frames.push(fr),
@@ -222,7 +221,7 @@ impl SubarrayGroupMap {
 
     /// The group a page frame belongs to.
     pub fn group_of_frame(&self, frame: u64) -> Result<GroupId, SilozError> {
-        self.group_of_phys(frame * FRAME_BYTES)
+        self.group_of_phys(hpa_of_frame(frame))
     }
 
     /// The 3 GiB *set* of consecutive groups a group belongs to (§4.2):

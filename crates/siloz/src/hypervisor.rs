@@ -27,10 +27,11 @@ use dram::flip::BitFlip;
 use dram::{DramSystem, DramSystemBuilder};
 use dram_addr::{RepairMap, SystemAddressDecoder};
 use ept::{Ept, EptAllocator, EptError, EptPerms, IntegrityMode, PageSize, PhysMem, Translation};
-use numa::{CgroupRegistry, MemPolicy, NodeId, NodeInfo, PlacementStrategy, PolicyAlloc, Topology};
+use numa::{
+    frame_of_hpa, hpa_of_frame, CgroupRegistry, MemPolicy, NodeId, NodeInfo, PlacementStrategy,
+    PolicyAlloc, Topology, FRAME_BYTES,
+};
 use std::collections::HashMap;
-
-const FRAME_BYTES: u64 = 4096;
 
 /// Which hypervisor variant is booted (§7's comparison axis).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -107,7 +108,7 @@ impl EptAllocator for NodeEptAlloc<'_> {
         match self.topo.alloc(self.node, 0) {
             Ok(frame) => {
                 self.got.push(frame);
-                Ok(frame * FRAME_BYTES)
+                Ok(hpa_of_frame(frame))
             }
             Err(_) => Err(EptError::OutOfMemory),
         }
@@ -219,7 +220,7 @@ impl Hypervisor {
                 let mut host_nodes = Vec::new();
                 let g = decoder.geometry();
                 for socket in 0..g.sockets {
-                    let base = decoder.socket_base(socket) / FRAME_BYTES;
+                    let base = frame_of_hpa(decoder.socket_base(socket));
                     let frames = base..base + decoder.socket_bytes() / FRAME_BYTES;
                     let cpus: Vec<u32> = (0..config.cores_per_socket)
                         .map(|c| socket as u32 * config.cores_per_socket + c)
@@ -706,7 +707,7 @@ impl Hypervisor {
         } else {
             let host_node = self.host_nodes[socket as usize];
             for &hpa in ept.table_pages() {
-                let _ = self.topo.free(host_node, hpa / FRAME_BYTES, 0);
+                let _ = self.topo.free(host_node, frame_of_hpa(hpa), 0);
             }
         }
     }
@@ -885,7 +886,7 @@ impl Hypervisor {
         } else {
             let host_node = self.host_nodes[socket as usize];
             for &hpa in vm.ept.table_pages() {
-                let _ = self.topo.free(host_node, hpa / FRAME_BYTES, 0);
+                let _ = self.topo.free(host_node, frame_of_hpa(hpa), 0);
             }
         }
         self.cgroups.destroy(&vm.spec.name);
@@ -1052,7 +1053,7 @@ impl Hypervisor {
             }
             let media = self.decoder.decode(t.hpa)?;
             let bank = media.global_bank(self.decoder.geometry());
-            let chunk = ((line - t.hpa % line) as usize).min(bytes.len() - off);
+            let chunk = ((line - dram_addr::line_offset(t.hpa)) as usize).min(bytes.len() - off);
             self.dram
                 .write_row(bank, media.row, media.col, &bytes[off..off + chunk]);
             off += chunk;
@@ -1078,7 +1079,7 @@ impl Hypervisor {
             let t = self.translate(handle, gpa + off)?;
             let media = self.decoder.decode(t.hpa)?;
             let bank = media.global_bank(self.decoder.geometry());
-            let chunk = ((line - t.hpa % line) as usize).min(len - out.len());
+            let chunk = ((line - dram_addr::line_offset(t.hpa)) as usize).min(len - out.len());
             let (bytes, integrity) = self.dram.read_row(bank, media.row, media.col, chunk as u32);
             intact &= integrity.data_is_correct();
             out.extend(bytes);
@@ -1181,7 +1182,7 @@ impl Hypervisor {
             }
         }
         let frame = self.host_alloc(socket, 0)?;
-        Ok(frame * FRAME_BYTES)
+        Ok(hpa_of_frame(frame))
     }
 
     /// Copies `len` bytes between physical ranges, line by line (used by

@@ -5,47 +5,62 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo fmt --check =="
-cargo fmt --all --check
+# Runs one gate and prints its wall time, so cost regressions in any gate
+# are visible in every log (the dataflow gate additionally enforces its own
+# 15 s budget in-process and fails when it blows it).
+step() {
+  local label="$1"
+  shift
+  echo "== ${label} =="
+  local t0
+  t0=$(date +%s)
+  "$@"
+  echo "-- ${label}: $(($(date +%s) - t0))s"
+}
 
-echo "== cargo clippy (warnings are errors) =="
-cargo clippy --workspace --all-targets -- -D warnings
+step "cargo fmt --check" cargo fmt --all --check
 
-echo "== cargo test =="
-cargo test --workspace -q
+step "cargo clippy (warnings are errors)" \
+  cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== telemetry unit + property tests =="
-cargo test -p telemetry -q
+step "cargo test" cargo test --workspace -q
 
-echo "== telemetry snapshot schema (golden fixture) =="
-cargo test --test telemetry_schema -q
+step "telemetry unit + property tests" cargo test -p telemetry -q
 
-echo "== analysis gate: siloz-lint (workspace invariants) =="
-cargo run --release -q -p analysis --bin siloz-lint
+step "telemetry snapshot schema (golden fixture)" \
+  cargo test --test telemetry_schema -q
 
-echo "== analysis gate: isolation-verify (bijectivity + containment proofs) =="
-cargo run --release -q -p analysis --bin isolation-verify
+step "analysis gate: siloz-lint (workspace invariants)" \
+  cargo run --release -q -p analysis --bin siloz-lint
 
-echo "== analysis gate: interleave-check (exhaustive schedule exploration) =="
-cargo run --release -q -p analysis --bin interleave-check
+step "analysis gate: siloz-dataflow (seed-provenance + address-domain proofs)" \
+  cargo run --release -q -p analysis --bin siloz-dataflow
 
-echo "== sim gate: compiled replay bit-identical to the uncompiled reference =="
-cargo test -p sim --test compiled_equivalence -q
+step "analysis gate: isolation-verify (bijectivity + containment proofs)" \
+  cargo run --release -q -p analysis --bin isolation-verify
 
-echo "== mitigation gate: siloz-behind-the-trait bitwise equivalence =="
-cargo test -p sim --test mitigation_equivalence -q
+step "analysis gate: interleave-check (exhaustive schedule exploration)" \
+  cargo run --release -q -p analysis --bin interleave-check
 
-echo "== fleet gate: quick multi-tenant soak (churn + attacks + determinism) =="
-cargo run --release -q -p bench --bin fleet_soak -- --quick
+step "sim gate: compiled replay bit-identical to the uncompiled reference" \
+  cargo test -p sim --test compiled_equivalence -q
 
-echo "== mitigation gate: quick head-to-head arena (duels + soak + perf) =="
-cargo run --release -q -p bench --bin arena -- --quick
+step "mitigation gate: siloz-behind-the-trait bitwise equivalence" \
+  cargo test -p sim --test mitigation_equivalence -q
 
-echo "== cargo doc (warnings are errors, first-party crates) =="
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
-  -p siloz-repro -p analysis -p bench -p dram -p dram-addr -p ept -p fleet \
-  -p hammer -p memctrl -p mitigation -p numa -p siloz -p sim -p telemetry \
-  -p workloads
+step "fleet gate: quick multi-tenant soak (churn + attacks + determinism)" \
+  cargo run --release -q -p bench --bin fleet_soak -- --quick
+
+step "mitigation gate: quick head-to-head arena (duels + soak + perf)" \
+  cargo run --release -q -p bench --bin arena -- --quick
+
+doc_gate() {
+  RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
+    -p siloz-repro -p analysis -p bench -p dram -p dram-addr -p ept -p fleet \
+    -p hammer -p memctrl -p mitigation -p numa -p siloz -p sim -p telemetry \
+    -p workloads
+}
+step "cargo doc (warnings are errors, first-party crates)" doc_gate
 
 echo "== miri (optional): telemetry under the interpreter =="
 if cargo miri --version >/dev/null 2>&1; then
