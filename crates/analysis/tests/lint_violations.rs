@@ -142,6 +142,7 @@ fn classify_matches_repo_layout() {
     assert!(classify("crates/dram/src/device.rs").hot);
     assert!(classify("crates/dram-addr/src/tlb.rs").hot);
     assert!(classify("crates/fleet/src/queue.rs").hot);
+    assert!(classify("crates/cluster/src/queue.rs").hot);
     assert!(classify("crates/sim/src/compile.rs").hot);
     assert!(!classify("crates/memctrl/src/baseline.rs").hot);
     assert!(!classify("crates/fleet/src/engine.rs").hot);

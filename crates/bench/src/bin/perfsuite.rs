@@ -22,6 +22,11 @@
 //! 6. **Mitigation overhead** — per-backend ns/ACT of the controller
 //!    hook (`blockhammer`, `breakhammer`) vs the unhooked `none` fast
 //!    path, on the same mixed trace the controller bench replays.
+//! 7. **Cluster soak** — the sharded multi-host engine stepped at 1, 2,
+//!    and 7 workers (events/sec per worker count, reports asserted
+//!    bit-identical), plus the amortized cost of a cluster-wide sync
+//!    proof vs a per-host boundary check, both read from the engines'
+//!    volatile wall-clock counters.
 //!
 //! Writes the measurements to `BENCH_perfsuite.json` in the working
 //! directory (overwritten each run) and prints a summary table. Each row
@@ -435,6 +440,99 @@ fn bench_mitigation(reg: &Registry) -> Vec<Measure> {
         .collect()
 }
 
+/// Cluster engine throughput and proof costs on a trimmed quick
+/// scenario (attacks off so hammer campaigns don't swamp the scheduler
+/// and checker costs under test).
+///
+/// - `cluster_soak` — wall ns per lifecycle event, serial vs sharded at
+///   7 workers, with the per-worker-count reports asserted bit-identical
+///   and events/sec printed for 1, 2, and 7 workers.
+/// - `cluster_proof_cost` — amortized ns per proof point: a cluster-wide
+///   sync proof (full §4.1 proof on every host + scheduler-vs-hypervisor
+///   audit, `cluster.sync_wall_ns`) vs a per-host boundary check
+///   (incremental + periodic full proofs, the absorbed hosts'
+///   `check_wall_ns`).
+fn bench_cluster(reg: &Registry) -> Vec<Measure> {
+    use cluster::{run_cluster_observed, ClusterPolicy, ClusterScenario};
+    use telemetry::MetricValue;
+    let scenario = || {
+        let mut s = ClusterScenario::quick(17, ClusterPolicy::Spread);
+        s.target_sandboxes = 400;
+        s.attack_prob = 0.0;
+        s
+    };
+
+    let counter = |snap: &telemetry::Snapshot, path: &[&str], metric: &str| -> u64 {
+        let mut node = snap.children.get(path[0]).expect("child exists").clone();
+        for seg in &path[1..] {
+            node = node.children.get(*seg).expect("child exists").clone();
+        }
+        match node.metrics.get(metric) {
+            Some(MetricValue::Counter { value, .. }) => *value,
+            other => panic!("{metric} missing from {}: {other:?}", path.join(".")),
+        }
+    };
+
+    let mut reference: Option<cluster::ClusterReport> = None;
+    let mut wall_ns = [0f64; 3];
+    let mut proof_reg = Registry::new();
+    for (slot, threads) in [1usize, 2, 7].into_iter().enumerate() {
+        let r = Registry::new();
+        wall_ns[slot] = best_of(2, || {
+            let fresh = Registry::new();
+            let report =
+                run_cluster_observed(scenario(), threads, &fresh).expect("cluster bench run");
+            match &reference {
+                None => reference = Some(report),
+                Some(reference) => assert_eq!(
+                    reference, &report,
+                    "cluster reports diverged at {threads} workers"
+                ),
+            }
+            fresh
+        });
+        let report = run_cluster_observed(scenario(), threads, &r).expect("cluster bench run");
+        let rate = report.events_total() as f64 * 1e9 / wall_ns[slot];
+        println!(
+            "  cluster soak: {threads} worker(s), {} events, {rate:.0} events/sec",
+            report.events_total()
+        );
+        if threads == 1 {
+            proof_reg = r;
+        }
+    }
+    let report = reference.expect("at least one cluster run");
+    let events = report.events_total();
+
+    // Proof costs from the serial run's volatile wall clocks: the cluster
+    // barrier's sync proofs and the absorbed per-host checking time.
+    let snap = proof_reg.snapshot();
+    let sync_wall = counter(&snap, &["cluster"], "sync_wall_ns");
+    let host_check_wall = counter(&snap, &["cluster", "hosts", "fleet"], "check_wall_ns");
+    let host_checks = report.incremental_checks + report.full_proofs;
+    assert!(report.sync_proofs > 0 && host_checks > 0);
+    let mut measures = vec![Measure {
+        name: "cluster_soak",
+        baseline: "serial cluster step (1 worker)",
+        optimized: "sharded per-host engines (7 workers)",
+        baseline_ns: wall_ns[0] / events as f64,
+        optimized_ns: wall_ns[2] / events as f64,
+        threads: 7,
+    }];
+    measures.push(Measure {
+        name: "cluster_proof_cost",
+        baseline: "cluster-wide sync proof (every host + scheduler audit)",
+        optimized: "per-host boundary check (incremental + periodic full)",
+        baseline_ns: sync_wall as f64 / report.sync_proofs as f64,
+        optimized_ns: host_check_wall as f64 / host_checks as f64,
+        threads: 1,
+    });
+    reg.child("cluster_bench")
+        .counter("events")
+        .add(events * 3);
+    measures
+}
+
 /// Extracts `"optimized_ns_per_op": <f64>` for the result named `name`
 /// from a `BENCH_perfsuite.json` document, without a JSON parser.
 fn baseline_ns_per_op(json: &str, name: &str) -> Option<f64> {
@@ -497,6 +595,7 @@ fn main() {
     measures.extend(bench_figure4(threads, &reg));
     measures.push(bench_fleet(&reg));
     measures.extend(bench_mitigation(&reg));
+    measures.extend(bench_cluster(&reg));
 
     println!(
         "{:<22} {:>16} {:>16} {:>9} {:>8}",

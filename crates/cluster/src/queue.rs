@@ -1,28 +1,30 @@
-//! Flat binary-heap event queue — the engine's hot path.
+//! Flat binary-heap cluster event queue — the cluster engine's hot path.
 //!
-//! Every simulated event passes through here once on push and once on pop,
-//! so the queue is a plain `Vec`-backed binary min-heap ordered by
-//! `(at, seq)`: no hashing, no per-access allocation, one sift walk per
-//! operation. Dynamic events (departures, deferred re-admissions) receive
-//! fresh sequence numbers so ordering stays total and deterministic.
+//! Every cluster-level event passes through here once on push and once on
+//! pop (a full soak moves over a million), so the queue mirrors the fleet
+//! engine's: a plain `Vec`-backed binary min-heap ordered by `(at, seq)`
+//! — no hashing, no per-access allocation, one sift walk per operation.
+//! Dynamically scheduled events (departures, issued at placement time)
+//! receive fresh sequence numbers so ordering stays total and
+//! deterministic.
 
-use crate::events::{Event, EventKind};
+use crate::events::{ClusterEvent, ClusterEventKind};
 
-/// Min-heap of events keyed on `(at, seq)`.
+/// Min-heap of cluster events keyed on `(at, seq)`.
 #[derive(Debug)]
-pub struct EventQueue {
-    heap: Vec<Event>,
+pub struct ClusterQueue {
+    heap: Vec<ClusterEvent>,
     next_seq: u64,
     pushed: u64,
     popped: u64,
 }
 
-impl EventQueue {
-    /// Builds a queue from a pre-generated trace. `next_seq` must be larger
-    /// than every sequence number in `events` (as returned by
-    /// [`crate::events::generate_trace`]).
+impl ClusterQueue {
+    /// Builds a queue from a pre-generated trace. `next_seq` must be
+    /// larger than every sequence number in `events` (as returned by
+    /// [`crate::events::generate_cluster_trace`]).
     #[must_use]
-    pub fn new(events: Vec<Event>, next_seq: u64) -> Self {
+    pub fn new(events: Vec<ClusterEvent>, next_seq: u64) -> Self {
         let pushed = events.len() as u64;
         let mut q = Self {
             heap: events,
@@ -40,21 +42,28 @@ impl EventQueue {
     /// Schedules a dynamic event at time `at`, assigning it the next
     /// sequence number (so it sorts after anything generated earlier for
     /// the same tick).
-    pub fn push(&mut self, at: u64, tenant: u32, kind: EventKind) {
+    pub fn push(&mut self, at: u64, sandbox: u32, kind: ClusterEventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.pushed += 1;
-        self.heap.push(Event {
+        self.heap.push(ClusterEvent {
             at,
             seq,
-            tenant,
+            sandbox,
             kind,
         });
         self.sift_up(self.heap.len() - 1);
     }
 
+    /// The earliest queued event, without removing it. The epoch loop
+    /// peeks to decide whether the next event is due before the barrier.
+    #[must_use]
+    pub fn peek(&self) -> Option<&ClusterEvent> {
+        self.heap.first()
+    }
+
     /// Removes and returns the earliest event.
-    pub fn pop(&mut self) -> Option<Event> {
+    pub fn pop(&mut self) -> Option<ClusterEvent> {
         if self.heap.is_empty() {
             return None;
         }
@@ -66,15 +75,6 @@ impl EventQueue {
         }
         self.popped += 1;
         out
-    }
-
-    /// The earliest queued event, without removing it. Because the heap
-    /// root is the `(at, seq)` minimum, an external driver can drain
-    /// everything due up to a horizon with `peek`/`pop` pairs and stop
-    /// without disturbing later events.
-    #[must_use]
-    pub fn peek(&self) -> Option<&Event> {
-        self.heap.first()
     }
 
     /// Events currently queued.
@@ -142,19 +142,20 @@ impl EventQueue {
 mod tests {
     use super::*;
 
-    fn ev(at: u64, seq: u64) -> Event {
-        Event {
+    fn ev(at: u64, seq: u64) -> ClusterEvent {
+        ClusterEvent {
             at,
             seq,
-            tenant: 0,
-            kind: EventKind::Defrag,
+            sandbox: 0,
+            kind: ClusterEventKind::Migrate,
         }
     }
 
     #[test]
     fn pops_in_time_then_seq_order() {
         let events = [ev(5, 0), ev(1, 1), ev(5, 2), ev(0, 3), ev(1, 4)];
-        let mut q = EventQueue::new(events.to_vec(), 5);
+        let mut q = ClusterQueue::new(events.to_vec(), 5);
+        assert_eq!(q.peek().map(|e| (e.at, e.seq)), Some((0, 3)));
         let order: Vec<(u64, u64)> = std::iter::from_fn(|| q.pop())
             .map(|e| (e.at, e.seq))
             .collect();
@@ -163,17 +164,17 @@ mod tests {
     }
 
     #[test]
-    fn dynamic_pushes_interleave_correctly() {
-        let mut q = EventQueue::new(vec![ev(10, 0)], 1);
-        q.push(3, 7, EventKind::Depart);
-        q.push(10, 8, EventKind::Depart);
+    fn dynamic_departures_interleave_correctly() {
+        let mut q = ClusterQueue::new(vec![ev(10, 0)], 1);
+        q.push(3, 7, ClusterEventKind::Depart);
+        q.push(10, 8, ClusterEventKind::Depart);
         assert_eq!(q.len(), 3);
         assert_eq!(q.peek().map(|e| (e.at, e.seq)), Some((3, 1)));
         assert_eq!(q.pop().unwrap().at, 3);
         // Same tick: the trace event (seq 0) beats the dynamic one (seq 2).
         let next = q.pop().unwrap();
         assert_eq!((next.at, next.seq), (10, 0));
-        assert_eq!(q.pop().unwrap().tenant, 8);
+        assert_eq!(q.pop().unwrap().sandbox, 8);
         assert!(q.is_empty());
         assert_eq!(q.total_pushed(), 3);
     }
@@ -181,12 +182,12 @@ mod tests {
     #[test]
     fn heap_matches_sorting_on_a_large_shuffled_trace() {
         // Deterministic pseudo-shuffle via a multiplicative hash.
-        let events: Vec<Event> = (0u64..999)
+        let events: Vec<ClusterEvent> = (0u64..999)
             .map(|i| ev(i.wrapping_mul(2654435761) % 128, i))
             .collect();
         let mut expect: Vec<(u64, u64)> = events.iter().map(|e| (e.at, e.seq)).collect();
         expect.sort_unstable();
-        let mut q = EventQueue::new(events, 999);
+        let mut q = ClusterQueue::new(events, 999);
         let got: Vec<(u64, u64)> = std::iter::from_fn(|| q.pop())
             .map(|e| (e.at, e.seq))
             .collect();

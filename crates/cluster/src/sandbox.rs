@@ -1,0 +1,94 @@
+//! Sandbox records: the cluster scheduler's view of every guest.
+//!
+//! One sandbox is one VM is one isolation-domain claim (the Kata model):
+//! the cluster places it on exactly one host, where it materializes as a
+//! fleet tenant holding its subarray groups exclusively. The record
+//! tracks where the sandbox is in that lifecycle; the per-host engines
+//! hold the authoritative hypervisor state, and the two views are
+//! cross-checked at every sync barrier.
+
+use crate::events::AFFINITY_CLASSES;
+
+/// Where a sandbox is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SandboxState {
+    /// Awaiting placement: no host currently has capacity (or its last
+    /// host admission failed). Retried FIFO at every epoch boundary.
+    Pending,
+    /// Live on exactly this host (index into the cluster's shard table).
+    Running(usize),
+    /// Departed normally: its domain claim has been released.
+    Departed,
+    /// Gave up: its departure fired while it was still pending, or the
+    /// trace drained with the sandbox unplaceable.
+    Abandoned,
+}
+
+/// One sandbox's request and lifecycle state.
+#[derive(Debug, Clone, Copy)]
+pub struct SandboxRecord {
+    /// Cluster-unique sandbox id; doubles as the fleet tenant id on
+    /// whichever host currently runs it.
+    pub id: u32,
+    /// Requested guest RAM, bytes.
+    pub mem_bytes: u64,
+    /// Requested vCPUs.
+    pub vcpus: u32,
+    /// Lifetime in ticks, counted from placement.
+    pub lifetime: u64,
+    /// Co-location class (`id % AFFINITY_CLASSES`), the socket-affine
+    /// policy's grouping key.
+    pub affinity: u32,
+    /// Current lifecycle state.
+    pub state: SandboxState,
+    /// Completed cross-host migrations.
+    pub migrations: u32,
+    /// Whether the departure event is already on the cluster queue. Set at
+    /// first placement (`placed_at + lifetime`); a migration or a
+    /// re-queued failed admission must not schedule a second lease end.
+    pub depart_scheduled: bool,
+}
+
+impl SandboxRecord {
+    /// A fresh, not-yet-placed record for an arriving sandbox.
+    #[must_use]
+    pub fn new(id: u32, mem_bytes: u64, vcpus: u32, lifetime: u64) -> Self {
+        Self {
+            id,
+            mem_bytes,
+            vcpus,
+            lifetime,
+            affinity: id % AFFINITY_CLASSES,
+            state: SandboxState::Pending,
+            migrations: 0,
+            depart_scheduled: false,
+        }
+    }
+
+    /// The host currently running this sandbox, if any.
+    #[must_use]
+    pub fn host(&self) -> Option<usize> {
+        match self.state {
+            SandboxState::Running(h) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_start_pending_with_stable_affinity() {
+        let r = SandboxRecord::new(35, 64 << 20, 2, 100);
+        assert_eq!(r.state, SandboxState::Pending);
+        assert_eq!(r.affinity, 35 % AFFINITY_CLASSES);
+        assert_eq!(r.host(), None);
+        let running = SandboxRecord {
+            state: SandboxState::Running(3),
+            ..r
+        };
+        assert_eq!(running.host(), Some(3));
+    }
+}

@@ -1,0 +1,288 @@
+//! The cluster-level placement scheduler.
+//!
+//! Placement is two-level, mirroring a Kata-style cloud stack: this
+//! scheduler picks the *host* for each sandbox from its capacity
+//! estimates, and the chosen host's own [`numa::PlacementStrategy`] then
+//! picks the subarray groups. Estimates are kept exact — hosts admit
+//! whole groups exclusively (one VM per group, §4.1), so `ceil(mem /
+//! group bytes)` is the precise claim size and the estimate must equal
+//! the hypervisor's occupancy at every sync barrier; any drift is counted
+//! as a cluster violation.
+
+use std::collections::BTreeMap;
+
+/// Pluggable host-selection policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterPolicy {
+    /// Most free groups wins (ties: lowest host id): spreads load so an
+    /// aggressor's blast radius — and any single host's churn — stays
+    /// minimal.
+    Spread,
+    /// Fewest free groups that still fit wins (ties: lowest host id):
+    /// packs sandboxes tightly, maximizing whole-host headroom.
+    BinPack,
+    /// Prefer the host already running the most sandboxes of the same
+    /// affinity class, then fall back to spread. The cluster-level
+    /// analogue of the fleet's socket-affine strategy: related sandboxes
+    /// co-locate on one host, where the host-level strategy keeps them
+    /// socket-local.
+    SocketAffine,
+}
+
+impl ClusterPolicy {
+    /// All policies, in presentation order.
+    pub const ALL: [ClusterPolicy; 3] = [
+        ClusterPolicy::Spread,
+        ClusterPolicy::BinPack,
+        ClusterPolicy::SocketAffine,
+    ];
+
+    /// Stable snake_case name (report/JSON key).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClusterPolicy::Spread => "spread",
+            ClusterPolicy::BinPack => "bin_pack",
+            ClusterPolicy::SocketAffine => "socket_affine",
+        }
+    }
+}
+
+/// One host's capacity estimate.
+#[derive(Debug, Clone, Copy)]
+struct HostSlot {
+    /// Estimated free (unclaimed) guest groups.
+    free_groups: i64,
+    /// Total guest groups on the host.
+    total_groups: i64,
+    /// Sandboxes currently scheduled here.
+    live: u32,
+}
+
+/// Exact group-level capacity accounting plus the placement policies.
+#[derive(Debug)]
+pub struct ClusterScheduler {
+    policy: ClusterPolicy,
+    /// Bytes per guest subarray group (uniform across the fleet's
+    /// homogeneous hosts; the smallest group is used, conservatively).
+    group_bytes: u64,
+    slots: Vec<HostSlot>,
+    /// Per-host live count of each affinity class (socket-affine's
+    /// preference signal).
+    affinity: Vec<BTreeMap<u32, u32>>,
+    /// Successful placements (initial + migration re-admissions).
+    pub placements: u64,
+    /// Placement attempts that found no host with capacity.
+    pub placement_rejects: u64,
+    /// Placements that landed on a host already running the sandbox's
+    /// affinity class (only the socket-affine policy creates these on
+    /// purpose).
+    pub affinity_hits: u64,
+}
+
+impl ClusterScheduler {
+    /// A scheduler over hosts with the given per-host free-group counts.
+    #[must_use]
+    pub fn new(policy: ClusterPolicy, group_bytes: u64, host_free_groups: &[i64]) -> Self {
+        Self {
+            policy,
+            group_bytes,
+            slots: host_free_groups
+                .iter()
+                .map(|&free| HostSlot {
+                    free_groups: free,
+                    total_groups: free,
+                    live: 0,
+                })
+                .collect(),
+            affinity: host_free_groups.iter().map(|_| BTreeMap::new()).collect(),
+            placements: 0,
+            placement_rejects: 0,
+            affinity_hits: 0,
+        }
+    }
+
+    /// Hosts under management.
+    #[must_use]
+    pub fn hosts(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whole groups a request claims: hosts admit groups exclusively, so
+    /// this is exact, not an estimate.
+    #[must_use]
+    pub fn groups_needed(&self, mem_bytes: u64) -> i64 {
+        mem_bytes.div_ceil(self.group_bytes.max(1)) as i64
+    }
+
+    /// Estimated free groups on `host`.
+    #[must_use]
+    pub fn est_free_groups(&self, host: usize) -> i64 {
+        self.slots[host].free_groups
+    }
+
+    /// Sandboxes currently scheduled on `host`.
+    #[must_use]
+    pub fn est_live(&self, host: usize) -> u32 {
+        self.slots[host].live
+    }
+
+    /// Picks a host for a sandbox and reserves its groups, or returns
+    /// `None` (and counts a reject) if no host fits. `exclude` bars the
+    /// sandbox's current host during migration. Selection is a pure
+    /// function of the scheduler state, so placement order alone
+    /// determines the outcome — never worker count.
+    pub fn place(
+        &mut self,
+        affinity: u32,
+        mem_bytes: u64,
+        exclude: Option<usize>,
+    ) -> Option<usize> {
+        let need = self.groups_needed(mem_bytes);
+        let fits = |i: &usize| self.slots[*i].free_groups >= need && Some(*i) != exclude;
+        let candidates = (0..self.slots.len()).filter(fits);
+        let pick = match self.policy {
+            ClusterPolicy::Spread => candidates
+                .max_by_key(|&i| (self.slots[i].free_groups, std::cmp::Reverse(i))),
+            ClusterPolicy::BinPack => candidates.min_by_key(|&i| (self.slots[i].free_groups, i)),
+            ClusterPolicy::SocketAffine => candidates.max_by_key(|&i| {
+                (
+                    self.affinity[i].get(&affinity).copied().unwrap_or(0),
+                    self.slots[i].free_groups,
+                    std::cmp::Reverse(i),
+                )
+            }),
+        };
+        let Some(host) = pick else {
+            self.placement_rejects += 1;
+            return None;
+        };
+        if self.affinity[host].get(&affinity).copied().unwrap_or(0) > 0 {
+            self.affinity_hits += 1;
+        }
+        self.slots[host].free_groups -= need;
+        self.slots[host].live += 1;
+        *self.affinity[host].entry(affinity).or_insert(0) += 1;
+        self.placements += 1;
+        Some(host)
+    }
+
+    /// Releases a sandbox's reservation on `host` (departure, migration
+    /// source, or a rolled-back failed admission).
+    pub fn release(&mut self, host: usize, affinity: u32, mem_bytes: u64) {
+        let need = self.groups_needed(mem_bytes);
+        self.slots[host].free_groups += need;
+        self.slots[host].live = self.slots[host].live.saturating_sub(1);
+        if let Some(n) = self.affinity[host].get_mut(&affinity) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                self.affinity[host].remove(&affinity);
+            }
+        }
+    }
+
+    /// Checks one host's estimate against hypervisor truth. Returns the
+    /// violation messages (empty when consistent): estimate drift or
+    /// over-commit, both of which would mean the scheduler and the §4.1
+    /// prover disagree about who owns what.
+    #[must_use]
+    pub fn audit(&self, host: usize, true_free_groups: i64, true_live: u32) -> Vec<String> {
+        let mut issues = Vec::new();
+        let slot = &self.slots[host];
+        if slot.free_groups != true_free_groups {
+            issues.push(format!(
+                "host {host}: scheduler estimates {} free groups but the hypervisor reports {}",
+                slot.free_groups, true_free_groups
+            ));
+        }
+        if slot.live != true_live {
+            issues.push(format!(
+                "host {host}: scheduler tracks {} live sandboxes but the host runs {}",
+                slot.live, true_live
+            ));
+        }
+        if slot.free_groups < 0 || slot.free_groups > slot.total_groups {
+            issues.push(format!(
+                "host {host}: over-commit — {} of {} groups free",
+                slot.free_groups, slot.total_groups
+            ));
+        }
+        issues
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(policy: ClusterPolicy) -> ClusterScheduler {
+        // Three hosts × 7 groups of 128 MiB.
+        ClusterScheduler::new(policy, 128 << 20, &[7, 7, 7])
+    }
+
+    #[test]
+    fn spread_balances_and_bin_pack_concentrates() {
+        let mut spread = sched(ClusterPolicy::Spread);
+        let hosts: Vec<_> = (0..3)
+            .map(|i| spread.place(i, 128 << 20, None).unwrap())
+            .collect();
+        assert_eq!(hosts, [0, 1, 2], "spread rotates across equal hosts");
+        let mut pack = sched(ClusterPolicy::BinPack);
+        let hosts: Vec<_> = (0..3)
+            .map(|i| pack.place(i, 128 << 20, None).unwrap())
+            .collect();
+        assert_eq!(hosts, [0, 0, 0], "bin-pack stays on the fullest fit");
+    }
+
+    #[test]
+    fn socket_affine_colocates_classes() {
+        let mut s = sched(ClusterPolicy::SocketAffine);
+        let first = s.place(5, 128 << 20, None).unwrap();
+        // A different class spreads away; the same class follows.
+        let other = s.place(6, 128 << 20, None).unwrap();
+        assert_ne!(first, other);
+        let again = s.place(5, 128 << 20, None).unwrap();
+        assert_eq!(first, again, "same class co-locates");
+        assert_eq!(s.affinity_hits, 1);
+    }
+
+    #[test]
+    fn capacity_is_exact_and_releases_restore_it() {
+        let mut s = sched(ClusterPolicy::BinPack);
+        // 896 MiB = 7 groups: fills one host exactly.
+        let h = s.place(0, 896 << 20, None).unwrap();
+        assert_eq!(s.est_free_groups(h), 0);
+        assert!(s.audit(h, 0, 1).is_empty());
+        // Nothing fits on it now; the next 7-group request takes another.
+        let h2 = s.place(1, 896 << 20, None).unwrap();
+        assert_ne!(h, h2);
+        // A third fills the last host; a fourth has nowhere to go.
+        let _ = s.place(2, 896 << 20, None).unwrap();
+        assert_eq!(s.place(3, 128 << 20, None), None);
+        assert_eq!(s.placement_rejects, 1);
+        s.release(h, 0, 896 << 20);
+        assert_eq!(s.est_free_groups(h), 7);
+        assert_eq!(s.place(3, 128 << 20, None), Some(h));
+    }
+
+    #[test]
+    fn exclude_bars_the_migration_source() {
+        let mut s = ClusterScheduler::new(ClusterPolicy::Spread, 128 << 20, &[7, 7]);
+        let a = s.place(0, 128 << 20, None).unwrap();
+        let b = s.place(0, 128 << 20, Some(a)).unwrap();
+        assert_ne!(a, b);
+        // With every other host excluded and full, migration has no dest.
+        let mut lone = ClusterScheduler::new(ClusterPolicy::Spread, 128 << 20, &[7]);
+        let only = lone.place(0, 128 << 20, None).unwrap();
+        assert_eq!(lone.place(0, 128 << 20, Some(only)), None);
+    }
+
+    #[test]
+    fn audit_flags_drift() {
+        let mut s = sched(ClusterPolicy::Spread);
+        let h = s.place(0, 256 << 20, None).unwrap();
+        assert!(s.audit(h, 5, 1).is_empty());
+        assert_eq!(s.audit(h, 7, 1).len(), 1, "free-group drift");
+        assert_eq!(s.audit(h, 5, 0).len(), 1, "live drift");
+    }
+}

@@ -25,6 +25,7 @@ use rand::SeedableRng;
 use siloz::{GroupId, Hypervisor, HypervisorKind, SilozError, VmHandle};
 use sim::GuestLedger;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Max violation messages retained verbatim (the total is always counted).
 const VIOLATION_SAMPLES: usize = 16;
@@ -125,11 +126,18 @@ pub struct FleetSim {
     defense: Option<Box<dyn mitigation::Mitigation>>,
     /// Compiled per-tenant load-generator ledgers, keyed by
     /// `(tenant, ops, threads)`. Backing-independent: entries survive the
-    /// tenant's departure and are reused verbatim if it is readmitted.
-    ledgers: BTreeMap<(u32, u32, u16), GuestLedger>,
+    /// tenant's departure and are reused verbatim if it is readmitted —
+    /// or, when a shared [`sim::TraceCache`] is installed, if the tenant
+    /// re-materializes on a *different* host of the same cluster.
+    ledgers: BTreeMap<(u32, u32, u16), Arc<GuestLedger>>,
     /// Ledgers bound to the owning tenant's *current* backing, same key.
     /// Invalidated whenever an event moves the tenant's memory.
     programs: BTreeMap<(u32, u32, u16), CompiledTrace>,
+    /// Optional cluster-wide ledger memoization: when set, ledger lookups
+    /// go through the shared [`sim::TraceCache`] first, so a tenant
+    /// migrated across hosts re-binds its existing compiled trace instead
+    /// of regenerating it.
+    cache: Option<Arc<sim::TraceCache>>,
     stats: FleetStats,
     events_since_proof: u32,
 }
@@ -175,6 +183,7 @@ impl FleetSim {
             defense,
             ledgers: BTreeMap::new(),
             programs: BTreeMap::new(),
+            cache: None,
             stats: FleetStats::default(),
             events_since_proof: 0,
         })
@@ -358,13 +367,12 @@ impl FleetSim {
         Ok(())
     }
 
-    fn depart(&mut self, now: u64, tenant: u32) -> Result<(), SilozError> {
-        let Some(vm) = self.live.remove(&tenant) else {
-            self.stats.orphan_events += 1;
-            return Ok(());
-        };
-        self.hv.destroy_vm(vm.handle)?;
-        self.stats.departures += 1;
+    /// Tears down every trace the incremental checker keeps for a departed
+    /// tenant: its ownership-map claims, its cached claim list, and its
+    /// dirty-set entry. Shared by internal departures and
+    /// [`FleetSim::depart_external`], so externally-driven migration
+    /// departures leave the incremental state exactly as internal ones do.
+    fn release_tenant_tracking(&mut self, tenant: u32) {
         self.invalidate_programs(tenant);
         self.group_cache.remove(&tenant);
         self.dirty.remove(&tenant);
@@ -373,6 +381,16 @@ impl FleetSim {
                 *slot = None;
             }
         }
+    }
+
+    fn depart(&mut self, now: u64, tenant: u32) -> Result<(), SilozError> {
+        let Some(vm) = self.live.remove(&tenant) else {
+            self.stats.orphan_events += 1;
+            return Ok(());
+        };
+        self.hv.destroy_vm(vm.handle)?;
+        self.stats.departures += 1;
+        self.release_tenant_tracking(tenant);
         // Freed capacity: retry the deferred queue in arrival order.
         let readmitted = self.admission.retry_deferred(&mut self.hv)?;
         for (pending, handle) in readmitted {
@@ -439,12 +457,43 @@ impl FleetSim {
         let threads = vm.vcpus.clamp(1, 4) as u16;
         let key = (tenant, ops, threads);
         if !self.ledgers.contains_key(&key) {
-            let mut workload =
-                workloads::fleet_tenant_workload(tenant, self.scenario.slice_working_set);
-            let mut rng = StdRng::seed_from_u64(self.scenario.seed ^ (u64::from(tenant) << 17));
-            let ledger = GuestLedger::generate(workload.as_mut(), ops as usize, threads, &mut rng);
+            let working_set = self.scenario.slice_working_set;
+            let seed = self.scenario.seed ^ (u64::from(tenant) << 17);
+            let mut workload = workloads::fleet_tenant_workload(tenant, working_set);
+            let name = workload.name();
+            let mut build = || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                Arc::new(GuestLedger::generate(
+                    workload.as_mut(),
+                    ops as usize,
+                    threads,
+                    &mut rng,
+                ))
+            };
+            // When two hosts of one cluster race to compile the same
+            // migrated tenant's ledger inside a barrier epoch, only the
+            // host whose build won the cache insert counts the compile:
+            // the cluster-wide total stays 1 for any worker count.
+            let ledger = match &self.cache {
+                Some(cache) => {
+                    let mut mine: Option<Arc<GuestLedger>> = None;
+                    let got =
+                        cache.guest_ledger(&name, working_set, ops as usize, threads, seed, || {
+                            let built = build();
+                            mine = Some(built.clone());
+                            built
+                        });
+                    if mine.as_ref().is_some_and(|m| Arc::ptr_eq(m, &got)) {
+                        self.stats.ledger_compiles += 1;
+                    }
+                    got
+                }
+                None => {
+                    self.stats.ledger_compiles += 1;
+                    build()
+                }
+            };
             self.ledgers.insert(key, ledger);
-            self.stats.ledger_compiles += 1;
         }
         if !self.programs.contains_key(&key) {
             let thread_base = ((u64::from(tenant) * 16) % 65536) as u16;
@@ -603,6 +652,113 @@ impl FleetSim {
             }
         }
         Ok(true)
+    }
+
+    // ---- External-driver hooks -------------------------------------
+    //
+    // A cluster-level scheduler (`crates/cluster`) owns sandbox lifecycles
+    // across many hosts: it steps each host's queue up to a barrier
+    // horizon and drives admissions/departures directly, without the
+    // engine's own deferral queue or auto-scheduled departures. The hooks
+    // below keep the incremental §4.1 prover's state — ownership map,
+    // claim cache, dirty set — exactly as the internal event paths do, so
+    // a cross-host migration (external depart + external admit) stays on
+    // the incremental checking path on both hosts.
+
+    /// Installs a shared cross-host trace cache. Subsequent slices look up
+    /// their [`GuestLedger`] there before compiling, so a tenant migrated
+    /// from another host (same cluster seed) reuses its compiled trace.
+    pub fn set_trace_cache(&mut self, cache: Arc<sim::TraceCache>) {
+        self.cache = Some(cache);
+    }
+
+    /// Whether `tenant` currently holds a live VM on this host.
+    #[must_use]
+    pub fn is_live(&self, tenant: u32) -> bool {
+        self.live.contains_key(&tenant)
+    }
+
+    /// Tenants currently live on this host, ascending. A cluster-level
+    /// driver cross-checks this against its own placement records at
+    /// every sync barrier.
+    #[must_use]
+    pub fn live_tenants(&self) -> Vec<u32> {
+        self.live.keys().copied().collect()
+    }
+
+    /// Events still queued on this host.
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Admits a VM on behalf of an external scheduler. Unlike the internal
+    /// [`EventKind::Arrive`] path this never defers (the cluster scheduler
+    /// owns retry policy) and never schedules an internal departure (the
+    /// cluster queue owns the sandbox lifecycle). The mitigation backend's
+    /// admission veto and the incremental boundary check run exactly as
+    /// for an internal arrival. Returns `None` on a veto or capacity
+    /// rejection; non-capacity errors propagate.
+    pub fn admit_external(&mut self, vm: PendingVm) -> Result<Option<VmHandle>, SilozError> {
+        if let Some(d) = self.defense.as_deref_mut() {
+            if !d.admit(vm.tenant, vm.mem_bytes) {
+                self.stats.admission_vetoes += 1;
+                self.admission.rejections += 1;
+                return Ok(None);
+            }
+        }
+        let Some(handle) = self.admission.admit_now(&mut self.hv, vm)? else {
+            return Ok(None);
+        };
+        self.live.insert(
+            vm.tenant,
+            LiveVm {
+                handle,
+                vcpus: vm.vcpus,
+                defrag_cursor: 0,
+            },
+        );
+        self.stats.peak_live = self.stats.peak_live.max(self.live.len() as u64);
+        self.invalidate_programs(vm.tenant);
+        self.check_tenant(vm.tenant, true)?;
+        Ok(Some(handle))
+    }
+
+    /// Departs a tenant on behalf of an external scheduler: destroys the
+    /// VM and releases every incremental-checker trace of it, exactly like
+    /// an internal departure, but without retrying this host's deferred
+    /// queue (the cluster scheduler owns placement retries). Returns
+    /// whether the tenant was live here.
+    pub fn depart_external(&mut self, tenant: u32) -> Result<bool, SilozError> {
+        let Some(vm) = self.live.remove(&tenant) else {
+            self.stats.orphan_events += 1;
+            return Ok(false);
+        };
+        self.hv.destroy_vm(vm.handle)?;
+        self.stats.departures += 1;
+        self.release_tenant_tracking(tenant);
+        Ok(true)
+    }
+
+    /// Dispatches every queued event with `at <= horizon`, in `(at, seq)`
+    /// order, and returns how many ran. The barrier primitive for an
+    /// external driver: later events stay queued untouched.
+    pub fn step_until(&mut self, horizon: u64) -> Result<u64, SilozError> {
+        let mut ran = 0u64;
+        while self.queue.peek().is_some_and(|e| e.at <= horizon) {
+            if !self.step()? {
+                break;
+            }
+            ran += 1;
+        }
+        Ok(ran)
+    }
+
+    /// Runs one full isolation proof right now (a no-op under
+    /// [`CheckMode::Off`] or a shared baseline). External drivers call
+    /// this at cluster-wide sync points on every touched host.
+    pub fn full_proof_now(&mut self) {
+        self.full_proof();
     }
 
     /// Drains the queue, then runs a final full proof and builds the

@@ -85,6 +85,29 @@ impl AdmissionControl {
         }
     }
 
+    /// Tries to admit `vm` now, *without* deferral: a capacity rejection
+    /// is counted and reported as `None`, leaving retry policy to the
+    /// caller. This is the admission primitive for an external (cluster)
+    /// scheduler, which runs its own placement retries across hosts and
+    /// must not park requests in a host-local queue.
+    pub fn admit_now(
+        &mut self,
+        hv: &mut Hypervisor,
+        vm: PendingVm,
+    ) -> Result<Option<VmHandle>, SilozError> {
+        match hv.create_vm(vm.spec()) {
+            Ok(handle) => {
+                self.admitted += 1;
+                Ok(Some(handle))
+            }
+            Err(SilozError::InsufficientCapacity { .. } | SilozError::Numa(_)) => {
+                self.rejections += 1;
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     /// Retries the deferred queue head-first after capacity freed up,
     /// admitting as many requests as now fit (strict FIFO: the first
     /// still-unplaceable request stops the scan, preserving arrival

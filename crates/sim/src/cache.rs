@@ -95,6 +95,25 @@ impl TraceCache {
             .clone()
     }
 
+    /// The ledger for a guest identified by its workload name, working
+    /// set, op count, thread count, and trace seed — the public face of
+    /// the ledger pool for external load generators (the fleet engine and
+    /// the cluster simulator). Hosts sharing one cache reuse a migrated
+    /// tenant's compiled ledger instead of regenerating it: the key is
+    /// host-independent, so host A's compile serves host B's re-bind.
+    pub fn guest_ledger(
+        &self,
+        name: &str,
+        working_set: u64,
+        ops: usize,
+        threads: u16,
+        seed: u64,
+        build: impl FnOnce() -> Arc<GuestLedger>,
+    ) -> Arc<GuestLedger> {
+        let key: LedgerKey = (name.to_owned(), working_set, ops, threads, seed);
+        self.ledger(&key, build)
+    }
+
     /// The pooled substrate snapshot and post-load RNG for `key`, if one
     /// was stored.
     pub(crate) fn substrate(&self, key: &SubstrateKey) -> Option<(SubstrateSnapshot, StdRng)> {

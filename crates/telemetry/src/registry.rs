@@ -199,6 +199,36 @@ impl Registry {
             .collect();
         Snapshot { metrics, children }
     }
+
+    /// Replays a captured [`Snapshot`] into this registry, additively:
+    /// every metric in the snapshot is registered here on first sight
+    /// (keeping the snapshot's volatility flag) and its captured value is
+    /// added on top of whatever this registry already holds. The inverse
+    /// of [`Registry::snapshot`] up to addition — a cluster driver uses it
+    /// to roll many per-host registries into one aggregate child.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a snapshot metric name is already registered here as a
+    /// different metric type.
+    pub fn absorb(&self, snap: &Snapshot) {
+        for (name, value) in &snap.metrics {
+            match value {
+                MetricValue::Counter { value, volatile } => {
+                    self.counter_impl(name, *volatile).add(*value);
+                }
+                MetricValue::Gauge { value, volatile } => {
+                    self.gauge_impl(name, *volatile).add(*value);
+                }
+                MetricValue::Histo { value, volatile } => {
+                    self.histo_impl(name, *volatile).merge_from(value);
+                }
+            }
+        }
+        for (name, child) in &snap.children {
+            self.child(name).absorb(child);
+        }
+    }
 }
 
 /// A captured metric value.
@@ -410,6 +440,45 @@ mod tests {
                 volatile: false
             }
         );
+    }
+
+    #[test]
+    fn absorb_replays_a_snapshot_additively() {
+        let src = Registry::new();
+        src.counter("events").add(3);
+        src.counter_volatile("wall_ns").add(99);
+        src.child("hv").gauge("live").add(2);
+        src.child("hv").histo("lat").observe(5);
+        let dst = Registry::new();
+        dst.counter("events").add(1);
+        dst.absorb(&src.snapshot());
+        dst.absorb(&src.snapshot());
+        let snap = dst.snapshot();
+        assert_eq!(
+            snap.metrics["events"],
+            MetricValue::Counter {
+                value: 7,
+                volatile: false
+            }
+        );
+        assert!(snap.metrics["wall_ns"].is_volatile());
+        assert_eq!(
+            snap.children["hv"].metrics["live"],
+            MetricValue::Gauge {
+                value: 4,
+                volatile: false
+            }
+        );
+        match &snap.children["hv"].metrics["lat"] {
+            MetricValue::Histo { value, .. } => {
+                assert_eq!((value.count, value.sum), (2, 10));
+            }
+            other => panic!("lat must stay a histogram, got {other:?}"),
+        }
+        // Absorbing a snapshot of `dst` into a fresh registry round-trips.
+        let fresh = Registry::new();
+        fresh.absorb(&snap);
+        assert_eq!(fresh.snapshot(), snap);
     }
 
     #[test]

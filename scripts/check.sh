@@ -54,11 +54,14 @@ step "fleet gate: quick multi-tenant soak (churn + attacks + determinism)" \
 step "mitigation gate: quick head-to-head arena (duels + soak + perf)" \
   cargo run --release -q -p bench --bin arena -- --quick
 
+step "cluster gate: quick multi-host soak (scheduler + migration + determinism)" \
+  cargo run --release -q -p bench --bin cluster_soak -- --quick
+
 doc_gate() {
   RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
-    -p siloz-repro -p analysis -p bench -p dram -p dram-addr -p ept -p fleet \
-    -p hammer -p memctrl -p mitigation -p numa -p siloz -p sim -p telemetry \
-    -p workloads
+    -p siloz-repro -p analysis -p bench -p cluster -p dram -p dram-addr \
+    -p ept -p fleet -p hammer -p memctrl -p mitigation -p numa -p siloz \
+    -p sim -p telemetry -p workloads
 }
 step "cargo doc (warnings are errors, first-party crates)" doc_gate
 

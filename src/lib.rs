@@ -4,10 +4,12 @@
 //! a single dependency. See the individual crates for full documentation:
 //! [`siloz`] (the hypervisor, i.e. the paper's contribution), [`dram`],
 //! [`dram_addr`], [`memctrl`], [`mitigation`], [`numa`], [`ept`],
-//! [`hammer`], [`workloads`], [`sim`], [`fleet`], and [`telemetry`].
+//! [`hammer`], [`workloads`], [`sim`], [`fleet`], [`cluster`], and
+//! [`telemetry`].
 
 #![forbid(unsafe_code)]
 
+pub use cluster;
 pub use dram;
 pub use dram_addr;
 pub use ept;

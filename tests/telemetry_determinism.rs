@@ -9,6 +9,7 @@
 //! scheduled. These tests pin that guarantee at 1, 2, and 7 workers, the
 //! same counts the paper-figure binaries see via `SILOZ_THREADS`.
 
+use siloz_repro::cluster::{run_cluster_observed, ClusterPolicy, ClusterScenario};
 use siloz_repro::mitigation::Backend;
 use siloz_repro::siloz::{HypervisorKind, SilozConfig};
 use siloz_repro::sim::{
@@ -133,6 +134,63 @@ fn deterministic_snapshot_counts_real_work() {
         panic!("vms_created missing");
     };
     assert_eq!(vms, cells);
+}
+
+#[test]
+fn cluster_telemetry_is_thread_count_invariant() {
+    // The cluster engine shards per-host fleet engines across workers and
+    // merges their exports at barriers; its deterministic snapshot —
+    // cluster counters, scheduler tallies, absorbed host trees, per-host
+    // rollups — must not depend on the worker count.
+    let scenario = || {
+        let mut s = ClusterScenario::quick(23, ClusterPolicy::SocketAffine);
+        s.hosts = 6;
+        s.target_sandboxes = 90;
+        s.mean_lifetime = 30.0;
+        s.attack_prob = 0.0;
+        s
+    };
+    let run = |threads: usize| {
+        let reg = Registry::new();
+        let report = run_cluster_observed(scenario(), threads, &reg).expect("cluster run");
+        (reg.snapshot(), report)
+    };
+    let (serial_snap, serial_report) = run(1);
+    assert!(serial_report.clean(), "reference run must be clean");
+    assert!(serial_report.migrations > 0, "migration must be exercised");
+    for threads in [2, 7] {
+        let (snap, report) = run(threads);
+        assert_eq!(
+            serial_report, report,
+            "cluster report diverged at {threads} threads"
+        );
+        assert_eq!(
+            serial_snap.deterministic().to_json(),
+            snap.deterministic().to_json(),
+            "cluster telemetry diverged at {threads} threads"
+        );
+    }
+    // The deterministic tree must carry the cluster children; the raw
+    // snapshot additionally holds the volatile sync wall clock.
+    let cluster = &serial_snap.children["cluster"];
+    let MetricValue::Counter { value: placed, .. } =
+        cluster.children["scheduler"].metrics["placements"]
+    else {
+        panic!("scheduler placements missing");
+    };
+    assert!(placed >= serial_report.sandboxes);
+    assert!(cluster.metrics["sync_wall_ns"].is_volatile());
+    assert!(!cluster.metrics["migrations"].is_volatile());
+    assert!(
+        cluster.children.contains_key("host0"),
+        "per-host rollups missing"
+    );
+    assert!(
+        cluster.children["hosts"].children["fleet"]
+            .metrics
+            .contains_key("events_processed"),
+        "absorbed host tree missing"
+    );
 }
 
 #[test]
