@@ -71,7 +71,7 @@ const WAIVABLE_RULES: [&str; 7] = [
 
 /// Source files whose per-access paths the perfsuite gates; the `hot-*`
 /// rules apply only here.
-const HOT_MODULES: [&str; 9] = [
+const HOT_MODULES: [&str; 12] = [
     "crates/memctrl/src/controller.rs",
     "crates/memctrl/src/compiled.rs",
     "crates/dram/src/bank.rs",
@@ -79,6 +79,9 @@ const HOT_MODULES: [&str; 9] = [
     "crates/dram-addr/src/tlb.rs",
     "crates/fleet/src/queue.rs",
     "crates/cluster/src/queue.rs",
+    "crates/cluster/src/scheduler.rs",
+    "crates/cluster/src/pending.rs",
+    "crates/numa/src/claims.rs",
     "crates/mitigation/src/backends.rs",
     "crates/sim/src/compile.rs",
 ];

@@ -11,18 +11,126 @@
 //! Any violation or escaped flip anywhere in the fleet fails the
 //! process.
 //!
+//! `--scale N` selects the thousands-of-hosts tier instead: one pass
+//! per policy at 7 workers over an `N`-host fleet under soak-density
+//! churn (the indexed scheduler is what makes this tier tractable —
+//! the retired linear scan paid O(hosts) per placement). It writes
+//! `CLUSTER_soak_scale.json` and skips the thread-count battery; the
+//! quick and full tiers already pin determinism.
+//!
 //! Artifacts: `TELEMETRY_cluster_soak.json` (merged registry) and
 //! `CLUSTER_soak.json` (per-run reports; the quick gate writes
 //! `CLUSTER_soak_quick.json` instead so the committed full-scale
 //! artifact stays put).
 //!
-//! Usage: `cargo run --release -p bench --bin cluster_soak [--quick]`
+//! Usage: `cargo run --release -p bench --bin cluster_soak [--quick | --scale N]`
 
 use bench::{emit_telemetry, Scale};
 use cluster::{run_cluster_observed, ClusterPolicy, ClusterReport, ClusterScenario};
 use telemetry::Registry;
 
+/// Parses `--scale N` (the thousands-of-hosts tier), if present.
+fn scale_hosts() -> Option<u32> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--scale" {
+            let n = args.next().expect("--scale needs a host count");
+            return Some(n.parse().expect("--scale host count must be a u32"));
+        }
+    }
+    None
+}
+
+/// Prints the per-policy report table and enforces the soak's isolation
+/// and liveness invariants on every report.
+fn check_reports(reports: &[ClusterReport], min_hosts: u64, min_events: u64) {
+    println!(
+        "\n{:<14} {:>6} {:>9} {:>9} {:>9} {:>7} {:>7} {:>8} {:>8} {:>9}",
+        "policy",
+        "hosts",
+        "events",
+        "placed",
+        "departed",
+        "migrate",
+        "attacks",
+        "escapes",
+        "hostviol",
+        "clustviol"
+    );
+    for r in reports {
+        println!(
+            "{:<14} {:>6} {:>9} {:>9} {:>9} {:>7} {:>7} {:>8} {:>8} {:>9}",
+            r.policy,
+            r.hosts,
+            r.events_total(),
+            r.placements,
+            r.departures,
+            r.migrations,
+            r.attacks,
+            r.attack_escapes,
+            r.host_violations,
+            r.cluster_violations,
+        );
+        assert!(
+            r.hosts >= min_hosts,
+            "fleet too small: {} hosts < {min_hosts}",
+            r.hosts
+        );
+        assert!(
+            r.events_total() >= min_events,
+            "scenario too small: {} events < {min_events}",
+            r.events_total()
+        );
+        assert!(
+            r.clean(),
+            "isolation or consistency violated for {} seed {}: {:?}",
+            r.policy,
+            r.seed,
+            r.violation_samples
+        );
+        assert!(r.migrations > 0, "no cross-host migration exercised");
+        assert!(r.full_proofs > 0 && r.incremental_checks > 0 && r.sync_proofs > 0);
+        assert_eq!(r.final_live, 0, "sandboxes leaked past the trace");
+    }
+    let events: u64 = reports.iter().map(ClusterReport::events_total).sum();
+    let migrations: u64 = reports.iter().map(|r| r.migrations).sum();
+    let proofs: u64 = reports.iter().map(|r| r.full_proofs).sum();
+    let syncs: u64 = reports.iter().map(|r| r.sync_proofs).sum();
+    println!(
+        "\nisolation: {events} lifecycle events, {migrations} cross-host migrations, \
+         {proofs} host proofs, {syncs} cluster sync proofs, 0 violations, 0 escapes"
+    );
+}
+
+/// The thousands-of-hosts tier: one pass per policy at 7 workers.
+fn run_scale(hosts: u32) {
+    let seed = 11u64;
+    let policies = ClusterPolicy::ALL;
+    println!(
+        "cluster soak (scale tier): {} policies x {hosts} hosts at 7 workers\n",
+        policies.len()
+    );
+    let reg = Registry::new();
+    let reports: Vec<ClusterReport> = policies
+        .iter()
+        .map(|&policy| {
+            run_cluster_observed(ClusterScenario::scale(seed, policy, hosts), 7, &reg)
+                .expect("cluster run")
+        })
+        .collect();
+    check_reports(&reports, u64::from(hosts), u64::from(hosts) * 32);
+    match cluster::write_cluster_reports("soak_scale", &reports) {
+        Ok(path) => println!("reports: wrote {}", path.display()),
+        Err(e) => eprintln!("reports: could not write CLUSTER_soak_scale.json: {e}"),
+    }
+    emit_telemetry("cluster_soak_scale", &reg);
+}
+
 fn main() {
+    if let Some(hosts) = scale_hosts() {
+        run_scale(hosts);
+        return;
+    }
     let scale = Scale::from_args();
     let seed = 11u64;
     let (min_events, min_hosts): (u64, u64) = match scale {
@@ -67,63 +175,7 @@ fn main() {
         last_reg = reg;
     }
     let (_, reports) = reference.expect("at least one battery ran");
-
-    println!(
-        "\n{:<14} {:>6} {:>9} {:>9} {:>9} {:>7} {:>7} {:>8} {:>8} {:>9}",
-        "policy",
-        "hosts",
-        "events",
-        "placed",
-        "departed",
-        "migrate",
-        "attacks",
-        "escapes",
-        "hostviol",
-        "clustviol"
-    );
-    for r in &reports {
-        println!(
-            "{:<14} {:>6} {:>9} {:>9} {:>9} {:>7} {:>7} {:>8} {:>8} {:>9}",
-            r.policy,
-            r.hosts,
-            r.events_total(),
-            r.placements,
-            r.departures,
-            r.migrations,
-            r.attacks,
-            r.attack_escapes,
-            r.host_violations,
-            r.cluster_violations,
-        );
-        assert!(
-            r.hosts >= min_hosts,
-            "fleet too small: {} hosts < {min_hosts}",
-            r.hosts
-        );
-        assert!(
-            r.events_total() >= min_events,
-            "scenario too small: {} events < {min_events}",
-            r.events_total()
-        );
-        assert!(
-            r.clean(),
-            "isolation or consistency violated for {} seed {}: {:?}",
-            r.policy,
-            r.seed,
-            r.violation_samples
-        );
-        assert!(r.migrations > 0, "no cross-host migration exercised");
-        assert!(r.full_proofs > 0 && r.incremental_checks > 0 && r.sync_proofs > 0);
-        assert_eq!(r.final_live, 0, "sandboxes leaked past the trace");
-    }
-    let events: u64 = reports.iter().map(ClusterReport::events_total).sum();
-    let migrations: u64 = reports.iter().map(|r| r.migrations).sum();
-    let proofs: u64 = reports.iter().map(|r| r.full_proofs).sum();
-    let syncs: u64 = reports.iter().map(|r| r.sync_proofs).sum();
-    println!(
-        "\nisolation: {events} lifecycle events, {migrations} cross-host migrations, \
-         {proofs} host proofs, {syncs} cluster sync proofs, 0 violations, 0 escapes"
-    );
+    check_reports(&reports, min_hosts, min_events);
 
     // The quick gate writes under its own label so it never clobbers the
     // committed full-scale CLUSTER_soak.json artifact.

@@ -27,6 +27,11 @@
 //!    bit-identical), plus the amortized cost of a cluster-wide sync
 //!    proof vs a per-host boundary check, both read from the engines'
 //!    volatile wall-clock counters.
+//! 8. **Indexed scheduler** — the free-bucket/affinity-class scheduler
+//!    index vs the retained linear-scan oracle: a 4096-host place/release
+//!    churn script (pick sequences asserted identical, ≥5× speedup
+//!    asserted) and the scheduling-phase wall clock of a 1024-host
+//!    soak-shape run (full reports asserted bit-identical).
 //!
 //! Writes the measurements to `BENCH_perfsuite.json` in the working
 //! directory (overwritten each run) and prints a summary table. Each row
@@ -527,10 +532,141 @@ fn bench_cluster(reg: &Registry) -> Vec<Measure> {
         optimized_ns: host_check_wall as f64 / host_checks as f64,
         threads: 1,
     });
-    reg.child("cluster_bench")
-        .counter("events")
-        .add(events * 3);
+    reg.child("cluster_bench").counter("events").add(events * 3);
     measures
+}
+
+/// Indexed scheduler vs the retained linear-scan oracle.
+///
+/// - `scheduler_place_4k_hosts` — ns per scheduler operation on a
+///   deterministic place/release churn script over a 4096-host fleet,
+///   run through both schedulers under every policy with the pick
+///   sequences asserted identical. The indexed side must beat the
+///   O(hosts) oracle scan by at least 5× — that floor is asserted, not
+///   just reported.
+/// - `cluster_soak_sched_phase` — amortized scheduling-phase ns per
+///   lifecycle event (`cluster.sched_wall_ns`) of a 1024-host soak-shape
+///   run, oracle vs indexed, with the full cluster reports asserted
+///   bit-identical (same picks, same rejects, same migrations — only the
+///   phase-1 wall clock may differ).
+fn bench_scheduler(reg: &Registry) -> Vec<Measure> {
+    use cluster::{ClusterPolicy, ClusterScenario, ClusterScheduler, ClusterSim};
+
+    const HOSTS: usize = 4096;
+    const GROUPS_PER_HOST: i64 = 7;
+    const GROUP_BYTES: u64 = 128 << 20;
+    const OPS: usize = 60_000;
+
+    // Deterministic churn: place until a reject, then drain a prefix of
+    // the live set, under a cycling affinity/size pattern. Returns the
+    // pick sequence so the two modes can be diffed.
+    let run_script = |sched: &mut ClusterScheduler| -> Vec<Option<usize>> {
+        let mut picks = Vec::with_capacity(OPS);
+        let mut live: Vec<(usize, u32, u64)> = Vec::new();
+        let mut drain = 0usize;
+        for i in 0..OPS {
+            let affinity = (i % 16) as u32;
+            let groups = 1 + (i % 5) as u64;
+            let bytes = groups * GROUP_BYTES;
+            if let Some(host) = sched.place(affinity, bytes, None) {
+                picks.push(Some(host));
+                live.push((host, affinity, bytes));
+            } else {
+                picks.push(None);
+                // Free the oldest third of the fleet's tenants so churn
+                // keeps hitting both full and empty buckets.
+                drain = drain.max(live.len() / 3);
+            }
+            if drain > 0 {
+                if let Some((host, aff, bytes)) = live.pop() {
+                    sched.release(host, aff, bytes);
+                }
+                drain -= 1;
+            }
+        }
+        picks
+    };
+
+    let caps = vec![GROUPS_PER_HOST; HOSTS];
+    let mut oracle_ns = 0f64;
+    let mut indexed_ns = 0f64;
+    for policy in ClusterPolicy::ALL {
+        let mut oracle_picks = Vec::new();
+        oracle_ns += best_of(2, || {
+            let mut sched = ClusterScheduler::new_oracle(policy, GROUP_BYTES, &caps);
+            oracle_picks = run_script(&mut sched);
+        });
+        let mut indexed_picks = Vec::new();
+        indexed_ns += best_of(2, || {
+            let mut sched = ClusterScheduler::new(policy, GROUP_BYTES, &caps);
+            indexed_picks = run_script(&mut sched);
+        });
+        assert_eq!(
+            oracle_picks, indexed_picks,
+            "{policy:?}: indexed picks diverged from the oracle at 4096 hosts"
+        );
+    }
+    let total_ops = (OPS * ClusterPolicy::ALL.len()) as f64;
+    let place_row = Measure {
+        name: "scheduler_place_4k_hosts",
+        baseline: "linear host scan per pick (oracle)",
+        optimized: "free-bucket + affinity-class index",
+        baseline_ns: oracle_ns / total_ops,
+        optimized_ns: indexed_ns / total_ops,
+        threads: 1,
+    };
+    assert!(
+        place_row.speedup() >= 5.0,
+        "indexed scheduler must beat the oracle by >=5x at 4096 hosts, got {:.2}x",
+        place_row.speedup()
+    );
+
+    // Soak-shape fleet, scheduling phase only: identical event streams,
+    // identical picks — the only degree of freedom is phase-1 wall time.
+    let scenario = |indexed: bool| {
+        let mut s = ClusterScenario::scale(17, ClusterPolicy::Spread, 1024);
+        s.attack_prob = 0.0;
+        s.indexed_scheduler = indexed;
+        s
+    };
+    let run_phase = |indexed: bool| -> (u64, cluster::ClusterReport) {
+        let mut best = u64::MAX;
+        let mut report = None;
+        for _ in 0..2 {
+            let mut sim = ClusterSim::new(scenario(indexed), 7).expect("cluster bench boot");
+            let r = sim.run_to_completion().expect("cluster bench run");
+            best = best.min(sim.stats().sched_wall_ns);
+            report = Some(r);
+        }
+        (best, report.expect("two runs"))
+    };
+    let (oracle_sched_ns, oracle_report) = run_phase(false);
+    let (indexed_sched_ns, indexed_report) = run_phase(true);
+    assert_eq!(
+        oracle_report, indexed_report,
+        "oracle and indexed cluster runs must be bit-identical"
+    );
+    let events = oracle_report.events_total() as f64;
+    println!(
+        "  sched phase: 1024 hosts, {} events, oracle {:.0} ms vs indexed {:.0} ms",
+        oracle_report.events_total(),
+        oracle_sched_ns as f64 / 1e6,
+        indexed_sched_ns as f64 / 1e6,
+    );
+    reg.child("sched_bench")
+        .counter("script_ops")
+        .add(total_ops as u64);
+    vec![
+        place_row,
+        Measure {
+            name: "cluster_soak_sched_phase",
+            baseline: "oracle scheduling phase (linear scans)",
+            optimized: "indexed scheduling phase (bucket heaps)",
+            baseline_ns: oracle_sched_ns as f64 / events,
+            optimized_ns: indexed_sched_ns as f64 / events,
+            threads: 7,
+        },
+    ]
 }
 
 /// Extracts `"optimized_ns_per_op": <f64>` for the result named `name`
@@ -596,6 +732,7 @@ fn main() {
     measures.push(bench_fleet(&reg));
     measures.extend(bench_mitigation(&reg));
     measures.extend(bench_cluster(&reg));
+    measures.extend(bench_scheduler(&reg));
 
     println!(
         "{:<22} {:>16} {:>16} {:>9} {:>8}",

@@ -27,15 +27,16 @@
 //! recompiling it.
 
 use crate::events::{ClusterEventKind, ClusterScenario};
+use crate::pending::PendingQueue;
 use crate::queue::ClusterQueue;
 use crate::report::ClusterReport;
 use crate::sandbox::{SandboxRecord, SandboxState};
-use crate::scheduler::ClusterScheduler;
+use crate::scheduler::{AuditIssue, ClusterScheduler};
 use fleet::{EventKind, FleetSim, PendingVm};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use siloz::SilozError;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Max violation messages retained verbatim (the total is always counted).
@@ -46,6 +47,30 @@ const STREAM_SPLIT: u64 = 0x9e37_79b9_7f4a_7c15;
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Renders a typed scheduler audit finding into the violation log's
+/// message format (the hot scheduler itself never allocates strings).
+fn render_audit_issue(issue: &AuditIssue) -> String {
+    match *issue {
+        AuditIssue::FreeDrift {
+            host,
+            estimated,
+            actual,
+        } => format!(
+            "host {host}: scheduler estimates {estimated} free groups but the hypervisor reports {actual}"
+        ),
+        AuditIssue::LiveDrift {
+            host,
+            tracked,
+            actual,
+        } => format!(
+            "host {host}: scheduler tracks {tracked} live sandboxes but the host runs {actual}"
+        ),
+        AuditIssue::OverCommit { host, free, total } => {
+            format!("host {host}: over-commit — {free} of {total} groups free")
+        }
+    }
 }
 
 /// One command the schedule phase queues for a host to apply in the step
@@ -103,7 +128,9 @@ impl HostShard {
         if defrag_due {
             // Draw the jitter unconditionally: the host's RNG stream must
             // not depend on whether the host happened to be occupied.
-            let jitter = self.rng.gen_range(0..epoch_end.saturating_sub(epoch_start).max(1));
+            let jitter = self
+                .rng
+                .gen_range(0..epoch_end.saturating_sub(epoch_start).max(1));
             if self.sim.live_vms() > 0 {
                 self.sim.inject(epoch_start + jitter, 0, EventKind::Defrag);
             }
@@ -168,6 +195,11 @@ pub struct ClusterStats {
     pub abandoned_pending: u64,
     /// Slice/attack events whose sandbox was not running anywhere.
     pub orphan_events: u64,
+    /// Pending-queue retries short-circuited because the head's size
+    /// class fit nowhere (the scheduler's bucket index answered in
+    /// O(buckets) instead of a doomed full placement; each one still
+    /// tallies the placement reject the skipped scan would have).
+    pub shard_retries_skipped: u64,
     /// Cluster-wide sync proofs completed.
     pub sync_proofs: u64,
     /// Cluster-level consistency violations (scheduler vs hypervisor
@@ -180,6 +212,10 @@ pub struct ClusterStats {
     /// Wall-clock nanoseconds inside cluster sync checks. Volatile:
     /// exported as a volatile counter, never part of [`ClusterReport`].
     pub sync_wall_ns: u64,
+    /// Wall-clock nanoseconds inside the serial schedule phase (pending
+    /// retries + event dispatch — the code the scheduler indexes speed
+    /// up). Volatile, like `sync_wall_ns`.
+    pub sched_wall_ns: u64,
     /// First few cluster violation messages, verbatim.
     pub violation_samples: Vec<String>,
 }
@@ -193,8 +229,9 @@ pub struct ClusterSim {
     queue: ClusterQueue,
     scheduler: ClusterScheduler,
     sandboxes: BTreeMap<u32, SandboxRecord>,
-    /// Sandboxes awaiting placement, FIFO.
-    pending: VecDeque<u32>,
+    /// Sandboxes awaiting placement: FIFO with O(1) membership removal,
+    /// sharded by claim-size class.
+    pending: PendingQueue,
     /// Next epoch index to execute.
     epoch: u64,
     threads: usize,
@@ -242,7 +279,11 @@ impl ClusterSim {
                 "cluster needs at least one host with guest groups".to_string(),
             ));
         }
-        let scheduler = ClusterScheduler::new(scenario.policy, group_bytes, &frees);
+        let scheduler = if scenario.indexed_scheduler {
+            ClusterScheduler::new(scenario.policy, group_bytes, &frees)
+        } else {
+            ClusterScheduler::new_oracle(scenario.policy, group_bytes, &frees)
+        };
         let (events, next_seq) = crate::events::generate_cluster_trace(&scenario);
         Ok(Self {
             scenario,
@@ -250,7 +291,7 @@ impl ClusterSim {
             queue: ClusterQueue::new(events, next_seq),
             scheduler,
             sandboxes: BTreeMap::new(),
-            pending: VecDeque::new(),
+            pending: PendingQueue::new(),
             epoch: 0,
             threads,
             stats: ClusterStats::default(),
@@ -306,7 +347,9 @@ impl ClusterSim {
         let lifetime = rec.lifetime;
         let schedule_depart = !rec.depart_scheduled;
         rec.depart_scheduled = true;
-        self.host_mut(host).cmds.push(HostCmd::Admit { at, vm, migration });
+        self.host_mut(host)
+            .cmds
+            .push(HostCmd::Admit { at, vm, migration });
         if !migration {
             self.stats.live_now += 1;
             self.stats.peak_live = self.stats.peak_live.max(self.stats.live_now);
@@ -317,22 +360,33 @@ impl ClusterSim {
     }
 
     fn host_mut(&mut self, host: usize) -> &mut HostShard {
-        self.hosts[host].get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.hosts[host]
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Retries the pending queue FIFO at an epoch boundary, stopping at
     /// the first sandbox that still fits nowhere (head-of-line order keeps
     /// retries deterministic and starvation-free).
     fn retry_pending(&mut self, at: u64) {
-        while let Some(&id) = self.pending.front() {
-            let rec = self.sandboxes[&id];
-            match self.scheduler.place(rec.affinity, rec.mem_bytes, None) {
-                Some(host) => {
-                    self.pending.pop_front();
-                    self.commit_placement(id, host, at, false);
-                }
-                None => break,
+        while let Some((id, need)) = self.pending.front() {
+            if !self.scheduler.can_fit(need) {
+                // The head's size class fits nowhere, so head-of-line
+                // order stops the retry here regardless. Tally the one
+                // reject the doomed placement scan would have counted and
+                // skip it — O(buckets) against the free index instead of
+                // a full candidate walk.
+                self.scheduler.count_reject();
+                self.stats.shard_retries_skipped += 1;
+                break;
             }
+            let rec = self.sandboxes[&id];
+            let host = self
+                .scheduler
+                .place(rec.affinity, rec.mem_bytes, None)
+                .expect("can_fit admitted the head's class");
+            self.pending.pop_front();
+            self.commit_placement(id, host, at, false);
         }
     }
 
@@ -350,7 +404,10 @@ impl ClusterSim {
                 self.sandboxes.insert(sandbox, rec);
                 match self.scheduler.place(rec.affinity, mem_bytes, None) {
                     Some(host) => self.commit_placement(sandbox, host, at, false),
-                    None => self.pending.push_back(sandbox),
+                    None => {
+                        let need = self.scheduler.groups_needed(mem_bytes);
+                        self.pending.push_back(sandbox, need);
+                    }
                 }
             }
             ClusterEventKind::Depart => {
@@ -362,16 +419,17 @@ impl ClusterSim {
                     SandboxState::Running(host) => {
                         rec.state = SandboxState::Departed;
                         let (affinity, mem) = (rec.affinity, rec.mem_bytes);
-                        self.host_mut(host)
-                            .cmds
-                            .push(HostCmd::Depart { at, tenant: sandbox });
+                        self.host_mut(host).cmds.push(HostCmd::Depart {
+                            at,
+                            tenant: sandbox,
+                        });
                         self.scheduler.release(host, affinity, mem);
                         self.stats.departures += 1;
                         self.stats.live_now -= 1;
                     }
                     SandboxState::Pending => {
                         rec.state = SandboxState::Abandoned;
-                        self.pending.retain(|&p| p != sandbox);
+                        self.pending.remove(sandbox);
                         self.stats.abandoned_pending += 1;
                     }
                     _ => self.stats.orphan_events += 1,
@@ -386,9 +444,10 @@ impl ClusterSim {
                     SandboxState::Running(src) => {
                         match self.scheduler.place(rec.affinity, rec.mem_bytes, Some(src)) {
                             Some(dst) => {
-                                self.host_mut(src)
-                                    .cmds
-                                    .push(HostCmd::Depart { at, tenant: sandbox });
+                                self.host_mut(src).cmds.push(HostCmd::Depart {
+                                    at,
+                                    tenant: sandbox,
+                                });
                                 self.scheduler.release(src, rec.affinity, rec.mem_bytes);
                                 self.commit_placement(sandbox, dst, at, true);
                                 let rec = self.sandboxes.get_mut(&sandbox).expect("live");
@@ -402,22 +461,24 @@ impl ClusterSim {
                     _ => self.stats.orphan_events += 1,
                 }
             }
-            ClusterEventKind::Slice { ops } => match self.sandboxes.get(&sandbox).map(|r| r.state)
-            {
-                Some(SandboxState::Running(host)) => {
-                    self.host_mut(host).cmds.push(HostCmd::Slice {
-                        at,
-                        tenant: sandbox,
-                        ops,
-                    });
+            ClusterEventKind::Slice { ops } => {
+                match self.sandboxes.get(&sandbox).map(|r| r.state) {
+                    Some(SandboxState::Running(host)) => {
+                        self.host_mut(host).cmds.push(HostCmd::Slice {
+                            at,
+                            tenant: sandbox,
+                            ops,
+                        });
+                    }
+                    _ => self.stats.orphan_events += 1,
                 }
-                _ => self.stats.orphan_events += 1,
-            },
+            }
             ClusterEventKind::Attack => match self.sandboxes.get(&sandbox).map(|r| r.state) {
                 Some(SandboxState::Running(host)) => {
-                    self.host_mut(host)
-                        .cmds
-                        .push(HostCmd::Attack { at, tenant: sandbox });
+                    self.host_mut(host).cmds.push(HostCmd::Attack {
+                        at,
+                        tenant: sandbox,
+                    });
                 }
                 _ => self.stats.orphan_events += 1,
             },
@@ -443,20 +504,24 @@ impl ClusterSim {
         self.stats.epochs += 1;
 
         // Phase 1: schedule.
+        let sched_t = std::time::Instant::now();
         self.retry_pending(epoch_start);
         while self.queue.peek().is_some_and(|e| e.at < epoch_end) {
             let ev = self.queue.pop().expect("peeked");
             self.dispatch(ev.at, ev.sandbox, ev.kind);
         }
+        self.stats.sched_wall_ns += sched_t.elapsed().as_nanos() as u64;
 
         // Phase 2: step the active hosts in parallel.
         let sync = self.scenario.sync_period > 0
-            && (epoch_index + 1) % u64::from(self.scenario.sync_period) == 0;
+            && (epoch_index + 1).is_multiple_of(u64::from(self.scenario.sync_period));
         let defrag_due = self.scenario.defrag_period_epochs > 0
-            && (epoch_index + 1) % u64::from(self.scenario.defrag_period_epochs) == 0;
+            && (epoch_index + 1).is_multiple_of(u64::from(self.scenario.defrag_period_epochs));
         let active: Vec<usize> = (0..self.hosts.len())
             .filter(|&i| {
-                let shard = self.hosts[i].get_mut().unwrap_or_else(PoisonError::into_inner);
+                let shard = self.hosts[i]
+                    .get_mut()
+                    .unwrap_or_else(PoisonError::into_inner);
                 !shard.cmds.is_empty() || ((defrag_due || sync) && shard.sim.live_vms() > 0)
             })
             .collect();
@@ -485,7 +550,8 @@ impl ClusterSim {
                     rec.state = SandboxState::Pending;
                     let (affinity, mem) = (rec.affinity, rec.mem_bytes);
                     self.scheduler.release(host, affinity, mem);
-                    self.pending.push_back(sandbox);
+                    let need = self.scheduler.groups_needed(mem);
+                    self.pending.push_back(sandbox, need);
                     self.stats.live_now -= 1;
                 }
             }
@@ -527,7 +593,9 @@ impl ClusterSim {
         }
         let mut issues = Vec::new();
         for (i, want) in expected.iter().enumerate() {
-            let shard = self.hosts[i].get_mut().unwrap_or_else(PoisonError::into_inner);
+            let shard = self.hosts[i]
+                .get_mut()
+                .unwrap_or_else(PoisonError::into_inner);
             let got = shard.sim.live_tenants();
             if &got != want {
                 issues.push(format!(
@@ -538,7 +606,9 @@ impl ClusterSim {
             }
             let free = shard.free_groups();
             let live = got.len() as u32;
-            issues.extend(self.scheduler.audit(i, free, live));
+            for issue in self.scheduler.audit(i, free, live) {
+                issues.push(render_audit_issue(&issue));
+            }
         }
         issues
     }
@@ -679,11 +749,17 @@ impl ClusterSim {
             .add(self.stats.orphan_events);
         cluster.counter("sync_proofs").add(self.stats.sync_proofs);
         cluster
+            .counter("shard_retries_skipped")
+            .add(self.stats.shard_retries_skipped);
+        cluster
             .counter("cluster_violations")
             .add(self.stats.cluster_violations);
         cluster
             .counter_volatile("sync_wall_ns")
             .add(self.stats.sync_wall_ns);
+        cluster
+            .counter_volatile("sched_wall_ns")
+            .add(self.stats.sched_wall_ns);
         cluster.gauge("hosts").add(self.hosts.len() as i64);
         cluster
             .gauge("live_sandboxes")
@@ -694,6 +770,9 @@ impl ClusterSim {
         cluster
             .gauge("pending_sandboxes")
             .add(self.pending.len() as i64);
+        cluster
+            .gauge("pending_shards")
+            .add(self.pending.busy_shards() as i64);
         let sched = cluster.child("scheduler");
         sched.counter("placements").add(self.scheduler.placements);
         sched
@@ -702,6 +781,9 @@ impl ClusterSim {
         sched
             .counter("affinity_hits")
             .add(self.scheduler.affinity_hits);
+        sched
+            .counter("bucket_moves")
+            .add(self.scheduler.bucket_moves);
         let aggregate = cluster.child("hosts");
         for (i, host) in self.hosts.iter().enumerate() {
             let shard = lock(host);
@@ -721,9 +803,7 @@ impl ClusterSim {
             rollup
                 .counter("isolation_violations")
                 .add(stats.violations_total);
-            rollup
-                .counter("attack_escapes")
-                .add(stats.attack_escapes);
+            rollup.counter("attack_escapes").add(stats.attack_escapes);
             rollup.gauge("live_vms").add(shard.sim.live_vms() as i64);
             rollup
                 .gauge("groups_claimed")
@@ -815,6 +895,61 @@ mod tests {
         sim.prove_hosts();
         let report = sim.report();
         assert_eq!(report.host_violations, 0);
+    }
+
+    #[test]
+    fn departure_while_pending_abandons_without_a_queue_scan() {
+        // A lone full host parks later arrivals; one parked sandbox's
+        // lease then expires. The O(1) membership index must drop exactly
+        // that entry, leave FIFO order intact, and count the abandonment.
+        let mut s = tiny(ClusterPolicy::Spread);
+        s.hosts = 1;
+        s.target_sandboxes = 0;
+        let mut sim = ClusterSim::new(s, 1).unwrap();
+        let arrive = |mem_bytes: u64| ClusterEventKind::Arrive {
+            mem_bytes,
+            vcpus: 1,
+            lifetime: 1_000,
+        };
+        // 896 MiB = all 7 groups of the mini host.
+        sim.dispatch(0, 0, arrive(896 << 20));
+        sim.dispatch(0, 1, arrive(128 << 20));
+        sim.dispatch(0, 2, arrive(128 << 20));
+        assert_eq!(sim.pending.len(), 2);
+        assert!(sim.pending.contains(1) && sim.pending.contains(2));
+        sim.dispatch(5, 1, ClusterEventKind::Depart);
+        assert_eq!(sim.stats.abandoned_pending, 1);
+        assert!(!sim.pending.contains(1));
+        assert_eq!(sim.sandboxes[&1].state, SandboxState::Abandoned);
+        assert_eq!(sim.pending.front(), Some((2, 1)), "FIFO head preserved");
+        // With the host still full, a retry must short-circuit on the
+        // bucket index — one skip, one reject, exactly what the oracle's
+        // failed placement would have tallied.
+        let rejects_before = sim.scheduler.placement_rejects;
+        sim.retry_pending(6);
+        assert_eq!(sim.stats.shard_retries_skipped, 1);
+        assert_eq!(sim.scheduler.placement_rejects, rejects_before + 1);
+        assert!(sim.pending.contains(2), "stuck head stays parked");
+        // Capacity frees: the parked survivor places on the next retry.
+        sim.dispatch(7, 0, ClusterEventKind::Depart);
+        sim.retry_pending(8);
+        assert!(sim.pending.is_empty());
+        assert_eq!(sim.sandboxes[&2].state, SandboxState::Running(0));
+    }
+
+    #[test]
+    fn oracle_scheduler_runs_are_bit_identical_to_indexed() {
+        // The engine-level equivalence battery: the same scenario under
+        // the indexed scheduler and the linear-scan oracle must produce
+        // byte-equal reports for every policy (the report carries every
+        // placement outcome, reject tally, and violation count).
+        for policy in ClusterPolicy::ALL {
+            let indexed = run_cluster(tiny(policy), 1).unwrap();
+            let mut s = tiny(policy);
+            s.indexed_scheduler = false;
+            let oracle = run_cluster(s, 1).unwrap();
+            assert_eq!(indexed, oracle, "{policy:?}");
+        }
     }
 
     #[test]

@@ -120,6 +120,11 @@ pub struct ClusterScenario {
     pub defrag_period_epochs: u32,
     /// Blocks migrated per defragmentation sweep.
     pub defrag_per_sweep: u32,
+    /// Whether the scheduler answers picks from its sublinear indexes
+    /// (`true`, the default) or from the retained linear-scan oracle
+    /// (`false`; the equivalence battery and perfsuite baselines flip
+    /// this — outcomes are bit-identical either way, only speed differs).
+    pub indexed_scheduler: bool,
     /// Per-host boundary-checking policy.
     pub check: CheckMode,
     /// Host events between host-internal full proofs (incremental mode).
@@ -155,6 +160,7 @@ impl ClusterScenario {
             sync_period: 4,
             defrag_period_epochs: 8,
             defrag_per_sweep: 2,
+            indexed_scheduler: true,
             check: CheckMode::Incremental,
             proof_period: 200,
             mitigation: mitigation::Backend::Siloz,
@@ -186,10 +192,39 @@ impl ClusterScenario {
             sync_period: 64,
             defrag_period_epochs: 32,
             defrag_per_sweep: 2,
+            indexed_scheduler: true,
             check: CheckMode::Incremental,
             proof_period: 400,
             mitigation: mitigation::Backend::Siloz,
         }
+    }
+
+    /// The thousands-of-hosts tier (ROADMAP item 2's remaining idea):
+    /// the soak's per-host pressure on a fleet of `hosts` mini hosts.
+    /// Arrivals accelerate linearly with fleet size so cluster-wide
+    /// utilization — and the head-of-line churn the scheduler indexes
+    /// must absorb — matches the 256-host soak. Per-sandbox guest work
+    /// is slimmed (32 sandboxes per host, one short slice each, a
+    /// handful of attack campaigns per run regardless of fleet size):
+    /// DRAM-level behaviour is already proven by the quick/full tiers,
+    /// and at 4096 hosts the tier exists to stress scheduling, not row
+    /// buffers. `cluster_soak --scale N` drives it.
+    #[must_use]
+    pub fn scale(seed: u64, policy: ClusterPolicy, hosts: u32) -> Self {
+        let hosts = hosts.max(1);
+        let mut s = Self::soak(seed, policy);
+        s.hosts = hosts;
+        s.target_sandboxes = hosts.saturating_mul(32);
+        // Soak steady state: ~700 live sandboxes across 256 hosts. Keep
+        // the per-host density by shrinking the inter-arrival gap as the
+        // fleet grows.
+        s.mean_interarrival = 256.0 / f64::from(hosts);
+        s.epoch_ticks = 128;
+        s.sync_period = 16;
+        s.slices_per_sandbox = 1;
+        s.slice_ops = 48;
+        s.attack_prob = 3.0 / f64::from(s.target_sandboxes);
+        s
     }
 
     /// The per-host engine scenario this cluster scenario induces: the

@@ -8,8 +8,37 @@
 //! group bytes)` is the precise claim size and the estimate must equal
 //! the hypervisor's occupancy at every sync barrier; any drift is counted
 //! as a cluster violation.
-
-use std::collections::BTreeMap;
+//!
+//! # Sublinear host selection
+//!
+//! The scheduler answers every pick from policy-specific indexes instead
+//! of scanning all hosts:
+//!
+//! * **Free-group bucket index** — one bucket per possible `free_groups`
+//!   value (0..=max total groups per host), each bucket a lazy-deletion
+//!   binary min-heap of host ids. A Spread pick walks buckets from the
+//!   fullest down, a BinPack pick from `need` up, and the heap top of the
+//!   first non-empty bucket *is* the oracle's answer: same free count,
+//!   lowest host id — the exact `(free_groups, Reverse(i))` /
+//!   `(free_groups, i)` tie-breaks of the linear scan. Picks cost
+//!   O(buckets ≤ groups-per-host + stale pops); place/release cost one
+//!   amortized O(1) heap push (stale entries are invalidated by bumping a
+//!   per-host stamp, and heaps compact when stale entries outnumber live
+//!   ones).
+//! * **Per-affinity-class occupancy index** (SocketAffine only) — for
+//!   each class, a (live count × free groups) grid of the same lazy
+//!   heaps. Scanning count levels from the highest down, and free buckets
+//!   from the fullest down within each level, reproduces the oracle's
+//!   `(count, free_groups, Reverse(i))` ordering exactly; when no host
+//!   already runs the class (or none that does fits), every candidate has
+//!   count 0 and the global spread walk is literally the oracle's
+//!   fallback ordering.
+//!
+//! The pre-index linear scan is retained as an **oracle** behind a
+//! constructor flag ([`ClusterScheduler::new_oracle`]); the equivalence
+//! battery and the lockstep proptest drive both implementations through
+//! identical operation sequences and assert bit-identical picks,
+//! counters, and audits.
 
 /// Pluggable host-selection policies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +88,165 @@ struct HostSlot {
     live: u32,
 }
 
+/// One estimate-vs-truth inconsistency found by [`ClusterScheduler::audit`].
+///
+/// Typed rather than pre-formatted so the hot scheduler never allocates
+/// message strings; the engine renders these into its violation log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditIssue {
+    /// The scheduler's free-group estimate disagrees with the hypervisor.
+    FreeDrift {
+        /// Audited host.
+        host: usize,
+        /// Scheduler-side estimate.
+        estimated: i64,
+        /// Hypervisor-reported truth.
+        actual: i64,
+    },
+    /// The scheduler's live-sandbox count disagrees with the host.
+    LiveDrift {
+        /// Audited host.
+        host: usize,
+        /// Scheduler-side count.
+        tracked: u32,
+        /// Host-reported truth.
+        actual: u32,
+    },
+    /// The estimate itself is incoherent (negative or above capacity).
+    OverCommit {
+        /// Audited host.
+        host: usize,
+        /// Estimated free groups.
+        free: i64,
+        /// Total groups on the host.
+        total: i64,
+    },
+}
+
+/// A lazy-deletion binary min-heap of `(host, stamp)` entries, ordered by
+/// host id. An entry is live iff its stamp equals the host's current
+/// stamp; every host mutation bumps the stamp, logically deleting all of
+/// the host's old entries everywhere at once. Stale entries are popped
+/// when they surface at the top and swept wholesale when they outnumber
+/// live entries.
+#[derive(Debug, Default, Clone)]
+struct LazyHeap {
+    entries: Vec<(u32, u64)>,
+    /// Exact count of live entries (maintained by the index, not by lazy
+    /// pops — a stale entry's live-count was already transferred to the
+    /// host's new bucket when its stamp was bumped).
+    live: u32,
+}
+
+impl LazyHeap {
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.entries[parent].0 <= self.entries[i].0 {
+                break;
+            }
+            self.entries.swap(parent, i);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut m = i;
+            if l < self.entries.len() && self.entries[l].0 < self.entries[m].0 {
+                m = l;
+            }
+            if r < self.entries.len() && self.entries[r].0 < self.entries[m].0 {
+                m = r;
+            }
+            if m == i {
+                break;
+            }
+            self.entries.swap(i, m);
+            i = m;
+        }
+    }
+
+    /// Removes and returns the top entry (caller checked non-empty).
+    fn pop_top(&mut self) -> (u32, u64) {
+        let last = self.entries.len() - 1;
+        self.entries.swap(0, last);
+        let e = self.entries.pop().unwrap();
+        if !self.entries.is_empty() {
+            self.sift_down(0);
+        }
+        e
+    }
+
+    /// Drops every stale entry and restores the heap property.
+    fn compact(&mut self, stamps: &[u64]) {
+        self.entries.retain(|&(h, s)| stamps[h as usize] == s);
+        for i in (0..self.entries.len() / 2).rev() {
+            self.sift_down(i);
+        }
+    }
+
+    /// Inserts a live entry, compacting first if stale entries dominate.
+    fn push(&mut self, host: u32, stamp: u64, stamps: &[u64]) {
+        if self.entries.len() >= 2 * (self.live as usize) + 8 {
+            self.compact(stamps);
+        }
+        self.entries.push((host, stamp));
+        let last = self.entries.len() - 1;
+        self.sift_up(last);
+        self.live += 1;
+    }
+
+    /// Lowest live host id in this heap, skipping `exclude`. Stale
+    /// entries surfacing at the top are discarded; a live excluded entry
+    /// is set aside and restored before returning.
+    fn pick_min(&mut self, stamps: &[u64], exclude: Option<usize>) -> Option<usize> {
+        let mut stash = None;
+        let found = loop {
+            let Some(&(h, s)) = self.entries.first() else {
+                break None;
+            };
+            if stamps[h as usize] != s {
+                self.pop_top();
+                continue;
+            }
+            if Some(h as usize) == exclude {
+                stash = Some(self.pop_top());
+                continue;
+            }
+            break Some(h as usize);
+        };
+        if let Some((h, s)) = stash {
+            self.entries.push((h, s));
+            let last = self.entries.len() - 1;
+            self.sift_up(last);
+        }
+        found
+    }
+}
+
+/// SocketAffine's per-class sub-index: `levels[k]` holds the hosts whose
+/// live count of the class is `k + 1`, bucketed by current free groups.
+#[derive(Debug, Default)]
+struct ClassCells {
+    levels: Vec<Vec<LazyHeap>>,
+    /// Live hosts per count level (skips empty levels during picks).
+    level_live: Vec<u32>,
+}
+
+impl ClassCells {
+    fn ensure_level(&mut self, k: u32, buckets: usize) {
+        while self.levels.len() < k as usize {
+            let mut row = Vec::new();
+            row.resize_with(buckets, LazyHeap::default);
+            self.levels.push(row);
+            self.level_live.push(0);
+        }
+    }
+}
+
 /// Exact group-level capacity accounting plus the placement policies.
 #[derive(Debug)]
 pub struct ClusterScheduler {
@@ -67,9 +255,21 @@ pub struct ClusterScheduler {
     /// homogeneous hosts; the smallest group is used, conservatively).
     group_bytes: u64,
     slots: Vec<HostSlot>,
-    /// Per-host live count of each affinity class (socket-affine's
-    /// preference signal).
-    affinity: Vec<BTreeMap<u32, u32>>,
+    /// Per-host live count of each affinity class, as a sorted
+    /// `(class, count)` list (socket-affine's preference signal).
+    affinity: Vec<Vec<(u32, u32)>>,
+    /// `false` selects the retained linear-scan oracle.
+    indexed: bool,
+    /// Per-host invalidation stamps for the lazy heaps.
+    stamps: Vec<u64>,
+    /// Free-group bucket index: `free_buckets[f]` holds the hosts with
+    /// exactly `f` free groups.
+    free_buckets: Vec<LazyHeap>,
+    /// Per-affinity-class occupancy index, sorted by class id
+    /// (SocketAffine only).
+    class_idx: Vec<(u32, ClassCells)>,
+    /// Largest `total_groups` across hosts (bucket-index bound).
+    max_total: i64,
     /// Successful placements (initial + migration re-admissions).
     pub placements: u64,
     /// Placement attempts that found no host with capacity.
@@ -78,13 +278,44 @@ pub struct ClusterScheduler {
     /// affinity class (only the socket-affine policy creates these on
     /// purpose).
     pub affinity_hits: u64,
+    /// Index maintenance operations: one per heap entry pushed when a
+    /// host moves between buckets/cells. The telemetry window into index
+    /// churn; stays 0 in oracle mode.
+    pub bucket_moves: u64,
+}
+
+/// Sorted-list lookup of a class's live count on one host.
+fn aff_count(list: &[(u32, u32)], class: u32) -> u32 {
+    match list.binary_search_by_key(&class, |e| e.0) {
+        Ok(i) => list[i].1,
+        Err(_) => 0,
+    }
 }
 
 impl ClusterScheduler {
-    /// A scheduler over hosts with the given per-host free-group counts.
+    /// A scheduler over hosts with the given per-host free-group counts,
+    /// answering picks from the sublinear indexes.
     #[must_use]
     pub fn new(policy: ClusterPolicy, group_bytes: u64, host_free_groups: &[i64]) -> Self {
-        Self {
+        Self::build(policy, group_bytes, host_free_groups, true)
+    }
+
+    /// The retained pre-index oracle: identical semantics, O(hosts)
+    /// linear-scan picks. Kept for the equivalence battery and as the
+    /// perfsuite baseline.
+    #[must_use]
+    pub fn new_oracle(policy: ClusterPolicy, group_bytes: u64, host_free_groups: &[i64]) -> Self {
+        Self::build(policy, group_bytes, host_free_groups, false)
+    }
+
+    fn build(
+        policy: ClusterPolicy,
+        group_bytes: u64,
+        host_free_groups: &[i64],
+        indexed: bool,
+    ) -> Self {
+        let max_total = host_free_groups.iter().copied().max().unwrap_or(0).max(0);
+        let mut s = Self {
             policy,
             group_bytes,
             slots: host_free_groups
@@ -95,11 +326,33 @@ impl ClusterScheduler {
                     live: 0,
                 })
                 .collect(),
-            affinity: host_free_groups.iter().map(|_| BTreeMap::new()).collect(),
+            affinity: host_free_groups.iter().map(|_| Vec::new()).collect(),
+            indexed,
+            stamps: Vec::new(),
+            free_buckets: Vec::new(),
+            class_idx: Vec::new(),
+            max_total,
             placements: 0,
             placement_rejects: 0,
             affinity_hits: 0,
+            bucket_moves: 0,
+        };
+        if indexed {
+            s.stamps.resize(s.slots.len(), 0);
+            s.free_buckets
+                .resize_with(max_total as usize + 1, LazyHeap::default);
+            for (i, slot) in s.slots.iter().enumerate() {
+                let b = bucket_of(slot.free_groups, max_total);
+                s.free_buckets[b].push(i as u32, 0, &s.stamps);
+            }
         }
+        s
+    }
+
+    /// Whether picks come from the indexes (`false`: linear-scan oracle).
+    #[must_use]
+    pub fn is_indexed(&self) -> bool {
+        self.indexed
     }
 
     /// Hosts under management.
@@ -127,6 +380,28 @@ impl ClusterScheduler {
         self.slots[host].live
     }
 
+    /// Whether any host could satisfy a `need`-group request right now.
+    /// Exactly `place(..).is_some()` would-be semantics (with no
+    /// exclusion), but read-only: O(buckets) indexed, O(hosts) oracle.
+    #[must_use]
+    pub fn can_fit(&self, need: i64) -> bool {
+        if !self.indexed {
+            return self.slots.iter().any(|s| s.free_groups >= need);
+        }
+        if need > self.max_total {
+            return false;
+        }
+        let lo = bucket_of(need, self.max_total);
+        self.free_buckets[lo..].iter().any(|b| b.live > 0)
+    }
+
+    /// Counts a placement reject without running a pick — the sharded
+    /// pending queue's fast path, which must tally exactly what the
+    /// failed `place` it replaces would have.
+    pub fn count_reject(&mut self) {
+        self.placement_rejects += 1;
+    }
+
     /// Picks a host for a sandbox and reserves its groups, or returns
     /// `None` (and counts a reject) if no host fits. `exclude` bars the
     /// sandbox's current host during migration. Selection is a pure
@@ -139,30 +414,23 @@ impl ClusterScheduler {
         exclude: Option<usize>,
     ) -> Option<usize> {
         let need = self.groups_needed(mem_bytes);
-        let fits = |i: &usize| self.slots[*i].free_groups >= need && Some(*i) != exclude;
-        let candidates = (0..self.slots.len()).filter(fits);
-        let pick = match self.policy {
-            ClusterPolicy::Spread => candidates
-                .max_by_key(|&i| (self.slots[i].free_groups, std::cmp::Reverse(i))),
-            ClusterPolicy::BinPack => candidates.min_by_key(|&i| (self.slots[i].free_groups, i)),
-            ClusterPolicy::SocketAffine => candidates.max_by_key(|&i| {
-                (
-                    self.affinity[i].get(&affinity).copied().unwrap_or(0),
-                    self.slots[i].free_groups,
-                    std::cmp::Reverse(i),
-                )
-            }),
+        let pick = if self.indexed {
+            match self.policy {
+                ClusterPolicy::Spread => self.spread_pick(need, exclude),
+                ClusterPolicy::BinPack => self.binpack_pick(need, exclude),
+                ClusterPolicy::SocketAffine => self.affine_pick(affinity, need, exclude),
+            }
+        } else {
+            self.linear_pick(affinity, need, exclude)
         };
         let Some(host) = pick else {
             self.placement_rejects += 1;
             return None;
         };
-        if self.affinity[host].get(&affinity).copied().unwrap_or(0) > 0 {
+        if aff_count(&self.affinity[host], affinity) > 0 {
             self.affinity_hits += 1;
         }
-        self.slots[host].free_groups -= need;
-        self.slots[host].live += 1;
-        *self.affinity[host].entry(affinity).or_insert(0) += 1;
+        self.mutate(host, affinity, -need, true);
         self.placements += 1;
         Some(host)
     }
@@ -171,44 +439,234 @@ impl ClusterScheduler {
     /// source, or a rolled-back failed admission).
     pub fn release(&mut self, host: usize, affinity: u32, mem_bytes: u64) {
         let need = self.groups_needed(mem_bytes);
-        self.slots[host].free_groups += need;
-        self.slots[host].live = self.slots[host].live.saturating_sub(1);
-        if let Some(n) = self.affinity[host].get_mut(&affinity) {
-            *n = n.saturating_sub(1);
-            if *n == 0 {
-                self.affinity[host].remove(&affinity);
+        self.mutate(host, affinity, need, false);
+    }
+
+    /// The pre-index linear scan (oracle mode).
+    fn linear_pick(&self, affinity: u32, need: i64, exclude: Option<usize>) -> Option<usize> {
+        let fits = |i: &usize| self.slots[*i].free_groups >= need && Some(*i) != exclude;
+        let candidates = (0..self.slots.len()).filter(fits);
+        match self.policy {
+            ClusterPolicy::Spread => {
+                candidates.max_by_key(|&i| (self.slots[i].free_groups, std::cmp::Reverse(i)))
             }
+            ClusterPolicy::BinPack => candidates.min_by_key(|&i| (self.slots[i].free_groups, i)),
+            ClusterPolicy::SocketAffine => candidates.max_by_key(|&i| {
+                (
+                    aff_count(&self.affinity[i], affinity),
+                    self.slots[i].free_groups,
+                    std::cmp::Reverse(i),
+                )
+            }),
         }
     }
 
+    /// Max `(free_groups, Reverse(id))` over hosts with `free >= need`:
+    /// the fullest non-empty bucket's minimum id.
+    fn spread_pick(&mut self, need: i64, exclude: Option<usize>) -> Option<usize> {
+        if need > self.max_total {
+            return None;
+        }
+        let lo = bucket_of(need, self.max_total);
+        for f in (lo..self.free_buckets.len()).rev() {
+            if self.free_buckets[f].live == 0 {
+                continue;
+            }
+            if let Some(h) = self.free_buckets[f].pick_min(&self.stamps, exclude) {
+                return Some(h);
+            }
+        }
+        None
+    }
+
+    /// Min `(free_groups, id)` over hosts with `free >= need`: the
+    /// emptiest-that-fits bucket's minimum id.
+    fn binpack_pick(&mut self, need: i64, exclude: Option<usize>) -> Option<usize> {
+        if need > self.max_total {
+            return None;
+        }
+        let lo = bucket_of(need, self.max_total);
+        for f in lo..self.free_buckets.len() {
+            if self.free_buckets[f].live == 0 {
+                continue;
+            }
+            if let Some(h) = self.free_buckets[f].pick_min(&self.stamps, exclude) {
+                return Some(h);
+            }
+        }
+        None
+    }
+
+    /// Max `(class count, free_groups, Reverse(id))`: walk the class's
+    /// count levels from the highest down (free buckets fullest-first
+    /// within each level); if no host running the class fits, every
+    /// remaining candidate has count 0 and the spread walk *is* the
+    /// oracle's ordering.
+    fn affine_pick(&mut self, class: u32, need: i64, exclude: Option<usize>) -> Option<usize> {
+        if need > self.max_total {
+            return None;
+        }
+        if let Ok(ci) = self.class_idx.binary_search_by_key(&class, |e| e.0) {
+            let lo = bucket_of(need, self.max_total);
+            let cells = &mut self.class_idx[ci].1;
+            for k in (0..cells.levels.len()).rev() {
+                if cells.level_live[k] == 0 {
+                    continue;
+                }
+                let row = &mut cells.levels[k];
+                for f in (lo..row.len()).rev() {
+                    if row[f].live == 0 {
+                        continue;
+                    }
+                    if let Some(h) = row[f].pick_min(&self.stamps, exclude) {
+                        return Some(h);
+                    }
+                }
+            }
+        }
+        self.spread_pick(need, exclude)
+    }
+
+    /// Applies a placement (`placing`, `delta = -need`) or release
+    /// (`delta = +need`) to one host's slot, affinity list, and — in
+    /// indexed mode — every index the host appears in: one stamp bump
+    /// logically deletes all old entries, then the host is re-pushed into
+    /// its new free bucket and (SocketAffine) one cell per class it still
+    /// runs.
+    fn mutate(&mut self, host: usize, class: u32, delta: i64, placing: bool) {
+        let free_old = self.slots[host].free_groups;
+        let free_new = free_old + delta;
+        self.slots[host].free_groups = free_new;
+        if placing {
+            self.slots[host].live += 1;
+        } else {
+            self.slots[host].live = self.slots[host].live.saturating_sub(1);
+        }
+        let list = &mut self.affinity[host];
+        let k_old;
+        match list.binary_search_by_key(&class, |e| e.0) {
+            Ok(i) => {
+                k_old = list[i].1;
+                if placing {
+                    list[i].1 += 1;
+                } else {
+                    list[i].1 = list[i].1.saturating_sub(1);
+                    if list[i].1 == 0 {
+                        list.remove(i);
+                    }
+                }
+            }
+            Err(i) => {
+                k_old = 0;
+                if placing {
+                    list.insert(i, (class, 1));
+                }
+            }
+        }
+        if !self.indexed {
+            return;
+        }
+        self.stamps[host] += 1;
+        let stamp = self.stamps[host];
+        let bo = bucket_of(free_old, self.max_total);
+        let bn = bucket_of(free_new, self.max_total);
+        self.free_buckets[bo].live -= 1;
+        self.free_buckets[bn].push(host as u32, stamp, &self.stamps);
+        self.bucket_moves += 1;
+        if self.policy != ClusterPolicy::SocketAffine {
+            return;
+        }
+        // Retire the host's old cell entries: for the mutated class the
+        // old count was `k_old`; every other class it runs kept its count
+        // but moved free buckets.
+        if k_old > 0 {
+            self.cell_dec(class, k_old, free_old);
+        }
+        let n = self.affinity[host].len();
+        for idx in 0..n {
+            let (c, k) = self.affinity[host][idx];
+            if c != class && k > 0 {
+                self.cell_dec(c, k, free_old);
+            }
+            self.cell_add(c, k, free_new, host, stamp);
+        }
+    }
+
+    /// Removes one live host from a class cell's accounting (the entry
+    /// itself was already invalidated by the stamp bump).
+    fn cell_dec(&mut self, class: u32, k: u32, free: i64) {
+        let ci = match self.class_idx.binary_search_by_key(&class, |e| e.0) {
+            Ok(i) => i,
+            Err(_) => return,
+        };
+        let cells = &mut self.class_idx[ci].1;
+        let level = (k - 1) as usize;
+        if level >= cells.levels.len() {
+            return;
+        }
+        let b = bucket_of(free, self.max_total);
+        cells.levels[level][b].live -= 1;
+        cells.level_live[level] -= 1;
+    }
+
+    /// Inserts a live host into a class cell.
+    fn cell_add(&mut self, class: u32, k: u32, free: i64, host: usize, stamp: u64) {
+        debug_assert!(k > 0);
+        let ci = match self.class_idx.binary_search_by_key(&class, |e| e.0) {
+            Ok(i) => i,
+            Err(i) => {
+                self.class_idx.insert(i, (class, ClassCells::default()));
+                i
+            }
+        };
+        let buckets = self.free_buckets.len();
+        let cells = &mut self.class_idx[ci].1;
+        cells.ensure_level(k, buckets);
+        let level = (k - 1) as usize;
+        let b = bucket_of(free, self.max_total);
+        cells.levels[level][b].push(host as u32, stamp, &self.stamps);
+        cells.level_live[level] += 1;
+        self.bucket_moves += 1;
+    }
+
     /// Checks one host's estimate against hypervisor truth. Returns the
-    /// violation messages (empty when consistent): estimate drift or
+    /// inconsistencies (empty when consistent): estimate drift or
     /// over-commit, both of which would mean the scheduler and the §4.1
     /// prover disagree about who owns what.
     #[must_use]
-    pub fn audit(&self, host: usize, true_free_groups: i64, true_live: u32) -> Vec<String> {
+    pub fn audit(&self, host: usize, true_free_groups: i64, true_live: u32) -> Vec<AuditIssue> {
         let mut issues = Vec::new();
         let slot = &self.slots[host];
         if slot.free_groups != true_free_groups {
-            issues.push(format!(
-                "host {host}: scheduler estimates {} free groups but the hypervisor reports {}",
-                slot.free_groups, true_free_groups
-            ));
+            issues.push(AuditIssue::FreeDrift {
+                host,
+                estimated: slot.free_groups,
+                actual: true_free_groups,
+            });
         }
         if slot.live != true_live {
-            issues.push(format!(
-                "host {host}: scheduler tracks {} live sandboxes but the host runs {}",
-                slot.live, true_live
-            ));
+            issues.push(AuditIssue::LiveDrift {
+                host,
+                tracked: slot.live,
+                actual: true_live,
+            });
         }
         if slot.free_groups < 0 || slot.free_groups > slot.total_groups {
-            issues.push(format!(
-                "host {host}: over-commit — {} of {} groups free",
-                slot.free_groups, slot.total_groups
-            ));
+            issues.push(AuditIssue::OverCommit {
+                host,
+                free: slot.free_groups,
+                total: slot.total_groups,
+            });
         }
         issues
     }
+}
+
+/// Clamps a free-group count into the bucket range. Legal accounting
+/// keeps `0 <= free <= max_total`; the clamp only defends the index
+/// against an audit-visible over-commit upstream.
+fn bucket_of(free: i64, max_total: i64) -> usize {
+    free.clamp(0, max_total) as usize
 }
 
 #[cfg(test)]
@@ -284,5 +742,59 @@ mod tests {
         assert!(s.audit(h, 5, 1).is_empty());
         assert_eq!(s.audit(h, 7, 1).len(), 1, "free-group drift");
         assert_eq!(s.audit(h, 5, 0).len(), 1, "live drift");
+    }
+
+    #[test]
+    fn oracle_mode_matches_indexed_on_a_churn_script() {
+        // A deterministic place/release/exclude script across every
+        // policy: identical picks, counters, and estimates at each step.
+        // (The randomized lockstep battery lives in
+        // tests/proptest_scheduler.rs.)
+        for policy in ClusterPolicy::ALL {
+            let mut idx = ClusterScheduler::new(policy, 128 << 20, &[7, 5, 7, 3]);
+            let mut ora = ClusterScheduler::new_oracle(policy, 128 << 20, &[7, 5, 7, 3]);
+            assert!(idx.is_indexed() && !ora.is_indexed());
+            let mut placed = Vec::new();
+            for step in 0..64u64 {
+                let class = (step % 5) as u32;
+                let mem = ((step % 4) + 1) * (128 << 20);
+                let exclude = if step % 7 == 3 { Some(0) } else { None };
+                let a = idx.place(class, mem, exclude);
+                let b = ora.place(class, mem, exclude);
+                assert_eq!(a, b, "{policy:?} pick diverged at step {step}");
+                if let Some(h) = a {
+                    placed.push((h, class, mem));
+                }
+                if step % 3 == 2 {
+                    if let Some((h, c, m)) = placed.pop() {
+                        idx.release(h, c, m);
+                        ora.release(h, c, m);
+                    }
+                }
+                for h in 0..idx.hosts() {
+                    assert_eq!(idx.est_free_groups(h), ora.est_free_groups(h));
+                    assert_eq!(idx.est_live(h), ora.est_live(h));
+                    assert_eq!(idx.audit(h, ora.est_free_groups(h), ora.est_live(h)), []);
+                }
+                for need in 0..9 {
+                    assert_eq!(idx.can_fit(need), ora.can_fit(need), "can_fit({need})");
+                }
+            }
+            assert_eq!(idx.placements, ora.placements);
+            assert_eq!(idx.placement_rejects, ora.placement_rejects);
+            assert_eq!(idx.affinity_hits, ora.affinity_hits);
+            assert!(idx.bucket_moves > 0 && ora.bucket_moves == 0);
+        }
+    }
+
+    #[test]
+    fn count_reject_mirrors_a_failed_place() {
+        let mut a = sched(ClusterPolicy::Spread);
+        let mut b = sched(ClusterPolicy::Spread);
+        // 8 groups never fit a 7-group host.
+        assert!(!a.can_fit(a.groups_needed(1024 << 20)));
+        a.count_reject();
+        assert_eq!(b.place(0, 1024 << 20, None), None);
+        assert_eq!(a.placement_rejects, b.placement_rejects);
     }
 }

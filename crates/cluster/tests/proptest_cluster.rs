@@ -16,6 +16,7 @@ use proptest::prelude::*;
 /// A randomized small cluster: mini hosts, no attacks (hammer campaigns
 /// cost ~0.5 s each and prove nothing about scheduling), short
 /// lifetimes so departures and pending-queue churn actually happen.
+#[allow(clippy::too_many_arguments)]
 fn scenario(
     seed: u64,
     policy: ClusterPolicy,

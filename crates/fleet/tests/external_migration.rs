@@ -54,14 +54,19 @@ fn migration_is_depart_plus_admit_and_stays_incremental() {
     assert_eq!(src.stats().slices, 1);
     assert_eq!(src.stats().ledger_compiles, 1, "first slice compiles");
 
-    let checks_before = (src.stats().incremental_checks, dst.stats().incremental_checks);
+    let checks_before = (
+        src.stats().incremental_checks,
+        dst.stats().incremental_checks,
+    );
     let proofs_before = (src.stats().full_proofs, dst.stats().full_proofs);
 
     // The migration itself: depart on the source, re-admit on the
     // destination under a fresh domain claim.
     assert!(src.depart_external(tenant).unwrap(), "tenant was live");
     assert!(!src.is_live(tenant));
-    dst.admit_external(vm(tenant)).unwrap().expect("re-admitted");
+    dst.admit_external(vm(tenant))
+        .unwrap()
+        .expect("re-admitted");
     assert!(dst.is_live(tenant));
     assert_eq!(dst.live_tenants(), vec![tenant]);
 

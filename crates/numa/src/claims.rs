@@ -1,0 +1,272 @@
+//! Persistent interval map of subarray-group claims.
+//!
+//! The fleet engine's §4.1 incremental checker needs three operations to
+//! be fast at datacenter scale:
+//!
+//! * **Point lookup** — "who owns group `g`?" on every boundary check:
+//!   a dense owner vector, O(1).
+//! * **Tenant release** — a departure (or migration source teardown)
+//!   must forget every claim the tenant holds. The map keeps each
+//!   tenant's claims as a sorted, coalesced run list (`(start, len)`
+//!   intervals), so release walks exactly the groups the tenant touched
+//!   — O(touched) — instead of rescanning the whole ownership vector as
+//!   the pre-interval-map engine did.
+//! * **Total census** — the full proof cross-checks the map's claim
+//!   count against the hypervisor's; a maintained counter answers in
+//!   O(1) instead of an O(groups) scan.
+//!
+//! Claims arrive one group at a time (the checker re-derives a tenant's
+//! groups from the hypervisor and records the new ones), and hypervisor
+//! allocation is lowest-address-first, so runs coalesce aggressively: a
+//! tenant's claim list is typically one or two intervals regardless of
+//! its size.
+
+/// One tenant's claim runs: sorted, non-overlapping, coalesced
+/// `(first group, length)` intervals.
+#[derive(Debug, Clone)]
+struct TenantRuns {
+    tenant: u32,
+    runs: Vec<(u32, u32)>,
+}
+
+/// Group→tenant ownership with per-tenant interval lists.
+#[derive(Debug, Clone, Default)]
+pub struct ClaimMap {
+    /// Dense owner-by-group-ordinal vector (O(1) point lookup).
+    owner: Vec<Option<u32>>,
+    /// Per-tenant run lists, sorted by tenant id.
+    tenants: Vec<TenantRuns>,
+    /// Total groups currently claimed (O(1) census).
+    claimed: u64,
+    /// Tenant releases performed.
+    pub releases: u64,
+    /// Groups freed across all releases (with `releases`, the telemetry
+    /// window into O(touched) release sizes).
+    pub released_groups: u64,
+}
+
+impl ClaimMap {
+    /// An empty map over `groups` group ordinals.
+    #[must_use]
+    pub fn new(groups: usize) -> Self {
+        let mut owner = Vec::new();
+        owner.resize(groups, None);
+        Self {
+            owner,
+            tenants: Vec::new(),
+            claimed: 0,
+            releases: 0,
+            released_groups: 0,
+        }
+    }
+
+    /// Group ordinals under management.
+    #[must_use]
+    pub fn groups(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// The owner of group `g`, if claimed.
+    #[must_use]
+    pub fn owner_of(&self, g: u32) -> Option<u32> {
+        self.owner.get(g as usize).copied().flatten()
+    }
+
+    /// Total groups currently claimed, across all tenants.
+    #[must_use]
+    pub fn claimed_total(&self) -> u64 {
+        self.claimed
+    }
+
+    /// Tenants currently holding at least one claim.
+    #[must_use]
+    pub fn tenants_live(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Groups currently claimed by `tenant`.
+    #[must_use]
+    pub fn tenant_groups(&self, tenant: u32) -> u64 {
+        match self.tenants.binary_search_by_key(&tenant, |t| t.tenant) {
+            Ok(i) => self.tenants[i]
+                .runs
+                .iter()
+                .map(|&(_, len)| u64::from(len))
+                .sum(),
+            Err(_) => 0,
+        }
+    }
+
+    /// Claims group `g` for `tenant`. Returns `false` (and changes
+    /// nothing) if the group is already owned — by anyone, including
+    /// `tenant` itself — or out of range.
+    pub fn claim(&mut self, tenant: u32, g: u32) -> bool {
+        match self.owner.get(g as usize) {
+            Some(None) => {}
+            _ => return false,
+        }
+        self.owner[g as usize] = Some(tenant);
+        self.claimed += 1;
+        let ti = match self.tenants.binary_search_by_key(&tenant, |t| t.tenant) {
+            Ok(i) => i,
+            Err(i) => {
+                self.tenants.insert(
+                    i,
+                    TenantRuns {
+                        tenant,
+                        runs: Vec::new(),
+                    },
+                );
+                i
+            }
+        };
+        let runs = &mut self.tenants[ti].runs;
+        // Insertion point: first run starting after `g`.
+        let at = runs.partition_point(|&(start, _)| start <= g);
+        let glues_prev = at > 0 && {
+            let (start, len) = runs[at - 1];
+            start + len == g
+        };
+        let glues_next = at < runs.len() && runs[at].0 == g + 1;
+        match (glues_prev, glues_next) {
+            (true, true) => {
+                runs[at - 1].1 += 1 + runs[at].1;
+                runs.remove(at);
+            }
+            (true, false) => runs[at - 1].1 += 1,
+            (false, true) => {
+                runs[at].0 = g;
+                runs[at].1 += 1;
+            }
+            (false, false) => runs.insert(at, (g, 1)),
+        }
+        true
+    }
+
+    /// Releases every claim `tenant` holds, clearing exactly the owner
+    /// slots its run list covers — O(touched). Returns the groups freed.
+    pub fn release_tenant(&mut self, tenant: u32) -> u64 {
+        let ti = match self.tenants.binary_search_by_key(&tenant, |t| t.tenant) {
+            Ok(i) => i,
+            Err(_) => return 0,
+        };
+        let entry = self.tenants.remove(ti);
+        let mut freed = 0u64;
+        for (start, len) in entry.runs {
+            for g in start..start + len {
+                debug_assert_eq!(self.owner[g as usize], Some(tenant));
+                self.owner[g as usize] = None;
+            }
+            freed += u64::from(len);
+        }
+        self.claimed -= freed;
+        self.releases += 1;
+        self.released_groups += freed;
+        freed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_lookup_and_census_track_claims() {
+        let mut m = ClaimMap::new(16);
+        assert!(m.claim(7, 3));
+        assert!(m.claim(7, 4));
+        assert!(m.claim(9, 10));
+        assert_eq!(m.owner_of(3), Some(7));
+        assert_eq!(m.owner_of(4), Some(7));
+        assert_eq!(m.owner_of(10), Some(9));
+        assert_eq!(m.owner_of(5), None);
+        assert_eq!(m.claimed_total(), 3);
+        assert_eq!(m.tenant_groups(7), 2);
+        assert_eq!(m.tenants_live(), 2);
+    }
+
+    #[test]
+    fn double_claims_and_out_of_range_are_refused() {
+        let mut m = ClaimMap::new(4);
+        assert!(m.claim(1, 2));
+        assert!(!m.claim(2, 2), "already owned by tenant 1");
+        assert!(!m.claim(1, 2), "re-claiming one's own group is refused");
+        assert!(!m.claim(1, 99), "out of range");
+        assert_eq!(m.claimed_total(), 1);
+    }
+
+    #[test]
+    fn runs_coalesce_in_any_claim_order() {
+        let mut m = ClaimMap::new(32);
+        // Claim 8..16 in an order that exercises prev-glue, next-glue,
+        // both-glue, and fresh-run inserts.
+        for g in [12u32, 8, 15, 9, 13, 11, 14, 10] {
+            assert!(m.claim(3, g));
+        }
+        assert_eq!(m.tenants[0].runs, [(8, 8)], "one coalesced interval");
+        assert_eq!(m.tenant_groups(3), 8);
+    }
+
+    #[test]
+    fn release_clears_exactly_the_touched_groups() {
+        let mut m = ClaimMap::new(64);
+        for g in 0..8 {
+            assert!(m.claim(1, g));
+        }
+        for g in 20..23 {
+            assert!(m.claim(2, g));
+        }
+        assert_eq!(m.release_tenant(1), 8);
+        assert_eq!(m.release_tenant(1), 0, "second release is a no-op");
+        for g in 0..8 {
+            assert_eq!(m.owner_of(g), None);
+        }
+        assert_eq!(m.owner_of(21), Some(2), "other tenants untouched");
+        assert_eq!(m.claimed_total(), 3);
+        assert_eq!(m.releases, 1, "the no-op release is not counted");
+        assert_eq!(m.released_groups, 8);
+        // Freed groups are reclaimable, by anyone.
+        assert!(m.claim(2, 5));
+        assert_eq!(m.owner_of(5), Some(2));
+    }
+
+    #[test]
+    fn matches_a_dense_reference_under_random_churn() {
+        // Deterministic splitmix64 churn: claim/release against a naive
+        // dense model, checking owners and census after every step.
+        let mut m = ClaimMap::new(96);
+        let mut dense: Vec<Option<u32>> = std::iter::repeat_n(None, 96).collect();
+        let mut x = 0x9e37_79b9_u64;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..4000 {
+            let tenant = (step() % 7) as u32;
+            if step() % 4 == 0 {
+                let freed = m.release_tenant(tenant);
+                let expect = dense.iter().filter(|&&o| o == Some(tenant)).count() as u64;
+                assert_eq!(freed, expect);
+                for slot in dense.iter_mut() {
+                    if *slot == Some(tenant) {
+                        *slot = None;
+                    }
+                }
+            } else {
+                let g = (step() % 96) as u32;
+                let ok = m.claim(tenant, g);
+                assert_eq!(ok, dense[g as usize].is_none());
+                if ok {
+                    dense[g as usize] = Some(tenant);
+                }
+            }
+            for g in 0..96u32 {
+                assert_eq!(m.owner_of(g), dense[g as usize]);
+            }
+            let live = dense.iter().flatten().count() as u64;
+            assert_eq!(m.claimed_total(), live);
+        }
+    }
+}

@@ -14,16 +14,21 @@
 //!   memory allocations and scheduling to specific nodes (§5.2), with
 //!   exclusive node claims;
 //! - [`MemPolicy`]: bind/interleave/preferred allocation policies with
-//!   zonelist-style fallback, mirroring the kernel's NUMA memory policy.
+//!   zonelist-style fallback, mirroring the kernel's NUMA memory policy;
+//! - [`ClaimMap`]: a persistent interval map of group→tenant claims —
+//!   O(1) point lookup and census, O(touched) tenant release — backing
+//!   the fleet engine's incremental §4.1 checker.
 
 #![forbid(unsafe_code)]
 
 pub mod buddy;
+pub mod claims;
 pub mod cpuset;
 pub mod node;
 pub mod policy;
 
 pub use buddy::BuddyAllocator;
+pub use claims::ClaimMap;
 pub use cpuset::{CgroupRegistry, ControlGroup};
 pub use node::{NodeId, NodeInfo, Topology};
 pub use policy::{MemPolicy, PlacementStrategy, PolicyAlloc};

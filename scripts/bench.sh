@@ -33,6 +33,18 @@ fi
 
 ./target/release/perfsuite
 
+# Thousands-of-hosts smoke: the indexed scheduler must hold a 2048-host
+# fleet clean (0 escapes, 0 violations) under soak-density churn. Writes
+# CLUSTER_soak_scale.json. Set SILOZ_SCALE_HOSTS to change the fleet size
+# (e.g. 4096 for the full-scale tier) or 0 to skip the smoke.
+SILOZ_SCALE_HOSTS="${SILOZ_SCALE_HOSTS:-2048}"
+if [[ "$SILOZ_SCALE_HOSTS" != "0" ]]; then
+  cargo build --release -p bench --bin cluster_soak
+  echo
+  echo "cluster scale smoke: ${SILOZ_SCALE_HOSTS} hosts"
+  ./target/release/cluster_soak --scale "$SILOZ_SCALE_HOSTS"
+fi
+
 echo
 echo "results:   $(pwd)/BENCH_perfsuite.json"
 echo "telemetry: $(pwd)/TELEMETRY_perfsuite.json"

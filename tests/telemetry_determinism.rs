@@ -191,6 +191,38 @@ fn cluster_telemetry_is_thread_count_invariant() {
             .contains_key("events_processed"),
         "absorbed host tree missing"
     );
+    // The scheduler-index counters ride the same export: bucket moves
+    // under the scheduler child, the pending queue's shard occupancy and
+    // short-circuit tally on the cluster node (the wall clock is
+    // volatile), and the O(touched) claim-release sizes in the absorbed
+    // fleet tree.
+    assert!(
+        cluster.children["scheduler"]
+            .metrics
+            .contains_key("bucket_moves"),
+        "scheduler index counters missing"
+    );
+    assert!(!cluster.metrics["shard_retries_skipped"].is_volatile());
+    assert!(cluster.metrics.contains_key("pending_shards"));
+    assert!(cluster.metrics["sched_wall_ns"].is_volatile());
+    let fleet = &cluster.children["hosts"].children["fleet"];
+    let MetricValue::Counter {
+        value: released, ..
+    } = fleet.metrics["claim_released_groups"]
+    else {
+        panic!("claim release sizes missing");
+    };
+    let MetricValue::Counter {
+        value: releases, ..
+    } = fleet.metrics["claim_releases"]
+    else {
+        panic!("claim release count missing");
+    };
+    assert!(releases > 0, "departures must release claims");
+    assert!(
+        released >= releases,
+        "every release frees at least one group"
+    );
 }
 
 #[test]

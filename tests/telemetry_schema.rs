@@ -41,19 +41,26 @@ fn golden_registry() -> Registry {
     mitigation.counter("acts_throttled").add(512);
     mitigation.counter("rows_blacklisted").add(2);
     mitigation.counter("throttle_ps_total").add(768_000_000);
-    // The cluster engine's export shape: cluster-level counters, the
-    // scheduler's placement tallies, and one per-host rollup child.
+    // The cluster engine's export shape: cluster-level counters (with
+    // the sharded pending queue's occupancy and short-circuit tallies),
+    // the scheduler's placement and index-maintenance tallies, and one
+    // per-host rollup child carrying the O(touched) claim-release sizes.
     let cluster = reg.child("cluster");
     cluster.counter("migrations").add(57);
     cluster.counter("sync_proofs").add(4);
+    cluster.counter("shard_retries_skipped").add(9);
     cluster.gauge("live_sandboxes").add(12);
+    cluster.gauge("pending_shards").add(2);
     let scheduler = cluster.child("scheduler");
     scheduler.counter("placements").add(130);
     scheduler.counter("placement_rejects").add(2);
     scheduler.counter("affinity_hits").add(31);
+    scheduler.counter("bucket_moves").add(640);
     let host0 = cluster.child("host0");
     host0.counter("events_processed").add(410);
     host0.counter("isolation_violations").add(0);
+    host0.counter("claim_releases").add(12);
+    host0.counter("claim_released_groups").add(84);
     host0.gauge("live_vms").add(3);
     // An empty child must render as empty maps, not be dropped.
     let _ = reg.child("empty");
@@ -121,14 +128,19 @@ fn merged_golden_snapshot_doubles_every_metric() {
     let cluster = other.child("cluster");
     cluster.counter("migrations").add(57);
     cluster.counter("sync_proofs").add(4);
+    cluster.counter("shard_retries_skipped").add(9);
     cluster.gauge("live_sandboxes").add(12);
+    cluster.gauge("pending_shards").add(2);
     let scheduler = cluster.child("scheduler");
     scheduler.counter("placements").add(130);
     scheduler.counter("placement_rejects").add(2);
     scheduler.counter("affinity_hits").add(31);
+    scheduler.counter("bucket_moves").add(640);
     let host0 = cluster.child("host0");
     host0.counter("events_processed").add(410);
     host0.counter("isolation_violations").add(0);
+    host0.counter("claim_releases").add(12);
+    host0.counter("claim_released_groups").add(84);
     host0.gauge("live_vms").add(3);
     assert_eq!(doubled, other.snapshot());
 }
